@@ -1,0 +1,57 @@
+//! Benchmarks of the AutoWatchdog pipeline itself (Figures 2–3 machinery):
+//! region finding, reduction, and full plan generation over both target
+//! IRs, plus a synthetic large program to show the pipeline scales far
+//! beyond the targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
+use wdog_gen::plan::generate_plan;
+use wdog_gen::reduce::{reduce_program, ReductionConfig};
+use wdog_gen::regions::find_regions;
+
+/// A synthetic program with `n` long-running regions, each a chain of five
+/// functions mixing vulnerable and deterministic operations.
+fn synthetic(n: usize) -> ProgramIr {
+    let mut b = ProgramBuilder::new("synthetic");
+    for r in 0..n {
+        b = b.function(format!("loop_{r}"), |f| {
+            f.long_running().call_in_loop(format!("stage_{r}_0"))
+        });
+        for s in 0..5 {
+            let next = (s + 1 < 5).then(|| format!("stage_{r}_{}", s + 1));
+            b = b.function(format!("stage_{r}_{s}"), move |mut f| {
+                f = f
+                    .compute("decode")
+                    .op("write", OpKind::DiskWrite, |o| {
+                        o.resource(format!("vol{s}/")).arg("payload", ArgType::Bytes)
+                    })
+                    .op("send", OpKind::NetSend, |o| o.resource(format!("peer{s}")))
+                    .compute("update");
+                if let Some(next) = next {
+                    f = f.call(next);
+                }
+                f
+            });
+        }
+    }
+    b.build()
+}
+
+fn generation(c: &mut Criterion) {
+    let kvs_ir = kvs::wd::describe_ir();
+    let config = ReductionConfig::default();
+    let big = synthetic(50);
+
+    let mut group = c.benchmark_group("generation");
+    group.bench_function("find_regions_kvs", |b| b.iter(|| find_regions(&kvs_ir)));
+    group.bench_function("reduce_kvs", |b| b.iter(|| reduce_program(&kvs_ir, &config)));
+    group.bench_function("plan_kvs", |b| b.iter(|| generate_plan(&kvs_ir, &config)));
+    group.bench_function("plan_synthetic_50_regions", |b| {
+        b.iter(|| generate_plan(&big, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benchmarks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kvs::{KvsConfig, KvsServer};
+use simio::disk::SimDisk;
+use simio::LatencyModel;
+use wdog_base::clock::RealClock;
+
+/// Starts a durable kvs on a zero-latency disk, tuned for benchmarking.
+pub fn bench_server() -> KvsServer {
+    let clock = RealClock::shared();
+    let disk = SimDisk::new(1 << 30, LatencyModel::zero(), Arc::clone(&clock));
+    KvsServer::start(
+        KvsConfig {
+            workers: 2,
+            flush_interval: Duration::from_millis(50),
+            compaction_interval: Duration::from_millis(50),
+            ..KvsConfig::default()
+        },
+        clock,
+        disk,
+        None,
+    )
+    .expect("bench server")
+}

@@ -1,0 +1,48 @@
+//! The uniform detector interface campaigns poll.
+
+use serde::{Deserialize, Serialize};
+
+/// What a detector currently believes about its target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// No evidence of failure.
+    Healthy,
+    /// The target is suspected faulty.
+    Suspected {
+        /// Why — as much as this detector can say.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Suspected`].
+    pub fn is_suspected(&self) -> bool {
+        matches!(self, Verdict::Suspected { .. })
+    }
+}
+
+/// A pollable failure detector.
+pub trait Detector: Send {
+    /// Short stable name for tables (`heartbeat`, `probe`, `observer`).
+    fn name(&self) -> &str;
+
+    /// Current belief about the target.
+    fn verdict(&self) -> Verdict;
+
+    /// Stops any background activity; default no-op.
+    fn stop(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_classification() {
+        assert!(!Verdict::Healthy.is_suspected());
+        assert!(Verdict::Suspected {
+            reason: "x".into()
+        }
+        .is_suspected());
+    }
+}

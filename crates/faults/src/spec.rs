@@ -1,0 +1,219 @@
+//! The fault taxonomy.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One injectable fault, parameterized by its target.
+///
+/// Substrate faults (`Disk*`, `Net*`) map to [`simio`] fault rules; the
+/// cooperative faults (`TaskStuck`, `TaskBusyLoop`, `LogicCorruption`,
+/// `MemoryLeak`) map to named [`crate::toggle::ToggleSet`] flags that the
+/// target system polls at the corresponding code site; `RuntimePause` arms
+/// the process's [`simio::StallPoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The whole process stops (the only failure heartbeats catch reliably).
+    ProcessCrash,
+    /// Writes/reads/syncs under a path prefix block indefinitely — a partial
+    /// disk failure when scoped, a dead disk when the prefix is empty.
+    DiskStuck {
+        /// Affected path prefix (empty = whole disk).
+        path_prefix: String,
+    },
+    /// I/O under a prefix becomes `factor`× slower (fail-slow disk,
+    /// limplock precursor).
+    DiskSlow {
+        /// Affected path prefix.
+        path_prefix: String,
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// I/O under a prefix returns explicit errors.
+    DiskError {
+        /// Affected path prefix.
+        path_prefix: String,
+    },
+    /// Writes under a prefix are silently corrupted (bit rot at write time).
+    DiskCorruptWrites {
+        /// Affected path prefix.
+        path_prefix: String,
+    },
+    /// Sends on a directed link block indefinitely (wedged connection — the
+    /// ZOOKEEPER-2201 trigger).
+    NetBlockSend {
+        /// Source address.
+        src: String,
+        /// Destination address.
+        dst: String,
+    },
+    /// Messages on a directed link vanish silently.
+    NetDrop {
+        /// Source address.
+        src: String,
+        /// Destination address.
+        dst: String,
+    },
+    /// A directed link becomes `factor`× slower (fail-slow network).
+    NetSlow {
+        /// Source address.
+        src: String,
+        /// Destination address.
+        dst: String,
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// A stop-the-world runtime pause (GC-pause analog) for `duration`.
+    RuntimePause {
+        /// Pause length in milliseconds.
+        millis: u64,
+    },
+    /// A named background task silently stops making progress (toggle).
+    TaskStuck {
+        /// Toggle name, e.g. `kvs.compaction.stuck`.
+        toggle: String,
+    },
+    /// A named task spins without progress — infinite loop (toggle).
+    TaskBusyLoop {
+        /// Toggle name.
+        toggle: String,
+    },
+    /// A named computation starts producing corrupt state (toggle).
+    LogicCorruption {
+        /// Toggle name, e.g. `kvs.indexer.corrupt`.
+        toggle: String,
+    },
+    /// Memory accounting starts leaking (toggle; the target allocates
+    /// without freeing while set).
+    MemoryLeak {
+        /// Toggle name.
+        toggle: String,
+    },
+}
+
+impl FaultKind {
+    /// A short stable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ProcessCrash => "crash",
+            FaultKind::DiskStuck { .. } => "disk-stuck",
+            FaultKind::DiskSlow { .. } => "disk-slow",
+            FaultKind::DiskError { .. } => "disk-error",
+            FaultKind::DiskCorruptWrites { .. } => "disk-corrupt",
+            FaultKind::NetBlockSend { .. } => "net-block",
+            FaultKind::NetDrop { .. } => "net-drop",
+            FaultKind::NetSlow { .. } => "net-slow",
+            FaultKind::RuntimePause { .. } => "runtime-pause",
+            FaultKind::TaskStuck { .. } => "task-stuck",
+            FaultKind::TaskBusyLoop { .. } => "busy-loop",
+            FaultKind::LogicCorruption { .. } => "logic-corrupt",
+            FaultKind::MemoryLeak { .. } => "memory-leak",
+        }
+    }
+
+    /// Returns `true` for *gray* faults — the process keeps running and
+    /// heartbeating, only part of it misbehaves. `ProcessCrash` is the one
+    /// non-gray fault in the taxonomy.
+    pub fn is_gray(&self) -> bool {
+        !matches!(self, FaultKind::ProcessCrash)
+    }
+}
+
+/// A fault plus its schedule within an experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Delay from experiment start to arming.
+    pub start_after: Duration,
+    /// How long the fault stays armed; `None` = until the run ends.
+    pub duration: Option<Duration>,
+}
+
+impl FaultSpec {
+    /// Creates a spec armed `start_after` into the run, lasting until the end.
+    pub fn new(name: impl Into<String>, kind: FaultKind, start_after: Duration) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            start_after,
+            duration: None,
+        }
+    }
+
+    /// Limits the fault to `d` after arming.
+    pub fn lasting(mut self, d: Duration) -> Self {
+        self.duration = Some(d);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::ProcessCrash.label(), "crash");
+        assert_eq!(
+            FaultKind::DiskStuck {
+                path_prefix: "wal/".into()
+            }
+            .label(),
+            "disk-stuck"
+        );
+        assert_eq!(
+            FaultKind::NetBlockSend {
+                src: "a".into(),
+                dst: "b".into()
+            }
+            .label(),
+            "net-block"
+        );
+    }
+
+    #[test]
+    fn only_crash_is_not_gray() {
+        assert!(!FaultKind::ProcessCrash.is_gray());
+        assert!(FaultKind::RuntimePause { millis: 100 }.is_gray());
+        assert!(FaultKind::TaskStuck {
+            toggle: "x".into()
+        }
+        .is_gray());
+        assert!(FaultKind::DiskCorruptWrites {
+            path_prefix: String::new()
+        }
+        .is_gray());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = FaultSpec::new(
+            "slow-wal",
+            FaultKind::DiskSlow {
+                path_prefix: "wal/".into(),
+                factor: 100.0,
+            },
+            Duration::from_secs(5),
+        )
+        .lasting(Duration::from_secs(10));
+        assert_eq!(s.start_after, Duration::from_secs(5));
+        assert_eq!(s.duration, Some(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn spec_serializes_roundtrip() {
+        let s = FaultSpec::new(
+            "p",
+            FaultKind::MemoryLeak {
+                toggle: "kvs.leak".into(),
+            },
+            Duration::ZERO,
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,158 @@
+//! Named cooperative fault flags.
+//!
+//! Substrate faults cover the environment (disk, network, pauses); *code*
+//! faults — a background task that silently stops, an indexer that starts
+//! writing garbage — need a cooperation point inside the target system. A
+//! [`ToggleSet`] is a registry of named boolean flags: the injector sets
+//! them, and the target polls its own flags at the corresponding code site
+//! (e.g. the compaction loop checks `kvs.compaction.stuck` each iteration
+//! and wedges while it is set).
+//!
+//! Polling an unset toggle costs one relaxed atomic load, so instrumented
+//! code paths pay essentially nothing in fault-free runs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use wdog_base::clock::Clock;
+
+/// A shared registry of named fault toggles.
+#[derive(Clone, Default)]
+pub struct ToggleSet {
+    inner: Arc<RwLock<HashMap<String, Arc<AtomicBool>>>>,
+}
+
+impl ToggleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the flag named `name`, creating it unset if needed.
+    pub fn flag(&self, name: &str) -> Arc<AtomicBool> {
+        if let Some(f) = self.inner.read().get(name) {
+            return Arc::clone(f);
+        }
+        let mut map = self.inner.write();
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicBool::new(false))),
+        )
+    }
+
+    /// Sets or clears a named flag.
+    pub fn set(&self, name: &str, on: bool) {
+        self.flag(name).store(on, Ordering::Relaxed);
+    }
+
+    /// Returns the state of a named flag (false if never created).
+    pub fn is_set(&self, name: &str) -> bool {
+        self.inner
+            .read()
+            .get(name)
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Blocks on `clock` while `name` is set — the standard "task stuck"
+    /// cooperation pattern for target loops.
+    pub fn stall_while_set(&self, name: &str, clock: &dyn Clock) {
+        let flag = self.flag(name);
+        while flag.load(Ordering::Relaxed) {
+            clock.sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Returns all names ever created, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Clears every flag.
+    pub fn clear_all(&self) {
+        for f in self.inner.read().values() {
+            f.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ToggleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set: Vec<String> = self
+            .names()
+            .into_iter()
+            .filter(|n| self.is_set(n))
+            .collect();
+        f.debug_struct("ToggleSet").field("set", &set).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdog_base::clock::RealClock;
+
+    #[test]
+    fn flags_default_unset() {
+        let t = ToggleSet::new();
+        assert!(!t.is_set("x"));
+        let f = t.flag("x");
+        assert!(!f.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let t = ToggleSet::new();
+        t.set("kvs.compaction.stuck", true);
+        assert!(t.is_set("kvs.compaction.stuck"));
+        t.set("kvs.compaction.stuck", false);
+        assert!(!t.is_set("kvs.compaction.stuck"));
+    }
+
+    #[test]
+    fn flag_handles_are_shared() {
+        let t = ToggleSet::new();
+        let a = t.flag("f");
+        let b = t.flag("f");
+        a.store(true, Ordering::Relaxed);
+        assert!(b.load(Ordering::Relaxed));
+        assert!(t.is_set("f"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = ToggleSet::new();
+        let t2 = t.clone();
+        t.set("x", true);
+        assert!(t2.is_set("x"));
+    }
+
+    #[test]
+    fn stall_while_set_blocks_until_cleared() {
+        let t = ToggleSet::new();
+        t.set("gate", true);
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            t2.stall_while_set("gate", &RealClock::new());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_finished());
+        t.set("gate", false);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn clear_all_resets_everything() {
+        let t = ToggleSet::new();
+        t.set("a", true);
+        t.set("b", true);
+        t.clear_all();
+        assert!(!t.is_set("a"));
+        assert!(!t.is_set("b"));
+        assert_eq!(t.names(), vec!["a", "b"]);
+    }
+}

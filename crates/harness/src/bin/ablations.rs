@@ -1,0 +1,23 @@
+//! Runs the E6 design-choice ablations.
+
+fn main() {
+    match harness::ablations::run() {
+        Ok(result) => {
+            println!("{}", harness::ablations::render(&result));
+            let violations = harness::ablations::shape_violations(&result);
+            if violations.is_empty() {
+                println!("shape check: OK");
+            } else {
+                println!("shape check: VIOLATIONS");
+                for v in violations {
+                    println!("  - {v}");
+                }
+            }
+            harness::write_json("ablations", &result);
+        }
+        Err(e) => {
+            eprintln!("ablations failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figures 2-3 (experiment E3b): program logic reduction.
+
+fn main() {
+    let result = harness::reduction::run();
+    println!("{}", harness::reduction::render(&result));
+    let violations = harness::reduction::shape_violations(&result);
+    if violations.is_empty() {
+        println!("shape check: OK");
+    } else {
+        println!("shape check: VIOLATIONS");
+        for v in violations {
+            println!("  - {v}");
+        }
+    }
+    harness::write_json("reduction", &result);
+}

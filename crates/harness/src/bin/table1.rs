@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table 1 (experiment E1).
+
+fn main() {
+    let opts = harness::scenario::RunnerOptions::default();
+    match harness::table1::run(&opts) {
+        Ok(result) => {
+            println!("{}", harness::table1::render(&result));
+            let violations = harness::table1::shape_violations(&result);
+            if violations.is_empty() {
+                println!("shape check: OK (matches the paper's Table 1 expectations)");
+            } else {
+                println!("shape check: VIOLATIONS");
+                for v in violations {
+                    println!("  - {v}");
+                }
+            }
+            harness::write_json("table1", &result);
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

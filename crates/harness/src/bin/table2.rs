@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table 2 (experiment E2).
+
+fn main() {
+    let opts = harness::scenario::RunnerOptions::default();
+    match harness::table2::run(&opts, 3) {
+        Ok(result) => {
+            println!("{}", harness::table2::render(&result));
+            let violations = harness::table2::shape_violations(&result);
+            if violations.is_empty() {
+                println!("shape check: OK (matches the paper's Table 2 expectations)");
+            } else {
+                println!("shape check: VIOLATIONS");
+                for v in violations {
+                    println!("  - {v}");
+                }
+            }
+            harness::write_json("table2", &result);
+        }
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

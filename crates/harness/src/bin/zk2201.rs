@@ -1,0 +1,23 @@
+//! Reproduces the paper's §4.2 preliminary result (experiment E4).
+
+fn main() {
+    match harness::zk2201::run() {
+        Ok(result) => {
+            println!("{}", harness::zk2201::render(&result));
+            let violations = harness::zk2201::shape_violations(&result);
+            if violations.is_empty() {
+                println!("shape check: OK (gray failure reproduced; watchdog detected; extrinsic detectors stayed green)");
+            } else {
+                println!("shape check: VIOLATIONS");
+                for v in violations {
+                    println!("  - {v}");
+                }
+            }
+            harness::write_json("zk2201", &result);
+        }
+        Err(e) => {
+            eprintln!("zk2201 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

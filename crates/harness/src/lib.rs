@@ -1,0 +1,45 @@
+//! Experiment harness: one module (and one binary) per paper artifact.
+//!
+//! | Module | Paper artifact | Binary |
+//! |---|---|---|
+//! | [`table1`] | Table 1 — detection matrix across abstractions | `table1` |
+//! | [`table2`] | Table 2 — probe vs signal vs mimic | `table2` |
+//! | [`reduction`] | Figures 2–3 — program logic reduction | `reduction` |
+//! | [`zk2201`] | §4.2 — the ZOOKEEPER-2201 reproduction | `zk2201` |
+//! | [`ablations`] | §3.1/§3.3 design choices (E6) | `ablations` |
+//!
+//! Each experiment returns a serde-serializable result struct; binaries
+//! print the paper-style table *and* write the raw JSON next to it (under
+//! `results/`) so EXPERIMENTS.md numbers are regenerable.
+
+pub mod ablations;
+pub mod fmt;
+pub mod reduction;
+pub mod scenario;
+pub mod table1;
+pub mod table2;
+pub mod workload;
+pub mod zk2201;
+
+/// Writes an experiment result as pretty JSON under `results/`.
+///
+/// Creation failures are reported but non-fatal: printing the table matters
+/// more than archiving it.
+pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("\n[raw results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}

@@ -1,0 +1,370 @@
+//! The shared scenario runner behind experiments E1 and E2.
+//!
+//! One run = a replicated kvs testbed + steady workload + a detector set +
+//! (optionally) one injected fault from the catalogue. The runner samples
+//! every detector through the observation window and scores what each one
+//! said: detected or not, how fast, with what failure class, at what
+//! localization granularity, and whether the blame landed in the right
+//! place.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use detectors::{Detector, ExternalProbe, HeartbeatDetector, ObserverHub};
+use faults::{ArmedFault, Injector, Scenario};
+use kvs::wd::{build_watchdog, WdOptions};
+use kvs::{KvsConfig, KvsServer};
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+use simio::LatencyModel;
+use wdog_base::clock::{RealClock, SharedClock};
+use wdog_base::error::BaseResult;
+use wdog_base::rng::derive_seed;
+use wdog_core::report::FaultLocation;
+
+use crate::workload::{Workload, WorkloadConfig, WorkloadCounters};
+
+/// What one detector said about one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorOutcome {
+    /// Detector name (`heartbeat`, `probe`, `observer`, `error-handler`,
+    /// `watchdog`, or a checker-family name).
+    pub detector: String,
+    /// Whether the detector reported the failure within the window.
+    pub detected: bool,
+    /// Milliseconds from injection to first report.
+    pub latency_ms: Option<u64>,
+    /// Failure class of the first report (watchdog only).
+    pub class: Option<String>,
+    /// Localization granularity: `operation`, `function`, `resource`,
+    /// `api`, or `process`.
+    pub granularity: String,
+    /// Rendered location of the first report.
+    pub blamed: Option<String>,
+    /// Whether the blame matched the scenario's expectation.
+    pub correct_blame: Option<bool>,
+    /// First report's human detail.
+    pub detail: String,
+}
+
+/// The full record of one scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario id, or `control` for fault-free runs.
+    pub scenario: String,
+    /// Expected failure class (empty for control runs).
+    pub expected_class: String,
+    /// Per-detector outcomes.
+    pub outcomes: Vec<DetectorOutcome>,
+    /// Workload totals over the run.
+    pub workload_ok: u64,
+    /// Workload failures over the run.
+    pub workload_failed: u64,
+}
+
+impl ScenarioResult {
+    /// Looks up one detector's outcome.
+    pub fn outcome(&self, detector: &str) -> Option<&DetectorOutcome> {
+        self.outcomes.iter().find(|o| o.detector == detector)
+    }
+}
+
+/// Runner knobs.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Watchdog checker configuration (families, interval, timeouts).
+    pub wd: WdOptions,
+    /// Also run the extrinsic baselines (heartbeat, probe, observer) and
+    /// the error-handler signal.
+    pub extrinsic: bool,
+    /// Steady-state period before injection.
+    pub warmup: Duration,
+    /// Observation window after injection.
+    pub observe: Duration,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        Self {
+            wd: WdOptions {
+                interval: Duration::from_millis(200),
+                checker_timeout: Duration::from_millis(800),
+                // Mimicked I/O at simulated-SSD latencies: tens of
+                // milliseconds means the volume is orders of magnitude off.
+                slow_threshold: Duration::from_millis(10),
+                memory_watermark: 2 << 20,
+                ..WdOptions::default()
+            },
+            extrinsic: true,
+            warmup: Duration::from_millis(800),
+            observe: Duration::from_secs(5),
+            workload: WorkloadConfig {
+                period: Duration::from_millis(5),
+                ..WorkloadConfig::default()
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// Classifies a report location into a granularity label.
+pub fn granularity_of(loc: &FaultLocation) -> &'static str {
+    if loc.operation.is_some() {
+        "operation"
+    } else if loc.function.starts_with("indicator:") {
+        "resource"
+    } else if loc.component.as_str().ends_with(".api") {
+        "api"
+    } else {
+        "function"
+    }
+}
+
+/// Runs one scenario (or a fault-free control run when `scenario` is
+/// `None`) and scores every detector.
+pub fn run_kvs_scenario(
+    scenario: Option<&Scenario>,
+    opts: &RunnerOptions,
+) -> BaseResult<ScenarioResult> {
+    let label = scenario.map(|s| s.id.clone()).unwrap_or_else(|| "control".into());
+    let seed = derive_seed(opts.seed, &label);
+    let clock: SharedClock = RealClock::shared();
+    let net = SimNet::new(
+        LatencyModel::new(30.0, derive_seed(seed, "net")),
+        Arc::clone(&clock),
+    );
+    let disk = SimDisk::new(
+        1 << 30,
+        LatencyModel::new(20.0, derive_seed(seed, "disk")),
+        Arc::clone(&clock),
+    );
+    let replica = kvs::replication::Replica::spawn(net.clone(), "kvs-replica");
+    let server = Arc::new(KvsServer::start(
+        KvsConfig {
+            client_timeout: Duration::from_millis(400),
+            flush_interval: Duration::from_millis(30),
+            compaction_interval: Duration::from_millis(30),
+            compaction_trigger: 3,
+            ..KvsConfig::replicated()
+        },
+        Arc::clone(&clock),
+        Arc::clone(&disk),
+        Some(net.clone()),
+    )?);
+
+    // Fault injection plumbing.
+    let crashed = Arc::new(AtomicBool::new(false));
+    let crash_flag = Arc::clone(&crashed);
+    let crash_server = Arc::clone(&server);
+    let injector = Injector::new()
+        .with_disk(Arc::clone(&disk))
+        .with_net(net.clone())
+        .with_stall(server.stall())
+        .with_toggles(server.toggles())
+        .with_clock(Arc::clone(&clock))
+        .with_crash_hook(Arc::new(move || {
+            crash_server.crash();
+            crash_flag.store(true, Ordering::Relaxed);
+        }));
+
+    // The intrinsic watchdog.
+    let (mut driver, _plan) = build_watchdog(&server, &opts.wd)?;
+    driver.start()?;
+
+    // Extrinsic baselines.
+    let hub = ObserverHub::new(Arc::clone(&clock), Duration::from_secs(2), 8, 0.5);
+    let mut extrinsics: Vec<Box<dyn Detector>> = Vec::new();
+    if opts.extrinsic {
+        let s2 = Arc::clone(&server);
+        extrinsics.push(Box::new(HeartbeatDetector::start(
+            Arc::clone(&clock),
+            Duration::from_millis(50),
+            Duration::from_millis(300),
+            Arc::new(move || s2.is_running()),
+        )));
+        let probe_client = server.client();
+        extrinsics.push(Box::new(ExternalProbe::start(
+            Arc::clone(&clock),
+            Duration::from_millis(100),
+            2,
+            Arc::new(move || {
+                let key = "__ext_probe";
+                probe_client.set(key, "x")?;
+                probe_client.get(key).map(|_| ())
+            }),
+        )));
+        extrinsics.push(Box::new(hub.clone()));
+    }
+
+    // Steady workload feeding the observer hub.
+    let mut workload = Workload::start(
+        server.client(),
+        WorkloadConfig {
+            seed,
+            ..opts.workload.clone()
+        },
+        opts.extrinsic.then(|| hub.clone()),
+    );
+
+    clock.sleep(opts.warmup);
+    let errors_handled_before = server.stats().errors_handled;
+
+    // Inject.
+    let mut armed: Option<ArmedFault> = None;
+    if let Some(s) = scenario {
+        armed = Some(injector.inject(&s.kind)?);
+    }
+    let injected_at = clock.now();
+
+    // Observe.
+    let mut extrinsic_first: Vec<Option<(u64, String)>> = vec![None; extrinsics.len()];
+    let mut handler_first: Option<u64> = None;
+    let deadline = clock.now() + opts.observe;
+    while clock.now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let now_ms = clock.now().saturating_sub(injected_at).as_millis() as u64;
+        for (i, d) in extrinsics.iter().enumerate() {
+            if extrinsic_first[i].is_none() {
+                if let detectors::Verdict::Suspected { reason } = d.verdict() {
+                    extrinsic_first[i] = Some((now_ms, reason));
+                }
+            }
+        }
+        if handler_first.is_none()
+            && server.stats().errors_handled > errors_handled_before
+        {
+            handler_first = Some(now_ms);
+        }
+    }
+
+    // Teardown: release everything so wedged threads drain.
+    if let Some(a) = &armed {
+        injector.clear(a);
+    }
+    disk.clear_all();
+    net.clear_all();
+    server.toggles().clear_all();
+    server.stall().set_stalled(false);
+    workload.stop();
+    driver.stop();
+    for d in &mut extrinsics {
+        d.stop();
+    }
+    drop(replica);
+
+    // Score.
+    let crash_run = crashed.load(Ordering::Relaxed);
+    let mut outcomes = Vec::new();
+    for (i, d) in extrinsics.iter().enumerate() {
+        let first = &extrinsic_first[i];
+        outcomes.push(DetectorOutcome {
+            detector: d.name().to_owned(),
+            detected: first.is_some(),
+            latency_ms: first.as_ref().map(|(ms, _)| *ms),
+            class: None,
+            granularity: "process".into(),
+            blamed: None,
+            correct_blame: None,
+            detail: first.as_ref().map(|(_, r)| r.clone()).unwrap_or_default(),
+        });
+    }
+    if opts.extrinsic {
+        outcomes.push(DetectorOutcome {
+            detector: "error-handler".into(),
+            detected: handler_first.is_some(),
+            latency_ms: handler_first,
+            class: Some("error".into()),
+            granularity: "function".into(),
+            blamed: None,
+            correct_blame: None,
+            detail: if handler_first.is_some() {
+                "explicit error caught in place".into()
+            } else {
+                String::new()
+            },
+        });
+    }
+
+    // Watchdog scoring: the first report after injection gives the
+    // detection latency and class; localization is judged over *all*
+    // reports in the window (operators see every report, so the most
+    // precise, correctly-blamed one is what diagnosis would use).
+    let injected_at_ms = injected_at.as_millis() as u64;
+    let reports = driver.log().reports();
+    let in_window: Vec<_> = reports
+        .iter()
+        .filter(|r| r.at_ms >= injected_at_ms || scenario.is_none())
+        .collect();
+    let first_report = in_window.first().copied();
+    let wd_outcome = match (first_report, crash_run) {
+        (_, true) => DetectorOutcome {
+            detector: "watchdog".into(),
+            detected: false,
+            latency_ms: None,
+            class: None,
+            granularity: "none".into(),
+            blamed: None,
+            correct_blame: None,
+            detail: "process crashed; intrinsic watchdog died with it".into(),
+        },
+        (Some(r), false) => {
+            let hint = scenario.map(|s| s.expected.component_hint.clone());
+            // Best granularity achieved across the window.
+            let rank = |g: &str| match g {
+                "operation" => 3,
+                "function" => 2,
+                "resource" => 1,
+                _ => 0,
+            };
+            let best = in_window
+                .iter()
+                .max_by_key(|r| rank(granularity_of(&r.location)))
+                .copied()
+                .unwrap_or(r);
+            let correct_blame = hint.as_ref().map(|h| {
+                in_window
+                    .iter()
+                    .any(|r| r.location.to_string().contains(h.as_str()))
+            });
+            DetectorOutcome {
+                detector: "watchdog".into(),
+                detected: true,
+                latency_ms: Some(r.at_ms.saturating_sub(injected_at_ms)),
+                class: Some(r.kind.label().to_owned()),
+                granularity: granularity_of(&best.location).to_owned(),
+                correct_blame,
+                blamed: Some(best.location.to_string()),
+                detail: r.detail.clone(),
+            }
+        }
+        (None, false) => DetectorOutcome {
+            detector: "watchdog".into(),
+            detected: false,
+            latency_ms: None,
+            class: None,
+            granularity: "none".into(),
+            blamed: None,
+            correct_blame: None,
+            detail: String::new(),
+        },
+    };
+    outcomes.push(wd_outcome);
+
+    let WorkloadCounters { ok, failed } = workload.counters();
+    Ok(ScenarioResult {
+        scenario: label,
+        expected_class: scenario
+            .map(|s| s.expected.failure_class.clone())
+            .unwrap_or_default(),
+        outcomes,
+        workload_ok: ok,
+        workload_failed: failed,
+    })
+}

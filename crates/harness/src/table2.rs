@@ -1,0 +1,215 @@
+//! Experiment E2 — the paper's Table 2, measured.
+//!
+//! Table 2 qualitatively ranks the three checker types:
+//!
+//! | Type   | Completeness | Accuracy | Pinpoint |
+//! |--------|--------------|----------|----------|
+//! | Probe  | weak         | perfect  | no       |
+//! | Signal | modest       | weak     | partial  |
+//! | Mimic  | strong       | strong   | yes      |
+//!
+//! This experiment produces the quantitative version: each checker family
+//! runs *alone* against every gray scenario (completeness), against
+//! fault-free bursty control runs (accuracy = 1 − false-alarm rate), and
+//! the localization granularity of its detections is tallied (pinpoint).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use faults::{gray_failure_catalog, TargetProfile};
+use kvs::wd::WdOptions;
+use wdog_base::error::BaseResult;
+
+use crate::fmt::Table;
+use crate::scenario::{run_kvs_scenario, RunnerOptions};
+use crate::workload::WorkloadConfig;
+
+/// The measured score of one checker family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyScore {
+    /// Family name: `probe`, `signal`, or `mimic`.
+    pub family: String,
+    /// Gray scenarios detected.
+    pub detected: Vec<String>,
+    /// Gray scenarios missed.
+    pub missed: Vec<String>,
+    /// Completeness = detected / (detected + missed).
+    pub completeness: f64,
+    /// Control runs that produced a false alarm.
+    pub false_alarm_runs: usize,
+    /// Total control runs.
+    pub control_runs: usize,
+    /// Accuracy = 1 − false-alarm-rate.
+    pub accuracy: f64,
+    /// Granularities of this family's detections, most precise first.
+    pub granularities: Vec<String>,
+}
+
+impl FamilyScore {
+    /// Returns the most precise granularity achieved.
+    pub fn best_granularity(&self) -> &str {
+        for g in ["operation", "function", "resource", "api"] {
+            if self.granularities.iter().any(|x| x == g) {
+                return g;
+            }
+        }
+        "none"
+    }
+}
+
+/// The full E2 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One score per family.
+    pub families: Vec<FamilyScore>,
+}
+
+fn family_options(family: &str, base: &RunnerOptions) -> RunnerOptions {
+    let wd = WdOptions {
+        mimics: family == "mimic",
+        probes: family == "probe",
+        signals: family == "signal",
+        // Tight thresholds, as a signal deployment tuned for sensitivity
+        // would use — the source of its false alarms.
+        queue_threshold: 128,
+        memory_watermark: 2 << 20,
+        ..base.wd.clone()
+    };
+    RunnerOptions {
+        wd,
+        extrinsic: false,
+        ..base.clone()
+    }
+}
+
+fn bursty(base: &RunnerOptions) -> RunnerOptions {
+    RunnerOptions {
+        workload: WorkloadConfig {
+            threads: 6,
+            period: Duration::from_millis(1),
+            keys: 64,
+            write_fraction: 0.8,
+            ..base.workload.clone()
+        },
+        ..base.clone()
+    }
+}
+
+/// Runs E2: every family alone over the gray catalogue plus control runs.
+pub fn run(base: &RunnerOptions, control_runs: usize) -> BaseResult<Table2Result> {
+    let catalog = gray_failure_catalog(&TargetProfile::default());
+    let gray: Vec<_> = catalog.iter().filter(|s| s.kind.is_gray()).collect();
+    let mut families = Vec::new();
+    for family in ["probe", "signal", "mimic"] {
+        let opts = family_options(family, base);
+        let mut detected = Vec::new();
+        let mut missed = Vec::new();
+        let mut granularities = Vec::new();
+        for scenario in &gray {
+            eprintln!("[table2] {family} vs {} ...", scenario.id);
+            let result = run_kvs_scenario(Some(scenario), &opts)?;
+            let wd = result.outcome("watchdog").cloned();
+            match wd {
+                Some(o) if o.detected => {
+                    detected.push(scenario.id.clone());
+                    granularities.push(o.granularity);
+                }
+                _ => missed.push(scenario.id.clone()),
+            }
+        }
+        let mut false_alarm_runs = 0;
+        let control_opts = bursty(&family_options(family, base));
+        for i in 0..control_runs {
+            eprintln!("[table2] {family} control run {i} ...");
+            let control = RunnerOptions {
+                seed: base.seed + 100 + i as u64,
+                ..control_opts.clone()
+            };
+            let result = run_kvs_scenario(None, &control)?;
+            if result.outcome("watchdog").is_some_and(|o| o.detected) {
+                false_alarm_runs += 1;
+            }
+        }
+        let total = detected.len() + missed.len();
+        granularities.sort();
+        granularities.dedup();
+        families.push(FamilyScore {
+            family: family.to_owned(),
+            completeness: detected.len() as f64 / total.max(1) as f64,
+            detected,
+            missed,
+            false_alarm_runs,
+            control_runs,
+            accuracy: 1.0 - false_alarm_runs as f64 / control_runs.max(1) as f64,
+            granularities,
+        });
+    }
+    Ok(Table2Result { families })
+}
+
+/// Renders the E2 summary table plus per-family detail.
+pub fn render(result: &Table2Result) -> String {
+    let mut t = Table::new(&[
+        "type",
+        "completeness",
+        "accuracy",
+        "pinpoint",
+        "false alarms",
+        "missed scenarios",
+    ]);
+    for f in &result.families {
+        t.row_owned(vec![
+            f.family.clone(),
+            format!(
+                "{:.0}% ({}/{})",
+                f.completeness * 100.0,
+                f.detected.len(),
+                f.detected.len() + f.missed.len()
+            ),
+            format!("{:.0}%", f.accuracy * 100.0),
+            f.best_granularity().to_owned(),
+            format!("{}/{}", f.false_alarm_runs, f.control_runs),
+            f.missed.join(", "),
+        ]);
+    }
+    let mut out = String::from(
+        "E2 / Table 2 — probe vs signal vs mimic checkers, measured\n\
+         (completeness over gray scenarios; accuracy over bursty fault-free control runs)\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
+/// Checks the Table 2 shape: mimic must dominate completeness and
+/// pinpointing; probe must have perfect accuracy. Returns violations.
+pub fn shape_violations(result: &Table2Result) -> Vec<String> {
+    let mut v = Vec::new();
+    let get = |name: &str| result.families.iter().find(|f| f.family == name);
+    let (Some(probe), Some(signal), Some(mimic)) = (get("probe"), get("signal"), get("mimic"))
+    else {
+        return vec!["missing family scores".into()];
+    };
+    if probe.accuracy < 1.0 {
+        v.push(format!(
+            "probe accuracy {:.2} — the paper calls it perfect",
+            probe.accuracy
+        ));
+    }
+    if mimic.completeness <= probe.completeness {
+        v.push("mimic completeness does not dominate probe".into());
+    }
+    if mimic.completeness <= signal.completeness {
+        v.push("mimic completeness does not dominate signal".into());
+    }
+    if mimic.best_granularity() != "operation" {
+        v.push(format!(
+            "mimic pinpoints at {} granularity, expected operation",
+            mimic.best_granularity()
+        ));
+    }
+    if probe.granularities.iter().any(|g| g == "operation") {
+        v.push("probe pinpointed an operation — it should not be able to".into());
+    }
+    v
+}

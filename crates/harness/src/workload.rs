@@ -1,0 +1,193 @@
+//! Deterministic kvs workload generation.
+//!
+//! Drives a mixed GET/SET/APPEND/DEL load against a [`KvsClient`] from one
+//! or more threads, with seeded key/op distributions. Outcomes feed the
+//! Panorama-style [`ObserverHub`] when one is attached, and per-thread
+//! counters feed experiment scoring.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::Rng;
+
+use detectors::ObserverHub;
+use kvs::KvsClient;
+use wdog_base::rng;
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of client threads.
+    pub threads: usize,
+    /// Pause between requests per thread.
+    pub period: Duration,
+    /// Key-space size.
+    pub keys: usize,
+    /// Fraction of requests that are writes (SET/APPEND/DEL).
+    pub write_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            period: Duration::from_millis(10),
+            keys: 256,
+            write_fraction: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// Cumulative workload counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests that errored or timed out.
+    pub failed: u64,
+}
+
+/// A running workload; stops (and joins) on [`Workload::stop`] or drop.
+pub struct Workload {
+    ok: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    running: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Workload {
+    /// Starts the workload against `client`, optionally reporting outcomes
+    /// to `observer`.
+    pub fn start(client: KvsClient, config: WorkloadConfig, observer: Option<ObserverHub>) -> Self {
+        let ok = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let running = Arc::new(AtomicBool::new(true));
+        let mut threads = Vec::new();
+        for t in 0..config.threads.max(1) {
+            let client = client.clone();
+            let ok = Arc::clone(&ok);
+            let failed = Arc::clone(&failed);
+            let running = Arc::clone(&running);
+            let observer = observer.clone();
+            let config = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("workload-{t}"))
+                    .spawn(move || {
+                        let mut rng =
+                            rng::seeded(rng::derive_seed(config.seed, &format!("wl-{t}")));
+                        while running.load(Ordering::Relaxed) {
+                            let key = format!("wl-key-{}", rng.gen_range(0..config.keys));
+                            let result = if rng.gen_bool(config.write_fraction) {
+                                match rng.gen_range(0..10u32) {
+                                    0 => client.del(&key),
+                                    1 | 2 => client.append(&key, "x"),
+                                    _ => client.set(&key, &format!("v{}", rng.gen::<u32>())),
+                                }
+                            } else {
+                                client.get(&key).map(|_| ())
+                            };
+                            let success = result.is_ok();
+                            if success {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if let Some(hub) = &observer {
+                                hub.report(success);
+                            }
+                            std::thread::sleep(config.period);
+                        }
+                    })
+                    .expect("spawn workload"),
+            );
+        }
+        Self {
+            ok,
+            failed,
+            running,
+            threads,
+        }
+    }
+
+    /// Returns the counters so far.
+    pub fn counters(&self) -> WorkloadCounters {
+        WorkloadCounters {
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops and joins the workload threads.
+    pub fn stop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Workload {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvs::KvsServer;
+
+    #[test]
+    fn workload_drives_requests() {
+        let server = KvsServer::for_tests();
+        let mut wl = Workload::start(
+            server.client(),
+            WorkloadConfig {
+                threads: 2,
+                period: Duration::from_millis(2),
+                ..WorkloadConfig::default()
+            },
+            None,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        wl.stop();
+        let c = wl.counters();
+        assert!(c.ok > 20, "workload too slow: {c:?}");
+        assert_eq!(c.failed, 0);
+    }
+
+    #[test]
+    fn workload_reports_to_observer() {
+        let server = KvsServer::for_tests();
+        let hub = ObserverHub::new(
+            wdog_base::clock::RealClock::shared(),
+            Duration::from_secs(10),
+            5,
+            0.5,
+        );
+        let mut wl = Workload::start(
+            server.client(),
+            WorkloadConfig {
+                period: Duration::from_millis(2),
+                ..WorkloadConfig::default()
+            },
+            Some(hub.clone()),
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        wl.stop();
+        assert!(hub.counts().0 > 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! kvs server configuration.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Replication endpoints on the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// The primary's network address (source of replicated ops).
+    pub src_addr: String,
+    /// The replica's network address.
+    pub dst_addr: String,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            src_addr: "kvs-primary".into(),
+            dst_addr: "kvs-replica".into(),
+        }
+    }
+}
+
+/// Tunables for a [`KvsServer`](crate::server::KvsServer).
+///
+/// The defaults favour fast experiments: background loops tick every few
+/// tens of milliseconds so fault-detection latencies are measured in
+/// fractions of a second rather than minutes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvsConfig {
+    /// `true` persists through WAL + SSTables; `false` is the paper's
+    /// in-memory configuration (no disk activity at all).
+    pub durable: bool,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Request queue capacity (listener back-pressure).
+    pub request_queue_cap: usize,
+    /// How long a client waits for a response before reporting a timeout.
+    pub client_timeout: Duration,
+    /// Flusher wake interval.
+    pub flush_interval: Duration,
+    /// WAL bytes that trigger a flush regardless of interval.
+    pub flush_threshold_bytes: u64,
+    /// Number of SSTables that triggers compaction.
+    pub compaction_trigger: usize,
+    /// Compactor wake interval.
+    pub compaction_interval: Duration,
+    /// Replication endpoints; `None` disables the replication engine.
+    pub replication: Option<ReplicationConfig>,
+    /// Deterministic seed for workloads built on this config.
+    pub seed: u64,
+}
+
+impl Default for KvsConfig {
+    fn default() -> Self {
+        Self {
+            durable: true,
+            workers: 2,
+            request_queue_cap: 1024,
+            client_timeout: Duration::from_secs(2),
+            flush_interval: Duration::from_millis(50),
+            flush_threshold_bytes: 64 * 1024,
+            compaction_trigger: 4,
+            compaction_interval: Duration::from_millis(50),
+            replication: None,
+            seed: 42,
+        }
+    }
+}
+
+impl KvsConfig {
+    /// The paper's in-memory configuration: no WAL, no flusher activity.
+    pub fn in_memory() -> Self {
+        Self {
+            durable: false,
+            ..Self::default()
+        }
+    }
+
+    /// A durable configuration with replication enabled.
+    pub fn replicated() -> Self {
+        Self {
+            replication: Some(ReplicationConfig::default()),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_durable_without_replication() {
+        let c = KvsConfig::default();
+        assert!(c.durable);
+        assert!(c.replication.is_none());
+        assert!(c.workers >= 1);
+    }
+
+    #[test]
+    fn in_memory_disables_durability() {
+        assert!(!KvsConfig::in_memory().durable);
+    }
+
+    #[test]
+    fn replicated_sets_endpoints() {
+        let c = KvsConfig::replicated();
+        let r = c.replication.unwrap();
+        assert_eq!(r.src_addr, "kvs-primary");
+        assert_eq!(r.dst_addr, "kvs-replica");
+    }
+}

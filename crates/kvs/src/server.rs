@@ -1,0 +1,493 @@
+//! Server wiring: shared state, background threads, client handle, and
+//! crash semantics.
+//!
+//! A running [`KvsServer`] matches the paper's Figure 1: worker threads
+//! drain the request listener queue; the WAL writer, disk flusher,
+//! compaction manager, and replication engine run as background threads; and
+//! the watchdog (built separately by [`crate::wd`]) lives in the same
+//! address space, fed one-way through hook sites owned here.
+//!
+//! [`KvsServer::crash`] models fail-stop: every thread observes the running
+//! flag and exits, requests time out, and — because an intrinsic watchdog
+//! dies with its process — experiment harnesses stop the watchdog driver at
+//! the same moment.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+
+use faults::ToggleSet;
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+use simio::resource::{ResourceMonitor, StallPoint};
+
+use wdog_base::clock::SharedClock;
+use wdog_base::error::{BaseError, BaseResult};
+
+use wdog_core::context::ContextTable;
+use wdog_core::hooks::Hooks;
+
+use crate::api::{Request, Response};
+use crate::config::KvsConfig;
+use crate::index::MemIndex;
+use crate::partition::PartitionManager;
+use crate::sstable::read_sstable;
+use crate::wal::Wal;
+
+/// Counters exposed for experiments and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvsStats {
+    /// Completed GET requests.
+    pub gets: u64,
+    /// Completed SET requests.
+    pub sets: u64,
+    /// Completed APPEND requests.
+    pub appends: u64,
+    /// Completed DEL requests.
+    pub dels: u64,
+    /// WAL records made durable.
+    pub wal_records: u64,
+    /// Index snapshots flushed to SSTables.
+    pub flushes: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Operations shipped to the replica.
+    pub repl_sent: u64,
+    /// Explicit errors caught by in-place error handlers (the paper's
+    /// error-handler abstraction, measured as a detection baseline in E1).
+    pub errors_handled: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub(crate) gets: AtomicU64,
+    pub(crate) sets: AtomicU64,
+    pub(crate) appends: AtomicU64,
+    pub(crate) dels: AtomicU64,
+    pub(crate) wal_records: AtomicU64,
+    pub(crate) flushes: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) repl_sent: AtomicU64,
+    pub(crate) errors_handled: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> KvsStats {
+        KvsStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            dels: self.dels.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            repl_sent: self.repl_sent.load(Ordering::Relaxed),
+            errors_handled: self.errors_handled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by every kvs thread and the watchdog integration.
+pub(crate) struct Shared {
+    pub(crate) config: KvsConfig,
+    pub(crate) clock: SharedClock,
+    pub(crate) disk: Arc<SimDisk>,
+    pub(crate) net: Option<SimNet>,
+    pub(crate) monitor: ResourceMonitor,
+    pub(crate) stall: StallPoint,
+    pub(crate) toggles: ToggleSet,
+    pub(crate) index: MemIndex,
+    pub(crate) wal: Mutex<Wal>,
+    pub(crate) wal_tx: Sender<Vec<u8>>,
+    pub(crate) repl_tx: Sender<Vec<u8>>,
+    pub(crate) partitions: PartitionManager,
+    pub(crate) compaction_lock: Mutex<()>,
+    pub(crate) running: AtomicBool,
+    pub(crate) hooks: Hooks,
+    pub(crate) context: Arc<ContextTable>,
+    pub(crate) stats: StatsInner,
+}
+
+impl Shared {
+    pub(crate) fn is_running(&self) -> bool {
+        self.running.load(Ordering::Relaxed)
+    }
+}
+
+/// The assembled kvs process.
+pub struct KvsServer {
+    shared: Arc<Shared>,
+    request_tx: Sender<(Request, Sender<Response>)>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl KvsServer {
+    /// Builds, recovers, and starts a server.
+    ///
+    /// `net` is required when `config.replication` is set.
+    pub fn start(
+        config: KvsConfig,
+        clock: SharedClock,
+        disk: Arc<SimDisk>,
+        net: Option<SimNet>,
+    ) -> BaseResult<Self> {
+        if config.replication.is_some() && net.is_none() {
+            return Err(BaseError::InvalidState(
+                "replication configured but no network provided".into(),
+            ));
+        }
+        let monitor = ResourceMonitor::new();
+        let toggles = ToggleSet::new();
+        let corrupt_flag = toggles.flag("kvs.indexer.corrupt");
+        let index = MemIndex::new(corrupt_flag, monitor.clone());
+        let partitions = PartitionManager::new(Arc::clone(&disk));
+        let context = ContextTable::new(Arc::clone(&clock));
+        let hooks = Hooks::new(Arc::clone(&context));
+
+        // Recovery: SSTables first (oldest to newest), then the WAL tail.
+        if config.durable {
+            recover(&disk, &index, &partitions)?;
+        }
+
+        let (wal_tx, wal_rx) = unbounded::<Vec<u8>>();
+        let (repl_tx, repl_rx) = unbounded::<Vec<u8>>();
+        let (request_tx, request_rx) = bounded::<(Request, Sender<Response>)>(
+            config.request_queue_cap,
+        );
+
+        let shared = Arc::new(Shared {
+            wal: Mutex::new(Wal::new(Arc::clone(&disk), "wal/current")),
+            config: config.clone(),
+            clock,
+            disk,
+            net,
+            monitor: monitor.clone(),
+            stall: StallPoint::new(),
+            toggles,
+            index,
+            wal_tx,
+            repl_tx,
+            partitions,
+            compaction_lock: Mutex::new(()),
+            running: AtomicBool::new(true),
+            hooks,
+            context,
+            stats: StatsInner::default(),
+        });
+
+        // Expose queue depths to signal checkers.
+        let rq = request_rx.clone();
+        monitor.register_queue("requests", Arc::new(move || rq.len()));
+        let wq = wal_rx.clone();
+        monitor.register_queue("wal", Arc::new(move || wq.len()));
+        let pq = repl_rx.clone();
+        monitor.register_queue("replication", Arc::new(move || pq.len()));
+
+        let mut threads = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let s = Arc::clone(&shared);
+            let rx = request_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("kvs-worker-{i}"))
+                    .spawn(move || crate::listener::worker_loop(s, rx))
+                    .expect("spawn kvs worker"),
+            );
+        }
+        if config.durable {
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("kvs-wal".into())
+                    .spawn(move || crate::listener::wal_loop(s, wal_rx))
+                    .expect("spawn kvs wal writer"),
+            );
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("kvs-flusher".into())
+                    .spawn(move || crate::flusher::flusher_loop(s))
+                    .expect("spawn kvs flusher"),
+            );
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("kvs-compaction".into())
+                    .spawn(move || crate::compaction::compaction_loop(s))
+                    .expect("spawn kvs compaction"),
+            );
+        }
+        if config.replication.is_some() {
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("kvs-replication".into())
+                    .spawn(move || crate::replication::replication_loop(s, repl_rx))
+                    .expect("spawn kvs replication"),
+            );
+        }
+
+        Ok(Self {
+            shared,
+            request_tx,
+            threads,
+        })
+    }
+
+    /// Starts a default-configured server on fresh test substrates.
+    pub fn for_tests() -> Self {
+        Self::start(
+            KvsConfig::default(),
+            wdog_base::clock::RealClock::shared(),
+            SimDisk::for_tests(),
+            None,
+        )
+        .expect("test server")
+    }
+
+    /// Returns a client handle.
+    pub fn client(&self) -> KvsClient {
+        KvsClient {
+            tx: self.request_tx.clone(),
+            timeout: self.shared.config.client_timeout,
+        }
+    }
+
+    /// Simulates fail-stop: all threads exit, requests time out.
+    pub fn crash(&self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+    }
+
+    /// Returns `true` until [`KvsServer::crash`] or [`KvsServer::stop`].
+    pub fn is_running(&self) -> bool {
+        self.shared.is_running()
+    }
+
+    /// Graceful shutdown: signals threads and joins them.
+    ///
+    /// Threads wedged inside an armed fault are detached rather than
+    /// awaited; they unwedge (and exit) when the fault clears.
+    pub fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+        let handles: Vec<_> = self.threads.drain(..).collect();
+        wdog_base::join::join_all_timeout(handles, std::time::Duration::from_millis(500));
+    }
+
+    /// Returns a statistics snapshot.
+    pub fn stats(&self) -> KvsStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Returns the resource monitor (for signal checkers).
+    pub fn monitor(&self) -> ResourceMonitor {
+        self.shared.monitor.clone()
+    }
+
+    /// Returns the process stall gate (for pause injection).
+    pub fn stall(&self) -> StallPoint {
+        self.shared.stall.clone()
+    }
+
+    /// Returns the cooperative fault toggles.
+    pub fn toggles(&self) -> ToggleSet {
+        self.shared.toggles.clone()
+    }
+
+    /// Returns the disk this server persists to.
+    pub fn disk(&self) -> Arc<SimDisk> {
+        Arc::clone(&self.shared.disk)
+    }
+
+    /// Returns the watchdog context table fed by this server's hooks.
+    pub fn context(&self) -> Arc<ContextTable> {
+        Arc::clone(&self.shared.context)
+    }
+
+    /// Returns the hook infrastructure (for the E5/E6 hook ablations).
+    pub fn hooks(&self) -> Hooks {
+        self.shared.hooks.clone()
+    }
+
+    /// Returns the number of live SSTables.
+    pub fn sstable_count(&self) -> usize {
+        self.shared.partitions.table_count()
+    }
+
+    /// Validates every live SSTable's checksum.
+    pub fn validate_partitions(&self) -> BaseResult<()> {
+        self.shared.partitions.validate_all()
+    }
+
+    /// Cheap recovery (paper §5.2): replaces the on-disk partitions with a
+    /// single fresh SSTable rebuilt from the authoritative in-memory index.
+    ///
+    /// This is the "replacing corrupted objects/files" recovery a watchdog's
+    /// precise localization enables, instead of a full process restart.
+    /// Returns the number of old tables replaced.
+    pub fn rebuild_partitions(&self) -> BaseResult<usize> {
+        let _guard = self.shared.compaction_lock.lock();
+        let old: Vec<String> = self
+            .shared
+            .partitions
+            .tables()
+            .into_iter()
+            .map(|t| t.path)
+            .collect();
+        let entries = self.shared.index.snapshot();
+        let path = self.shared.partitions.next_path();
+        let meta = crate::sstable::write_sstable(&self.shared.disk, &path, &entries)?;
+        self.shared.partitions.replace(&old, meta)?;
+        Ok(old.len())
+    }
+
+    /// Returns the configuration the server was started with.
+    pub fn config(&self) -> &KvsConfig {
+        &self.shared.config
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Drop for KvsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for KvsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvsServer")
+            .field("running", &self.is_running())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn recover(disk: &Arc<SimDisk>, index: &MemIndex, partitions: &PartitionManager) -> BaseResult<()> {
+    // SSTables, oldest first (paths sort by id).
+    for path in disk.list("sst/") {
+        let entries = read_sstable(disk, &path)?;
+        for (k, v) in &entries {
+            index.put(k, v);
+        }
+        let meta = crate::sstable::SstMeta {
+            path: path.clone(),
+            entries: entries.len(),
+            min_key: entries.first().map(|(k, _)| k.clone()).unwrap_or_default(),
+            max_key: entries.last().map(|(k, _)| k.clone()).unwrap_or_default(),
+            checksum: 0, // Recomputed lazily by validate_all.
+            bytes: disk.len(&path)?,
+        };
+        partitions.register(meta);
+    }
+    // Bring the id counter past recovered tables.
+    let max_id = disk
+        .list("sst/")
+        .iter()
+        .filter_map(|p| p.strip_prefix("sst/").and_then(|s| s.parse::<u64>().ok()))
+        .max();
+    if let Some(id) = max_id {
+        partitions.ensure_next_id_above(id);
+    }
+    // WAL tail: a rotated log left by a crash mid-flush replays first
+    // (its records are older), then the current log. Records are
+    // after-images, so replay is idempotent.
+    for path in [crate::flusher::WAL_ROTATED_PATH, "wal/current"] {
+        for record in Wal::replay(disk, path)? {
+            let req = Request::decode(&record)?;
+            apply_to_index(index, &req);
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn apply_to_index(index: &MemIndex, req: &Request) {
+    match req {
+        Request::Set { key, value } => {
+            index.put(key, value);
+        }
+        Request::Append { key, value } => {
+            index.append(key, value);
+        }
+        Request::Del { key } => {
+            index.remove(key);
+        }
+        Request::Get { .. } => {}
+    }
+}
+
+/// A handle for submitting requests to a running server.
+#[derive(Clone)]
+pub struct KvsClient {
+    tx: Sender<(Request, Sender<Response>)>,
+    timeout: std::time::Duration,
+}
+
+impl KvsClient {
+    /// Submits a request and waits for the response.
+    ///
+    /// Returns [`BaseError::Exhausted`] when the request queue is full and
+    /// [`BaseError::Timeout`] when no response arrives in time (the
+    /// observable behaviour of a crashed or wedged server).
+    pub fn request(&self, req: Request) -> BaseResult<Response> {
+        let (reply_tx, reply_rx) = bounded::<Response>(1);
+        self.tx
+            .try_send((req, reply_tx))
+            .map_err(|_| BaseError::Exhausted("request queue full or closed".into()))?;
+        reply_rx
+            .recv_timeout(self.timeout)
+            .map_err(|_| BaseError::Timeout {
+                what: "kvs request".into(),
+                after_ms: self.timeout.as_millis() as u64,
+            })
+    }
+
+    /// Convenience GET.
+    pub fn get(&self, key: &str) -> BaseResult<Option<String>> {
+        match self.request(Request::Get { key: key.into() })? {
+            Response::Value(v) => Ok(v),
+            Response::Error(e) => Err(BaseError::Io(e)),
+            Response::Ok => Err(BaseError::InvalidState("unexpected Ok for GET".into())),
+        }
+    }
+
+    /// Convenience SET.
+    pub fn set(&self, key: &str, value: &str) -> BaseResult<()> {
+        match self.request(Request::Set {
+            key: key.into(),
+            value: value.into(),
+        })? {
+            Response::Error(e) => Err(BaseError::Io(e)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Convenience APPEND.
+    pub fn append(&self, key: &str, value: &str) -> BaseResult<()> {
+        match self.request(Request::Append {
+            key: key.into(),
+            value: value.into(),
+        })? {
+            Response::Error(e) => Err(BaseError::Io(e)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Convenience DEL.
+    pub fn del(&self, key: &str) -> BaseResult<()> {
+        match self.request(Request::Del { key: key.into() })? {
+            Response::Error(e) => Err(BaseError::Io(e)),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for KvsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("KvsClient")
+    }
+}

@@ -1,0 +1,794 @@
+//! Watchdog integration for kvs.
+//!
+//! This module is the glue AutoWatchdog needs around a target system:
+//!
+//! - [`describe_ir`] — the program self-description consumed by program
+//!   logic reduction (the substitution for bytecode analysis; see
+//!   `DESIGN.md`);
+//! - [`op_table`] — implementations of every vulnerable IR operation,
+//!   executing *real* kvs operations under watchdog isolation: probe files
+//!   live in the same volume as real data (`wal/__wd_probe`) so substrate
+//!   faults strike them identically, probe keys live in the `__wd:`
+//!   namespace, probe replication frames are tagged so replicas skip them,
+//!   and the compaction-lock op try-locks the *same* mutex the real
+//!   compactor holds;
+//! - [`probe_checkers`] / [`signal_checkers`] — the hand-written Table 2
+//!   complements to the generated mimic checkers;
+//! - [`build_watchdog`] — one call assembling the full in-process watchdog;
+//! - [`op_table_unsynced`] / [`publish_assumed_contexts`] — the E6 ablation
+//!   reproducing §3.1's spurious-report example (checkers running with
+//!   pre-supplied state instead of synchronized contexts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wdog_base::clock::SharedClock;
+use wdog_base::error::{BaseError, BaseResult};
+
+use wdog_checkers::probe::ProbeChecker;
+use wdog_checkers::signal::{
+    DiskSpaceChecker, MemoryWatermarkChecker, QueueDepthChecker, SleepDriftChecker,
+};
+use wdog_core::checker::Checker;
+use wdog_core::context::{ContextTable, CtxValue};
+use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
+use wdog_core::policy::SchedulePolicy;
+
+use wdog_gen::interp::{instantiate, InstantiateOptions, OpTable};
+use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
+use wdog_gen::plan::{generate_plan, WatchdogPlan};
+use wdog_gen::reduce::ReductionConfig;
+
+use crate::replication::WD_PROBE_PREFIX;
+use crate::server::KvsServer;
+use crate::sstable::validate_sstable;
+
+/// Probe file sharing the WAL volume (so WAL-scoped faults strike it).
+pub const WAL_PROBE_PATH: &str = "wal/__wd_probe";
+/// Probe file sharing the SSTable volume.
+pub const SST_PROBE_PATH: &str = "sst/__wd_probe";
+/// Probe keys live under this index namespace.
+pub const KEY_PROBE_PREFIX: &str = "__wd:";
+/// Probe files are reset once they grow past this.
+const PROBE_FILE_CAP: usize = 64 * 1024;
+
+/// Tunables for the assembled kvs watchdog.
+#[derive(Debug, Clone)]
+pub struct WdOptions {
+    /// Checking round interval.
+    pub interval: Duration,
+    /// Per-checker execution timeout (the stuck-detection threshold).
+    pub checker_timeout: Duration,
+    /// Latency above which mimicked I/O and communication ops report
+    /// `Slow`. Lock/compute ops are exempt (waiting on a held lock is
+    /// contention, not slowness).
+    pub slow_threshold: Duration,
+    /// Latency above which a successful *probe* (full API round trip)
+    /// reports `Slow`; separate from the mimic threshold because a probe
+    /// includes queueing delay that is normal under load.
+    pub probe_slow_threshold: Duration,
+    /// Maximum tolerated context age.
+    pub max_context_age: Option<Duration>,
+    /// Memory watermark for the signal checker, in bytes.
+    pub memory_watermark: u64,
+    /// Queue-depth threshold for the signal checkers.
+    pub queue_threshold: usize,
+    /// Include generated mimic checkers.
+    pub mimics: bool,
+    /// Include probe checkers.
+    pub probes: bool,
+    /// Include signal checkers.
+    pub signals: bool,
+}
+
+impl Default for WdOptions {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(500),
+            checker_timeout: Duration::from_secs(2),
+            slow_threshold: Duration::from_millis(300),
+            probe_slow_threshold: Duration::from_millis(500),
+            max_context_age: None,
+            memory_watermark: 64 << 20,
+            queue_threshold: 512,
+            mimics: true,
+            probes: true,
+            signals: true,
+        }
+    }
+}
+
+/// Builds kvs's IR: every component of Figure 1 as functions, call edges,
+/// and operations, with the five continuously-executing entry points marked.
+pub fn describe_ir() -> ProgramIr {
+    ProgramBuilder::new("kvs")
+        // Request path.
+        .function("listener_loop", |f| {
+            f.long_running().call_in_loop("handle_request")
+        })
+        .function("handle_request", |f| {
+            f.compute("decode_request")
+                .op("index_put", OpKind::Compute, |o| {
+                    // The indexer write is a developer-annotated vulnerable
+                    // op: logically it cannot fail, but production state
+                    // corruption says otherwise (§3.3).
+                    o.annotate_vulnerable()
+                        .resource("index")
+                        .arg("probe_key", ArgType::Str)
+                        .arg("probe_val", ArgType::Str)
+                })
+                .compute("enqueue_wal")
+                .compute("enqueue_replication")
+        })
+        // Durability path.
+        .function("wal_loop", |f| f.long_running().call_in_loop("wal_write_record"))
+        .function("wal_write_record", |f| {
+            f.op("wal_append", OpKind::DiskWrite, |o| {
+                o.resource("wal/").in_loop().arg("payload", ArgType::Bytes)
+            })
+            .op("wal_sync", OpKind::DiskSync, |o| o.resource("wal/"))
+        })
+        // Flush path.
+        .function("flusher_loop", |f| f.long_running().call_in_loop("flush_once"))
+        .function("flush_once", |f| {
+            f.compute("snapshot_index")
+                .op("sst_write", OpKind::DiskWrite, |o| {
+                    o.resource("sst/").arg("sst_payload", ArgType::Bytes)
+                })
+                .op("sst_sync", OpKind::DiskSync, |o| o.resource("sst/"))
+                .compute("truncate_wal")
+        })
+        // Compaction path.
+        .function("compaction_loop", |f| {
+            f.long_running().call_in_loop("compact_once")
+        })
+        .function("compact_once", |f| {
+            f.op("compaction_lock", OpKind::LockAcquire, |o| o.resource("compaction"))
+                .op("sst_read", OpKind::DiskRead, |o| {
+                    o.resource("sst/").in_loop().arg("sst_path", ArgType::Str)
+                })
+                .compute("merge_entries")
+                .op("sst_merge_write", OpKind::DiskWrite, |o| o.resource("sst/"))
+                .simple_op("compaction_unlock", OpKind::LockRelease)
+        })
+        // Replication path.
+        .function("replication_loop", |f| {
+            f.long_running().call_in_loop("replicate_op")
+        })
+        .function("replicate_op", |f| {
+            f.op("repl_send", OpKind::NetSend, |o| {
+                o.resource("replica").in_loop().arg("op_payload", ArgType::Bytes)
+            })
+        })
+        // Initialization (excluded from checking by region extraction).
+        .function("startup_recover", |f| {
+            f.init_only()
+                .op("read_sstables", OpKind::DiskRead, |o| o.resource("sst/"))
+                .op("read_wal", OpKind::DiskRead, |o| o.resource("wal/"))
+                .compute("rebuild_index")
+        })
+        .build()
+}
+
+/// Runs the AutoWatchdog pipeline over kvs's IR.
+pub fn generate_kvs_plan(config: &ReductionConfig) -> WatchdogPlan {
+    generate_plan(&describe_ir(), config)
+}
+
+fn probe_write(disk: &simio::disk::SimDisk, path: &str, payload: &[u8]) -> BaseResult<()> {
+    // Reset the probe file when it grows, keeping watchdog I/O bounded.
+    if disk.len(path).map(|l| l > PROBE_FILE_CAP).unwrap_or(false) {
+        disk.write_all(path, &[])?;
+    }
+    disk.append(path, payload)
+}
+
+/// Builds the op table binding every vulnerable kvs IR op to a real,
+/// isolated implementation.
+pub fn op_table(server: &KvsServer) -> OpTable {
+    let shared = Arc::clone(server.shared());
+    let mut table = OpTable::new();
+
+    // handle_request#index_put: insert a probe key, read it back, compare.
+    {
+        let s = Arc::clone(&shared);
+        let counter = AtomicU64::new(0);
+        table.register("handle_request#index_put", move |snap| {
+            let val = snap
+                .get("probe_val")
+                .and_then(|v| v.as_str())
+                .unwrap_or("probe-value");
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            let key = format!("{KEY_PROBE_PREFIX}put:{}", n % 8);
+            s.index.put(&key, val);
+            let got = s.index.get(&key);
+            if got.as_deref() != Some(val) {
+                return Err(BaseError::Corruption(format!(
+                    "index put/get mismatch: wrote {:?}, read {:?}",
+                    val, got
+                )));
+            }
+            s.index.remove(&key);
+            Ok(())
+        });
+    }
+
+    // wal_write_record#wal_append: append the live payload to the probe
+    // file on the SAME volume, so WAL-scoped faults strike it.
+    {
+        let s = Arc::clone(&shared);
+        table.register("wal_write_record#wal_append", move |snap| {
+            let payload = snap
+                .get("payload")
+                .and_then(|v| v.as_bytes())
+                .unwrap_or(b"probe");
+            probe_write(&s.disk, WAL_PROBE_PATH, payload)
+        });
+    }
+    {
+        let s = Arc::clone(&shared);
+        table.register("wal_write_record#wal_sync", move |_snap| {
+            if !s.disk.exists(WAL_PROBE_PATH) {
+                s.disk.append(WAL_PROBE_PATH, b"")?;
+            }
+            s.disk.fsync(WAL_PROBE_PATH)
+        });
+    }
+
+    // flush_once#sst_write: write a checksummed probe table with the live
+    // payload sample, then read it back and validate — catching silent
+    // write corruption on the sst volume.
+    {
+        let s = Arc::clone(&shared);
+        table.register("flush_once#sst_write", move |snap| {
+            let payload = snap
+                .get("sst_payload")
+                .and_then(|v| v.as_bytes())
+                .unwrap_or(b"probe");
+            let sum = wdog_base::checksum::crc32(payload);
+            let mut file = Vec::with_capacity(4 + payload.len());
+            file.extend_from_slice(&sum.to_le_bytes());
+            file.extend_from_slice(payload);
+            s.disk.write_all(SST_PROBE_PATH, &file)?;
+            validate_sstable(&s.disk, SST_PROBE_PATH)
+        });
+    }
+    {
+        let s = Arc::clone(&shared);
+        table.register("flush_once#sst_sync", move |_snap| {
+            if !s.disk.exists(SST_PROBE_PATH) {
+                s.disk.append(SST_PROBE_PATH, &0u32.to_le_bytes())?;
+            }
+            s.disk.fsync(SST_PROBE_PATH)
+        });
+    }
+
+    // compact_once#compaction_lock: try the real lock with a bounded wait.
+    // A wedged compactor holds it, so this times out — fate sharing.
+    {
+        let s = Arc::clone(&shared);
+        table.register("compact_once#compaction_lock", move |_snap| {
+            match s.compaction_lock.try_lock_for(Duration::from_millis(500)) {
+                Some(_guard) => Ok(()),
+                None => Err(BaseError::Timeout {
+                    what: "compaction lock acquisition".into(),
+                    after_ms: 500,
+                }),
+            }
+        });
+    }
+
+    // compact_once#sst_read: validate the checksums of every live table —
+    // the paper's "checker that computes and validates the checksum of
+    // each partition".
+    {
+        let s = Arc::clone(&shared);
+        table.register("compact_once#sst_read", move |_snap| {
+            s.partitions.validate_all()
+        });
+    }
+
+    // compact_once#sst_merge_write: a checksummed write probe with
+    // read-back validation, catching silent write corruption on the
+    // SSTable volume the moment it starts.
+    {
+        let s = Arc::clone(&shared);
+        table.register("compact_once#sst_merge_write", move |snap| {
+            let payload = snap
+                .get("sst_path")
+                .and_then(|v| v.as_str())
+                .map(|p| p.as_bytes().to_vec())
+                .unwrap_or_else(|| b"merge-probe".to_vec());
+            let sum = wdog_base::checksum::crc32(&payload);
+            let mut file = Vec::with_capacity(4 + payload.len());
+            file.extend_from_slice(&sum.to_le_bytes());
+            file.extend_from_slice(&payload);
+            s.disk.write_all(SST_PROBE_PATH, &file)?;
+            validate_sstable(&s.disk, SST_PROBE_PATH)
+        });
+    }
+
+    // replicate_op#repl_send: send a tagged probe frame on the real link.
+    {
+        let s = Arc::clone(&shared);
+        table.register("replicate_op#repl_send", move |snap| {
+            let (Some(repl), Some(net)) = (s.config.replication.clone(), s.net.clone()) else {
+                return Ok(()); // Replication disabled; nothing to mimic.
+            };
+            let payload = snap
+                .get("op_payload")
+                .and_then(|v| v.as_bytes())
+                .unwrap_or(b"probe");
+            let mut frame = WD_PROBE_PREFIX.to_vec();
+            frame.extend_from_slice(payload);
+            net.send(&repl.src_addr, &repl.dst_addr, bytes::Bytes::from(frame))
+        });
+    }
+
+    table
+}
+
+/// The paper's probe checkers: special clients exercising the public API.
+pub fn probe_checkers(server: &KvsServer, opts: &WdOptions) -> Vec<Box<dyn Checker>> {
+    let clock: SharedClock = Arc::clone(&server.shared().clock);
+    let mut v: Vec<Box<dyn Checker>> = Vec::new();
+
+    // SET-then-GET with a pre-supplied key: perfect accuracy, API level.
+    {
+        let client = server.client();
+        let n = AtomicU64::new(0);
+        v.push(Box::new(
+            ProbeChecker::new(
+                "kvs.probe.set_get",
+                "kvs.api",
+                "set_get",
+                Arc::clone(&clock),
+                move || -> BaseResult<()> {
+                    let i = n.fetch_add(1, Ordering::Relaxed);
+                    let key = format!("{KEY_PROBE_PREFIX}probe:{}", i % 4);
+                    let val = format!("probe-{i}");
+                    client.set(&key, &val)?;
+                    let got = client.get(&key)?;
+                    if got.as_deref() != Some(val.as_str()) {
+                        return Err(BaseError::Corruption(format!(
+                            "probe read back {:?}, expected {:?}",
+                            got, val
+                        )));
+                    }
+                    Ok(())
+                },
+            )
+            .with_slow_threshold(opts.probe_slow_threshold)
+            .with_timeout(opts.checker_timeout),
+        ));
+    }
+
+    // DEL contract: delete then read must observe absence.
+    {
+        let client = server.client();
+        v.push(Box::new(
+            ProbeChecker::new(
+                "kvs.probe.del",
+                "kvs.api",
+                "del",
+                Arc::clone(&clock),
+                move || -> BaseResult<()> {
+                    let key = format!("{KEY_PROBE_PREFIX}probe:del");
+                    client.set(&key, "x")?;
+                    client.del(&key)?;
+                    if client.get(&key)?.is_some() {
+                        return Err(BaseError::Corruption(
+                            "deleted probe key still readable".into(),
+                        ));
+                    }
+                    Ok(())
+                },
+            )
+            .with_slow_threshold(opts.probe_slow_threshold)
+            .with_timeout(opts.checker_timeout),
+        ));
+    }
+
+    // APPEND contract.
+    {
+        let client = server.client();
+        v.push(Box::new(
+            ProbeChecker::new(
+                "kvs.probe.append",
+                "kvs.api",
+                "append",
+                clock,
+                move || -> BaseResult<()> {
+                    let key = format!("{KEY_PROBE_PREFIX}probe:app");
+                    client.set(&key, "a")?;
+                    client.append(&key, "b")?;
+                    let got = client.get(&key)?;
+                    if got.as_deref() != Some("ab") {
+                        return Err(BaseError::Corruption(format!(
+                            "append probe read back {:?}",
+                            got
+                        )));
+                    }
+                    client.del(&key)?;
+                    Ok(())
+                },
+            )
+            .with_slow_threshold(opts.probe_slow_threshold)
+            .with_timeout(opts.checker_timeout),
+        ));
+    }
+
+    v
+}
+
+/// The paper's signal checkers: health-indicator monitors.
+pub fn signal_checkers(server: &KvsServer, opts: &WdOptions) -> Vec<Box<dyn Checker>> {
+    let monitor = server.monitor();
+    let clock: SharedClock = Arc::clone(&server.shared().clock);
+    let mut v: Vec<Box<dyn Checker>> = vec![
+        Box::new(MemoryWatermarkChecker::new(
+            "kvs.signal.memory",
+            "kvs",
+            monitor.clone(),
+            opts.memory_watermark,
+        )),
+        Box::new(QueueDepthChecker::new(
+            "kvs.signal.request_queue",
+            "kvs.listener",
+            monitor.clone(),
+            "requests",
+            opts.queue_threshold,
+        )),
+        Box::new(QueueDepthChecker::new(
+            "kvs.signal.wal_queue",
+            "kvs.flusher",
+            monitor.clone(),
+            "wal",
+            opts.queue_threshold,
+        )),
+        Box::new(SleepDriftChecker::new(
+            "kvs.signal.sleep_drift",
+            "kvs",
+            Arc::clone(&clock),
+            server.stall(),
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+        )),
+        Box::new(DiskSpaceChecker::new(
+            "kvs.signal.disk_space",
+            "kvs",
+            server.disk(),
+            0.9,
+        )),
+    ];
+    if server.config().replication.is_some() {
+        v.push(Box::new(QueueDepthChecker::new(
+            "kvs.signal.repl_queue",
+            "kvs.replication",
+            monitor,
+            "replication",
+            opts.queue_threshold,
+        )));
+    }
+    v
+}
+
+/// Assembles the complete in-process watchdog for a running server.
+///
+/// Returns the driver (not yet started) and the generation plan, so callers
+/// can inspect what AutoWatchdog produced before calling
+/// [`WatchdogDriver::start`].
+pub fn build_watchdog(
+    server: &KvsServer,
+    opts: &WdOptions,
+) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
+    let clock: SharedClock = Arc::clone(&server.shared().clock);
+    let config = WatchdogConfig {
+        policy: SchedulePolicy::every(opts.interval),
+        default_timeout: opts.checker_timeout,
+        health_window: Duration::from_secs(30),
+    };
+    let mut driver = WatchdogDriver::new(config, Arc::clone(&clock));
+
+    let plan = generate_kvs_plan(&ReductionConfig::default());
+    if opts.mimics {
+        let table = op_table(server);
+        let reader = server.context().reader();
+        let mimics = instantiate(
+            &plan,
+            &table,
+            &reader,
+            &clock,
+            &InstantiateOptions {
+                timeout: Some(opts.checker_timeout),
+                max_context_age: opts.max_context_age,
+                slow_threshold: Some(opts.slow_threshold),
+            },
+        )?;
+        for c in mimics {
+            driver.register(Box::new(c))?;
+        }
+    }
+    if opts.probes {
+        for c in probe_checkers(server, opts) {
+            driver.register(c)?;
+        }
+    }
+    if opts.signals {
+        for c in signal_checkers(server, opts) {
+            driver.register(c)?;
+        }
+    }
+    Ok((driver, plan))
+}
+
+/// Builds the §5.2 cheap-recovery action: on a corruption report that
+/// pinpoints the SSTable volume, rebuild the partitions from the in-memory
+/// index instead of restarting the process.
+///
+/// Returns the action plus a counter of performed repairs.
+pub fn sst_recovery_action(
+    server: &KvsServer,
+) -> (
+    Arc<wdog_core::action::CallbackAction<impl Fn(&wdog_core::report::FailureReport) + Send + Sync>>,
+    Arc<AtomicU64>,
+) {
+    let shared = Arc::clone(server.shared());
+    let repairs = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&repairs);
+    let action = Arc::new(wdog_core::action::CallbackAction::new(
+        move |report: &wdog_core::report::FailureReport| {
+            if report.kind != wdog_core::report::FailureKind::Corruption {
+                return;
+            }
+            if !report.location.to_string().contains("sst") {
+                return;
+            }
+            // Rebuild everything on the sst volume from the index.
+            let _guard = shared.compaction_lock.lock();
+            let old: Vec<String> = shared.partitions.tables().into_iter().map(|t| t.path).collect();
+            let entries = shared.index.snapshot();
+            let path = shared.partitions.next_path();
+            if let Ok(meta) = crate::sstable::write_sstable(&shared.disk, &path, &entries) {
+                if shared.partitions.replace(&old, meta).is_ok() {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        },
+    ));
+    (action, repairs)
+}
+
+/// E6 ablation: an op table that trusts pre-supplied context instead of
+/// live lookups (the `sst_read` op reads exactly the path in its context).
+pub fn op_table_unsynced(server: &KvsServer) -> OpTable {
+    let mut table = op_table(server);
+    let shared = Arc::clone(server.shared());
+    table.register("compact_once#sst_read", move |snap| {
+        let path = snap
+            .get("sst_path")
+            .and_then(|v| v.as_str())
+            .unwrap_or("sst/00000000")
+            .to_owned();
+        validate_sstable(&shared.disk, &path)
+    });
+    table
+}
+
+/// E6 ablation: publish the *assumed* default contexts once, as a watchdog
+/// without state synchronization would have been configured. On an
+/// in-memory kvs this reproduces the paper's §3.1 spurious report: the disk
+/// checker fires even though the main program never touches the disk.
+pub fn publish_assumed_contexts(table: &Arc<ContextTable>) {
+    table.publish(
+        "listener_loop",
+        vec![
+            ("probe_key".into(), CtxValue::Str("assumed".into())),
+            ("probe_val".into(), CtxValue::Str("assumed".into())),
+        ],
+    );
+    table.publish(
+        "wal_loop",
+        vec![("payload".into(), CtxValue::Bytes(b"assumed".to_vec()))],
+    );
+    table.publish(
+        "flusher_loop",
+        vec![
+            ("sst_payload".into(), CtxValue::Bytes(b"assumed".to_vec())),
+            ("entry_count".into(), CtxValue::U64(0)),
+        ],
+    );
+    table.publish(
+        "compaction_loop",
+        vec![
+            ("sst_path".into(), CtxValue::Str("sst/00000000".into())),
+            ("table_count".into(), CtxValue::U64(1)),
+        ],
+    );
+    table.publish(
+        "replication_loop",
+        vec![("op_payload".into(), CtxValue::Bytes(b"assumed".to_vec()))],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KvsConfig;
+    use simio::disk::SimDisk;
+    use wdog_base::clock::RealClock;
+
+    #[test]
+    fn ir_is_well_formed() {
+        let ir = describe_ir();
+        assert!(ir.dangling_callees().is_empty());
+        assert!(ir.functions.len() >= 10);
+        let long_running = ir.functions.values().filter(|f| f.long_running).count();
+        assert_eq!(long_running, 5, "five continuously-executing regions");
+    }
+
+    #[test]
+    fn plan_generates_checker_per_active_region() {
+        let plan = generate_kvs_plan(&ReductionConfig::default());
+        assert_eq!(plan.checkers.len(), 5, "{:#?}", plan.checkers);
+        // Initialization code must never be checked.
+        for c in &plan.checkers {
+            for op in &c.ops {
+                assert_ne!(op.function, "startup_recover");
+            }
+        }
+    }
+
+    #[test]
+    fn op_table_covers_every_planned_op() {
+        let server = KvsServer::for_tests();
+        let table = op_table(&server);
+        let plan = generate_kvs_plan(&ReductionConfig::default());
+        for c in &plan.checkers {
+            for op in &c.ops {
+                assert!(
+                    table.get(op.op_id.as_str()).is_some(),
+                    "missing op impl: {}",
+                    op.op_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_table_covers_no_dedup_ablation_too() {
+        let server = KvsServer::for_tests();
+        let table = op_table(&server);
+        let plan = generate_kvs_plan(&ReductionConfig {
+            dedupe_similar: false,
+            global_reduction: false,
+            ..ReductionConfig::default()
+        });
+        for c in &plan.checkers {
+            for op in &c.ops {
+                assert!(
+                    table.get(op.op_id.as_str()).is_some(),
+                    "missing op impl for ablation: {}",
+                    op.op_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_watchdog_assembles_all_families() {
+        let server = KvsServer::for_tests();
+        let (driver, plan) = build_watchdog(&server, &WdOptions::default()).unwrap();
+        let ids = driver.checker_ids();
+        assert!(ids.len() >= plan.checkers.len() + 3 + 5);
+        assert!(ids.iter().any(|i| i.as_str().contains("probe")));
+        assert!(ids.iter().any(|i| i.as_str().contains("signal")));
+        assert!(ids.iter().any(|i| i.as_str().contains("_checker")));
+    }
+
+    #[test]
+    fn watchdog_runs_clean_on_healthy_server() {
+        let server = KvsServer::for_tests();
+        let client = server.client();
+        let opts = WdOptions {
+            interval: Duration::from_millis(50),
+            ..WdOptions::default()
+        };
+        let (mut driver, _) = build_watchdog(&server, &opts).unwrap();
+        driver.start().unwrap();
+        for i in 0..50 {
+            client.set(&format!("k{i}"), "v").unwrap();
+        }
+        let start = std::time::Instant::now();
+        while start.elapsed() < Duration::from_secs(5) && driver.stats().passes < 20 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        driver.stop();
+        assert!(
+            driver.log().is_empty(),
+            "false alarms on healthy server: {:#?}",
+            driver.log().reports()
+        );
+        assert!(driver.stats().passes >= 20);
+    }
+
+    #[test]
+    fn hook_sites_match_generated_hook_plan() {
+        // Every context key the plan's hooks publish to must be one the
+        // server actually fires.
+        let plan = generate_kvs_plan(&ReductionConfig::default());
+        let fired = [
+            "listener_loop",
+            "wal_loop",
+            "flusher_loop",
+            "compaction_loop",
+            "replication_loop",
+        ];
+        for h in &plan.hooks {
+            assert!(
+                fired.contains(&h.context_key.as_str()),
+                "plan hook targets unfired context {}",
+                h.context_key
+            );
+        }
+    }
+
+    #[test]
+    fn unsynced_contexts_cause_spurious_report_on_in_memory_kvs() {
+        // The paper's §3.1 example, as an executable test.
+        let server = KvsServer::start(
+            KvsConfig::in_memory(),
+            RealClock::shared(),
+            SimDisk::for_tests(),
+            None,
+        )
+        .unwrap();
+        let plan = generate_kvs_plan(&ReductionConfig::default());
+        let clock: SharedClock = RealClock::shared();
+
+        // Properly synchronized: contexts never become ready, no reports.
+        {
+            let table = op_table(&server);
+            let mut checkers = instantiate(
+                &plan,
+                &table,
+                &server.context().reader(),
+                &clock,
+                &InstantiateOptions::default(),
+            )
+            .unwrap();
+            for c in &mut checkers {
+                assert_eq!(
+                    c.check(),
+                    wdog_core::checker::CheckStatus::NotReady,
+                    "synchronized checker ran without main-program state"
+                );
+            }
+        }
+
+        // Unsynced (assumed) contexts: the compaction checker validates a
+        // snapshot file that was never created — a spurious failure.
+        {
+            let table = op_table_unsynced(&server);
+            publish_assumed_contexts(&server.context());
+            let mut checkers = instantiate(
+                &plan,
+                &table,
+                &server.context().reader(),
+                &clock,
+                &InstantiateOptions::default(),
+            )
+            .unwrap();
+            let spurious = checkers
+                .iter_mut()
+                .map(|c| c.check())
+                .filter(|s| s.is_fail())
+                .count();
+            assert!(
+                spurious >= 1,
+                "expected at least one spurious report from assumed contexts"
+            );
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Watchdog integration for miniblock's DataNode.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wdog_base::clock::SharedClock;
+use wdog_base::error::BaseResult;
+
+use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
+use wdog_core::policy::SchedulePolicy;
+
+use wdog_gen::interp::{instantiate, InstantiateOptions, OpTable};
+use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
+use wdog_gen::plan::{generate_plan, WatchdogPlan};
+use wdog_gen::reduce::ReductionConfig;
+
+use crate::datanode::DataNode;
+use crate::namenode::NAMENODE_ADDR;
+
+/// Tunables for the assembled DataNode watchdog.
+#[derive(Debug, Clone)]
+pub struct DnWdOptions {
+    /// Checking round interval.
+    pub interval: Duration,
+    /// Per-checker execution timeout.
+    pub checker_timeout: Duration,
+    /// Latency above which mimicked I/O reports `Slow`.
+    pub slow_threshold: Duration,
+    /// Include the hand-written disk checkers (legacy + enhanced) alongside
+    /// the generated mimics.
+    pub disk_checkers: bool,
+}
+
+impl Default for DnWdOptions {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            checker_timeout: Duration::from_millis(800),
+            slow_threshold: Duration::from_millis(200),
+            disk_checkers: true,
+        }
+    }
+}
+
+/// Builds the DataNode IR: the ingest path, the block scanner, the report
+/// loop, and the heartbeat loop as continuously-executing regions.
+pub fn describe_ir() -> ProgramIr {
+    ProgramBuilder::new("miniblock")
+        .function("ingest_loop", |f| f.long_running().call_in_loop("write_block"))
+        .function("write_block", |f| {
+            f.compute("pick_volume")
+                .op("block_write", OpKind::DiskWrite, |o| {
+                    o.resource("blocks/")
+                        .in_loop()
+                        .arg("block_data", ArgType::Bytes)
+                        .arg("volume", ArgType::Str)
+                })
+                .op("block_sync", OpKind::DiskSync, |o| o.resource("blocks/"))
+                .compute("register_block")
+        })
+        .function("scanner_loop", |f| f.long_running().call_in_loop("scan_block"))
+        .function("scan_block", |f| {
+            f.op("block_read", OpKind::DiskRead, |o| {
+                o.resource("blocks/").in_loop().arg("block_path", ArgType::Str)
+            })
+            .compute("verify_checksum")
+        })
+        .function("report_loop", |f| f.long_running().call_in_loop("send_report"))
+        .function("send_report", |f| {
+            f.compute("collect_blocks")
+                .op("report_send", OpKind::NetSend, |o| {
+                    o.resource("namenode").in_loop().arg("block_count", ArgType::U64)
+                })
+        })
+        .function("heartbeat_loop", |f| {
+            f.long_running().call_in_loop("send_heartbeat")
+        })
+        .function("send_heartbeat", |f| {
+            // Similar to report_send (same peer): dropped by global dedup,
+            // exactly as a human would fold the two send probes into one.
+            f.op("heartbeat_send", OpKind::NetSend, |o| {
+                o.resource("namenode").in_loop()
+            })
+        })
+        .function("startup_format", |f| {
+            f.init_only()
+                .op("write_markers", OpKind::DiskWrite, |o| o.resource("blocks/"))
+        })
+        .build()
+}
+
+/// Runs the AutoWatchdog pipeline over the DataNode IR.
+pub fn generate_dn_plan(config: &ReductionConfig) -> WatchdogPlan {
+    generate_plan(&describe_ir(), config)
+}
+
+/// Builds the op table binding the DataNode's vulnerable IR ops to real,
+/// isolated implementations.
+pub fn op_table(dn: &DataNode) -> OpTable {
+    let shared = Arc::clone(dn.shared());
+    let mut table = OpTable::new();
+
+    // write_block#block_write: a checksummed probe block written through
+    // *every* volume with read-back validation — the HADOOP-13738 check,
+    // here as a *generated* operation. Probing all volumes mirrors the real
+    // ingest path, which round-robins across them: any single wedged or
+    // rotting volume is hit within one checking round.
+    {
+        let s = Arc::clone(&shared);
+        table.register("write_block#block_write", move |snap| {
+            let data = snap
+                .get("block_data")
+                .and_then(|v| v.as_bytes())
+                .unwrap_or(b"probe");
+            let mut file = Vec::with_capacity(4 + data.len());
+            file.extend_from_slice(&wdog_base::checksum::crc32(data).to_le_bytes());
+            file.extend_from_slice(data);
+            for volume in s.store.volumes() {
+                let path = format!("blocks/{volume}/__wd_probe");
+                s.store.disk().write_all(&path, &file)?;
+                s.store.validate_path(&path)?;
+            }
+            Ok(())
+        });
+    }
+    {
+        let s = Arc::clone(&shared);
+        table.register("write_block#block_sync", move |_snap| {
+            for volume in s.store.volumes() {
+                let path = format!("blocks/{volume}/__wd_probe");
+                if !s.store.disk().exists(&path) {
+                    s.store.disk().write_all(&path, &0u32.to_le_bytes())?;
+                }
+                s.store.disk().fsync(&path)?;
+            }
+            Ok(())
+        });
+    }
+
+    // scan_block#block_read: validate the block the scanner last touched.
+    {
+        let s = Arc::clone(&shared);
+        table.register("scan_block#block_read", move |snap| {
+            let Some(path) = snap.get("block_path").and_then(|v| v.as_str()) else {
+                return Ok(());
+            };
+            match s.store.validate_path(path) {
+                // The block may have been deleted since the hook fired.
+                Err(wdog_base::error::BaseError::NotFound(_)) => Ok(()),
+                other => other,
+            }
+        });
+    }
+
+    // send_report#report_send / send_heartbeat#heartbeat_send: probe frames
+    // on the real NameNode link; the NameNode ignores undecodable frames.
+    for op_id in ["send_report#report_send", "send_heartbeat#heartbeat_send"] {
+        let s = Arc::clone(&shared);
+        table.register(op_id, move |_snap| {
+            s.net
+                .send(&s.id, NAMENODE_ADDR, bytes::Bytes::from_static(b"__wd__"))
+        });
+    }
+
+    table
+}
+
+/// Assembles the DataNode watchdog: generated mimics plus the two
+/// generations of the hand-written disk checker.
+pub fn build_watchdog(
+    dn: &DataNode,
+    opts: &DnWdOptions,
+) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
+    let clock: SharedClock = Arc::clone(&dn.shared().clock);
+    let mut driver = WatchdogDriver::new(
+        WatchdogConfig {
+            policy: SchedulePolicy::every(opts.interval),
+            default_timeout: opts.checker_timeout,
+            health_window: Duration::from_secs(30),
+        },
+        Arc::clone(&clock),
+    );
+    let plan = generate_dn_plan(&ReductionConfig::default());
+    let table = op_table(dn);
+    let mimics = instantiate(
+        &plan,
+        &table,
+        &dn.context().reader(),
+        &clock,
+        &InstantiateOptions {
+            timeout: Some(opts.checker_timeout),
+            max_context_age: None,
+            slow_threshold: Some(opts.slow_threshold),
+        },
+    )?;
+    for c in mimics {
+        driver.register(Box::new(c))?;
+    }
+    if opts.disk_checkers {
+        let store = Arc::new(crate::block::BlockStore::new(
+            Arc::clone(dn.store().disk()),
+            dn.store().volumes().len(),
+        ));
+        driver.register(Box::new(crate::disk_checker::LegacyDiskChecker::new(
+            Arc::clone(&store),
+        )))?;
+        driver.register(Box::new(crate::disk_checker::EnhancedDiskChecker::new(
+            store,
+            clock,
+            opts.slow_threshold,
+        )))?;
+    }
+    Ok((driver, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datanode::DataNodeConfig;
+    use crate::namenode::NameNode;
+    use simio::disk::SimDisk;
+    use simio::net::SimNet;
+    use wdog_base::clock::RealClock;
+
+    #[test]
+    fn ir_is_well_formed_with_four_regions() {
+        let ir = describe_ir();
+        assert!(ir.dangling_callees().is_empty());
+        assert_eq!(
+            ir.functions.values().filter(|f| f.long_running).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn heartbeat_send_is_deduped_against_report_send() {
+        let plan = generate_dn_plan(&ReductionConfig::default());
+        // Both sends target resource "namenode"; global reduction keeps one.
+        let total_sends: usize = plan
+            .checkers
+            .iter()
+            .flat_map(|c| &c.ops)
+            .filter(|o| matches!(o.kind, OpKind::NetSend))
+            .count();
+        assert_eq!(total_sends, 1, "{plan:#?}");
+    }
+
+    #[test]
+    fn op_table_covers_plan() {
+        let net = SimNet::for_tests();
+        let dn = DataNode::start(
+            DataNodeConfig::default(),
+            RealClock::shared(),
+            SimDisk::for_tests(),
+            net,
+        )
+        .unwrap();
+        let table = op_table(&dn);
+        let plan = generate_dn_plan(&ReductionConfig::default());
+        for c in &plan.checkers {
+            for op in &c.ops {
+                assert!(table.get(op.op_id.as_str()).is_some(), "missing {}", op.op_id);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_runs_clean_on_healthy_datanode() {
+        let net = SimNet::for_tests();
+        let _nn = NameNode::start(net.clone(), RealClock::shared(), Duration::from_secs(1));
+        let dn = DataNode::start(
+            DataNodeConfig::default(),
+            RealClock::shared(),
+            SimDisk::for_tests(),
+            net,
+        )
+        .unwrap();
+        let (mut driver, _) = build_watchdog(
+            &dn,
+            &DnWdOptions {
+                interval: Duration::from_millis(50),
+                ..DnWdOptions::default()
+            },
+        )
+        .unwrap();
+        driver.start().unwrap();
+        for i in 0..30 {
+            dn.write_block(format!("block-{i}").as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let start = std::time::Instant::now();
+        while driver.stats().passes < 10 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        driver.stop();
+        assert!(
+            driver.log().is_empty(),
+            "false alarms: {:#?}",
+            driver.log().reports()
+        );
+    }
+
+    #[test]
+    fn generated_watchdog_catches_partial_volume_failure() {
+        let net = SimNet::for_tests();
+        let dn = DataNode::start(
+            DataNodeConfig::default(),
+            RealClock::shared(),
+            SimDisk::for_tests(),
+            net,
+        )
+        .unwrap();
+        let (mut driver, _) = build_watchdog(
+            &dn,
+            &DnWdOptions {
+                interval: Duration::from_millis(50),
+                checker_timeout: Duration::from_millis(400),
+                disk_checkers: false, // generated mimics only
+                ..DnWdOptions::default()
+            },
+        )
+        .unwrap();
+        driver.start().unwrap();
+        // Publish contexts, then wedge one volume's data path. Real ingest
+        // would block on vol1 too; the watchdog detects without it.
+        dn.write_block(b"warmup").unwrap();
+        dn.store().disk().inject(simio::disk::FaultRule::scoped(
+            "blocks/vol1/",
+            vec![
+                simio::disk::DiskOpKind::Write,
+                simio::disk::DiskOpKind::Sync,
+                simio::disk::DiskOpKind::Read,
+            ],
+            simio::disk::DiskFault::Stuck,
+        ));
+        let start = std::time::Instant::now();
+        let mut detected = false;
+        while start.elapsed() < Duration::from_secs(8) && !detected {
+            detected = !driver.log().is_empty();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        dn.store().disk().clear_all();
+        assert!(detected, "partial volume failure not detected");
+        let report = &driver.log().reports()[0];
+        assert_eq!(report.kind, wdog_core::report::FailureKind::Stuck);
+        driver.stop();
+    }
+}

@@ -1,0 +1,275 @@
+//! The hierarchical znode store.
+//!
+//! Mirrors ZooKeeper's `DataTree`: a path-addressed tree of znodes, each
+//! with its own lock (Figure 2's `synchronized (node)`), plus the global
+//! **write-serialization lock** that both the commit path and snapshot
+//! serialization take. ZOOKEEPER-2201's lethal ingredient is that the
+//! snapshot path can block *while holding that lock*, wedging every
+//! subsequent write.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use wdog_base::error::{BaseError, BaseResult};
+
+/// One znode.
+#[derive(Debug)]
+pub struct Znode {
+    /// Full path, e.g. `/app/config`.
+    pub path: String,
+    data: Mutex<Vec<u8>>,
+}
+
+impl Znode {
+    fn new(path: String, data: Vec<u8>) -> Arc<Self> {
+        Arc::new(Self {
+            path,
+            data: Mutex::new(data),
+        })
+    }
+
+    /// Reads the node's data (taking the node lock briefly).
+    pub fn data(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Locks the node and runs `f` on its data — the Figure 2
+    /// `synchronized (node)` critical section.
+    pub fn with_locked_data<T>(&self, f: impl FnOnce(&mut Vec<u8>) -> T) -> T {
+        let mut guard = self.data.lock();
+        f(&mut guard)
+    }
+
+    /// Tries the node lock with a bounded wait — the watchdog's
+    /// fate-sharing probe of this critical section.
+    pub fn try_with_locked_data<T>(
+        &self,
+        timeout: std::time::Duration,
+        f: impl FnOnce(&mut Vec<u8>) -> T,
+    ) -> Option<T> {
+        let mut guard = self.data.try_lock_for(timeout)?;
+        Some(f(&mut guard))
+    }
+}
+
+/// The tree of znodes.
+pub struct DataTree {
+    nodes: RwLock<BTreeMap<String, Arc<Znode>>>,
+    /// The global write-serialization lock (ZooKeeper's fuzzy-snapshot
+    /// critical section). Public to the crate so the watchdog op table can
+    /// try-lock the *same* lock the main program holds.
+    pub(crate) write_lock: Arc<Mutex<()>>,
+    serialized_count: AtomicU64,
+}
+
+impl DataTree {
+    /// Creates a tree containing only the root znode `/`.
+    pub fn new() -> Arc<Self> {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_owned(), Znode::new("/".to_owned(), Vec::new()));
+        Arc::new(Self {
+            nodes: RwLock::new(nodes),
+            write_lock: Arc::new(Mutex::new(())),
+            serialized_count: AtomicU64::new(0),
+        })
+    }
+
+    fn parent_of(path: &str) -> Option<&str> {
+        if path == "/" {
+            return None;
+        }
+        match path.rfind('/') {
+            Some(0) => Some("/"),
+            Some(i) => Some(&path[..i]),
+            None => None,
+        }
+    }
+
+    /// Creates a znode; the parent must exist.
+    pub fn create(&self, path: &str, data: Vec<u8>) -> BaseResult<()> {
+        if !path.starts_with('/') || path != "/" && path.ends_with('/') {
+            return Err(BaseError::InvalidState(format!("bad path {path}")));
+        }
+        let _write = self.write_lock.lock();
+        let mut nodes = self.nodes.write();
+        if nodes.contains_key(path) {
+            return Err(BaseError::InvalidState(format!("{path} already exists")));
+        }
+        let parent = Self::parent_of(path)
+            .ok_or_else(|| BaseError::InvalidState(format!("bad path {path}")))?;
+        if !nodes.contains_key(parent) {
+            return Err(BaseError::NotFound(format!("parent {parent}")));
+        }
+        nodes.insert(path.to_owned(), Znode::new(path.to_owned(), data));
+        Ok(())
+    }
+
+    /// Overwrites a znode's data under the write-serialization lock.
+    ///
+    /// This is the path ZOOKEEPER-2201 hangs: if the lock holder is wedged,
+    /// every `set_data` blocks here.
+    pub fn set_data(&self, path: &str, data: Vec<u8>) -> BaseResult<()> {
+        let _write = self.write_lock.lock();
+        let node = self
+            .nodes
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| BaseError::NotFound(path.to_owned()))?;
+        node.with_locked_data(|d| *d = data);
+        Ok(())
+    }
+
+    /// Reads a znode's data (no write-serialization lock — reads stay live
+    /// during the 2201 failure, which is part of what makes it gray).
+    pub fn get_data(&self, path: &str) -> BaseResult<Vec<u8>> {
+        let node = self
+            .nodes
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| BaseError::NotFound(path.to_owned()))?;
+        Ok(node.data())
+    }
+
+    /// Looks up a znode handle.
+    pub fn get_node(&self, path: &str) -> Option<Arc<Znode>> {
+        self.nodes.read().get(path).cloned()
+    }
+
+    /// Returns `true` if the node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.read().contains_key(path)
+    }
+
+    /// Returns the number of znodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Returns the direct children of `path`, sorted.
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let nodes = self.nodes.read();
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        nodes
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix)
+                    && k.as_str() != path
+                    && !k[prefix.len()..].contains('/')
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Returns every node in path order (used by snapshot serialization).
+    pub fn all_nodes(&self) -> Vec<Arc<Znode>> {
+        self.nodes.read().values().cloned().collect()
+    }
+
+    /// Returns the global write-serialization lock handle.
+    pub fn write_lock(&self) -> Arc<Mutex<()>> {
+        Arc::clone(&self.write_lock)
+    }
+
+    /// Bumps and returns the serialized-node counter (Figure 2's `scount`).
+    pub(crate) fn count_serialized(&self) -> u64 {
+        self.serialized_count.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Returns how many node records have ever been serialized.
+    pub fn serialized_count(&self) -> u64 {
+        self.serialized_count.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for DataTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataTree")
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn root_exists_initially() {
+        let t = DataTree::new();
+        assert!(t.exists("/"));
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let t = DataTree::new();
+        assert!(matches!(
+            t.create("/a/b", vec![]),
+            Err(BaseError::NotFound(_))
+        ));
+        t.create("/a", vec![]).unwrap();
+        t.create("/a/b", b"x".to_vec()).unwrap();
+        assert_eq!(t.get_data("/a/b").unwrap(), b"x");
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_bad_paths() {
+        let t = DataTree::new();
+        t.create("/a", vec![]).unwrap();
+        assert!(t.create("/a", vec![]).is_err());
+        assert!(t.create("no-slash", vec![]).is_err());
+        assert!(t.create("/trailing/", vec![]).is_err());
+    }
+
+    #[test]
+    fn set_and_get_data() {
+        let t = DataTree::new();
+        t.create("/k", b"v1".to_vec()).unwrap();
+        t.set_data("/k", b"v2".to_vec()).unwrap();
+        assert_eq!(t.get_data("/k").unwrap(), b"v2");
+        assert!(t.set_data("/missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn children_lists_only_direct_descendants() {
+        let t = DataTree::new();
+        for p in ["/a", "/a/x", "/a/y", "/a/x/deep", "/b"] {
+            t.create(p, vec![]).unwrap();
+        }
+        assert_eq!(t.children("/a"), vec!["/a/x", "/a/y"]);
+        assert_eq!(t.children("/"), vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn wedged_write_lock_blocks_set_data() {
+        let t = DataTree::new();
+        t.create("/k", vec![]).unwrap();
+        let lock = t.write_lock();
+        let guard = lock.lock();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.set_data("/k", b"new".to_vec()));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "set_data proceeded despite held lock");
+        // Reads stay live — the gray part of the failure.
+        assert_eq!(t.get_data("/k").unwrap(), Vec::<u8>::new());
+        drop(guard);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn parent_of_handles_edges() {
+        assert_eq!(DataTree::parent_of("/a/b"), Some("/a"));
+        assert_eq!(DataTree::parent_of("/a"), Some("/"));
+        assert_eq!(DataTree::parent_of("/"), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! The request-processor chain: prep → sync → final.
+//!
+//! Writes flow through a single ordered pipeline thread, as in ZooKeeper's
+//! processor chain: `PrepRequestProcessor` assigns the zxid,
+//! `SyncRequestProcessor` makes the transaction durable in the txn log, and
+//! `FinalRequestProcessor` applies it to the [`DataTree`](crate::datatree::DataTree) (taking the
+//! write-serialization lock) and enqueues the commit for broadcast.
+//!
+//! Because the pipeline is ordered, one transaction blocked inside the
+//! final processor — e.g. on a write lock held by a wedged snapshot sync —
+//! hangs *all* write request processing: the ZOOKEEPER-2201 observable.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use serde::{Deserialize, Serialize};
+
+use wdog_base::error::{BaseError, BaseResult};
+
+use wdog_core::context::CtxValue;
+
+use crate::quorum::ZkShared;
+
+/// A write operation submitted to the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Create a znode.
+    Create {
+        /// Path to create.
+        path: String,
+        /// Initial data.
+        data: Vec<u8>,
+    },
+    /// Overwrite a znode's data.
+    SetData {
+        /// Path to update.
+        path: String,
+        /// New data.
+        data: Vec<u8>,
+    },
+}
+
+impl WriteOp {
+    /// Returns the path the op touches.
+    pub fn path(&self) -> &str {
+        match self {
+            WriteOp::Create { path, .. } | WriteOp::SetData { path, .. } => path,
+        }
+    }
+
+    /// Encodes the op for the txn log.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("op encoding is infallible")
+    }
+
+    /// Decodes an op from the txn log.
+    pub fn decode(bytes: &[u8]) -> BaseResult<Self> {
+        serde_json::from_slice(bytes)
+            .map_err(|e| BaseError::Corruption(format!("undecodable txn: {e}")))
+    }
+}
+
+/// A pipeline work item: the op plus the client's reply channel.
+pub(crate) type PipelineItem = (WriteOp, Sender<BaseResult<u64>>);
+
+/// The pipeline thread body.
+pub(crate) fn processor_loop(shared: Arc<ZkShared>, rx: Receiver<PipelineItem>) {
+    while shared.is_running() {
+        let (op, reply) = match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let result = process_request(&shared, op);
+        let _ = reply.send(result);
+    }
+}
+
+/// Runs one transaction through all three processors.
+pub(crate) fn process_request(shared: &Arc<ZkShared>, op: WriteOp) -> BaseResult<u64> {
+    let zxid = prep_request(shared);
+    sync_txn(shared, zxid, &op)?;
+    final_apply(shared, zxid, op)?;
+    Ok(zxid)
+}
+
+/// Prep processor: assigns the transaction id.
+fn prep_request(shared: &Arc<ZkShared>) -> u64 {
+    shared.next_zxid.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Sync processor: makes the transaction durable in the txn log.
+fn sync_txn(shared: &Arc<ZkShared>, zxid: u64, op: &WriteOp) -> BaseResult<()> {
+    let payload = op.encode();
+    // Watchdog hook before the vulnerable append (generated plan point).
+    let hook_payload = payload.clone();
+    shared.hooks.site("request_processor_loop").fire(|| {
+        vec![
+            ("txn_payload".into(), CtxValue::Bytes(hook_payload)),
+            ("zxid".into(), CtxValue::U64(zxid)),
+        ]
+    });
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    shared.disk.append("txnlog/log", &frame)?;
+    shared.disk.fsync("txnlog/log")?;
+    shared.stats.txns_logged.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Final processor: applies to the tree and enqueues the commit broadcast.
+fn final_apply(shared: &Arc<ZkShared>, zxid: u64, op: WriteOp) -> BaseResult<()> {
+    // This is where ZOOKEEPER-2201 hangs: the tree's write-serialization
+    // lock is taken inside `create`/`set_data`.
+    match &op {
+        WriteOp::Create { path, data } => shared.tree.create(path, data.clone())?,
+        WriteOp::SetData { path, data } => shared.tree.set_data(path, data.clone())?,
+    }
+    shared.stats.writes_applied.fetch_add(1, Ordering::Relaxed);
+    let _ = shared.broadcast_tx.send((zxid, op));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip() {
+        let op = WriteOp::SetData {
+            path: "/a".into(),
+            data: b"x".to_vec(),
+        };
+        assert_eq!(WriteOp::decode(&op.encode()).unwrap(), op);
+        assert_eq!(op.path(), "/a");
+        assert!(WriteOp::decode(b"junk").is_err());
+    }
+}

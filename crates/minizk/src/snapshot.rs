@@ -1,0 +1,215 @@
+//! Snapshot serialization — the paper's Figure 2, in Rust.
+//!
+//! `serialize_snapshot` walks the tree and emits one record per znode
+//! through a [`SnapSink`]. Two sinks exist:
+//!
+//! - [`DiskSink`] writes records to the simulated disk (periodic local
+//!   snapshots);
+//! - [`NetSink`] streams records to a syncing follower over the simulated
+//!   network — the ZOOKEEPER-2201 path, because each record is sent *while
+//!   the serializer holds the tree's write-serialization lock*, so a wedged
+//!   send wedges all writes.
+
+use std::sync::Arc;
+
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+
+use wdog_base::error::BaseResult;
+
+use crate::datatree::DataTree;
+use crate::msg::ZkMsg;
+
+/// Destination for serialized snapshot records.
+pub trait SnapSink: Send {
+    /// Emits one znode record. May block (that is the point).
+    fn write_record(&mut self, path: &str, data: &[u8]) -> BaseResult<()>;
+
+    /// Finishes the stream.
+    fn done(&mut self, records: u64) -> BaseResult<()>;
+}
+
+/// Writes snapshot records to a disk file.
+pub struct DiskSink {
+    disk: Arc<SimDisk>,
+    path: String,
+}
+
+impl DiskSink {
+    /// Creates a sink appending to `path` (truncating any previous file).
+    pub fn new(disk: Arc<SimDisk>, path: impl Into<String>) -> BaseResult<Self> {
+        let path = path.into();
+        disk.write_all(&path, &[])?;
+        Ok(Self { disk, path })
+    }
+}
+
+impl SnapSink for DiskSink {
+    fn write_record(&mut self, path: &str, data: &[u8]) -> BaseResult<()> {
+        let rec = ZkMsg::SnapRecord {
+            path: path.to_owned(),
+            data: data.to_vec(),
+        }
+        .encode();
+        let mut frame = (rec.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&rec);
+        self.disk.append(&self.path, &frame)
+    }
+
+    fn done(&mut self, _records: u64) -> BaseResult<()> {
+        self.disk.fsync(&self.path)
+    }
+}
+
+/// Streams snapshot records to a peer over the network.
+pub struct NetSink {
+    net: SimNet,
+    src: String,
+    dst: String,
+}
+
+impl NetSink {
+    /// Creates a sink sending from `src` to `dst`.
+    pub fn new(net: SimNet, src: impl Into<String>, dst: impl Into<String>) -> Self {
+        Self {
+            net,
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+}
+
+impl SnapSink for NetSink {
+    fn write_record(&mut self, path: &str, data: &[u8]) -> BaseResult<()> {
+        let msg = ZkMsg::SnapRecord {
+            path: path.to_owned(),
+            data: data.to_vec(),
+        };
+        self.net.send(&self.src, &self.dst, msg.encode())
+    }
+
+    fn done(&mut self, records: u64) -> BaseResult<()> {
+        self.net
+            .send(&self.src, &self.dst, ZkMsg::SnapDone { records }.encode())
+    }
+}
+
+/// Serializes the whole tree through `sink` — Figure 2's
+/// `serializeSnapshot` → `serialize` → `serializeNode` chain.
+///
+/// The entire walk holds the tree's write-serialization lock (ZooKeeper's
+/// critical section): a sink that blocks leaves every writer hanging.
+/// `on_node` fires before each record with the node path — this is where
+/// AutoWatchdog inserts its context hook (Figure 2 line 28).
+pub fn serialize_snapshot(
+    tree: &DataTree,
+    sink: &mut dyn SnapSink,
+    mut on_node: impl FnMut(&str, &[u8]),
+) -> BaseResult<u64> {
+    let write_lock = tree.write_lock();
+    let _critical = write_lock.lock();
+    let mut records = 0u64;
+    for node in tree.all_nodes() {
+        // Figure 2: lock the node, then write the record while holding it.
+        node.with_locked_data(|data| -> BaseResult<()> {
+            tree.count_serialized();
+            on_node(&node.path, data);
+            sink.write_record(&node.path, data)?;
+            records += 1;
+            Ok(())
+        })?;
+    }
+    sink.done(records)?;
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tree_with_nodes() -> Arc<DataTree> {
+        let t = DataTree::new();
+        t.create("/app", b"root".to_vec()).unwrap();
+        t.create("/app/a", b"1".to_vec()).unwrap();
+        t.create("/app/b", b"2".to_vec()).unwrap();
+        t
+    }
+
+    #[test]
+    fn disk_snapshot_contains_all_nodes() {
+        let t = tree_with_nodes();
+        let disk = SimDisk::for_tests();
+        let mut sink = DiskSink::new(Arc::clone(&disk), "snapshot/0").unwrap();
+        let n = serialize_snapshot(&t, &mut sink, |_, _| {}).unwrap();
+        assert_eq!(n, 4, "root + 3 created nodes");
+        assert!(disk.len("snapshot/0").unwrap() > 0);
+        assert_eq!(t.serialized_count(), 4);
+    }
+
+    #[test]
+    fn net_snapshot_streams_records_then_done() {
+        let t = tree_with_nodes();
+        let net = SimNet::for_tests();
+        let mb = net.register("follower");
+        let mut sink = NetSink::new(net.clone(), "leader", "follower");
+        let n = serialize_snapshot(&t, &mut sink, |_, _| {}).unwrap();
+        let mut records = 0;
+        let mut done = false;
+        while let Some(m) = mb.recv_timeout(Duration::from_millis(100)) {
+            match ZkMsg::decode(&m.payload).unwrap() {
+                ZkMsg::SnapRecord { .. } => records += 1,
+                ZkMsg::SnapDone { records: r } => {
+                    assert_eq!(r, n);
+                    done = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(records, n);
+        assert!(done);
+    }
+
+    #[test]
+    fn on_node_hook_sees_every_path() {
+        let t = tree_with_nodes();
+        let disk = SimDisk::for_tests();
+        let mut sink = DiskSink::new(disk, "snapshot/0").unwrap();
+        let mut seen = Vec::new();
+        serialize_snapshot(&t, &mut sink, |path, _| seen.push(path.to_owned())).unwrap();
+        assert_eq!(seen, vec!["/", "/app", "/app/a", "/app/b"]);
+    }
+
+    #[test]
+    fn blocked_sink_wedges_writers_the_2201_shape() {
+        let t = tree_with_nodes();
+        let net = SimNet::for_tests();
+        let _mb = net.register("follower");
+        // Wedge the link before serialization starts.
+        net.inject(simio::net::LinkRule::link(
+            "leader",
+            "follower",
+            simio::net::NetFault::BlockSend,
+        ));
+        let t2 = Arc::clone(&t);
+        let net2 = net.clone();
+        let serializer = std::thread::spawn(move || {
+            let mut sink = NetSink::new(net2, "leader", "follower");
+            let _ = serialize_snapshot(&t2, &mut sink, |_, _| {});
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!serializer.is_finished(), "serializer should be wedged");
+        // A writer now hangs on the write-serialization lock.
+        let t3 = Arc::clone(&t);
+        let writer = std::thread::spawn(move || t3.set_data("/app/a", b"new".to_vec()));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!writer.is_finished(), "write proceeded during wedged sync");
+        // Reads stay healthy.
+        assert_eq!(t.get_data("/app/b").unwrap(), b"2");
+        // Clearing the fault releases everything.
+        net.clear_all();
+        serializer.join().unwrap();
+        writer.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Seeded latency models for the simulated substrates.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+
+use wdog_base::rng;
+
+/// A deterministic exponential latency model.
+///
+/// Each call to [`LatencyModel::sample`] draws an exponentially distributed
+/// duration with the configured mean. The model owns its RNG so that two
+/// substrates seeded differently produce independent streams, and the same
+/// seed reproduces the same run.
+///
+/// # Examples
+///
+/// ```
+/// use simio::LatencyModel;
+/// let m = LatencyModel::new(200.0, 42);
+/// let d = m.sample();
+/// assert!(d.as_micros() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct LatencyModel {
+    mean_micros: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl LatencyModel {
+    /// Creates a model with the given mean latency in microseconds.
+    pub fn new(mean_micros: f64, seed: u64) -> Self {
+        Self {
+            mean_micros,
+            rng: Mutex::new(rng::seeded(seed)),
+        }
+    }
+
+    /// Creates a model that always returns zero latency.
+    ///
+    /// Useful in unit tests that care about logic rather than timing.
+    pub fn zero() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Returns the configured mean in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        self.mean_micros
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self) -> Duration {
+        if self.mean_micros <= 0.0 {
+            return Duration::ZERO;
+        }
+        let micros = rng::exp_micros(&mut *self.rng.lock(), self.mean_micros);
+        Duration::from_micros(micros)
+    }
+
+    /// Draws one latency sample scaled by `factor` (used by slow-down faults).
+    pub fn sample_scaled(&self, factor: f64) -> Duration {
+        let base = self.sample();
+        base.mul_f64(factor.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_returns_zero() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.sample(), Duration::ZERO);
+        assert_eq!(m.sample_scaled(100.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = LatencyModel::new(100.0, 9);
+        let b = LatencyModel::new(100.0, 9);
+        for _ in 0..32 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies() {
+        let a = LatencyModel::new(100.0, 5);
+        let b = LatencyModel::new(100.0, 5);
+        let base = a.sample();
+        let scaled = b.sample_scaled(10.0);
+        assert_eq!(scaled, base.mul_f64(10.0));
+    }
+
+    #[test]
+    fn mean_is_roughly_configured() {
+        let m = LatencyModel::new(300.0, 77);
+        let n = 10_000u32;
+        let total: u128 = (0..n).map(|_| m.sample().as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 300.0).abs() < 40.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,499 @@
+//! A simulated message-passing network with per-link fault injection.
+//!
+//! [`SimNet`] connects named endpoints. Sending is synchronous: the sender
+//! pays the (modelled) transit latency and the message appears in the
+//! destination's [`Mailbox`] — the same observable behaviour as a blocking
+//! socket write followed by kernel delivery. This choice is deliberate: the
+//! gray failure reproduced in experiment E4 (ZOOKEEPER-2201) hinges on a
+//! *blocked send inside a critical section*, and a synchronous send models
+//! exactly that.
+//!
+//! Faults are armed per link pattern via [`SimNet::inject`]:
+//!
+//! - [`NetFault::BlockSend`] — matching sends block until the fault clears
+//!   (a wedged TCP connection with a full send buffer);
+//! - [`NetFault::BlockRecv`] — matching receivers see no messages while the
+//!   fault is armed (messages are buffered, not lost);
+//! - [`NetFault::Drop`] — matching messages vanish silently;
+//! - [`NetFault::Slow`] — matching sends take `factor`× the modelled latency.
+//!
+//! [`SimNet::partition`] installs symmetric drop rules between two endpoints.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use wdog_base::clock::SharedClock;
+use wdog_base::error::{BaseError, BaseResult};
+
+use crate::latency::LatencyModel;
+
+/// A message in flight or delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender address.
+    pub src: String,
+    /// Destination address.
+    pub dst: String,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// A fault armable on a [`SimNet`] link pattern.
+#[derive(Debug, Clone)]
+pub enum NetFault {
+    /// Matching sends block until the fault is cleared.
+    BlockSend,
+    /// Matching destinations receive nothing while armed; traffic is buffered.
+    BlockRecv,
+    /// Matching messages are silently dropped.
+    Drop,
+    /// Matching sends take `factor` times the modelled latency.
+    Slow {
+        /// Latency multiplier; values below 1.0 are clamped to 1.0.
+        factor: f64,
+    },
+}
+
+/// Which links a fault applies to. `None` matches any address.
+#[derive(Debug, Clone)]
+pub struct LinkRule {
+    /// Match messages from this sender only.
+    pub src: Option<String>,
+    /// Match messages to this destination only.
+    pub dst: Option<String>,
+    /// The fault to apply.
+    pub fault: NetFault,
+}
+
+impl LinkRule {
+    /// A rule matching every link.
+    pub fn global(fault: NetFault) -> Self {
+        Self {
+            src: None,
+            dst: None,
+            fault,
+        }
+    }
+
+    /// A rule matching one directed link.
+    pub fn link(src: impl Into<String>, dst: impl Into<String>, fault: NetFault) -> Self {
+        Self {
+            src: Some(src.into()),
+            dst: Some(dst.into()),
+            fault,
+        }
+    }
+
+    /// A rule matching everything sent to `dst`.
+    pub fn to(dst: impl Into<String>, fault: NetFault) -> Self {
+        Self {
+            src: None,
+            dst: Some(dst.into()),
+            fault,
+        }
+    }
+
+    fn matches(&self, src: &str, dst: &str) -> bool {
+        self.src.as_deref().is_none_or(|s| s == src)
+            && self.dst.as_deref().is_none_or(|d| d == dst)
+    }
+}
+
+/// Handle to an armed network fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetFaultHandle(u64);
+
+/// Cumulative counters for a [`SimNet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted by `send`.
+    pub sent: u64,
+    /// Messages placed in a mailbox.
+    pub delivered: u64,
+    /// Messages discarded by drop faults or unknown destinations.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct Queue {
+    messages: VecDeque<Message>,
+}
+
+struct MailboxInner {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+}
+
+/// The receiving end of an endpoint registered on a [`SimNet`].
+pub struct Mailbox {
+    addr: String,
+    inner: Arc<MailboxInner>,
+    net: Arc<SimNetShared>,
+}
+
+/// How long receive/block loops sleep between fault re-checks.
+const POLL: Duration = Duration::from_millis(1);
+
+impl Mailbox {
+    /// Returns this mailbox's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn recv_blocked(&self) -> bool {
+        self.net.faults.read().iter().any(|(_, r)| {
+            matches!(r.fault, NetFault::BlockRecv)
+                && r.dst.as_deref().is_none_or(|d| d == self.addr)
+        })
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout. A [`NetFault::BlockRecv`] armed for this
+    /// address holds delivery without losing messages.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        let deadline = self.net.clock.now() + timeout;
+        loop {
+            if !self.recv_blocked() {
+                let mut q = self.inner.queue.lock();
+                if let Some(m) = q.messages.pop_front() {
+                    return Some(m);
+                }
+                // Wait briefly for a producer, then re-check faults/deadline.
+                self.inner.cond.wait_for(&mut q, POLL);
+                if let Some(m) = q.messages.pop_front() {
+                    return Some(m);
+                }
+            } else {
+                self.net.clock.sleep(POLL);
+            }
+            if self.net.clock.now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Receives without waiting.
+    pub fn try_recv(&self) -> Option<Message> {
+        if self.recv_blocked() {
+            return None;
+        }
+        self.inner.queue.lock().messages.pop_front()
+    }
+
+    /// Returns the number of buffered messages (including held ones).
+    pub fn depth(&self) -> usize {
+        self.inner.queue.lock().messages.len()
+    }
+}
+
+impl std::fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("addr", &self.addr)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+struct SimNetShared {
+    endpoints: RwLock<HashMap<String, Arc<MailboxInner>>>,
+    faults: RwLock<Vec<(NetFaultHandle, LinkRule)>>,
+    next_fault: AtomicU64,
+    latency: LatencyModel,
+    clock: SharedClock,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A simulated network. Cheap to clone ([`Arc`] inside); see module docs.
+#[derive(Clone)]
+pub struct SimNet {
+    shared: Arc<SimNetShared>,
+}
+
+impl SimNet {
+    /// Creates a network with the given latency model and clock.
+    pub fn new(latency: LatencyModel, clock: SharedClock) -> Self {
+        Self {
+            shared: Arc::new(SimNetShared {
+                endpoints: RwLock::new(HashMap::new()),
+                faults: RwLock::new(Vec::new()),
+                next_fault: AtomicU64::new(1),
+                latency,
+                clock,
+                sent: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates a zero-latency network on the real clock for unit tests.
+    pub fn for_tests() -> Self {
+        Self::new(LatencyModel::zero(), wdog_base::clock::RealClock::shared())
+    }
+
+    /// Registers an endpoint and returns its mailbox.
+    ///
+    /// Re-registering an address replaces the previous mailbox (the old one
+    /// stops receiving).
+    pub fn register(&self, addr: impl Into<String>) -> Mailbox {
+        let addr = addr.into();
+        let inner = Arc::new(MailboxInner {
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+        });
+        self.shared
+            .endpoints
+            .write()
+            .insert(addr.clone(), Arc::clone(&inner));
+        Mailbox {
+            addr,
+            inner,
+            net: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Sends `payload` from `src` to `dst`.
+    ///
+    /// Blocks for the transit latency, and indefinitely while a matching
+    /// [`NetFault::BlockSend`] is armed. Returns an error if `dst` was never
+    /// registered.
+    pub fn send(&self, src: &str, dst: &str, payload: Bytes) -> BaseResult<()> {
+        // Block while a matching block-send fault is armed.
+        loop {
+            let blocked = self.shared.faults.read().iter().any(|(_, r)| {
+                matches!(r.fault, NetFault::BlockSend) && r.matches(src, dst)
+            });
+            if !blocked {
+                break;
+            }
+            self.shared.clock.sleep(POLL);
+        }
+
+        let mut slow = 1.0f64;
+        let mut drop = false;
+        for (_, r) in self.shared.faults.read().iter() {
+            if !r.matches(src, dst) {
+                continue;
+            }
+            match &r.fault {
+                NetFault::Slow { factor } => slow = slow.max(factor.max(1.0)),
+                NetFault::Drop => drop = true,
+                NetFault::BlockSend | NetFault::BlockRecv => {}
+            }
+        }
+
+        let delay = self.shared.latency.sample_scaled(slow);
+        if !delay.is_zero() {
+            self.shared.clock.sleep(delay);
+        }
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        if drop {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        let target = self.shared.endpoints.read().get(dst).cloned();
+        match target {
+            Some(mb) => {
+                let mut q = mb.queue.lock();
+                q.messages.push_back(Message {
+                    src: src.to_owned(),
+                    dst: dst.to_owned(),
+                    payload,
+                });
+                mb.cond.notify_one();
+                self.shared.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                Err(BaseError::NotFound(format!("endpoint {dst}")))
+            }
+        }
+    }
+
+    /// Arms a fault rule and returns a handle for clearing it.
+    pub fn inject(&self, rule: LinkRule) -> NetFaultHandle {
+        let h = NetFaultHandle(self.shared.next_fault.fetch_add(1, Ordering::Relaxed));
+        self.shared.faults.write().push((h, rule));
+        h
+    }
+
+    /// Installs symmetric drop rules between `a` and `b`; returns both handles.
+    pub fn partition(&self, a: &str, b: &str) -> (NetFaultHandle, NetFaultHandle) {
+        (
+            self.inject(LinkRule::link(a, b, NetFault::Drop)),
+            self.inject(LinkRule::link(b, a, NetFault::Drop)),
+        )
+    }
+
+    /// Clears one armed fault; unknown handles are ignored.
+    pub fn clear(&self, handle: NetFaultHandle) {
+        self.shared.faults.write().retain(|(h, _)| *h != handle);
+    }
+
+    /// Clears all armed faults.
+    pub fn clear_all(&self) {
+        self.shared.faults.write().clear();
+    }
+
+    /// Returns cumulative counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            sent: self.shared.sent.load(Ordering::Relaxed),
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the clock this network runs on.
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.shared.clock)
+    }
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        net.send("a", "b", msg("hi")).unwrap();
+        let m = mb.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.src, "a");
+        assert_eq!(m.payload, msg("hi"));
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = SimNet::for_tests();
+        assert!(matches!(
+            net.send("a", "ghost", msg("x")),
+            Err(BaseError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_quiet() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        assert!(mb.recv_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn messages_deliver_in_order() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        for i in 0..10 {
+            net.send("a", "b", msg(&i.to_string())).unwrap();
+        }
+        for i in 0..10 {
+            let m = mb.try_recv().unwrap();
+            assert_eq!(m.payload, msg(&i.to_string()));
+        }
+    }
+
+    #[test]
+    fn drop_fault_silently_discards() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        let h = net.inject(LinkRule::link("a", "b", NetFault::Drop));
+        net.send("a", "b", msg("lost")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(20)).is_none());
+        net.clear(h);
+        net.send("a", "b", msg("found")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(200)).is_some());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn block_send_hangs_sender_until_cleared() {
+        let net = SimNet::for_tests();
+        let _mb = net.register("b");
+        let h = net.inject(LinkRule::link("a", "b", NetFault::BlockSend));
+        let net2 = net.clone();
+        let t = std::thread::spawn(move || net2.send("a", "b", msg("x")));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "send completed despite block fault");
+        net.clear(h);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn block_send_does_not_affect_other_links() {
+        let net = SimNet::for_tests();
+        let mb = net.register("c");
+        let _h = net.inject(LinkRule::link("a", "b", NetFault::BlockSend));
+        net.send("a", "c", msg("ok")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(200)).is_some());
+    }
+
+    #[test]
+    fn block_recv_holds_but_does_not_lose() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        let h = net.inject(LinkRule::to("b", NetFault::BlockRecv));
+        net.send("a", "b", msg("held")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(20)).is_none());
+        assert_eq!(mb.depth(), 1);
+        net.clear(h);
+        assert_eq!(
+            mb.recv_timeout(Duration::from_millis(200)).unwrap().payload,
+            msg("held")
+        );
+    }
+
+    #[test]
+    fn partition_cuts_both_directions() {
+        let net = SimNet::for_tests();
+        let ma = net.register("a");
+        let mb = net.register("b");
+        net.partition("a", "b");
+        net.send("a", "b", msg("x")).unwrap();
+        net.send("b", "a", msg("y")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(20)).is_none());
+        assert!(ma.recv_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces_mailbox() {
+        let net = SimNet::for_tests();
+        let _old = net.register("b");
+        let new = net.register("b");
+        net.send("a", "b", msg("x")).unwrap();
+        assert!(new.recv_timeout(Duration::from_millis(200)).is_some());
+    }
+
+    #[test]
+    fn stats_track_delivery() {
+        let net = SimNet::for_tests();
+        let _mb = net.register("b");
+        net.send("a", "b", msg("1")).unwrap();
+        net.send("a", "b", msg("2")).unwrap();
+        let s = net.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Model-based property tests: SimDisk against a reference HashMap of byte
+//! vectors, under arbitrary operation sequences (fault-free — faults are
+//! covered by unit tests; this pins down the *correctness* semantics).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use simio::disk::SimDisk;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(u8, Vec<u8>),
+    WriteAll(u8, Vec<u8>),
+    Read(u8),
+    Remove(u8),
+    Rename(u8, u8),
+    Len(u8),
+    Fsync(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let bytes = proptest::collection::vec(any::<u8>(), 0..32);
+    prop_oneof![
+        (any::<u8>(), bytes.clone()).prop_map(|(p, b)| Op::Append(p, b)),
+        (any::<u8>(), bytes).prop_map(|(p, b)| Op::WriteAll(p, b)),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Remove),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        any::<u8>().prop_map(Op::Len),
+        any::<u8>().prop_map(Op::Fsync),
+    ]
+}
+
+fn path(p: u8) -> String {
+    format!("f/{}", p % 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn disk_matches_reference_model(ops in proptest::collection::vec(op(), 1..80)) {
+        let disk = SimDisk::for_tests();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for o in ops {
+            match o {
+                Op::Append(p, b) => {
+                    disk.append(&path(p), &b).unwrap();
+                    model.entry(path(p)).or_default().extend_from_slice(&b);
+                }
+                Op::WriteAll(p, b) => {
+                    disk.write_all(&path(p), &b).unwrap();
+                    model.insert(path(p), b);
+                }
+                Op::Read(p) => {
+                    let got = disk.read(&path(p)).ok();
+                    prop_assert_eq!(got, model.get(&path(p)).cloned());
+                }
+                Op::Remove(p) => {
+                    let got = disk.remove(&path(p)).is_ok();
+                    let expected = model.remove(&path(p)).is_some();
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Rename(a, b) => {
+                    if path(a) == path(b) {
+                        continue; // Self-rename semantics are out of scope.
+                    }
+                    let got = disk.rename(&path(a), &path(b)).is_ok();
+                    let expected = model.contains_key(&path(a));
+                    prop_assert_eq!(got, expected);
+                    if expected {
+                        let v = model.remove(&path(a)).unwrap();
+                        model.insert(path(b), v);
+                    }
+                }
+                Op::Len(p) => {
+                    let got = disk.len(&path(p)).ok();
+                    prop_assert_eq!(got, model.get(&path(p)).map(|v| v.len()));
+                }
+                Op::Fsync(p) => {
+                    let got = disk.fsync(&path(p)).is_ok();
+                    prop_assert_eq!(got, model.contains_key(&path(p)));
+                }
+            }
+            // Space accounting is always the sum of file sizes.
+            let used: u64 = model.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(disk.used(), used);
+        }
+        // Directory listing agrees with the model.
+        let mut expected: Vec<&String> = model.keys().collect();
+        expected.sort();
+        let listed = disk.list("f/");
+        prop_assert_eq!(listed.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// Crash keeps exactly the fsynced prefix of every file.
+    #[test]
+    fn crash_keeps_exactly_the_synced_prefix(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..10),
+        sync_after in any::<u8>(),
+    ) {
+        let disk = SimDisk::for_tests();
+        let sync_point = (sync_after as usize) % chunks.len();
+        let mut synced_len = 0usize;
+        for (i, c) in chunks.iter().enumerate() {
+            disk.append("wal", c).unwrap();
+            if i == sync_point {
+                disk.fsync("wal").unwrap();
+                synced_len = chunks[..=i].iter().map(Vec::len).sum();
+            }
+        }
+        disk.crash();
+        let after = disk.read("wal").map(|d| d.len()).unwrap_or(0);
+        prop_assert_eq!(after, synced_len);
+    }
+}

@@ -1,0 +1,117 @@
+//! Workspace-wide error vocabulary.
+//!
+//! The simulated substrates and target systems all fail in a small number of
+//! ways that matter to a failure detector: an operation errors, times out,
+//! finds corrupted data, or touches something that does not exist. Keeping a
+//! single vocabulary here lets checkers classify failures uniformly no matter
+//! which subsystem produced them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The common error type for substrates and target systems.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaseError {
+    /// An I/O operation failed outright (the simulated `EIO`).
+    Io(String),
+    /// An operation exceeded its allotted time.
+    Timeout {
+        /// What was being attempted.
+        what: String,
+        /// The timeout that expired, in milliseconds.
+        after_ms: u64,
+    },
+    /// Stored data failed an integrity check.
+    Corruption(String),
+    /// A referenced entity (path, key, node, endpoint) does not exist.
+    NotFound(String),
+    /// A resource budget (space, memory, handles, queue capacity) is exhausted.
+    Exhausted(String),
+    /// The component was asked to do something in a state that forbids it.
+    InvalidState(String),
+    /// The operation was interrupted by shutdown or disconnection.
+    Disconnected(String),
+}
+
+impl BaseError {
+    /// Returns `true` if the error indicates a liveness problem (the operation
+    /// did not complete) rather than a safety problem (it completed wrongly).
+    pub fn is_liveness(&self) -> bool {
+        matches!(self, BaseError::Timeout { .. } | BaseError::Disconnected(_))
+    }
+
+    /// Returns a short stable label for this error's class, used in reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            BaseError::Io(_) => "io",
+            BaseError::Timeout { .. } => "timeout",
+            BaseError::Corruption(_) => "corruption",
+            BaseError::NotFound(_) => "not-found",
+            BaseError::Exhausted(_) => "exhausted",
+            BaseError::InvalidState(_) => "invalid-state",
+            BaseError::Disconnected(_) => "disconnected",
+        }
+    }
+}
+
+impl fmt::Display for BaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseError::Io(m) => write!(f, "i/o error: {m}"),
+            BaseError::Timeout { what, after_ms } => {
+                write!(f, "timeout after {after_ms} ms: {what}")
+            }
+            BaseError::Corruption(m) => write!(f, "corruption: {m}"),
+            BaseError::NotFound(m) => write!(f, "not found: {m}"),
+            BaseError::Exhausted(m) => write!(f, "resource exhausted: {m}"),
+            BaseError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            BaseError::Disconnected(m) => write!(f, "disconnected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaseError {}
+
+/// Result alias using [`BaseError`].
+pub type BaseResult<T> = Result<T, BaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BaseError::Timeout {
+            what: "disk write".into(),
+            after_ms: 1500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1500"));
+        assert!(s.contains("disk write"));
+    }
+
+    #[test]
+    fn liveness_classification() {
+        assert!(BaseError::Timeout {
+            what: "x".into(),
+            after_ms: 1
+        }
+        .is_liveness());
+        assert!(BaseError::Disconnected("peer".into()).is_liveness());
+        assert!(!BaseError::Corruption("crc".into()).is_liveness());
+        assert!(!BaseError::Io("eio".into()).is_liveness());
+    }
+
+    #[test]
+    fn classes_are_stable() {
+        assert_eq!(BaseError::Io("x".into()).class(), "io");
+        assert_eq!(BaseError::Corruption("x".into()).class(), "corruption");
+        assert_eq!(BaseError::NotFound("x".into()).class(), "not-found");
+        assert_eq!(BaseError::Exhausted("x".into()).class(), "exhausted");
+        assert_eq!(
+            BaseError::InvalidState("x".into()).class(),
+            "invalid-state"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! A fixed-memory log-bucketed histogram for latency recording.
+//!
+//! Benchmarks and experiment harnesses record microsecond-scale latencies at
+//! high rates; this histogram keeps counts in logarithmically spaced buckets
+//! so percentile queries are cheap and memory use is constant.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: value `v` lands in bucket `floor(log2(v + 1))`, so 64
+/// buckets cover the entire `u64` range.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (typically microseconds).
+///
+/// Percentile answers are upper bounds of the containing bucket, i.e. accurate
+/// to within a factor of two — plenty for the factor-level comparisons the
+/// experiments make.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = wdog_base::Histogram::new();
+/// for v in [10, 20, 30, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.50) >= 20);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.saturating_add(1).leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the arithmetic mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Returns the smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns an upper bound for the given percentile (`q` in `[0, 1]`).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i is 2^(i+1) - 2, clamped to observed max.
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 2
+                };
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_assignment_is_monotone() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1000, u64::MAX / 2] {
+            let b = Histogram::bucket(v);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 10);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn percentile_bounds_hold() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        // Bucketed answer must be within 2x of the true median.
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        assert!(h.percentile(1.0) >= h.percentile(0.5));
+        assert_eq!(h.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2000);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared substrate-free utilities for the `watchdogs` workspace.
+//!
+//! This crate hosts the small pieces every other crate needs but that carry no
+//! watchdog- or simulation-specific policy of their own:
+//!
+//! - [`clock`]: a [`Clock`] abstraction with a real wall-clock
+//!   implementation and a fully deterministic virtual clock for tests.
+//! - [`ids`]: cheap, copyable identifiers used across crates.
+//! - [`error`]: the workspace-wide error vocabulary.
+//! - [`rng`]: deterministic, seedable random number helpers.
+//! - [`histogram`]: a fixed-memory latency histogram used by benchmarks and
+//!   experiment harnesses.
+
+pub mod checksum;
+pub mod clock;
+pub mod error;
+pub mod histogram;
+pub mod ids;
+pub mod join;
+pub mod rng;
+
+pub use checksum::{crc32, verify as verify_crc32};
+pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use error::{BaseError, BaseResult};
+pub use histogram::Histogram;
+pub use ids::{CheckerId, ComponentId, NodeId, OpId};
+pub use join::{join_all_timeout, join_timeout};

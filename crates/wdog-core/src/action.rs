@@ -1,0 +1,325 @@
+//! Actions the driver applies when a checker detects a failure.
+//!
+//! The paper's driver "catches failure signatures from checkers, aborts or
+//! restarts their executions and applies an action to the main program
+//! accordingly" (§3.1), and §5.2 argues precise localization enables *cheap
+//! recovery* — replacing corrupted objects or restarting one component
+//! instead of the whole process. Actions here range from logging to
+//! component-scoped restarts through a [`Restartable`] handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use wdog_base::ids::ComponentId;
+
+use crate::report::FailureReport;
+
+/// A response to a failure report.
+pub trait Action: Send + Sync {
+    /// Invoked by the driver for every failure report, in registration order.
+    fn on_failure(&self, report: &FailureReport);
+}
+
+/// Collects reports into a shared, inspectable log.
+#[derive(Default)]
+pub struct LogAction {
+    reports: Mutex<Vec<FailureReport>>,
+}
+
+impl LogAction {
+    /// Creates an empty shared log.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns a copy of all reports so far.
+    pub fn reports(&self) -> Vec<FailureReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Returns the number of reports so far.
+    pub fn len(&self) -> usize {
+        self.reports.lock().len()
+    }
+
+    /// Returns `true` if no report has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.lock().is_empty()
+    }
+
+    /// Removes and returns all reports so far.
+    pub fn drain(&self) -> Vec<FailureReport> {
+        std::mem::take(&mut *self.reports.lock())
+    }
+}
+
+impl Action for LogAction {
+    fn on_failure(&self, report: &FailureReport) {
+        self.reports.lock().push(report.clone());
+    }
+}
+
+/// Invokes an arbitrary callback for each report.
+pub struct CallbackAction<F> {
+    f: F,
+}
+
+impl<F> CallbackAction<F>
+where
+    F: Fn(&FailureReport) + Send + Sync,
+{
+    /// Wraps a callback as an action.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F> Action for CallbackAction<F>
+where
+    F: Fn(&FailureReport) + Send + Sync,
+{
+    fn on_failure(&self, report: &FailureReport) {
+        (self.f)(report)
+    }
+}
+
+/// A component that supports targeted recovery (§5.2 "cheap recovery").
+pub trait Restartable: Send + Sync {
+    /// Restarts (or otherwise repairs) the named component.
+    fn restart(&self, component: &ComponentId);
+}
+
+/// Escalates to an inner action only after `threshold` reports for the same
+/// component, suppressing one-off transients.
+pub struct EscalatingAction<A> {
+    threshold: u64,
+    counts: Mutex<std::collections::HashMap<ComponentId, u64>>,
+    inner: A,
+    escalations: AtomicU64,
+}
+
+impl<A: Action> EscalatingAction<A> {
+    /// Creates an escalator that fires `inner` on every `threshold`-th report
+    /// per component.
+    pub fn new(threshold: u64, inner: A) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            counts: Mutex::new(std::collections::HashMap::new()),
+            inner,
+            escalations: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns how many times the inner action fired.
+    pub fn escalations(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
+    }
+}
+
+impl<A: Action> Action for EscalatingAction<A> {
+    fn on_failure(&self, report: &FailureReport) {
+        let fire = {
+            let mut counts = self.counts.lock();
+            let c = counts.entry(report.location.component.clone()).or_insert(0);
+            *c += 1;
+            *c % self.threshold == 0
+        };
+        if fire {
+            self.escalations.fetch_add(1, Ordering::Relaxed);
+            self.inner.on_failure(report);
+        }
+    }
+}
+
+/// Gates an inner action behind an impact assessment (paper §5.1).
+///
+/// "The watchdog detection may also be superfluous if the main program can
+/// successfully handle the detected fault. To reduce false alarms, we need
+/// to further assess the impact of the fault, e.g., through invoking
+/// probe-checkers when mimic-checkers detect faults." This action runs a
+/// probe (any [`Checker`](crate::checker::Checker), typically an API-level
+/// probe) when a report arrives; the inner action fires only if the probe
+/// also fails — i.e., the fault has client-visible impact. Suppressed
+/// reports are counted, not lost.
+pub struct ImpactGatedAction {
+    probe: Mutex<Box<dyn crate::checker::Checker>>,
+    inner: Arc<dyn Action>,
+    forwarded: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl ImpactGatedAction {
+    /// Creates a gate running `probe` before forwarding to `inner`.
+    pub fn new(probe: Box<dyn crate::checker::Checker>, inner: Arc<dyn Action>) -> Self {
+        Self {
+            probe: Mutex::new(probe),
+            inner,
+            forwarded: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns `(forwarded, suppressed)` report counts.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.forwarded.load(Ordering::Relaxed),
+            self.suppressed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Action for ImpactGatedAction {
+    fn on_failure(&self, report: &FailureReport) {
+        let impact = {
+            let mut probe = self.probe.lock();
+            !matches!(probe.check(), crate::checker::CheckStatus::Pass)
+        };
+        if impact {
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.inner.on_failure(report);
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Restarts the failing component via a [`Restartable`] handle.
+pub struct RestartAction {
+    target: Arc<dyn Restartable>,
+    restarts: AtomicU64,
+}
+
+impl RestartAction {
+    /// Creates a restart action delegating to `target`.
+    pub fn new(target: Arc<dyn Restartable>) -> Self {
+        Self {
+            target,
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns how many restarts were requested.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+}
+
+impl Action for RestartAction {
+    fn on_failure(&self, report: &FailureReport) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.target.restart(&report.location.component);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{FailureKind, FaultLocation};
+    use wdog_base::ids::CheckerId;
+
+    fn report(component: &str) -> FailureReport {
+        FailureReport {
+            checker: CheckerId::new("c"),
+            kind: FailureKind::Error,
+            location: FaultLocation::new(component, "f"),
+            detail: "d".into(),
+            payload: vec![],
+            observed_latency_ms: None,
+            at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn log_action_collects_and_drains() {
+        let log = LogAction::new();
+        log.on_failure(&report("a"));
+        log.on_failure(&report("b"));
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn callback_action_invokes() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = Arc::clone(&hits);
+        let a = CallbackAction::new(move |_r| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        a.on_failure(&report("x"));
+        a.on_failure(&report("x"));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn escalation_fires_every_threshold_per_component() {
+        let log = LogAction::new();
+        let esc = EscalatingAction::new(3, CallbackActionToLog(Arc::clone(&log)));
+        for _ in 0..7 {
+            esc.on_failure(&report("a"));
+        }
+        // Interleaved component must not share the counter.
+        esc.on_failure(&report("b"));
+        assert_eq!(esc.escalations(), 2); // at the 3rd and 6th "a" reports
+        assert_eq!(log.len(), 2);
+    }
+
+    /// Adapter used in tests: forwards into a shared [`LogAction`].
+    struct CallbackActionToLog(Arc<LogAction>);
+
+    impl Action for CallbackActionToLog {
+        fn on_failure(&self, r: &FailureReport) {
+            self.0.on_failure(r);
+        }
+    }
+
+    #[test]
+    fn impact_gate_forwards_only_confirmed_reports() {
+        use crate::checker::{CheckFailure, CheckStatus, FnChecker};
+        let log = LogAction::new();
+        let api_broken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&api_broken);
+        let probe = FnChecker::new("impact-probe", "api", move || {
+            if flag.load(Ordering::Relaxed) {
+                CheckStatus::Fail(CheckFailure::new(
+                    FailureKind::Error,
+                    FaultLocation::new("api", "get"),
+                    "probe failed",
+                ))
+            } else {
+                CheckStatus::Pass
+            }
+        });
+        let gate = ImpactGatedAction::new(
+            Box::new(probe),
+            Arc::clone(&log) as Arc<dyn Action>,
+        );
+        // No client impact: the mimic detection is suppressed.
+        gate.on_failure(&report("kvs.wal"));
+        assert_eq!(gate.counters(), (0, 1));
+        assert!(log.is_empty());
+        // Client impact confirmed: forwarded.
+        api_broken.store(true, Ordering::Relaxed);
+        gate.on_failure(&report("kvs.wal"));
+        assert_eq!(gate.counters(), (1, 1));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn restart_action_targets_failing_component() {
+        struct Recorder(Mutex<Vec<ComponentId>>);
+        impl Restartable for Recorder {
+            fn restart(&self, c: &ComponentId) {
+                self.0.lock().push(c.clone());
+            }
+        }
+        let rec = Arc::new(Recorder(Mutex::new(vec![])));
+        let action = RestartAction::new(Arc::clone(&rec) as Arc<dyn Restartable>);
+        action.on_failure(&report("kvs.flusher"));
+        assert_eq!(action.restarts(), 1);
+        assert_eq!(rec.0.lock()[0], ComponentId::new("kvs.flusher"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Checker contexts and one-way state synchronization (paper §3.1).
+//!
+//! A concurrent checker must not report failures that do not exist in the
+//! main program — the paper's example is a disk-flusher checker barking when
+//! `kvs` is configured in-memory and no snapshot directory exists. The fix is
+//! a **context** bound to each checker that supplies the payload and
+//! arguments for the checking procedure, updated by **hooks** in the main
+//! program. Synchronization is strictly **one-way**: the main program
+//! publishes; checkers read.
+//!
+//! This module enforces the direction with types: a [`ContextTable`] hands
+//! out write access only through [`hooks`](crate::hooks), while checkers get
+//! a read-only [`ContextReader`]. Reads return a [`ContextSnapshot`] — a
+//! deep copy — which is the paper's *context replication* isolation
+//! mechanism (§5.1): a checker mutating its snapshot can never corrupt the
+//! main program's data.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use wdog_base::clock::SharedClock;
+
+/// A value stored in a context slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CtxValue {
+    /// Unsigned integer (counters, sizes, offsets).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, loads).
+    F64(f64),
+    /// Text (paths, keys, peer addresses).
+    Str(String),
+    /// Raw payload bytes (a record to write, a message to send).
+    Bytes(Vec<u8>),
+    /// Flag.
+    Bool(bool),
+}
+
+impl CtxValue {
+    /// Renders the value for inclusion in a failure report payload.
+    pub fn render(&self) -> String {
+        match self {
+            CtxValue::U64(v) => v.to_string(),
+            CtxValue::I64(v) => v.to_string(),
+            CtxValue::F64(v) => format!("{v:.3}"),
+            CtxValue::Str(s) => s.clone(),
+            CtxValue::Bytes(b) => format!("<{} bytes>", b.len()),
+            CtxValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            CtxValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is a `U64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            CtxValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            CtxValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for CtxValue {
+    fn from(v: u64) -> Self {
+        CtxValue::U64(v)
+    }
+}
+
+impl From<&str> for CtxValue {
+    fn from(v: &str) -> Self {
+        CtxValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for CtxValue {
+    fn from(v: String) -> Self {
+        CtxValue::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for CtxValue {
+    fn from(v: Vec<u8>) -> Self {
+        CtxValue::Bytes(v)
+    }
+}
+
+impl From<bool> for CtxValue {
+    fn from(v: bool) -> Self {
+        CtxValue::Bool(v)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    fields: HashMap<String, CtxValue>,
+    version: u64,
+    updated_at: Duration,
+}
+
+/// A deep-copied view of one context slot at read time.
+///
+/// Mutating a snapshot has no effect on the table — this is the context
+/// replication isolation boundary.
+#[derive(Debug, Clone)]
+pub struct ContextSnapshot {
+    /// Field name → value, copied at read time.
+    pub fields: HashMap<String, CtxValue>,
+    /// Monotonic per-slot version; bumps on every publish.
+    pub version: u64,
+    /// How old the slot was at read time.
+    pub age: Duration,
+}
+
+impl ContextSnapshot {
+    /// Looks up one field.
+    pub fn get(&self, name: &str) -> Option<&CtxValue> {
+        self.fields.get(name)
+    }
+
+    /// Renders all fields for a failure-report payload, sorted by name.
+    pub fn render_payload(&self) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = self
+            .fields
+            .iter()
+            .map(|(k, val)| (k.clone(), val.render()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// The table of all checker contexts inside one watchdog.
+///
+/// Keys are free-form strings; by convention the generated watchdogs use the
+/// reduced function's name (e.g. `"serialize_snapshot"`). Writes happen only
+/// through [`ContextTable::publish`], which the hook machinery calls from
+/// the main program's threads; checkers hold a [`ContextReader`].
+pub struct ContextTable {
+    clock: SharedClock,
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl ContextTable {
+    /// Creates an empty table on the given clock.
+    pub fn new(clock: SharedClock) -> Arc<Self> {
+        Arc::new(Self {
+            clock,
+            slots: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Publishes fields into a slot, replacing same-named fields and bumping
+    /// the slot version. Called from main-program hook sites.
+    pub fn publish(&self, key: &str, fields: Vec<(String, CtxValue)>) {
+        let now = self.clock.now();
+        let mut slots = self.slots.write();
+        let slot = slots.entry(key.to_owned()).or_default();
+        for (k, v) in fields {
+            slot.fields.insert(k, v);
+        }
+        slot.version += 1;
+        slot.updated_at = now;
+    }
+
+    /// Reads a deep copy of a slot, or `None` if it was never published.
+    pub fn read(&self, key: &str) -> Option<ContextSnapshot> {
+        let now = self.clock.now();
+        let slots = self.slots.read();
+        slots.get(key).map(|s| ContextSnapshot {
+            fields: s.fields.clone(),
+            version: s.version,
+            age: now.saturating_sub(s.updated_at),
+        })
+    }
+
+    /// Returns `true` if the slot exists — the paper's "context ready" test.
+    pub fn is_ready(&self, key: &str) -> bool {
+        self.slots.read().contains_key(key)
+    }
+
+    /// Returns the keys of all published slots, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.slots.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Creates a read-only handle for checkers.
+    pub fn reader(self: &Arc<Self>) -> ContextReader {
+        ContextReader {
+            table: Arc::clone(self),
+        }
+    }
+}
+
+impl std::fmt::Debug for ContextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextTable")
+            .field("slots", &self.keys())
+            .finish()
+    }
+}
+
+/// Read-only access to a [`ContextTable`], handed to checkers.
+#[derive(Clone)]
+pub struct ContextReader {
+    table: Arc<ContextTable>,
+}
+
+impl ContextReader {
+    /// Reads a deep copy of a slot; see [`ContextTable::read`].
+    pub fn read(&self, key: &str) -> Option<ContextSnapshot> {
+        self.table.read(key)
+    }
+
+    /// Returns `true` if the slot has been published at least once.
+    pub fn is_ready(&self, key: &str) -> bool {
+        self.table.is_ready(key)
+    }
+}
+
+impl std::fmt::Debug for ContextReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ContextReader")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdog_base::clock::VirtualClock;
+
+    #[test]
+    fn unpublished_slot_is_not_ready() {
+        let table = ContextTable::new(VirtualClock::shared());
+        assert!(!table.is_ready("x"));
+        assert!(table.read("x").is_none());
+    }
+
+    #[test]
+    fn publish_then_read_roundtrip() {
+        let table = ContextTable::new(VirtualClock::shared());
+        table.publish(
+            "flush",
+            vec![
+                ("path".into(), "wal/0".into()),
+                ("len".into(), CtxValue::U64(42)),
+            ],
+        );
+        let snap = table.read("flush").unwrap();
+        assert_eq!(snap.get("path").unwrap().as_str(), Some("wal/0"));
+        assert_eq!(snap.get("len").unwrap().as_u64(), Some(42));
+        assert_eq!(snap.version, 1);
+    }
+
+    #[test]
+    fn versions_bump_on_each_publish() {
+        let table = ContextTable::new(VirtualClock::shared());
+        for i in 0..5u64 {
+            table.publish("k", vec![("i".into(), CtxValue::U64(i))]);
+        }
+        let snap = table.read("k").unwrap();
+        assert_eq!(snap.version, 5);
+        assert_eq!(snap.get("i").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn age_tracks_clock() {
+        let clock = VirtualClock::shared();
+        let table = ContextTable::new(clock.clone());
+        table.publish("k", vec![("a".into(), CtxValue::Bool(true))]);
+        clock.advance(Duration::from_secs(3));
+        let snap = table.read("k").unwrap();
+        assert_eq!(snap.age, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn snapshots_are_deep_copies() {
+        let table = ContextTable::new(VirtualClock::shared());
+        table.publish("k", vec![("buf".into(), CtxValue::Bytes(vec![1, 2, 3]))]);
+        let mut snap = table.read("k").unwrap();
+        // Mutate the snapshot; the table must be unaffected.
+        snap.fields.insert("buf".into(), CtxValue::Bytes(vec![9]));
+        let again = table.read("k").unwrap();
+        assert_eq!(again.get("buf").unwrap().as_bytes(), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn partial_publish_merges_fields() {
+        let table = ContextTable::new(VirtualClock::shared());
+        table.publish("k", vec![("a".into(), CtxValue::U64(1))]);
+        table.publish("k", vec![("b".into(), CtxValue::U64(2))]);
+        let snap = table.read("k").unwrap();
+        assert_eq!(snap.fields.len(), 2);
+    }
+
+    #[test]
+    fn render_payload_is_sorted() {
+        let table = ContextTable::new(VirtualClock::shared());
+        table.publish(
+            "k",
+            vec![
+                ("z".into(), CtxValue::U64(1)),
+                ("a".into(), CtxValue::Bool(false)),
+            ],
+        );
+        let payload = table.read("k").unwrap().render_payload();
+        assert_eq!(payload[0].0, "a");
+        assert_eq!(payload[1].0, "z");
+    }
+
+    #[test]
+    fn reader_is_read_only_view() {
+        let table = ContextTable::new(VirtualClock::shared());
+        let reader = table.reader();
+        assert!(!reader.is_ready("k"));
+        table.publish("k", vec![("a".into(), CtxValue::U64(7))]);
+        assert!(reader.is_ready("k"));
+        assert_eq!(reader.read("k").unwrap().get("a").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn ctx_value_rendering() {
+        assert_eq!(CtxValue::U64(5).render(), "5");
+        assert_eq!(CtxValue::Str("x".into()).render(), "x");
+        assert_eq!(CtxValue::Bytes(vec![0; 10]).render(), "<10 bytes>");
+        assert_eq!(CtxValue::Bool(true).render(), "true");
+        assert_eq!(CtxValue::F64(1.5).render(), "1.500");
+    }
+}

@@ -1,0 +1,790 @@
+//! The watchdog driver: checker scheduling, execution, and failure handling.
+//!
+//! The driver is the paper's runtime core (§3.1): it "manages checker
+//! scheduling and execution. When a checker executes, it might get stuck,
+//! crash, or trigger an error. The watchdog driver catches failure signatures
+//! from checkers, aborts or restarts their executions and applies an action
+//! to the main program accordingly."
+//!
+//! # Execution model
+//!
+//! Every registered checker gets a **dedicated executor thread**. The
+//! scheduler thread dispatches rounds at the configured
+//! [`SchedulePolicy`] interval and watches for
+//! three failure signatures:
+//!
+//! - a **failed check** — the checker returned
+//!   [`CheckStatus::Fail`];
+//! - a **hung checker** — the executor did not report back within the
+//!   checker's timeout. Because mimic checkers share the fate of the code
+//!   they copy (§3.3), a hung checker *is* a detection: the driver emits a
+//!   [`FailureKind::Stuck`] report
+//!   pinpointed at the operation the checker's
+//!   [`ExecutionProbe`] last entered;
+//! - a **panicked checker** — caught with `catch_unwind` on the executor
+//!   thread and reported as
+//!   [`FailureKind::CheckerPanic`];
+//!   the main program is never affected (isolation, §3.2).
+//!
+//! A checker still busy when the next round begins is simply not
+//! re-dispatched; other checkers proceed independently, so one wedged
+//! component never blinds the watchdog to the rest of the process.
+//!
+//! For the in-place ablation (experiment E6), [`WatchdogDriver::run_inline_round`]
+//! executes every checker synchronously on the caller's thread — the design
+//! the paper argues *against* — without spawning anything.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use wdog_base::clock::SharedClock;
+use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::ids::{CheckerId, ComponentId};
+
+use crate::action::{Action, LogAction};
+use crate::checker::{CheckStatus, Checker, ExecutionProbe};
+use crate::policy::SchedulePolicy;
+use crate::report::{FailureKind, FailureReport, FaultLocation};
+use crate::status::HealthBoard;
+
+/// Driver-wide configuration.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Scheduling policy for checking rounds.
+    pub policy: SchedulePolicy,
+    /// Execution timeout applied to checkers that do not set their own.
+    pub default_timeout: Duration,
+    /// How long failure evidence keeps a component unhealthy.
+    pub health_window: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            policy: SchedulePolicy::default(),
+            default_timeout: Duration::from_secs(5),
+            health_window: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters describing everything the driver has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Completed scheduling rounds.
+    pub rounds: u64,
+    /// Checker executions dispatched.
+    pub runs: u64,
+    /// Executions that returned `Pass`.
+    pub passes: u64,
+    /// Executions that returned `Fail` (excluding timeouts).
+    pub failures: u64,
+    /// Executions skipped or returned `NotReady`.
+    pub not_ready: u64,
+    /// Stuck-checker detections (timeout expiries).
+    pub timeouts: u64,
+    /// Checker panics caught.
+    pub panics: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    rounds: AtomicU64,
+    runs: AtomicU64,
+    passes: AtomicU64,
+    failures: AtomicU64,
+    not_ready: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> DriverStats {
+        DriverStats {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            passes: self.passes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            not_ready: self.not_ready.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A checker not yet started: still owned by the driver.
+struct Pending {
+    checker: Box<dyn Checker>,
+    probe: ExecutionProbe,
+}
+
+/// Driver-side view of a running checker's executor.
+struct ExecSlot {
+    id: CheckerId,
+    component: ComponentId,
+    timeout: Duration,
+    probe: ExecutionProbe,
+    run_tx: Sender<()>,
+    result_rx: Receiver<CheckStatus>,
+    busy_since: Option<Duration>,
+    reported_stuck: bool,
+}
+
+/// How often the scheduler polls results and timeouts while sleeping.
+const POLL_QUANTUM: Duration = Duration::from_millis(2);
+
+/// The watchdog driver. See module docs for the execution model.
+pub struct WatchdogDriver {
+    config: WatchdogConfig,
+    clock: SharedClock,
+    pending: Vec<Pending>,
+    actions: Vec<Arc<dyn Action>>,
+    board: Arc<HealthBoard>,
+    log: Arc<LogAction>,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WatchdogDriver {
+    /// Creates a driver with the given configuration and clock.
+    pub fn new(config: WatchdogConfig, clock: SharedClock) -> Self {
+        let board = HealthBoard::new(Arc::clone(&clock), config.health_window);
+        Self {
+            config,
+            clock,
+            pending: Vec::new(),
+            actions: Vec::new(),
+            board,
+            log: LogAction::new(),
+            stats: Arc::new(StatsInner::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            scheduler: None,
+        }
+    }
+
+    /// Registers a checker; must be called before [`WatchdogDriver::start`].
+    ///
+    /// The checker's [`ExecutionProbe`] is attached here.
+    pub fn register(&mut self, mut checker: Box<dyn Checker>) -> BaseResult<()> {
+        if self.scheduler.is_some() {
+            return Err(BaseError::InvalidState(
+                "cannot register checkers after start".into(),
+            ));
+        }
+        let probe = ExecutionProbe::new();
+        checker.attach_probe(probe.clone());
+        self.pending.push(Pending { checker, probe });
+        Ok(())
+    }
+
+    /// Adds an action invoked for every failure report.
+    pub fn add_action(&mut self, action: Arc<dyn Action>) {
+        self.actions.push(action);
+    }
+
+    /// Returns the health board fed by this driver.
+    pub fn board(&self) -> Arc<HealthBoard> {
+        Arc::clone(&self.board)
+    }
+
+    /// Returns the built-in report log.
+    pub fn log(&self) -> Arc<LogAction> {
+        Arc::clone(&self.log)
+    }
+
+    /// Returns a snapshot of the driver counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats.snapshot()
+    }
+
+    /// Returns the ids of all registered checkers, in registration order.
+    pub fn checker_ids(&self) -> Vec<CheckerId> {
+        self.pending.iter().map(|p| p.checker.id()).collect()
+    }
+
+    /// Runs every registered checker once, synchronously, on this thread.
+    ///
+    /// This is the **in-place** execution mode the paper argues against
+    /// (§3.1) — heavy checks delay the caller and a hung check hangs the
+    /// caller — kept for the E6 ablation. Only valid before `start`.
+    pub fn run_inline_round(&mut self) -> BaseResult<Vec<FailureReport>> {
+        if self.scheduler.is_some() {
+            return Err(BaseError::InvalidState(
+                "inline rounds are unavailable after start".into(),
+            ));
+        }
+        let mut reports = Vec::new();
+        let now_ms = self.clock.now_millis();
+        for p in &mut self.pending {
+            self.stats.runs.fetch_add(1, Ordering::Relaxed);
+            match p.checker.check() {
+                CheckStatus::Pass => {
+                    self.stats.passes.fetch_add(1, Ordering::Relaxed);
+                }
+                CheckStatus::NotReady => {
+                    self.stats.not_ready.fetch_add(1, Ordering::Relaxed);
+                }
+                CheckStatus::Fail(f) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    let report = FailureReport {
+                        checker: p.checker.id(),
+                        kind: f.kind,
+                        location: f.location,
+                        detail: f.detail,
+                        payload: f.payload,
+                        observed_latency_ms: f.observed_latency_ms,
+                        at_ms: now_ms,
+                    };
+                    self.board.record(&report);
+                    self.log.on_failure(&report);
+                    for a in &self.actions {
+                        a.on_failure(&report);
+                    }
+                    reports.push(report);
+                }
+            }
+        }
+        self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        Ok(reports)
+    }
+
+    /// Starts the concurrent watchdog: spawns one executor thread per
+    /// checker plus the scheduler thread.
+    pub fn start(&mut self) -> BaseResult<()> {
+        if self.scheduler.is_some() {
+            return Err(BaseError::InvalidState("driver already started".into()));
+        }
+        let mut slots = Vec::with_capacity(self.pending.len());
+        for p in self.pending.drain(..) {
+            slots.push(spawn_executor(p, self.config.default_timeout));
+        }
+
+        let ctx = SchedulerCtx {
+            slots,
+            actions: self.actions.clone(),
+            board: Arc::clone(&self.board),
+            log: Arc::clone(&self.log),
+            stats: Arc::clone(&self.stats),
+            clock: Arc::clone(&self.clock),
+            policy: self.config.policy.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+        };
+        self.scheduler = Some(
+            std::thread::Builder::new()
+                .name("wdog-scheduler".into())
+                .spawn(move || scheduler_loop(ctx))
+                .expect("spawn wdog-scheduler"),
+        );
+        Ok(())
+    }
+
+    /// Stops the scheduler and releases idle executor threads.
+    ///
+    /// Executor threads currently wedged inside a hung check cannot be
+    /// forcibly killed; they exit on their own if the underlying operation
+    /// ever completes. This mirrors the paper's observation that the driver
+    /// can only *abort scheduling* a stuck checker, not unwind it.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Returns `true` once [`WatchdogDriver::start`] has run.
+    pub fn is_started(&self) -> bool {
+        self.scheduler.is_some()
+    }
+}
+
+impl Drop for WatchdogDriver {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for WatchdogDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchdogDriver")
+            .field("started", &self.is_started())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
+    let Pending { mut checker, probe } = p;
+    let id = checker.id();
+    let component = checker.component();
+    let timeout = checker.timeout().unwrap_or(default_timeout);
+    let (run_tx, run_rx) = bounded::<()>(1);
+    let (result_tx, result_rx) = bounded::<CheckStatus>(1);
+    let thread_probe = probe.clone();
+    let thread_component = component.clone();
+    let thread_id = id.clone();
+    std::thread::Builder::new()
+        .name(format!("wdog-exec-{id}"))
+        .spawn(move || {
+            while run_rx.recv().is_ok() {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    checker.check()
+                }));
+                let status = match outcome {
+                    Ok(s) => s,
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        let location = thread_probe.current().unwrap_or_else(|| {
+                            FaultLocation::new(
+                                thread_component.clone(),
+                                format!("<checker {thread_id}>"),
+                            )
+                        });
+                        CheckStatus::Fail(crate::checker::CheckFailure::new(
+                            FailureKind::CheckerPanic,
+                            location,
+                            msg,
+                        ))
+                    }
+                };
+                thread_probe.exit();
+                if result_tx.send(status).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn wdog-exec");
+    ExecSlot {
+        id,
+        component,
+        timeout,
+        probe,
+        run_tx,
+        result_rx,
+        busy_since: None,
+        reported_stuck: false,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("checker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("checker panicked: {s}")
+    } else {
+        "checker panicked".to_owned()
+    }
+}
+
+struct SchedulerCtx {
+    slots: Vec<ExecSlot>,
+    actions: Vec<Arc<dyn Action>>,
+    board: Arc<HealthBoard>,
+    log: Arc<LogAction>,
+    stats: Arc<StatsInner>,
+    clock: SharedClock,
+    policy: SchedulePolicy,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl SchedulerCtx {
+    fn emit(&self, report: FailureReport) {
+        self.board.record(&report);
+        self.log.on_failure(&report);
+        for a in &self.actions {
+            a.on_failure(&report);
+        }
+    }
+
+    /// Drains completed executions and counts their outcomes.
+    fn collect_results(&mut self) {
+        let now_ms = self.clock.now_millis();
+        let now = self.clock.now();
+        // Gather finished statuses first to avoid borrowing `self` twice.
+        let mut finished: Vec<(usize, CheckStatus, Option<u64>)> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.busy_since.is_none() {
+                continue;
+            }
+            if let Ok(status) = slot.result_rx.try_recv() {
+                let elapsed_ms = slot
+                    .busy_since
+                    .map(|s| now.saturating_sub(s).as_millis() as u64);
+                slot.busy_since = None;
+                slot.reported_stuck = false;
+                finished.push((i, status, elapsed_ms));
+            }
+        }
+        for (i, status, elapsed_ms) in finished {
+            match status {
+                CheckStatus::Pass => {
+                    self.stats.passes.fetch_add(1, Ordering::Relaxed);
+                }
+                CheckStatus::NotReady => {
+                    self.stats.not_ready.fetch_add(1, Ordering::Relaxed);
+                }
+                CheckStatus::Fail(f) => {
+                    if f.kind == FailureKind::CheckerPanic {
+                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let slot = &self.slots[i];
+                    let report = FailureReport {
+                        checker: slot.id.clone(),
+                        kind: f.kind,
+                        location: f.location,
+                        detail: f.detail,
+                        payload: f.payload,
+                        observed_latency_ms: f.observed_latency_ms.or(elapsed_ms),
+                        at_ms: now_ms,
+                    };
+                    self.emit(report);
+                }
+            }
+        }
+    }
+
+    /// Reports checkers that have exceeded their execution timeout.
+    fn detect_stuck(&mut self) {
+        let now = self.clock.now();
+        let now_ms = self.clock.now_millis();
+        let mut reports = Vec::new();
+        for slot in &mut self.slots {
+            let Some(since) = slot.busy_since else {
+                continue;
+            };
+            let elapsed = now.saturating_sub(since);
+            if elapsed <= slot.timeout || slot.reported_stuck {
+                continue;
+            }
+            slot.reported_stuck = true;
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            let location = slot.probe.current().unwrap_or_else(|| {
+                FaultLocation::new(slot.component.clone(), format!("<checker {}>", slot.id))
+            });
+            reports.push(FailureReport {
+                checker: slot.id.clone(),
+                kind: FailureKind::Stuck,
+                location,
+                detail: format!(
+                    "checker execution exceeded timeout of {} ms",
+                    slot.timeout.as_millis()
+                ),
+                payload: Vec::new(),
+                observed_latency_ms: Some(elapsed.as_millis() as u64),
+                at_ms: now_ms,
+            });
+        }
+        for r in reports {
+            self.emit(r);
+        }
+    }
+
+    /// Dispatches a new execution to every idle checker.
+    fn dispatch_round(&mut self) {
+        let now = self.clock.now();
+        for slot in &mut self.slots {
+            if slot.busy_since.is_some() {
+                continue; // Still running (possibly stuck); skip this round.
+            }
+            if slot.run_tx.try_send(()).is_ok() {
+                slot.busy_since = Some(now);
+                self.stats.runs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Sleep chunk while no checker is running: long enough to keep the idle
+/// scheduler off the CPU, short enough to stay responsive to shutdown.
+const IDLE_QUANTUM: Duration = Duration::from_millis(25);
+
+fn scheduler_loop(mut ctx: SchedulerCtx) {
+    let clock = Arc::clone(&ctx.clock);
+    if !ctx.policy.initial_delay.is_zero() {
+        clock.sleep(ctx.policy.initial_delay);
+    }
+    let mut round: u64 = 0;
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        ctx.collect_results();
+        ctx.dispatch_round();
+        let deadline = clock.now() + ctx.policy.round_sleep(round);
+        while !ctx.shutdown.load(Ordering::Relaxed) {
+            let now = clock.now();
+            if now >= deadline {
+                break;
+            }
+            // Poll fast only while checkers are in flight; once every
+            // executor is idle the scheduler sleeps in coarse chunks so a
+            // quiescent watchdog costs (almost) nothing (experiment E5).
+            let any_busy = ctx.slots.iter().any(|s| s.busy_since.is_some());
+            let quantum = if any_busy { POLL_QUANTUM } else { IDLE_QUANTUM };
+            clock.sleep(quantum.min(deadline.saturating_sub(now)));
+            ctx.collect_results();
+            ctx.detect_stuck();
+        }
+        ctx.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckFailure, FnChecker};
+    use std::sync::atomic::AtomicU64;
+    use wdog_base::clock::RealClock;
+
+    fn fast_config(interval_ms: u64, timeout_ms: u64) -> WatchdogConfig {
+        WatchdogConfig {
+            policy: SchedulePolicy::every(Duration::from_millis(interval_ms)),
+            default_timeout: Duration::from_millis(timeout_ms),
+            health_window: Duration::from_secs(10),
+        }
+    }
+
+    fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < timeout {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pred()
+    }
+
+    #[test]
+    fn passing_checkers_produce_no_reports() {
+        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("ok", "comp", || CheckStatus::Pass)))
+            .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().passes >= 3, Duration::from_secs(5)));
+        d.stop();
+        assert!(d.log().is_empty());
+        assert_eq!(d.stats().failures, 0);
+    }
+
+    #[test]
+    fn failing_checker_produces_reports_and_unhealthy_board() {
+        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("bad", "kvs.wal", || {
+            CheckStatus::Fail(CheckFailure::new(
+                FailureKind::Error,
+                FaultLocation::new("kvs.wal", "append"),
+                "disk error",
+            ))
+        })))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.log().len() >= 2, Duration::from_secs(5)));
+        d.stop();
+        let report = &d.log().reports()[0];
+        assert_eq!(report.kind, FailureKind::Error);
+        assert_eq!(report.location.function, "append");
+        assert_eq!(
+            d.board().component(&ComponentId::new("kvs.wal")),
+            crate::status::ComponentHealth::Failing
+        );
+    }
+
+    #[test]
+    fn hung_checker_is_reported_stuck_at_probe_location() {
+        let mut d = WatchdogDriver::new(fast_config(10, 50), RealClock::shared());
+        let gate = Arc::new(AtomicBool::new(true));
+        let gate2 = Arc::clone(&gate);
+        struct Hanging {
+            gate: Arc<AtomicBool>,
+            probe: Option<ExecutionProbe>,
+        }
+        impl Checker for Hanging {
+            fn id(&self) -> CheckerId {
+                CheckerId::new("hang")
+            }
+            fn component(&self) -> ComponentId {
+                ComponentId::new("zk.sync")
+            }
+            fn attach_probe(&mut self, probe: ExecutionProbe) {
+                self.probe = Some(probe);
+            }
+            fn check(&mut self) -> CheckStatus {
+                self.probe.as_ref().unwrap().enter(
+                    FaultLocation::new("zk.sync", "serialize_node").with_op("net::send"),
+                );
+                while self.gate.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                self.probe.as_ref().unwrap().exit();
+                CheckStatus::Pass
+            }
+        }
+        d.register(Box::new(Hanging {
+            gate: gate2,
+            probe: None,
+        }))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().timeouts >= 1, Duration::from_secs(5)));
+        let reports = d.log().reports();
+        let stuck = reports.iter().find(|r| r.kind == FailureKind::Stuck).unwrap();
+        assert_eq!(stuck.location.function, "serialize_node");
+        assert_eq!(
+            stuck.location.operation.as_ref().unwrap().as_str(),
+            "net::send"
+        );
+        // Releasing the gate lets the checker finish; it should be
+        // dispatched again afterwards.
+        let runs_before = d.stats().runs;
+        gate.store(false, Ordering::Relaxed);
+        assert!(wait_until(
+            || d.stats().runs > runs_before,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+    }
+
+    #[test]
+    fn stuck_reported_once_per_episode() {
+        let mut d = WatchdogDriver::new(fast_config(10, 30), RealClock::shared());
+        d.register(Box::new(
+            FnChecker::new("hang", "comp", || {
+                std::thread::sleep(Duration::from_millis(400));
+                CheckStatus::Pass
+            })
+            .with_timeout(Duration::from_millis(30)),
+        ))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().timeouts >= 1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(100));
+        d.stop();
+        // One episode lasting ~400ms must yield exactly one stuck report.
+        let stucks = d
+            .log()
+            .reports()
+            .iter()
+            .filter(|r| r.kind == FailureKind::Stuck)
+            .count();
+        assert_eq!(stucks, 1);
+    }
+
+    #[test]
+    fn panicking_checker_is_caught_and_reported() {
+        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("boom", "comp", || {
+            panic!("checker exploded")
+        })))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().panics >= 1, Duration::from_secs(5)));
+        d.stop();
+        let reports = d.log().reports();
+        let r = reports
+            .iter()
+            .find(|r| r.kind == FailureKind::CheckerPanic)
+            .unwrap();
+        assert!(r.detail.contains("checker exploded"));
+    }
+
+    #[test]
+    fn one_stuck_checker_does_not_block_others() {
+        let mut d = WatchdogDriver::new(fast_config(10, 100), RealClock::shared());
+        d.register(Box::new(FnChecker::new("hang", "a", || loop {
+            std::thread::sleep(Duration::from_millis(50));
+        })))
+        .unwrap();
+        d.register(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+            .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().passes >= 5, Duration::from_secs(5)));
+        d.stop();
+    }
+
+    #[test]
+    fn actions_fire_per_report() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
+        d.add_action(Arc::new(crate::action::CallbackAction::new(move |_r| {
+            h.fetch_add(1, Ordering::Relaxed);
+        })));
+        d.register(Box::new(FnChecker::new("bad", "c", || {
+            CheckStatus::Fail(CheckFailure::new(
+                FailureKind::Corruption,
+                FaultLocation::new("c", "f"),
+                "crc mismatch",
+            ))
+        })))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(
+            || hits.load(Ordering::Relaxed) >= 2,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+    }
+
+    #[test]
+    fn register_after_start_rejected() {
+        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
+        d.start().unwrap();
+        let err = d
+            .register(Box::new(FnChecker::new("x", "c", || CheckStatus::Pass)))
+            .unwrap_err();
+        assert!(matches!(err, BaseError::InvalidState(_)));
+        assert!(d.start().is_err(), "double start must fail");
+        d.stop();
+    }
+
+    #[test]
+    fn inline_round_runs_synchronously() {
+        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("a", "c", || CheckStatus::Pass)))
+            .unwrap();
+        d.register(Box::new(FnChecker::new("b", "c", || {
+            CheckStatus::Fail(CheckFailure::new(
+                FailureKind::Error,
+                FaultLocation::new("c", "g"),
+                "bad",
+            ))
+        })))
+        .unwrap();
+        let reports = d.run_inline_round().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(d.stats().passes, 1);
+        assert_eq!(d.stats().failures, 1);
+        assert_eq!(d.stats().rounds, 1);
+        d.start().unwrap();
+        assert!(d.run_inline_round().is_err());
+        d.stop();
+    }
+
+    #[test]
+    fn not_ready_checkers_are_counted_not_reported() {
+        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("nr", "c", || CheckStatus::NotReady)))
+            .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(|| d.stats().not_ready >= 3, Duration::from_secs(5)));
+        d.stop();
+        assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn checker_ids_listed_in_order() {
+        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
+        d.register(Box::new(FnChecker::new("one", "c", || CheckStatus::Pass)))
+            .unwrap();
+        d.register(Box::new(FnChecker::new("two", "c", || CheckStatus::Pass)))
+            .unwrap();
+        assert_eq!(
+            d.checker_ids(),
+            vec![CheckerId::new("one"), CheckerId::new("two")]
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Watchdog hooks: how the main program feeds state to checker contexts.
+//!
+//! Hooks are the instrumentation points AutoWatchdog inserts into the main
+//! program (paper Figure 2, line 28: a `ContextFactory...args_setter` call
+//! placed right before the vulnerable operation). When execution reaches a
+//! hook, the current program state is published into the watchdog's
+//! [`ContextTable`].
+//!
+//! Two properties matter:
+//!
+//! 1. **One-way**: hooks only write; nothing flows back into the main
+//!    program, so hooks cannot alter main execution (§3.1).
+//! 2. **Cheap**: when the watchdog is disabled a hook is one relaxed atomic
+//!    load — the field-building closure is not even invoked. Experiment E5
+//!    measures this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::context::{ContextTable, CtxValue};
+
+/// Shared hook infrastructure for one instrumented program.
+///
+/// Cloneable and cheap to pass around; all clones share the enable flag and
+/// the context table.
+#[derive(Clone)]
+pub struct Hooks {
+    table: Arc<ContextTable>,
+    enabled: Arc<AtomicBool>,
+    fired: Arc<AtomicU64>,
+}
+
+impl Hooks {
+    /// Creates hook infrastructure publishing into `table`, initially enabled.
+    pub fn new(table: Arc<ContextTable>) -> Self {
+        Self {
+            table,
+            enabled: Arc::new(AtomicBool::new(true)),
+            fired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Enables or disables every hook site created from this instance.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Returns whether hooks are currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Returns how many hook firings actually published state.
+    pub fn fired_count(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Creates a hook site that publishes into the context slot `key`.
+    pub fn site(&self, key: impl Into<String>) -> HookSite {
+        HookSite {
+            key: key.into(),
+            hooks: self.clone(),
+        }
+    }
+
+    /// Returns the context table hooks publish into.
+    pub fn table(&self) -> &Arc<ContextTable> {
+        &self.table
+    }
+}
+
+impl std::fmt::Debug for Hooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hooks")
+            .field("enabled", &self.is_enabled())
+            .field("fired", &self.fired_count())
+            .finish()
+    }
+}
+
+/// One instrumentation point in the main program.
+///
+/// # Examples
+///
+/// ```
+/// use wdog_core::context::{ContextTable, CtxValue};
+/// use wdog_core::hooks::Hooks;
+/// use wdog_base::clock::RealClock;
+///
+/// let table = ContextTable::new(RealClock::shared());
+/// let hooks = Hooks::new(table.clone());
+/// let site = hooks.site("serialize_snapshot");
+///
+/// // In the main program, just before the vulnerable operation:
+/// site.fire(|| vec![("node_path".into(), CtxValue::Str("/a/b".into()))]);
+///
+/// assert!(table.is_ready("serialize_snapshot"));
+/// ```
+#[derive(Clone)]
+pub struct HookSite {
+    key: String,
+    hooks: Hooks,
+}
+
+impl HookSite {
+    /// Publishes state built by `fields` if hooks are enabled.
+    ///
+    /// The closure runs only when enabled, so argument capture costs nothing
+    /// when the watchdog is off.
+    pub fn fire<F>(&self, fields: F)
+    where
+        F: FnOnce() -> Vec<(String, CtxValue)>,
+    {
+        if !self.hooks.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.hooks.table.publish(&self.key, fields());
+        self.hooks.fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the context key this site publishes to.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl std::fmt::Debug for HookSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookSite").field("key", &self.key).finish()
+    }
+}
+
+/// Publishes fields through a [`HookSite`] with struct-literal syntax.
+///
+/// # Examples
+///
+/// ```
+/// use wdog_core::{context::ContextTable, hooks::Hooks, wd_hook};
+/// use wdog_base::clock::RealClock;
+///
+/// let table = ContextTable::new(RealClock::shared());
+/// let hooks = Hooks::new(table.clone());
+/// let site = hooks.site("compact");
+/// let level = 2u64;
+/// wd_hook!(site, { "level" => level, "input" => "sst/5" });
+/// assert_eq!(
+///     table.read("compact").unwrap().get("level").unwrap().as_u64(),
+///     Some(2),
+/// );
+/// ```
+#[macro_export]
+macro_rules! wd_hook {
+    ($site:expr, { $($name:literal => $value:expr),* $(,)? }) => {
+        $site.fire(|| vec![
+            $(($name.to_string(), $crate::context::CtxValue::from($value))),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdog_base::clock::VirtualClock;
+
+    fn setup() -> (Arc<ContextTable>, Hooks) {
+        let table = ContextTable::new(VirtualClock::shared());
+        let hooks = Hooks::new(Arc::clone(&table));
+        (table, hooks)
+    }
+
+    #[test]
+    fn fire_publishes_fields() {
+        let (table, hooks) = setup();
+        let site = hooks.site("k");
+        site.fire(|| vec![("a".into(), CtxValue::U64(1))]);
+        assert_eq!(table.read("k").unwrap().get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(hooks.fired_count(), 1);
+    }
+
+    #[test]
+    fn disabled_hooks_do_not_publish_or_evaluate() {
+        let (table, hooks) = setup();
+        let site = hooks.site("k");
+        hooks.set_enabled(false);
+        let mut evaluated = false;
+        site.fire(|| {
+            evaluated = true;
+            vec![("a".into(), CtxValue::U64(1))]
+        });
+        assert!(!evaluated, "field closure ran while disabled");
+        assert!(!table.is_ready("k"));
+        assert_eq!(hooks.fired_count(), 0);
+    }
+
+    #[test]
+    fn reenabling_restores_publishing() {
+        let (table, hooks) = setup();
+        let site = hooks.site("k");
+        hooks.set_enabled(false);
+        hooks.set_enabled(true);
+        site.fire(|| vec![("a".into(), CtxValue::Bool(true))]);
+        assert!(table.is_ready("k"));
+    }
+
+    #[test]
+    fn sites_share_the_enable_flag() {
+        let (_, hooks) = setup();
+        let a = hooks.site("a");
+        let b = hooks.site("b");
+        hooks.set_enabled(false);
+        a.fire(|| vec![]);
+        b.fire(|| vec![]);
+        assert_eq!(hooks.fired_count(), 0);
+    }
+
+    #[test]
+    fn macro_builds_fields() {
+        let (table, hooks) = setup();
+        let site = hooks.site("m");
+        let n: u64 = 9;
+        wd_hook!(site, { "n" => n, "name" => "x" });
+        let snap = table.read("m").unwrap();
+        assert_eq!(snap.get("n").unwrap().as_u64(), Some(9));
+        assert_eq!(snap.get("name").unwrap().as_str(), Some("x"));
+    }
+}

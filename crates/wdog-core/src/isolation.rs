@@ -1,0 +1,149 @@
+//! Isolation mechanisms: keeping the checking execution from perturbing the
+//! normal execution (paper §3.2, §5.1).
+//!
+//! The paper names two concrete mechanisms, both implemented in this
+//! workspace:
+//!
+//! 1. **Context replication** — checkers receive deep copies of main-program
+//!    state; this lives in [`crate::context`] (snapshots are clones).
+//! 2. **I/O redirection** — a mimic checker that really writes to disk or
+//!    really inserts keys must not overwrite data produced by the normal
+//!    execution. [`IoRedirect`] rewrites resource names into a dedicated
+//!    watchdog namespace (`__wd/...`), the moral equivalent of HDFS's disk
+//!    checker creating *its own* probe files next to real block files.
+//!
+//! [`Budget`] bounds the checking execution's resource appetite so a
+//! watchdog can never starve the main program.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Rewrites resource names (paths, keys) into a watchdog-private namespace.
+///
+/// # Examples
+///
+/// ```
+/// use wdog_core::isolation::IoRedirect;
+///
+/// let redirect = IoRedirect::new("__wd");
+/// assert_eq!(redirect.path("wal/0"), "__wd/wal/0");
+/// assert_eq!(redirect.key("user:42"), "__wd:user:42");
+/// assert!(redirect.is_redirected("__wd/wal/0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRedirect {
+    prefix: String,
+}
+
+impl IoRedirect {
+    /// Creates a redirect into the given namespace prefix.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Self {
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Returns the default watchdog namespace (`__wd`).
+    pub fn default_namespace() -> Self {
+        Self::new("__wd")
+    }
+
+    /// Redirects a slash-separated path.
+    pub fn path(&self, path: &str) -> String {
+        format!("{}/{}", self.prefix, path)
+    }
+
+    /// Redirects a flat key (colon-separated namespace).
+    pub fn key(&self, key: &str) -> String {
+        format!("{}:{}", self.prefix, key)
+    }
+
+    /// Returns `true` if `name` already lives in the watchdog namespace.
+    pub fn is_redirected(&self, name: &str) -> bool {
+        name.starts_with(&self.prefix)
+    }
+
+    /// Returns the namespace prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+}
+
+impl Default for IoRedirect {
+    fn default() -> Self {
+        Self::default_namespace()
+    }
+}
+
+/// Resource bounds for one checking round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Wall-clock ceiling for a single checker execution; the driver reports
+    /// the checker stuck past this.
+    pub max_checker_runtime: Duration,
+    /// Maximum mimicked operations per checker execution; reduction keeps
+    /// checkers small, this is the backstop.
+    pub max_ops_per_check: usize,
+    /// Maximum bytes a checker may write through redirected I/O per check.
+    pub max_io_bytes_per_check: u64,
+}
+
+impl Budget {
+    /// Returns `true` if an execution at `ops` operations and `io_bytes`
+    /// written is still within budget.
+    pub fn allows(&self, ops: usize, io_bytes: u64) -> bool {
+        ops <= self.max_ops_per_check && io_bytes <= self.max_io_bytes_per_check
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            max_checker_runtime: Duration::from_secs(5),
+            max_ops_per_check: 64,
+            max_io_bytes_per_check: 1 << 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_key_redirection() {
+        let r = IoRedirect::new("__wd");
+        assert_eq!(r.path("sst/3"), "__wd/sst/3");
+        assert_eq!(r.key("k"), "__wd:k");
+        assert_eq!(r.prefix(), "__wd");
+    }
+
+    #[test]
+    fn is_redirected_detects_namespace() {
+        let r = IoRedirect::default();
+        assert!(r.is_redirected(&r.path("x")));
+        assert!(r.is_redirected(&r.key("x")));
+        assert!(!r.is_redirected("wal/0"));
+    }
+
+    #[test]
+    fn budget_boundaries_inclusive() {
+        let b = Budget {
+            max_checker_runtime: Duration::from_secs(1),
+            max_ops_per_check: 4,
+            max_io_bytes_per_check: 100,
+        };
+        assert!(b.allows(4, 100));
+        assert!(!b.allows(5, 1));
+        assert!(!b.allows(1, 101));
+    }
+
+    #[test]
+    fn default_budget_is_reasonable() {
+        let b = Budget::default();
+        assert!(b.max_ops_per_check > 0);
+        assert!(b.max_io_bytes_per_check > 0);
+        assert!(b.max_checker_runtime > Duration::ZERO);
+    }
+}

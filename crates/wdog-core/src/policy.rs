@@ -1,0 +1,128 @@
+//! Checker scheduling policy.
+//!
+//! The paper leaves scheduling to the watchdog driver ("a watchdog driver
+//! will manage checker scheduling and execution", §3.1). The policy here is
+//! deliberately simple — a fixed interval with optional jitter and an initial
+//! delay — because experiment E6 sweeps the interval to show the latency
+//! trade-off, and anything fancier would obscure that relationship.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// When and how often checkers run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePolicy {
+    /// Time between the starts of consecutive checking rounds.
+    pub interval: Duration,
+    /// Fraction of the interval used as deterministic per-round jitter
+    /// (`0.0` disables). Jitter staggers rounds so checkers do not
+    /// synchronize with periodic main-program work.
+    pub jitter_frac: f64,
+    /// Delay before the first round, letting initialization-phase state
+    /// settle (the paper excludes initialization code from checking).
+    pub initial_delay: Duration,
+    /// Context slots older than this make a mimic checker report
+    /// `NotReady` instead of running with stale arguments; `None` disables
+    /// the staleness test.
+    pub max_context_age: Option<Duration>,
+}
+
+impl SchedulePolicy {
+    /// A policy checking every `interval` with no jitter and no delay.
+    pub fn every(interval: Duration) -> Self {
+        Self {
+            interval,
+            jitter_frac: 0.0,
+            initial_delay: Duration::ZERO,
+            max_context_age: None,
+        }
+    }
+
+    /// Sets the jitter fraction, clamped to `[0, 0.5]`.
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        self.jitter_frac = frac.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Sets the initial delay.
+    pub fn with_initial_delay(mut self, d: Duration) -> Self {
+        self.initial_delay = d;
+        self
+    }
+
+    /// Sets the maximum tolerated context age.
+    pub fn with_max_context_age(mut self, d: Duration) -> Self {
+        self.max_context_age = Some(d);
+        self
+    }
+
+    /// Returns the sleep before round `round` (0-based), including jitter.
+    ///
+    /// Jitter is deterministic in the round number so runs are reproducible:
+    /// round *n* is offset by `interval * jitter_frac * frac(n * φ)` where φ
+    /// is the golden-ratio conjugate, giving a low-discrepancy stagger.
+    pub fn round_sleep(&self, round: u64) -> Duration {
+        if self.jitter_frac <= 0.0 {
+            return self.interval;
+        }
+        const PHI: f64 = 0.618_033_988_749_894_9;
+        let frac = (round as f64 * PHI).fract();
+        let jitter = self.interval.mul_f64(self.jitter_frac * frac);
+        self.interval + jitter
+    }
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        Self::every(Duration::from_secs(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sets_interval_only() {
+        let p = SchedulePolicy::every(Duration::from_millis(100));
+        assert_eq!(p.interval, Duration::from_millis(100));
+        assert_eq!(p.jitter_frac, 0.0);
+        assert_eq!(p.initial_delay, Duration::ZERO);
+        assert!(p.max_context_age.is_none());
+    }
+
+    #[test]
+    fn no_jitter_means_constant_sleep() {
+        let p = SchedulePolicy::every(Duration::from_millis(100));
+        for r in 0..8 {
+            assert_eq!(p.round_sleep(r), Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let p = SchedulePolicy::every(Duration::from_millis(100)).with_jitter(0.2);
+        for r in 0..64 {
+            let s = p.round_sleep(r);
+            assert!(s >= Duration::from_millis(100));
+            assert!(s <= Duration::from_millis(120));
+            assert_eq!(s, p.round_sleep(r), "non-deterministic jitter");
+        }
+    }
+
+    #[test]
+    fn jitter_clamped() {
+        let p = SchedulePolicy::every(Duration::from_secs(1)).with_jitter(9.0);
+        assert_eq!(p.jitter_frac, 0.5);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = SchedulePolicy::every(Duration::from_secs(2))
+            .with_initial_delay(Duration::from_secs(5))
+            .with_max_context_age(Duration::from_secs(30));
+        assert_eq!(p.initial_delay, Duration::from_secs(5));
+        assert_eq!(p.max_context_age, Some(Duration::from_secs(30)));
+    }
+}

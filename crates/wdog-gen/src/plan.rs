@@ -1,0 +1,244 @@
+//! Checker and hook generation (paper §4.1, steps 4–5).
+//!
+//! After reduction, each long-running region becomes one **generated mimic
+//! checker** whose operation list is the region's retained ops flattened
+//! along the call chain (the paper's Figure 3: `serializeSnapshot_reduced`
+//! executes the vulnerable `writeRecord` hoisted from `serializeNode`).
+//!
+//! "*C* at this point cannot be directly executed, however, due to
+//! uninitialized variables or parameters. So we further analyze the context
+//! required for the execution of *C*": context inference here is the union
+//! of the retained ops' argument specs. For every retained op with
+//! arguments, a [`HookPoint`] is planned *immediately before the op* in the
+//! original function (Figure 2, line 28), publishing those arguments into
+//! the region's context slot.
+
+use serde::{Deserialize, Serialize};
+
+use wdog_base::ids::OpId;
+
+use crate::ir::{ArgSpec, OpKind, ProgramIr};
+use crate::reduce::{reduce_program, ReducedProgram, ReductionConfig};
+
+/// One operation scheduled into a generated checker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedOp {
+    /// Fully qualified id, `function#op`.
+    pub op_id: OpId,
+    /// The original function the op came from.
+    pub function: String,
+    /// The op's name within its function.
+    pub name: String,
+    /// Semantic class.
+    pub kind: OpKind,
+    /// Context arguments the op consumes.
+    pub args: Vec<ArgSpec>,
+    /// The resource touched, if named.
+    pub resource: Option<String>,
+}
+
+/// One generated mimic checker (one per long-running region).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedChecker {
+    /// Checker name, `{entry}_checker`.
+    pub name: String,
+    /// Component label, `{program}.{entry}`.
+    pub component: String,
+    /// Context slot the checker reads (and its hooks publish).
+    pub context_key: String,
+    /// Operations in call-chain order.
+    pub ops: Vec<PlannedOp>,
+    /// Union of all context fields the ops require, sorted by name.
+    pub required_fields: Vec<ArgSpec>,
+}
+
+/// One instrumentation point to insert into the main program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HookPoint {
+    /// Function to instrument.
+    pub function: String,
+    /// The op immediately after the hook (the hook runs *before* it).
+    pub before_op: String,
+    /// Context slot the hook publishes into.
+    pub context_key: String,
+    /// Fields the hook publishes.
+    pub publishes: Vec<ArgSpec>,
+}
+
+/// The complete generation output for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogPlan {
+    /// Program name.
+    pub program: String,
+    /// Generated checkers, one per region with retained ops.
+    pub checkers: Vec<GeneratedChecker>,
+    /// Hook points to insert into the main program.
+    pub hooks: Vec<HookPoint>,
+    /// The underlying reduction (for statistics and rendering).
+    pub reduced: ReducedProgram,
+}
+
+impl WatchdogPlan {
+    /// Looks up a generated checker by region entry.
+    pub fn checker_for(&self, entry: &str) -> Option<&GeneratedChecker> {
+        self.checkers.iter().find(|c| c.context_key == entry)
+    }
+
+    /// Returns the hooks that instrument `function`.
+    pub fn hooks_in(&self, function: &str) -> Vec<&HookPoint> {
+        self.hooks.iter().filter(|h| h.function == function).collect()
+    }
+}
+
+/// Runs the full AutoWatchdog pipeline: reduction, context inference,
+/// checker and hook planning.
+pub fn generate_plan(ir: &ProgramIr, config: &ReductionConfig) -> WatchdogPlan {
+    let reduced = reduce_program(ir, config);
+    let mut checkers = Vec::new();
+    let mut hooks = Vec::new();
+
+    for region in &reduced.regions {
+        let flat = reduced.flattened_ops(&region.entry);
+        if flat.is_empty() {
+            continue;
+        }
+        let mut ops = Vec::new();
+        let mut required: Vec<ArgSpec> = Vec::new();
+        for (function, op) in flat {
+            ops.push(PlannedOp {
+                op_id: op.id_in(function),
+                function: function.to_owned(),
+                name: op.name.clone(),
+                kind: op.kind.clone(),
+                args: op.args.clone(),
+                resource: op.resource.clone(),
+            });
+            for arg in &op.args {
+                if !required.iter().any(|a| a.name == arg.name) {
+                    required.push(arg.clone());
+                }
+            }
+            if !op.args.is_empty() {
+                hooks.push(HookPoint {
+                    function: function.to_owned(),
+                    before_op: op.name.clone(),
+                    context_key: region.entry.clone(),
+                    publishes: op.args.clone(),
+                });
+            }
+        }
+        required.sort_by(|a, b| a.name.cmp(&b.name));
+        checkers.push(GeneratedChecker {
+            name: format!("{}_checker", region.entry),
+            component: format!("{}.{}", ir.name, region.entry),
+            context_key: region.entry.clone(),
+            ops,
+            required_fields: required,
+        });
+    }
+
+    WatchdogPlan {
+        program: ir.name.clone(),
+        checkers,
+        hooks,
+        reduced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArgType, ProgramBuilder};
+
+    fn ir() -> ProgramIr {
+        ProgramBuilder::new("minizk")
+            .function("snapshot_loop", |f| {
+                f.long_running().call_in_loop("serialize_snapshot")
+            })
+            .function("serialize_snapshot", |f| f.compute("prep").call("serialize_node"))
+            .function("serialize_node", |f| {
+                f.op("node_lock", OpKind::LockAcquire, |o| o.resource("node"))
+                    .op("write_record", OpKind::DiskWrite, |o| {
+                        o.resource("snapshot/")
+                            .arg("record", ArgType::Bytes)
+                            .arg("node_path", ArgType::Str)
+                    })
+            })
+            .function("idle_loop", |f| f.long_running().compute("tick"))
+            .build()
+    }
+
+    #[test]
+    fn one_checker_per_region_with_ops() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        // idle_loop has no vulnerable ops, so only snapshot_loop generates.
+        assert_eq!(plan.checkers.len(), 1);
+        let c = &plan.checkers[0];
+        assert_eq!(c.name, "snapshot_loop_checker");
+        assert_eq!(c.component, "minizk.snapshot_loop");
+        assert_eq!(c.context_key, "snapshot_loop");
+    }
+
+    #[test]
+    fn ops_are_hoisted_along_call_chain() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        let c = &plan.checkers[0];
+        let ids: Vec<&str> = c.ops.iter().map(|o| o.op_id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec!["serialize_node#node_lock", "serialize_node#write_record"]
+        );
+    }
+
+    #[test]
+    fn required_fields_are_union_sorted() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        let c = &plan.checkers[0];
+        let names: Vec<&str> = c.required_fields.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["node_path", "record"]);
+    }
+
+    #[test]
+    fn hooks_inserted_before_ops_with_args() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        assert_eq!(plan.hooks.len(), 1, "lock op has no args, write does");
+        let h = &plan.hooks[0];
+        assert_eq!(h.function, "serialize_node");
+        assert_eq!(h.before_op, "write_record");
+        assert_eq!(h.context_key, "snapshot_loop");
+        assert_eq!(h.publishes.len(), 2);
+        assert_eq!(plan.hooks_in("serialize_node").len(), 1);
+        assert!(plan.hooks_in("serialize_snapshot").is_empty());
+    }
+
+    #[test]
+    fn checker_lookup_by_entry() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        assert!(plan.checker_for("snapshot_loop").is_some());
+        assert!(plan.checker_for("idle_loop").is_none());
+    }
+
+    #[test]
+    fn plan_serializes_roundtrip() {
+        let plan = generate_plan(&ir(), &ReductionConfig::default());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: WatchdogPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn multiple_regions_yield_multiple_checkers() {
+        let two = ProgramBuilder::new("kvs")
+            .function("flusher_loop", |f| {
+                f.long_running()
+                    .op("wal_write", OpKind::DiskWrite, |o| o.resource("wal/"))
+            })
+            .function("repl_loop", |f| {
+                f.long_running()
+                    .op("send", OpKind::NetSend, |o| o.resource("replica"))
+            })
+            .build();
+        let plan = generate_plan(&two, &ReductionConfig::default());
+        assert_eq!(plan.checkers.len(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! Program logic reduction (paper §4.1, steps 2–3).
+//!
+//! Reduction turns the IR of a program *P* into the skeleton of its watchdog
+//! *W*:
+//!
+//! 1. within each long-running region, keep only **vulnerable** operations
+//!    (per [`VulnerabilityRules`]);
+//! 2. remove **similar** vulnerable operations inside a function — two ops
+//!    with the same kind and resource fail the same way, so checking one
+//!    suffices (the paper's "if P invoked `write()` many times in a loop,
+//!    W may only need to invoke `write()` once");
+//! 3. perform a **global reduction along the call chains** — an operation
+//!    class already retained anywhere along the region's call graph is not
+//!    retained again in deeper callees.
+//!
+//! Both dedup steps are ablation switches on [`ReductionConfig`] so
+//! experiment E6 can measure the checker-count blow-up without them.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{Operation, ProgramIr};
+use crate::regions::{find_regions, Region};
+use crate::vulnerable::VulnerabilityRules;
+
+/// Configuration for one reduction run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// Which operations count as vulnerable.
+    pub rules: VulnerabilityRules,
+    /// Remove similar ops within a function (paper step; ablation switch).
+    pub dedupe_similar: bool,
+    /// Remove op classes already covered along the call chain
+    /// (paper step; ablation switch).
+    pub global_reduction: bool,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        Self {
+            rules: VulnerabilityRules::all(),
+            dedupe_similar: true,
+            global_reduction: true,
+        }
+    }
+}
+
+/// The reduced version of one function within one region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducedFunction {
+    /// Original function name.
+    pub name: String,
+    /// Entry function of the region this reduction belongs to.
+    pub region: String,
+    /// Operations retained for checking, in original order.
+    pub kept_ops: Vec<Operation>,
+    /// Vulnerable operations dropped as similar/covered.
+    pub dropped_vulnerable: usize,
+    /// Non-vulnerable operations excluded (logically deterministic code).
+    pub dropped_deterministic: usize,
+    /// Callees retained inside the same region, in call order.
+    pub callees: Vec<String>,
+}
+
+/// Aggregate statistics for one reduction run (experiment E3b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionStats {
+    /// Functions in the IR.
+    pub functions_total: usize,
+    /// Distinct functions inside at least one long-running region.
+    pub functions_in_regions: usize,
+    /// Non-call operations in the IR.
+    pub ops_total: usize,
+    /// Operations inside regions classified vulnerable.
+    pub ops_vulnerable: usize,
+    /// Operations retained after both dedup steps.
+    pub ops_retained: usize,
+    /// Long-running regions found.
+    pub regions: usize,
+}
+
+impl ReductionStats {
+    /// Fraction of all ops retained, in `[0, 1]`.
+    pub fn retention_ratio(&self) -> f64 {
+        if self.ops_total == 0 {
+            0.0
+        } else {
+            self.ops_retained as f64 / self.ops_total as f64
+        }
+    }
+}
+
+/// The complete reduction output for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducedProgram {
+    /// Program name.
+    pub program: String,
+    /// The long-running regions found.
+    pub regions: Vec<Region>,
+    /// Reduced functions, grouped by region in DFS order from each entry.
+    pub functions: Vec<ReducedFunction>,
+    /// Aggregate statistics.
+    pub stats: ReductionStats,
+}
+
+impl ReducedProgram {
+    /// Returns the reduced functions belonging to `region` in DFS order.
+    pub fn functions_in(&self, region: &str) -> Vec<&ReducedFunction> {
+        self.functions.iter().filter(|f| f.region == region).collect()
+    }
+
+    /// Returns all retained ops of one region, flattened in DFS order as
+    /// `(function, op)` pairs — the op list of the region's mimic checker.
+    pub fn flattened_ops(&self, region: &str) -> Vec<(&str, &Operation)> {
+        self.functions_in(region)
+            .into_iter()
+            .flat_map(|f| f.kept_ops.iter().map(move |o| (f.name.as_str(), o)))
+            .collect()
+    }
+}
+
+/// Runs program logic reduction over `ir`.
+pub fn reduce_program(ir: &ProgramIr, config: &ReductionConfig) -> ReducedProgram {
+    let regions = find_regions(ir);
+    let mut functions: Vec<ReducedFunction> = Vec::new();
+    // Functions already reduced in an earlier region: with global reduction
+    // a function shared between two regions is checked once, by the first.
+    let mut globally_reduced: BTreeSet<String> = BTreeSet::new();
+    // Op classes already retained anywhere along processed call chains.
+    let mut global_seen: BTreeSet<(String, Option<String>)> = BTreeSet::new();
+
+    let mut ops_vulnerable = 0usize;
+    let mut ops_retained = 0usize;
+    let mut region_functions: BTreeSet<String> = BTreeSet::new();
+
+    for region in &regions {
+        // Deterministic DFS from the entry following call order.
+        let mut order: Vec<String> = Vec::new();
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        dfs(ir, &region.entry, region, &mut visited, &mut order);
+
+        for fname in order {
+            region_functions.insert(fname.clone());
+            if config.global_reduction && globally_reduced.contains(&fname) {
+                continue;
+            }
+            globally_reduced.insert(fname.clone());
+            let func = ir
+                .function(&fname)
+                .expect("region functions exist in the IR");
+
+            let mut kept: Vec<Operation> = Vec::new();
+            let mut dropped_vulnerable = 0usize;
+            let mut dropped_deterministic = 0usize;
+            let mut local_seen: BTreeSet<(String, Option<String>)> = BTreeSet::new();
+            let mut callees: Vec<String> = Vec::new();
+
+            for op in &func.ops {
+                if let crate::ir::OpKind::Call { callee } = &op.kind {
+                    if region.contains(callee) && !callees.contains(callee) {
+                        callees.push(callee.clone());
+                    }
+                    continue;
+                }
+                if !config.rules.is_vulnerable(op) {
+                    dropped_deterministic += 1;
+                    continue;
+                }
+                ops_vulnerable += 1;
+                let key = op.similarity_key();
+                let similar_here = config.dedupe_similar && local_seen.contains(&key);
+                let covered_globally = config.global_reduction && global_seen.contains(&key);
+                if similar_here || covered_globally {
+                    dropped_vulnerable += 1;
+                    continue;
+                }
+                local_seen.insert(key.clone());
+                global_seen.insert(key);
+                kept.push(op.clone());
+                ops_retained += 1;
+            }
+
+            functions.push(ReducedFunction {
+                name: fname,
+                region: region.entry.clone(),
+                kept_ops: kept,
+                dropped_vulnerable,
+                dropped_deterministic,
+                callees,
+            });
+        }
+    }
+
+    let stats = ReductionStats {
+        functions_total: ir.functions.len(),
+        functions_in_regions: region_functions.len(),
+        ops_total: ir.total_ops(),
+        ops_vulnerable,
+        ops_retained,
+        regions: regions.len(),
+    };
+
+    ReducedProgram {
+        program: ir.name.clone(),
+        regions,
+        functions,
+        stats,
+    }
+}
+
+fn dfs(
+    ir: &ProgramIr,
+    name: &str,
+    region: &Region,
+    visited: &mut BTreeSet<String>,
+    order: &mut Vec<String>,
+) {
+    if visited.contains(name) || !region.contains(name) {
+        return;
+    }
+    visited.insert(name.to_owned());
+    order.push(name.to_owned());
+    if let Some(func) = ir.function(name) {
+        for callee in func.callees() {
+            dfs(ir, callee, region, visited, order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArgType, OpKind, ProgramBuilder};
+
+    /// The paper's Figure 2 shape: `serialize_snapshot` calls `serialize`
+    /// calls `serialize_node`, which holds a lock and performs the
+    /// vulnerable `write_record`, recursing over children.
+    fn zk_like() -> ProgramIr {
+        ProgramBuilder::new("minizk")
+            .function("snapshot_loop", |f| {
+                f.long_running().call_in_loop("serialize_snapshot")
+            })
+            .function("serialize_snapshot", |f| {
+                f.compute("reset_count").call("serialize")
+            })
+            .function("serialize", |f| f.compute("init_path").call("serialize_node"))
+            .function("serialize_node", |f| {
+                f.compute("get_node")
+                    .op("node_lock", OpKind::LockAcquire, |o| o.resource("node"))
+                    .op("write_record", OpKind::DiskWrite, |o| {
+                        o.resource("snapshot/").arg("record", ArgType::Bytes)
+                    })
+                    .simple_op("node_unlock", OpKind::LockRelease)
+                    .compute("append_path")
+                    .call_in_loop("serialize_node")
+            })
+            .build()
+    }
+
+    #[test]
+    fn keeps_only_vulnerable_ops() {
+        let reduced = reduce_program(&zk_like(), &ReductionConfig::default());
+        let node = reduced
+            .functions
+            .iter()
+            .find(|f| f.name == "serialize_node")
+            .unwrap();
+        let names: Vec<&str> = node.kept_ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["node_lock", "write_record"]);
+        assert!(node.dropped_deterministic >= 3, "computes must be dropped");
+    }
+
+    #[test]
+    fn flattened_ops_follow_call_chain_order() {
+        let reduced = reduce_program(&zk_like(), &ReductionConfig::default());
+        let flat = reduced.flattened_ops("snapshot_loop");
+        let names: Vec<&str> = flat.iter().map(|(_, o)| o.name.as_str()).collect();
+        assert_eq!(names, vec!["node_lock", "write_record"]);
+        assert!(flat.iter().all(|(f, _)| *f == "serialize_node"));
+    }
+
+    #[test]
+    fn similar_ops_deduped_within_function() {
+        let ir = ProgramBuilder::new("p")
+            .function("main", |f| {
+                f.long_running()
+                    .op("w1", OpKind::DiskWrite, |o| o.resource("wal/").in_loop())
+                    .op("w2", OpKind::DiskWrite, |o| o.resource("wal/"))
+                    .op("w3", OpKind::DiskWrite, |o| o.resource("sst/"))
+            })
+            .build();
+        let reduced = reduce_program(&ir, &ReductionConfig::default());
+        let main = &reduced.functions[0];
+        let names: Vec<&str> = main.kept_ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["w1", "w3"], "same-resource writes dedupe");
+        assert_eq!(main.dropped_vulnerable, 1);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled_for_ablation() {
+        let ir = ProgramBuilder::new("p")
+            .function("main", |f| {
+                f.long_running()
+                    .op("w1", OpKind::DiskWrite, |o| o.resource("wal/"))
+                    .op("w2", OpKind::DiskWrite, |o| o.resource("wal/"))
+            })
+            .build();
+        let cfg = ReductionConfig {
+            dedupe_similar: false,
+            global_reduction: false,
+            ..ReductionConfig::default()
+        };
+        let reduced = reduce_program(&ir, &cfg);
+        assert_eq!(reduced.functions[0].kept_ops.len(), 2);
+    }
+
+    #[test]
+    fn global_reduction_covers_call_chain() {
+        // caller writes to wal/, callee writes to wal/ too: the callee's
+        // write is covered along the chain.
+        let ir = ProgramBuilder::new("p")
+            .function("main", |f| {
+                f.long_running()
+                    .op("w", OpKind::DiskWrite, |o| o.resource("wal/"))
+                    .call("helper")
+            })
+            .function("helper", |f| {
+                f.op("w_deep", OpKind::DiskWrite, |o| o.resource("wal/"))
+                    .op("send", OpKind::NetSend, |o| o.resource("peer"))
+            })
+            .build();
+        let reduced = reduce_program(&ir, &ReductionConfig::default());
+        let helper = reduced
+            .functions
+            .iter()
+            .find(|f| f.name == "helper")
+            .unwrap();
+        let names: Vec<&str> = helper.kept_ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["send"], "covered write must be dropped");
+    }
+
+    #[test]
+    fn shared_function_reduced_once_across_regions() {
+        let ir = ProgramBuilder::new("p")
+            .function("loop_a", |f| f.long_running().call("shared"))
+            .function("loop_b", |f| f.long_running().call("shared"))
+            .function("shared", |f| {
+                f.op("w", OpKind::DiskWrite, |o| o.resource("d/"))
+            })
+            .build();
+        let reduced = reduce_program(&ir, &ReductionConfig::default());
+        let shared_reductions: Vec<_> = reduced
+            .functions
+            .iter()
+            .filter(|f| f.name == "shared")
+            .collect();
+        assert_eq!(shared_reductions.len(), 1);
+        assert_eq!(shared_reductions[0].region, "loop_a");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let reduced = reduce_program(&zk_like(), &ReductionConfig::default());
+        let s = reduced.stats;
+        assert_eq!(s.functions_total, 4);
+        assert_eq!(s.functions_in_regions, 4);
+        assert_eq!(s.regions, 1);
+        assert!(s.ops_retained <= s.ops_vulnerable);
+        assert!(s.ops_vulnerable <= s.ops_total);
+        assert!(s.retention_ratio() > 0.0 && s.retention_ratio() < 1.0);
+        // The reduction thesis: most code is excluded.
+        assert!(
+            s.retention_ratio() < 0.5,
+            "retained {}/{} — reduction too weak",
+            s.ops_retained,
+            s.ops_total
+        );
+    }
+
+    #[test]
+    fn annotated_compute_survives_reduction() {
+        let ir = ProgramBuilder::new("p")
+            .function("main", |f| {
+                f.long_running()
+                    .op("checksum_partition", OpKind::Compute, |o| {
+                        o.annotate_vulnerable().resource("part-0")
+                    })
+                    .compute("sort_ranges")
+            })
+            .build();
+        let reduced = reduce_program(&ir, &ReductionConfig::default());
+        let names: Vec<&str> = reduced.functions[0]
+            .kept_ops
+            .iter()
+            .map(|o| o.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["checksum_partition"]);
+    }
+
+    #[test]
+    fn empty_program_reduces_to_nothing() {
+        let ir = ProgramBuilder::new("p").build();
+        let reduced = reduce_program(&ir, &ReductionConfig::default());
+        assert!(reduced.functions.is_empty());
+        assert_eq!(reduced.stats.ops_total, 0);
+        assert_eq!(reduced.stats.retention_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Long-running region identification (paper §4.1, step 1).
+//!
+//! "First, we extract code regions that may be executed continuously. In
+//! this way, we exclude checking for code execution in the initialization
+//! stage. Multiple long running regions may be identified."
+//!
+//! A region is the set of functions reachable along call edges from one
+//! entry marked [`long_running`](crate::ir::Function::long_running),
+//! stopping at (and excluding) functions marked
+//! [`init_only`](crate::ir::Function::init_only). Call edges to functions
+//! that do not exist in the IR are ignored (the validator surfaces them
+//! separately).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::ProgramIr;
+
+/// One continuously-executing region of the program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// The long-running entry function.
+    pub entry: String,
+    /// Every function reachable from the entry (including it), sorted.
+    pub functions: BTreeSet<String>,
+}
+
+impl Region {
+    /// Returns `true` if `function` belongs to this region.
+    pub fn contains(&self, function: &str) -> bool {
+        self.functions.contains(function)
+    }
+}
+
+/// Finds all long-running regions of `ir`, sorted by entry name.
+pub fn find_regions(ir: &ProgramIr) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for f in ir.functions.values() {
+        if !f.long_running || f.init_only {
+            continue;
+        }
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![f.name.clone()];
+        while let Some(name) = stack.pop() {
+            if seen.contains(&name) {
+                continue;
+            }
+            let Some(func) = ir.function(&name) else {
+                continue; // Dangling call edge; reported by the validator.
+            };
+            if func.init_only {
+                continue; // Initialization code is excluded from checking.
+            }
+            seen.insert(name);
+            for callee in func.callees() {
+                if !seen.contains(callee) {
+                    stack.push(callee.to_owned());
+                }
+            }
+        }
+        regions.push(Region {
+            entry: f.name.clone(),
+            functions: seen,
+        });
+    }
+    regions.sort_by(|a, b| a.entry.cmp(&b.entry));
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{OpKind, ProgramBuilder};
+
+    fn ir() -> ProgramIr {
+        ProgramBuilder::new("p")
+            .function("loop_a", |f| f.long_running().call("shared").call("a_only"))
+            .function("loop_b", |f| f.long_running().call("shared"))
+            .function("shared", |f| f.simple_op("w", OpKind::DiskWrite))
+            .function("a_only", |f| f.simple_op("s", OpKind::NetSend).call("deep"))
+            .function("deep", |f| f.compute("calc"))
+            .function("init", |f| f.init_only().simple_op("r", OpKind::DiskRead))
+            .function("helper_called_from_init", |f| f.compute("h"))
+            .build()
+    }
+
+    #[test]
+    fn finds_one_region_per_long_running_entry() {
+        let regions = find_regions(&ir());
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].entry, "loop_a");
+        assert_eq!(regions[1].entry, "loop_b");
+    }
+
+    #[test]
+    fn regions_close_over_call_chains() {
+        let regions = find_regions(&ir());
+        let a = &regions[0];
+        for f in ["loop_a", "shared", "a_only", "deep"] {
+            assert!(a.contains(f), "loop_a region missing {f}");
+        }
+        assert!(!a.contains("loop_b"));
+        let b = &regions[1];
+        assert_eq!(
+            b.functions.iter().cloned().collect::<Vec<_>>(),
+            vec!["loop_b", "shared"]
+        );
+    }
+
+    #[test]
+    fn init_only_functions_excluded() {
+        let regions = find_regions(
+            &ProgramBuilder::new("p")
+                .function("main", |f| f.long_running().call("init_helper"))
+                .function("init_helper", |f| f.init_only().compute("x"))
+                .build(),
+        );
+        assert_eq!(regions.len(), 1);
+        assert!(!regions[0].contains("init_helper"));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let regions = find_regions(
+            &ProgramBuilder::new("p")
+                .function("a", |f| f.long_running().call("b"))
+                .function("b", |f| f.call("a"))
+                .build(),
+        );
+        assert_eq!(regions.len(), 1);
+        assert!(regions[0].contains("a"));
+        assert!(regions[0].contains("b"));
+    }
+
+    #[test]
+    fn dangling_calls_skipped_gracefully() {
+        let regions = find_regions(
+            &ProgramBuilder::new("p")
+                .function("a", |f| f.long_running().call("ghost"))
+                .build(),
+        );
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].functions.len(), 1);
+    }
+
+    #[test]
+    fn no_long_running_means_no_regions() {
+        let regions = find_regions(
+            &ProgramBuilder::new("p")
+                .function("a", |f| f.simple_op("w", OpKind::DiskWrite))
+                .build(),
+        );
+        assert!(regions.is_empty());
+    }
+}

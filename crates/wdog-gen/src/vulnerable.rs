@@ -1,0 +1,212 @@
+//! Vulnerable-operation identification (paper §4.1, step 2).
+//!
+//! "For each such code region, we are interested in only retaining
+//! operations that are worthy of monitoring. Our criteria for selecting such
+//! operations are those that are vulnerable to fail in production due to
+//! either environment issues or bugs, such as I/O, synchronization,
+//! resource, and communication related method invocations. We also support
+//! annotations for developers to tag customized vulnerable methods."
+//!
+//! [`VulnerabilityRules`] encodes that policy: which built-in classes count,
+//! plus a custom name set mirroring AutoWatchdog's configuration of
+//! "system-specific operations \[that\] might be vulnerable".
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{OpKind, Operation};
+
+/// The paper's vulnerability classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VulnClass {
+    /// Disk reads/writes/syncs.
+    Io,
+    /// Sends and receives.
+    Communication,
+    /// Lock acquisition and condition waits (release never blocks).
+    Synchronization,
+    /// Allocation of significant resources.
+    Resource,
+    /// Developer-annotated or name-matched custom operations.
+    Custom,
+}
+
+impl VulnClass {
+    /// Classifies an operation kind; `None` for non-vulnerable kinds.
+    pub fn of_kind(kind: &OpKind) -> Option<Self> {
+        match kind {
+            OpKind::DiskRead | OpKind::DiskWrite | OpKind::DiskSync => Some(VulnClass::Io),
+            OpKind::NetSend | OpKind::NetRecv => Some(VulnClass::Communication),
+            OpKind::LockAcquire | OpKind::CondWait => Some(VulnClass::Synchronization),
+            OpKind::Alloc => Some(VulnClass::Resource),
+            OpKind::LockRelease | OpKind::Compute | OpKind::Call { .. } => None,
+        }
+    }
+
+    /// Short label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            VulnClass::Io => "io",
+            VulnClass::Communication => "comm",
+            VulnClass::Synchronization => "sync",
+            VulnClass::Resource => "resource",
+            VulnClass::Custom => "custom",
+        }
+    }
+}
+
+/// Policy for which operations count as vulnerable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VulnerabilityRules {
+    /// Include I/O operations.
+    pub io: bool,
+    /// Include communication operations.
+    pub communication: bool,
+    /// Include blocking synchronization operations.
+    pub synchronization: bool,
+    /// Include resource allocation operations.
+    pub resource: bool,
+    /// Operation names always treated as vulnerable (configuration-level
+    /// tagging, in addition to per-op IR annotations).
+    pub custom_ops: BTreeSet<String>,
+}
+
+impl VulnerabilityRules {
+    /// The paper's default: I/O, synchronization, resource, communication.
+    pub fn all() -> Self {
+        Self {
+            io: true,
+            communication: true,
+            synchronization: true,
+            resource: true,
+            custom_ops: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a custom vulnerable operation name.
+    pub fn with_custom(mut self, name: impl Into<String>) -> Self {
+        self.custom_ops.insert(name.into());
+        self
+    }
+
+    /// Classifies `op` under these rules; `None` means not vulnerable.
+    pub fn classify(&self, op: &Operation) -> Option<VulnClass> {
+        if op.annotated_vulnerable || self.custom_ops.contains(&op.name) {
+            return Some(VulnClass::Custom);
+        }
+        match VulnClass::of_kind(&op.kind)? {
+            VulnClass::Io if self.io => Some(VulnClass::Io),
+            VulnClass::Communication if self.communication => Some(VulnClass::Communication),
+            VulnClass::Synchronization if self.synchronization => Some(VulnClass::Synchronization),
+            VulnClass::Resource if self.resource => Some(VulnClass::Resource),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `op` is vulnerable under these rules.
+    pub fn is_vulnerable(&self, op: &Operation) -> bool {
+        self.classify(op).is_some()
+    }
+}
+
+impl Default for VulnerabilityRules {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ArgType;
+
+    fn op(name: &str, kind: OpKind) -> Operation {
+        Operation {
+            name: name.into(),
+            kind,
+            args: vec![crate::ir::ArgSpec::new("x", ArgType::U64)],
+            resource: None,
+            in_loop: false,
+            annotated_vulnerable: false,
+        }
+    }
+
+    #[test]
+    fn builtin_classes_match_paper() {
+        let r = VulnerabilityRules::all();
+        assert_eq!(r.classify(&op("w", OpKind::DiskWrite)), Some(VulnClass::Io));
+        assert_eq!(r.classify(&op("r", OpKind::DiskRead)), Some(VulnClass::Io));
+        assert_eq!(r.classify(&op("s", OpKind::DiskSync)), Some(VulnClass::Io));
+        assert_eq!(
+            r.classify(&op("tx", OpKind::NetSend)),
+            Some(VulnClass::Communication)
+        );
+        assert_eq!(
+            r.classify(&op("rx", OpKind::NetRecv)),
+            Some(VulnClass::Communication)
+        );
+        assert_eq!(
+            r.classify(&op("lk", OpKind::LockAcquire)),
+            Some(VulnClass::Synchronization)
+        );
+        assert_eq!(
+            r.classify(&op("cw", OpKind::CondWait)),
+            Some(VulnClass::Synchronization)
+        );
+        assert_eq!(
+            r.classify(&op("al", OpKind::Alloc)),
+            Some(VulnClass::Resource)
+        );
+    }
+
+    #[test]
+    fn compute_release_and_calls_never_vulnerable() {
+        let r = VulnerabilityRules::all();
+        assert!(!r.is_vulnerable(&op("c", OpKind::Compute)));
+        assert!(!r.is_vulnerable(&op("u", OpKind::LockRelease)));
+        assert!(!r.is_vulnerable(&op(
+            "call",
+            OpKind::Call {
+                callee: "f".into()
+            }
+        )));
+    }
+
+    #[test]
+    fn classes_can_be_disabled() {
+        let r = VulnerabilityRules {
+            synchronization: false,
+            ..VulnerabilityRules::all()
+        };
+        assert!(!r.is_vulnerable(&op("lk", OpKind::LockAcquire)));
+        assert!(r.is_vulnerable(&op("w", OpKind::DiskWrite)));
+    }
+
+    #[test]
+    fn annotation_overrides_kind() {
+        let r = VulnerabilityRules::all();
+        let mut o = op("business_step", OpKind::Compute);
+        o.annotated_vulnerable = true;
+        assert_eq!(r.classify(&o), Some(VulnClass::Custom));
+    }
+
+    #[test]
+    fn custom_name_set_matches() {
+        let r = VulnerabilityRules::all().with_custom("checksum_partition");
+        assert_eq!(
+            r.classify(&op("checksum_partition", OpKind::Compute)),
+            Some(VulnClass::Custom)
+        );
+        assert!(!r.is_vulnerable(&op("other_compute", OpKind::Compute)));
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(VulnClass::Io.label(), "io");
+        assert_eq!(VulnClass::Communication.label(), "comm");
+        assert_eq!(VulnClass::Synchronization.label(), "sync");
+        assert_eq!(VulnClass::Resource.label(), "resource");
+        assert_eq!(VulnClass::Custom.label(), "custom");
+    }
+}

@@ -1,0 +1,86 @@
+//! The HDFS disk-checker evolution (paper Table 2's case study), live.
+//!
+//! Run with: `cargo run --example hdfs_disk_checker`
+//!
+//! A DataNode serves blocks across three volumes. One volume's *data path*
+//! fails — first with explicit I/O errors, then with silent corruption —
+//! while its metadata stays intact. The legacy permission-style checker
+//! passes throughout; the enhanced HADOOP-13738 checker (real probe I/O
+//! through the block-store code) catches both faults and names the volume.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use watchdogs::base::clock::RealClock;
+use watchdogs::core::checker::{CheckStatus, Checker};
+use watchdogs::miniblock::{
+    BlockStore, DataNode, DataNodeConfig, EnhancedDiskChecker, LegacyDiskChecker,
+};
+use watchdogs::simio::disk::{DiskFault, DiskOpKind, FaultRule, SimDisk};
+use watchdogs::simio::net::SimNet;
+
+fn verdict(status: &CheckStatus) -> String {
+    match status {
+        CheckStatus::Pass => "PASS (volume looks healthy)".into(),
+        CheckStatus::NotReady => "not ready".into(),
+        CheckStatus::Fail(f) => format!("FAIL — {} at {}: {}", f.kind, f.location, f.detail),
+    }
+}
+
+fn main() {
+    let clock = RealClock::shared();
+    let disk = SimDisk::for_tests();
+    let net = SimNet::for_tests();
+    let dn = DataNode::start(
+        DataNodeConfig::default(),
+        Arc::clone(&clock),
+        Arc::clone(&disk),
+        net,
+    )
+    .expect("start datanode");
+    for i in 0..9 {
+        dn.write_block(format!("block-{i}").as_bytes()).unwrap();
+    }
+    println!(
+        "DataNode serving {} blocks across {:?}\n",
+        dn.stats().blocks_written,
+        dn.store().volumes()
+    );
+
+    let store = Arc::new(BlockStore::new(Arc::clone(&disk), 3));
+    let mut legacy = LegacyDiskChecker::new(Arc::clone(&store));
+    let mut enhanced =
+        EnhancedDiskChecker::new(store, Arc::clone(&clock), Duration::from_millis(200));
+
+    println!("healthy volumes:");
+    println!("  legacy   (metadata only):   {}", verdict(&legacy.check()));
+    println!("  enhanced (HADOOP-13738):    {}\n", verdict(&enhanced.check()));
+
+    println!(">>> vol1's data path starts returning I/O errors (metadata intact)");
+    let fault = disk.inject(FaultRule::scoped(
+        "blocks/vol1/",
+        vec![DiskOpKind::Read, DiskOpKind::Write, DiskOpKind::Sync],
+        DiskFault::Error {
+            message: "dead platter".into(),
+        },
+    ));
+    println!("  legacy:   {}", verdict(&legacy.check()));
+    println!("  enhanced: {}\n", verdict(&enhanced.check()));
+    disk.clear(fault);
+
+    println!(">>> vol2 starts silently corrupting writes");
+    let fault = disk.inject(FaultRule::scoped(
+        "blocks/vol2/",
+        vec![DiskOpKind::Write],
+        DiskFault::CorruptWrites,
+    ));
+    println!("  legacy:   {}", verdict(&legacy.check()));
+    println!("  enhanced: {}\n", verdict(&enhanced.check()));
+    disk.clear(fault);
+
+    println!(
+        "As the paper tells it: the checker only became useful once it was\n\
+         'enhanced to create some files and invoke functions from the DataNode\n\
+         main program to do real I/O in a similar way' — a mimic checker."
+    );
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the `watchdogs` workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-reproduction index.
+
+pub use detectors;
+pub use faults;
+pub use harness;
+pub use kvs;
+pub use miniblock;
+pub use minizk;
+pub use simio;
+pub use wdog_base as base;
+pub use wdog_checkers as checkers;
+pub use wdog_core as core;
+pub use wdog_gen as gen;

@@ -1,0 +1,128 @@
+//! §5.2 "cheap recovery": the watchdog's localization drives targeted
+//! repair — replacing corrupted files — instead of a full process restart.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use kvs::wd::{build_watchdog, sst_recovery_action, WdOptions};
+use kvs::{KvsConfig, KvsServer};
+use simio::disk::{DiskFault, DiskOpKind, FaultRule, SimDisk};
+use wdog_base::clock::RealClock;
+
+#[test]
+fn corruption_detection_triggers_partition_rebuild_and_service_survives() {
+    let disk = SimDisk::for_tests();
+    let server = KvsServer::start(
+        KvsConfig {
+            flush_interval: Duration::from_millis(20),
+            compaction_interval: Duration::from_millis(20),
+            compaction_trigger: 3,
+            ..KvsConfig::default()
+        },
+        RealClock::shared(),
+        std::sync::Arc::clone(&disk),
+        None,
+    )
+    .unwrap();
+    let client = server.client();
+
+    let (mut driver, _) = build_watchdog(
+        &server,
+        &WdOptions {
+            interval: Duration::from_millis(100),
+            checker_timeout: Duration::from_millis(600),
+            ..WdOptions::default()
+        },
+    )
+    .unwrap();
+    let (recovery, repairs) = sst_recovery_action(&server);
+    driver.add_action(recovery);
+    driver.start().unwrap();
+
+    // Write real data, let it flush.
+    for i in 0..40 {
+        client.set(&format!("key-{i}"), &format!("val-{i}")).unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.sstable_count() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.sstable_count() > 0, "nothing flushed");
+
+    // Bit rot strikes the SSTable volume for a while, then stops (a
+    // transient hardware episode that left corrupt files behind).
+    let fault = disk.inject(FaultRule::scoped(
+        "sst/",
+        vec![DiskOpKind::Write],
+        DiskFault::CorruptWrites,
+    ));
+    // Drive writes until fresh (corrupt) tables exist and are detected.
+    let deadline = std::time::Instant::now() + Duration::from_secs(8);
+    while repairs.load(Ordering::Relaxed) == 0 && std::time::Instant::now() < deadline {
+        for i in 0..5 {
+            let _ = client.set(&format!("churn-{i}"), "x");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    disk.clear(fault);
+    assert!(
+        repairs.load(Ordering::Relaxed) > 0,
+        "recovery action never fired; reports: {:#?}",
+        driver.log().reports()
+    );
+
+    // After the episode ends, the next repair (or the last one racing the
+    // fault) leaves the partitions valid; force one more to be sure.
+    server.rebuild_partitions().unwrap();
+    server.validate_partitions().expect("partitions still corrupt");
+
+    // And no data was lost.
+    for i in 0..40 {
+        assert_eq!(
+            client.get(&format!("key-{i}")).unwrap(),
+            Some(format!("val-{i}"))
+        );
+    }
+    driver.stop();
+}
+
+#[test]
+fn rebuild_partitions_collapses_tables_and_preserves_data() {
+    let server = KvsServer::start(
+        KvsConfig {
+            flush_interval: Duration::from_millis(10),
+            compaction_interval: Duration::from_secs(60), // keep tables around
+            compaction_trigger: 100,
+            ..KvsConfig::default()
+        },
+        RealClock::shared(),
+        SimDisk::for_tests(),
+        None,
+    )
+    .unwrap();
+    let client = server.client();
+    for round in 0..5 {
+        for i in 0..10 {
+            client.set(&format!("k{round}-{i}"), "v").unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.sstable_count() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let before = server.sstable_count();
+    assert!(before >= 2, "need multiple tables, have {before}");
+    let replaced = server.rebuild_partitions().unwrap();
+    assert_eq!(replaced, before);
+    assert_eq!(server.sstable_count(), 1);
+    server.validate_partitions().unwrap();
+    for round in 0..5 {
+        for i in 0..10 {
+            assert_eq!(
+                client.get(&format!("k{round}-{i}")).unwrap(),
+                Some("v".into())
+            );
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end detection: full kvs + generated watchdog vs injected faults.
+//!
+//! These integration tests exercise the whole stack — target system,
+//! substrates, fault injection, AutoWatchdog generation, driver — the way
+//! the examples and experiments do, with assertions on what gets detected
+//! and how precisely.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kvs::wd::{build_watchdog, WdOptions};
+use kvs::{KvsConfig, KvsServer};
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+use simio::LatencyModel;
+use wdog_base::clock::RealClock;
+use wdog_core::report::FailureKind;
+
+fn fast_opts() -> WdOptions {
+    WdOptions {
+        interval: Duration::from_millis(100),
+        checker_timeout: Duration::from_millis(500),
+        slow_threshold: Duration::from_millis(300),
+        ..WdOptions::default()
+    }
+}
+
+fn start_kvs() -> (KvsServer, Arc<SimDisk>) {
+    let clock = RealClock::shared();
+    let disk = SimDisk::new(1 << 30, LatencyModel::zero(), Arc::clone(&clock));
+    let server = KvsServer::start(
+        KvsConfig {
+            flush_interval: Duration::from_millis(20),
+            compaction_interval: Duration::from_millis(20),
+            compaction_trigger: 3,
+            ..KvsConfig::default()
+        },
+        clock,
+        Arc::clone(&disk),
+        None,
+    )
+    .unwrap();
+    (server, disk)
+}
+
+fn drive_until<F: Fn() -> bool>(client: &kvs::KvsClient, pred: F, limit: Duration) -> bool {
+    let start = std::time::Instant::now();
+    let mut i = 0u64;
+    while start.elapsed() < limit {
+        let _ = client.set(&format!("drive-{}", i % 64), "v");
+        i += 1;
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+#[test]
+fn wal_stuck_is_detected_and_pinpointed_to_the_wal_operation() {
+    let (server, disk) = start_kvs();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+
+    // Warm up so contexts publish, then wedge the WAL volume.
+    assert!(drive_until(
+        &client,
+        || server.context().is_ready("wal_loop"),
+        Duration::from_secs(5)
+    ));
+    let fault = disk.inject(simio::disk::FaultRule::scoped(
+        "wal/",
+        vec![simio::disk::DiskOpKind::Write, simio::disk::DiskOpKind::Sync],
+        simio::disk::DiskFault::Stuck,
+    ));
+    let detected = drive_until(&client, || !driver.log().is_empty(), Duration::from_secs(8));
+    disk.clear(fault);
+    assert!(detected, "WAL hang not detected");
+    let reports = driver.log().reports();
+    let r = &reports[0];
+    assert_eq!(r.kind, FailureKind::Stuck);
+    assert!(
+        r.location.to_string().contains("wal"),
+        "wrong pinpoint: {}",
+        r.location
+    );
+    driver.stop();
+}
+
+#[test]
+fn sst_bit_rot_is_detected_as_corruption() {
+    let (server, disk) = start_kvs();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+
+    let fault = disk.inject(simio::disk::FaultRule::scoped(
+        "sst/",
+        vec![simio::disk::DiskOpKind::Write],
+        simio::disk::DiskFault::CorruptWrites,
+    ));
+    let detected = drive_until(
+        &client,
+        || {
+            driver
+                .log()
+                .reports()
+                .iter()
+                .any(|r| r.kind == FailureKind::Corruption)
+        },
+        Duration::from_secs(8),
+    );
+    disk.clear(fault);
+    assert!(detected, "silent corruption not detected");
+    driver.stop();
+}
+
+#[test]
+fn index_corruption_is_detected_by_the_generated_index_checker() {
+    let (server, _disk) = start_kvs();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+
+    server.toggles().set("kvs.indexer.corrupt", true);
+    let detected = drive_until(
+        &client,
+        || {
+            driver
+                .log()
+                .reports()
+                .iter()
+                .any(|r| r.kind == FailureKind::Corruption
+                    && r.location.to_string().contains("index"))
+        },
+        Duration::from_secs(8),
+    );
+    server.toggles().clear_all();
+    assert!(detected, "index corruption not detected");
+    driver.stop();
+}
+
+#[test]
+fn stuck_compaction_is_detected_via_the_shared_lock() {
+    let (server, _disk) = start_kvs();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+
+    // Build up tables so compaction actually runs and takes its lock.
+    for round in 0..6 {
+        for i in 0..10 {
+            client.set(&format!("k{round}-{i}"), "v").unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    server.toggles().set("kvs.compaction.stuck", true);
+    let detected = drive_until(
+        &client,
+        || {
+            driver
+                .log()
+                .reports()
+                .iter()
+                .any(|r| r.location.to_string().contains("compact"))
+        },
+        Duration::from_secs(10),
+    );
+    server.toggles().clear_all();
+    assert!(detected, "stuck compaction not detected");
+    driver.stop();
+}
+
+#[test]
+fn wedged_replication_link_is_detected_while_clients_stay_green() {
+    let clock = RealClock::shared();
+    let net = SimNet::new(LatencyModel::zero(), Arc::clone(&clock));
+    let disk = SimDisk::new(1 << 30, LatencyModel::zero(), Arc::clone(&clock));
+    let replica = kvs::replication::Replica::spawn(net.clone(), "kvs-replica");
+    let server = KvsServer::start(
+        KvsConfig::replicated(),
+        clock,
+        Arc::clone(&disk),
+        Some(net.clone()),
+    )
+    .unwrap();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+
+    // Publish replication context, then wedge the link.
+    client.set("warm", "up").unwrap();
+    let detected_start = std::time::Instant::now();
+    net.inject(simio::net::LinkRule::link(
+        "kvs-primary",
+        "kvs-replica",
+        simio::net::NetFault::BlockSend,
+    ));
+    let mut client_failures = 0;
+    let mut detected = false;
+    while detected_start.elapsed() < Duration::from_secs(8) && !detected {
+        if client.set("during", "fault").is_err() {
+            client_failures += 1;
+        }
+        detected = driver
+            .log()
+            .reports()
+            .iter()
+            .any(|r| r.location.to_string().contains("repl"));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    net.clear_all();
+    assert!(detected, "wedged replication link not detected");
+    assert_eq!(client_failures, 0, "clients saw the gray failure");
+    driver.stop();
+    drop(replica);
+}
+
+#[test]
+fn healthy_server_under_load_produces_no_reports() {
+    let (server, _disk) = start_kvs();
+    let client = server.client();
+    let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
+    driver.start().unwrap();
+    for i in 0..300 {
+        client.set(&format!("k{}", i % 32), &format!("v{i}")).unwrap();
+        if i % 3 == 0 {
+            client.get(&format!("k{}", i % 32)).unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(500));
+    driver.stop();
+    assert!(
+        driver.log().is_empty(),
+        "false alarms: {:#?}",
+        driver.log().reports()
+    );
+    assert!(driver.stats().passes > 0);
+}
