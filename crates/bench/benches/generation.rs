@@ -24,7 +24,8 @@ fn synthetic(n: usize) -> ProgramIr {
                 f = f
                     .compute("decode")
                     .op("write", OpKind::DiskWrite, |o| {
-                        o.resource(format!("vol{s}/")).arg("payload", ArgType::Bytes)
+                        o.resource(format!("vol{s}/"))
+                            .arg("payload", ArgType::Bytes)
                     })
                     .op("send", OpKind::NetSend, |o| o.resource(format!("peer{s}")))
                     .compute("update");
@@ -45,7 +46,9 @@ fn generation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("generation");
     group.bench_function("find_regions_kvs", |b| b.iter(|| find_regions(&kvs_ir)));
-    group.bench_function("reduce_kvs", |b| b.iter(|| reduce_program(&kvs_ir, &config)));
+    group.bench_function("reduce_kvs", |b| {
+        b.iter(|| reduce_program(&kvs_ir, &config))
+    });
     group.bench_function("plan_kvs", |b| b.iter(|| generate_plan(&kvs_ir, &config)));
     group.bench_function("plan_synthetic_50_regions", |b| {
         b.iter(|| generate_plan(&big, &config))

@@ -64,9 +64,7 @@ fn context_costs(c: &mut Criterion) {
             )
         })
     });
-    group.bench_function("read_snapshot", |b| {
-        b.iter(|| reader.read("slot").unwrap())
-    });
+    group.bench_function("read_snapshot", |b| b.iter(|| reader.read("slot").unwrap()));
     group.finish();
 }
 
@@ -89,11 +87,9 @@ fn driver_throughput(c: &mut Criterion) {
             );
             for i in 0..16 {
                 driver
-                    .register(Box::new(FnChecker::new(
-                        format!("c{i}"),
-                        "bench",
-                        || CheckStatus::Pass,
-                    )))
+                    .register(Box::new(FnChecker::new(format!("c{i}"), "bench", || {
+                        CheckStatus::Pass
+                    })))
                     .unwrap();
             }
             driver.start().unwrap();

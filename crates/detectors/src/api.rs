@@ -40,9 +40,6 @@ mod tests {
     #[test]
     fn verdict_classification() {
         assert!(!Verdict::Healthy.is_suspected());
-        assert!(Verdict::Suspected {
-            reason: "x".into()
-        }
-        .is_suspected());
+        assert!(Verdict::Suspected { reason: "x".into() }.is_suspected());
     }
 }

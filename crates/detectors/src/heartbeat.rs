@@ -75,14 +75,9 @@ impl Detector for HeartbeatDetector {
     fn verdict(&self) -> Verdict {
         let last = *self.last_beat.lock();
         match last {
-            Some(t) if self.clock.now().saturating_sub(t) <= self.suspect_after => {
-                Verdict::Healthy
-            }
+            Some(t) if self.clock.now().saturating_sub(t) <= self.suspect_after => Verdict::Healthy,
             _ => Verdict::Suspected {
-                reason: format!(
-                    "no heartbeat within {} ms",
-                    self.suspect_after.as_millis()
-                ),
+                reason: format!("no heartbeat within {} ms", self.suspect_after.as_millis()),
             },
         }
     }

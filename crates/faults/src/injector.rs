@@ -150,15 +150,17 @@ impl Injector {
                 Ok(ArmedFault::Disk(vec![h]))
             }
             FaultKind::NetBlockSend { src, dst } => {
-                let h = self
-                    .net()?
-                    .inject(LinkRule::link(src.clone(), dst.clone(), NetFault::BlockSend));
+                let h = self.net()?.inject(LinkRule::link(
+                    src.clone(),
+                    dst.clone(),
+                    NetFault::BlockSend,
+                ));
                 Ok(ArmedFault::Net(vec![h]))
             }
             FaultKind::NetDrop { src, dst } => {
-                let h = self
-                    .net()?
-                    .inject(LinkRule::link(src.clone(), dst.clone(), NetFault::Drop));
+                let h =
+                    self.net()?
+                        .inject(LinkRule::link(src.clone(), dst.clone(), NetFault::Drop));
                 Ok(ArmedFault::Net(vec![h]))
             }
             FaultKind::NetSlow { src, dst, factor } => {

@@ -178,10 +178,7 @@ mod tests {
     fn only_crash_is_not_gray() {
         assert!(!FaultKind::ProcessCrash.is_gray());
         assert!(FaultKind::RuntimePause { millis: 100 }.is_gray());
-        assert!(FaultKind::TaskStuck {
-            toggle: "x".into()
-        }
-        .is_gray());
+        assert!(FaultKind::TaskStuck { toggle: "x".into() }.is_gray());
         assert!(FaultKind::DiskCorruptWrites {
             path_prefix: String::new()
         }

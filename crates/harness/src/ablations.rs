@@ -16,9 +16,9 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use faults::{gray_failure_catalog, TargetProfile};
+use kvs::target::KvsTarget;
 use kvs::wd::{
-    generate_kvs_plan, op_table, op_table_unsynced, publish_assumed_contexts, WdOptions,
+    generate_kvs_plan, op_table, op_table_unsynced, publish_assumed_contexts, Families, WdOptions,
 };
 use kvs::{KvsConfig, KvsServer};
 use simio::disk::SimDisk;
@@ -29,9 +29,10 @@ use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
 use wdog_core::policy::SchedulePolicy;
 use wdog_gen::interp::{instantiate, InstantiateOptions};
 use wdog_gen::reduce::ReductionConfig;
+use wdog_target::WatchdogTarget;
 
 use crate::fmt::Table;
-use crate::scenario::{run_kvs_scenario, RunnerOptions};
+use crate::scenario::{run_scenario, RunnerOptions};
 
 /// E6a result: context-synchronization ablation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -130,7 +131,8 @@ pub fn run_context_ablation() -> BaseResult<ContextAblation> {
 /// E6b: detection latency for the partial-disk-stuck scenario across
 /// checking intervals.
 pub fn run_latency_sweep(intervals_ms: &[u64]) -> BaseResult<Vec<LatencyPoint>> {
-    let catalog = gray_failure_catalog(&TargetProfile::default());
+    let target = KvsTarget;
+    let catalog = target.catalog();
     let scenario = catalog
         .iter()
         .find(|s| s.id == "partial-disk-stuck")
@@ -142,15 +144,14 @@ pub fn run_latency_sweep(intervals_ms: &[u64]) -> BaseResult<Vec<LatencyPoint>> 
             wd: WdOptions {
                 interval: Duration::from_millis(interval_ms),
                 checker_timeout: Duration::from_millis((interval_ms / 2).max(400)),
-                probes: false,
-                signals: false,
+                families: Families::only("mimic"),
                 ..WdOptions::default()
             },
             extrinsic: false,
             observe: Duration::from_millis(interval_ms * 3 + 4000),
             ..RunnerOptions::default()
         };
-        let result = run_kvs_scenario(Some(scenario), &opts)?;
+        let result = run_scenario(&target, Some(scenario), &opts)?;
         points.push(LatencyPoint {
             interval_ms,
             detection_ms: result.outcome("watchdog").and_then(|o| o.latency_ms),
@@ -305,8 +306,11 @@ pub fn shape_violations(result: &AblationResult) -> Vec<String> {
     if result.context.unsynced_false_alarms == 0 {
         v.push("assumed contexts produced no spurious report".into());
     }
-    let detected: Vec<&LatencyPoint> =
-        result.sweep.iter().filter(|p| p.detection_ms.is_some()).collect();
+    let detected: Vec<&LatencyPoint> = result
+        .sweep
+        .iter()
+        .filter(|p| p.detection_ms.is_some())
+        .collect();
     if detected.len() < result.sweep.len() {
         v.push("some sweep points missed the detection".into());
     }

@@ -18,8 +18,69 @@ pub mod reduction;
 pub mod scenario;
 pub mod table1;
 pub mod table2;
-pub mod workload;
 pub mod zk2201;
+
+use wdog_target::WatchdogTarget;
+
+/// Resolves a `--target` flag value to campaign targets.
+///
+/// Accepts the name of any registered target or `all`; returns `None` for
+/// unknown names so binaries can print usage.
+pub fn select_targets(name: &str) -> Option<Vec<Box<dyn WatchdogTarget>>> {
+    match name {
+        "kvs" => Some(vec![Box::new(kvs::target::KvsTarget)]),
+        "minizk" => Some(vec![Box::new(minizk::target::ZkTarget)]),
+        "miniblock" => Some(vec![Box::new(miniblock::target::DnTarget)]),
+        "all" => Some(vec![
+            Box::new(kvs::target::KvsTarget),
+            Box::new(minizk::target::ZkTarget),
+            Box::new(miniblock::target::DnTarget),
+        ]),
+        _ => None,
+    }
+}
+
+/// Parses `--target NAME` (default `kvs`) from CLI args; exits with usage
+/// on an unknown name.
+pub fn targets_from_cli(bin: &str) -> Vec<Box<dyn WatchdogTarget>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = "kvs".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" if i + 1 < args.len() => {
+                name = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--target=") {
+                    name = v.to_owned();
+                    i += 1;
+                } else {
+                    eprintln!("usage: {bin} [--target {{kvs|minizk|miniblock|all}}]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    match select_targets(&name) {
+        Some(t) => t,
+        None => {
+            eprintln!("unknown target {name:?}; expected kvs, minizk, miniblock, or all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The JSON artifact name for a campaign result: the bare experiment name
+/// for the historical kvs default, suffixed for other targets.
+pub fn result_name(experiment: &str, target: &str) -> String {
+    if target == "kvs" {
+        experiment.to_owned()
+    } else {
+        format!("{experiment}-{target}")
+    }
+}
 
 /// Writes an experiment result as pretty JSON under `results/`.
 ///

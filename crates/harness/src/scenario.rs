@@ -1,11 +1,15 @@
 //! The shared scenario runner behind experiments E1 and E2.
 //!
-//! One run = a replicated kvs testbed + steady workload + a detector set +
-//! (optionally) one injected fault from the catalogue. The runner samples
-//! every detector through the observation window and scores what each one
-//! said: detected or not, how fast, with what failure class, at what
-//! localization granularity, and whether the blame landed in the right
-//! place.
+//! One run = a booted [`WatchdogTarget`] testbed + steady workload + a
+//! detector set + (optionally) one injected fault from the target's
+//! catalogue. The runner is fully generic: everything target-specific
+//! (testbed wiring, watchdog assembly, fault surfaces, the workload mix,
+//! the API probe) comes through the [`WatchdogTarget`]/[`TargetInstance`]
+//! traits, so `kvs`, `minizk`, and `miniblock` all campaign through this
+//! one code path. The runner samples every detector through the
+//! observation window and scores what each one said: detected or not, how
+//! fast, with what failure class, at what localization granularity, and
+//! whether the blame landed in the right place.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -14,18 +18,11 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use detectors::{Detector, ExternalProbe, HeartbeatDetector, ObserverHub};
-use faults::{ArmedFault, Injector, Scenario};
-use kvs::wd::{build_watchdog, WdOptions};
-use kvs::{KvsConfig, KvsServer};
-use simio::disk::SimDisk;
-use simio::net::SimNet;
-use simio::LatencyModel;
-use wdog_base::clock::{RealClock, SharedClock};
+use faults::{ArmedFault, Scenario};
 use wdog_base::error::BaseResult;
 use wdog_base::rng::derive_seed;
 use wdog_core::report::FaultLocation;
-
-use crate::workload::{Workload, WorkloadConfig, WorkloadCounters};
+use wdog_target::{WatchdogTarget, WdOptions, WorkloadObserver, WorkloadProfile};
 
 /// What one detector said about one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,6 +73,9 @@ impl ScenarioResult {
 #[derive(Debug, Clone)]
 pub struct RunnerOptions {
     /// Watchdog checker configuration (families, interval, timeouts).
+    /// The default is campaign tuning for the simulated testbeds, not any
+    /// target's production defaults: short rounds so detection latency is
+    /// measurable inside the observation window.
     pub wd: WdOptions,
     /// Also run the extrinsic baselines (heartbeat, probe, observer) and
     /// the error-handler signal.
@@ -85,7 +85,7 @@ pub struct RunnerOptions {
     /// Observation window after injection.
     pub observe: Duration,
     /// Workload shape.
-    pub workload: WorkloadConfig,
+    pub workload: WorkloadProfile,
     /// Base seed.
     pub seed: u64,
 }
@@ -105,9 +105,9 @@ impl Default for RunnerOptions {
             extrinsic: true,
             warmup: Duration::from_millis(800),
             observe: Duration::from_secs(5),
-            workload: WorkloadConfig {
+            workload: WorkloadProfile {
                 period: Duration::from_millis(5),
-                ..WorkloadConfig::default()
+                ..WorkloadProfile::default()
             },
             seed: 42,
         }
@@ -128,93 +128,65 @@ pub fn granularity_of(loc: &FaultLocation) -> &'static str {
 }
 
 /// Runs one scenario (or a fault-free control run when `scenario` is
-/// `None`) and scores every detector.
-pub fn run_kvs_scenario(
+/// `None`) against `target` and scores every detector.
+pub fn run_scenario(
+    target: &dyn WatchdogTarget,
     scenario: Option<&Scenario>,
     opts: &RunnerOptions,
 ) -> BaseResult<ScenarioResult> {
-    let label = scenario.map(|s| s.id.clone()).unwrap_or_else(|| "control".into());
+    let label = scenario
+        .map(|s| s.id.clone())
+        .unwrap_or_else(|| "control".into());
     let seed = derive_seed(opts.seed, &label);
-    let clock: SharedClock = RealClock::shared();
-    let net = SimNet::new(
-        LatencyModel::new(30.0, derive_seed(seed, "net")),
-        Arc::clone(&clock),
-    );
-    let disk = SimDisk::new(
-        1 << 30,
-        LatencyModel::new(20.0, derive_seed(seed, "disk")),
-        Arc::clone(&clock),
-    );
-    let replica = kvs::replication::Replica::spawn(net.clone(), "kvs-replica");
-    let server = Arc::new(KvsServer::start(
-        KvsConfig {
-            client_timeout: Duration::from_millis(400),
-            flush_interval: Duration::from_millis(30),
-            compaction_interval: Duration::from_millis(30),
-            compaction_trigger: 3,
-            ..KvsConfig::replicated()
-        },
-        Arc::clone(&clock),
-        Arc::clone(&disk),
-        Some(net.clone()),
-    )?);
+    let mut inst = target.start(seed)?;
+    let clock = inst.clock();
 
-    // Fault injection plumbing.
+    // Fault injection plumbing: the instance wires its own surfaces; the
+    // runner only records whether the crash hook fired.
     let crashed = Arc::new(AtomicBool::new(false));
     let crash_flag = Arc::clone(&crashed);
-    let crash_server = Arc::clone(&server);
-    let injector = Injector::new()
-        .with_disk(Arc::clone(&disk))
-        .with_net(net.clone())
-        .with_stall(server.stall())
-        .with_toggles(server.toggles())
-        .with_clock(Arc::clone(&clock))
-        .with_crash_hook(Arc::new(move || {
-            crash_server.crash();
-            crash_flag.store(true, Ordering::Relaxed);
-        }));
+    let injector = inst.injector(Arc::new(move || {
+        crash_flag.store(true, Ordering::Relaxed);
+    }));
 
     // The intrinsic watchdog.
-    let (mut driver, _plan) = build_watchdog(&server, &opts.wd)?;
+    let (mut driver, _plan) = inst.build_watchdog(&opts.wd)?;
     driver.start()?;
 
     // Extrinsic baselines.
     let hub = ObserverHub::new(Arc::clone(&clock), Duration::from_secs(2), 8, 0.5);
     let mut extrinsics: Vec<Box<dyn Detector>> = Vec::new();
     if opts.extrinsic {
-        let s2 = Arc::clone(&server);
         extrinsics.push(Box::new(HeartbeatDetector::start(
             Arc::clone(&clock),
             Duration::from_millis(50),
             Duration::from_millis(300),
-            Arc::new(move || s2.is_running()),
+            inst.liveness_probe(),
         )));
-        let probe_client = server.client();
         extrinsics.push(Box::new(ExternalProbe::start(
             Arc::clone(&clock),
             Duration::from_millis(100),
             2,
-            Arc::new(move || {
-                let key = "__ext_probe";
-                probe_client.set(key, "x")?;
-                probe_client.get(key).map(|_| ())
-            }),
+            inst.api_probe(),
         )));
         extrinsics.push(Box::new(hub.clone()));
     }
 
     // Steady workload feeding the observer hub.
-    let mut workload = Workload::start(
-        server.client(),
-        WorkloadConfig {
+    let observer: Option<WorkloadObserver> = opts.extrinsic.then(|| {
+        let hub = hub.clone();
+        Arc::new(move |ok: bool| hub.report(ok)) as WorkloadObserver
+    });
+    inst.start_workload(
+        &WorkloadProfile {
             seed,
             ..opts.workload.clone()
         },
-        opts.extrinsic.then(|| hub.clone()),
+        observer,
     );
 
     clock.sleep(opts.warmup);
-    let errors_handled_before = server.stats().errors_handled;
+    let errors_handled_before = inst.errors_handled();
 
     // Inject.
     let mut armed: Option<ArmedFault> = None;
@@ -237,9 +209,7 @@ pub fn run_kvs_scenario(
                 }
             }
         }
-        if handler_first.is_none()
-            && server.stats().errors_handled > errors_handled_before
-        {
+        if handler_first.is_none() && inst.errors_handled() > errors_handled_before {
             handler_first = Some(now_ms);
         }
     }
@@ -248,16 +218,12 @@ pub fn run_kvs_scenario(
     if let Some(a) = &armed {
         injector.clear(a);
     }
-    disk.clear_all();
-    net.clear_all();
-    server.toggles().clear_all();
-    server.stall().set_stalled(false);
-    workload.stop();
+    inst.clear_faults();
+    inst.stop_workload();
     driver.stop();
     for d in &mut extrinsics {
         d.stop();
     }
-    drop(replica);
 
     // Score.
     let crash_run = crashed.load(Ordering::Relaxed);
@@ -357,14 +323,77 @@ pub fn run_kvs_scenario(
     };
     outcomes.push(wd_outcome);
 
-    let WorkloadCounters { ok, failed } = workload.counters();
+    let (workload_ok, workload_failed) = inst.workload_counters();
+    inst.teardown();
     Ok(ScenarioResult {
         scenario: label,
         expected_class: scenario
             .map(|s| s.expected.failure_class.clone())
             .unwrap_or_default(),
         outcomes,
-        workload_ok: ok,
-        workload_failed: failed,
+        workload_ok,
+        workload_failed,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvs::target::KvsTarget;
+    use miniblock::target::DnTarget;
+    use minizk::target::ZkTarget;
+
+    fn quick_opts() -> RunnerOptions {
+        RunnerOptions {
+            warmup: Duration::from_millis(300),
+            observe: Duration::from_millis(700),
+            ..RunnerOptions::default()
+        }
+    }
+
+    fn control_run_is_clean(target: &dyn WatchdogTarget) {
+        let result = run_scenario(target, None, &quick_opts()).unwrap();
+        assert_eq!(result.scenario, "control");
+        assert!(
+            result.workload_ok > 0,
+            "{}: workload never succeeded",
+            target.name()
+        );
+        let wd = result.outcome("watchdog").unwrap();
+        assert!(
+            !wd.detected,
+            "{}: false alarm on control run: {:?}",
+            target.name(),
+            wd
+        );
+    }
+
+    #[test]
+    fn control_runs_are_clean_for_every_target() {
+        control_run_is_clean(&KvsTarget);
+        control_run_is_clean(&ZkTarget);
+        control_run_is_clean(&DnTarget);
+    }
+
+    #[test]
+    fn crash_scenario_fells_watchdog_but_not_heartbeat() {
+        let target = KvsTarget;
+        let scenario = target
+            .catalog()
+            .into_iter()
+            .find(|s| s.id == "process-crash")
+            .unwrap();
+        let opts = RunnerOptions {
+            observe: Duration::from_secs(2),
+            ..quick_opts()
+        };
+        let result = run_scenario(&target, Some(&scenario), &opts).unwrap();
+        let hb = result.outcome("heartbeat").unwrap();
+        assert!(hb.detected, "heartbeat must catch the crash");
+        let wd = result.outcome("watchdog").unwrap();
+        assert!(
+            !wd.detected,
+            "the in-process watchdog dies with the process"
+        );
+    }
 }

@@ -12,28 +12,36 @@
 
 use serde::{Deserialize, Serialize};
 
-use faults::{gray_failure_catalog, TargetProfile};
 use wdog_base::error::BaseResult;
+use wdog_target::WatchdogTarget;
 
 use crate::fmt::Table;
-use crate::scenario::{run_kvs_scenario, RunnerOptions, ScenarioResult};
+use crate::scenario::{run_scenario, RunnerOptions, ScenarioResult};
 
 /// The full E1 result set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table1Result {
+    /// Target the campaign ran against.
+    pub target: String,
     /// One entry per scenario.
     pub rows: Vec<ScenarioResult>,
 }
 
-/// Runs E1 over the whole catalogue.
-pub fn run(opts: &RunnerOptions) -> BaseResult<Table1Result> {
-    let catalog = gray_failure_catalog(&TargetProfile::default());
+/// Runs E1 over the target's whole catalogue.
+pub fn run(target: &dyn WatchdogTarget, opts: &RunnerOptions) -> BaseResult<Table1Result> {
     let mut rows = Vec::new();
-    for scenario in &catalog {
-        eprintln!("[table1] running scenario {} ...", scenario.id);
-        rows.push(run_kvs_scenario(Some(scenario), opts)?);
+    for scenario in &target.catalog() {
+        eprintln!(
+            "[table1/{}] running scenario {} ...",
+            target.name(),
+            scenario.id
+        );
+        rows.push(run_scenario(target, Some(scenario), opts)?);
     }
-    Ok(Table1Result { rows })
+    Ok(Table1Result {
+        target: target.name().to_owned(),
+        rows,
+    })
 }
 
 fn cell(row: &ScenarioResult, detector: &str) -> String {
@@ -70,16 +78,19 @@ pub fn render(result: &Table1Result) -> String {
             cell(row, "observer"),
             cell(row, "error-handler"),
             cell(row, "watchdog"),
-            wd.and_then(|o| o.class.clone()).unwrap_or_else(|| "-".into()),
-            wd.map(|o| o.granularity.clone()).unwrap_or_else(|| "-".into()),
+            wd.and_then(|o| o.class.clone())
+                .unwrap_or_else(|| "-".into()),
+            wd.map(|o| o.granularity.clone())
+                .unwrap_or_else(|| "-".into()),
             wd.and_then(|o| o.correct_blame)
                 .map(|b| if b { "yes" } else { "no" }.to_string())
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    let mut out = String::from(
-        "E1 / Table 1 — detection matrix: abstraction x failure class\n\
+    let mut out = format!(
+        "E1 / Table 1 — detection matrix: abstraction x failure class [target: {}]\n\
          (Y = detected within the window, with detection latency)\n\n",
+        result.target
     );
     out.push_str(&t.render());
     out

@@ -17,13 +17,11 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use faults::{gray_failure_catalog, TargetProfile};
-use kvs::wd::WdOptions;
 use wdog_base::error::BaseResult;
+use wdog_target::{Families, WatchdogTarget, WdOptions, WorkloadProfile};
 
 use crate::fmt::Table;
-use crate::scenario::{run_kvs_scenario, RunnerOptions};
-use crate::workload::WorkloadConfig;
+use crate::scenario::{run_scenario, RunnerOptions};
 
 /// The measured score of one checker family.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,15 +59,15 @@ impl FamilyScore {
 /// The full E2 result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table2Result {
+    /// Target the campaign ran against.
+    pub target: String,
     /// One score per family.
     pub families: Vec<FamilyScore>,
 }
 
 fn family_options(family: &str, base: &RunnerOptions) -> RunnerOptions {
     let wd = WdOptions {
-        mimics: family == "mimic",
-        probes: family == "probe",
-        signals: family == "signal",
+        families: Families::only(family),
         // Tight thresholds, as a signal deployment tuned for sensitivity
         // would use — the source of its false alarms.
         queue_threshold: 128,
@@ -85,7 +83,7 @@ fn family_options(family: &str, base: &RunnerOptions) -> RunnerOptions {
 
 fn bursty(base: &RunnerOptions) -> RunnerOptions {
     RunnerOptions {
-        workload: WorkloadConfig {
+        workload: WorkloadProfile {
             threads: 6,
             period: Duration::from_millis(1),
             keys: 64,
@@ -96,9 +94,14 @@ fn bursty(base: &RunnerOptions) -> RunnerOptions {
     }
 }
 
-/// Runs E2: every family alone over the gray catalogue plus control runs.
-pub fn run(base: &RunnerOptions, control_runs: usize) -> BaseResult<Table2Result> {
-    let catalog = gray_failure_catalog(&TargetProfile::default());
+/// Runs E2: every family alone over the target's gray catalogue plus
+/// control runs.
+pub fn run(
+    target: &dyn WatchdogTarget,
+    base: &RunnerOptions,
+    control_runs: usize,
+) -> BaseResult<Table2Result> {
+    let catalog = target.catalog();
     let gray: Vec<_> = catalog.iter().filter(|s| s.kind.is_gray()).collect();
     let mut families = Vec::new();
     for family in ["probe", "signal", "mimic"] {
@@ -107,8 +110,8 @@ pub fn run(base: &RunnerOptions, control_runs: usize) -> BaseResult<Table2Result
         let mut missed = Vec::new();
         let mut granularities = Vec::new();
         for scenario in &gray {
-            eprintln!("[table2] {family} vs {} ...", scenario.id);
-            let result = run_kvs_scenario(Some(scenario), &opts)?;
+            eprintln!("[table2/{}] {family} vs {} ...", target.name(), scenario.id);
+            let result = run_scenario(target, Some(scenario), &opts)?;
             let wd = result.outcome("watchdog").cloned();
             match wd {
                 Some(o) if o.detected => {
@@ -121,12 +124,12 @@ pub fn run(base: &RunnerOptions, control_runs: usize) -> BaseResult<Table2Result
         let mut false_alarm_runs = 0;
         let control_opts = bursty(&family_options(family, base));
         for i in 0..control_runs {
-            eprintln!("[table2] {family} control run {i} ...");
+            eprintln!("[table2/{}] {family} control run {i} ...", target.name());
             let control = RunnerOptions {
                 seed: base.seed + 100 + i as u64,
                 ..control_opts.clone()
             };
-            let result = run_kvs_scenario(None, &control)?;
+            let result = run_scenario(target, None, &control)?;
             if result.outcome("watchdog").is_some_and(|o| o.detected) {
                 false_alarm_runs += 1;
             }
@@ -145,7 +148,10 @@ pub fn run(base: &RunnerOptions, control_runs: usize) -> BaseResult<Table2Result
             granularities,
         });
     }
-    Ok(Table2Result { families })
+    Ok(Table2Result {
+        target: target.name().to_owned(),
+        families,
+    })
 }
 
 /// Renders the E2 summary table plus per-family detail.
@@ -173,9 +179,10 @@ pub fn render(result: &Table2Result) -> String {
             f.missed.join(", "),
         ]);
     }
-    let mut out = String::from(
-        "E2 / Table 2 — probe vs signal vs mimic checkers, measured\n\
+    let mut out = format!(
+        "E2 / Table 2 — probe vs signal vs mimic checkers, measured [target: {}]\n\
          (completeness over gray scenarios; accuracy over bursty fault-free control runs)\n\n",
+        result.target
     );
     out.push_str(&t.render());
     out

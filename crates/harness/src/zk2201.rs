@@ -87,7 +87,11 @@ pub fn render(result: &Zk2201Result) -> String {
     ]);
     t.row_owned(vec![
         "reads during fault".into(),
-        if r.reads_ok_during { "healthy".into() } else { "failing".into() },
+        if r.reads_ok_during {
+            "healthy".into()
+        } else {
+            "failing".into()
+        },
     ]);
     let mut out = format!(
         "E4 / §4.2 — ZOOKEEPER-2201 reproduction\n\
@@ -120,7 +124,9 @@ pub fn shape_violations(result: &Zk2201Result) -> Vec<String> {
         Some(ms) => {
             let bound = (result.checker_interval_ms + result.checker_timeout_ms) * 2 + 2000;
             if ms > bound {
-                v.push(format!("detection took {ms} ms, beyond the {bound} ms bound"));
+                v.push(format!(
+                    "detection took {ms} ms, beyond the {bound} ms bound"
+                ));
             }
         }
     }

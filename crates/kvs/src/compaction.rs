@@ -137,7 +137,9 @@ mod tests {
         let server = busy_server();
         let client = server.client();
         for i in 0..50 {
-            client.set(&format!("key-{i:03}"), &format!("val-{i}")).unwrap();
+            client
+                .set(&format!("key-{i:03}"), &format!("val-{i}"))
+                .unwrap();
             if i % 10 == 0 {
                 std::thread::sleep(Duration::from_millis(20));
             }

@@ -158,8 +158,11 @@ mod tests {
         wait_for(|| server.stats().flushes >= 1, "flush");
         // After a flush with no new writes, WAL replay must be empty.
         std::thread::sleep(Duration::from_millis(100));
-        let records =
-            crate::wal::Wal::replay(&server.disk(), "wal/current").unwrap();
-        assert!(records.is_empty(), "wal not truncated: {} records", records.len());
+        let records = crate::wal::Wal::replay(&server.disk(), "wal/current").unwrap();
+        assert!(
+            records.is_empty(),
+            "wal not truncated: {} records",
+            records.len()
+        );
     }
 }

@@ -132,7 +132,9 @@ impl MemIndex {
 
 impl std::fmt::Debug for MemIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemIndex").field("len", &self.len()).finish()
+        f.debug_struct("MemIndex")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -36,6 +36,7 @@ pub mod partition;
 pub mod replication;
 pub mod server;
 pub mod sstable;
+pub mod target;
 pub mod wal;
 pub mod wd;
 

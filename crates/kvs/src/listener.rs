@@ -194,15 +194,12 @@ mod tests {
 
     #[test]
     fn crash_makes_requests_time_out() {
-        let mut config = KvsConfig::default();
-        config.client_timeout = Duration::from_millis(100);
-        let server = KvsServer::start(
-            config,
-            RealClock::shared(),
-            SimDisk::for_tests(),
-            None,
-        )
-        .unwrap();
+        let config = KvsConfig {
+            client_timeout: Duration::from_millis(100),
+            ..KvsConfig::default()
+        };
+        let server =
+            KvsServer::start(config, RealClock::shared(), SimDisk::for_tests(), None).unwrap();
         let client = server.client();
         client.set("k", "v").unwrap();
         server.crash();
@@ -263,7 +260,9 @@ mod tests {
             .unwrap();
             let client = server.client();
             for i in 0..20 {
-                client.set(&format!("key-{i}"), &format!("val-{i}")).unwrap();
+                client
+                    .set(&format!("key-{i}"), &format!("val-{i}"))
+                    .unwrap();
             }
             wait_for(|| server.stats().wal_records >= 20, "wal records");
             server.stop();

@@ -158,8 +158,8 @@ mod tests {
         pm.register(write_sstable(&disk, &p1, &entries(&[("a", "1")])).unwrap());
         pm.register(write_sstable(&disk, &p2, &entries(&[("b", "2")])).unwrap());
         let merged_path = pm.next_path();
-        let merged = write_sstable(&disk, &merged_path, &entries(&[("a", "1"), ("b", "2")]))
-            .unwrap();
+        let merged =
+            write_sstable(&disk, &merged_path, &entries(&[("a", "1"), ("b", "2")])).unwrap();
         pm.replace(&[p1.clone(), p2.clone()], merged).unwrap();
         assert_eq!(pm.table_count(), 1);
         assert!(!disk.exists(&p1));

@@ -73,8 +73,7 @@ impl Replica {
             .name("kvs-replica".into())
             .spawn(move || {
                 while run.load(Ordering::Relaxed) {
-                    let Some(msg) =
-                        mailbox.recv_timeout(std::time::Duration::from_millis(10))
+                    let Some(msg) = mailbox.recv_timeout(std::time::Duration::from_millis(10))
                     else {
                         continue;
                     };
@@ -123,7 +122,9 @@ impl Drop for Replica {
 
 impl std::fmt::Debug for Replica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Replica").field("applied", &self.applied()).finish()
+        f.debug_struct("Replica")
+            .field("applied", &self.applied())
+            .finish()
     }
 }
 
@@ -178,7 +179,11 @@ mod tests {
     fn wedged_link_is_invisible_to_clients() {
         let (server, replica, net) = replicated_pair();
         let client = server.client();
-        net.inject(LinkRule::link("kvs-primary", "kvs-replica", NetFault::BlockSend));
+        net.inject(LinkRule::link(
+            "kvs-primary",
+            "kvs-replica",
+            NetFault::BlockSend,
+        ));
         // Clients keep succeeding: the gray failure.
         for i in 0..20 {
             client.set(&format!("k{i}"), "v").unwrap();

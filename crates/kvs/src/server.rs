@@ -153,9 +153,8 @@ impl KvsServer {
 
         let (wal_tx, wal_rx) = unbounded::<Vec<u8>>();
         let (repl_tx, repl_rx) = unbounded::<Vec<u8>>();
-        let (request_tx, request_rx) = bounded::<(Request, Sender<Response>)>(
-            config.request_queue_cap,
-        );
+        let (request_tx, request_rx) =
+            bounded::<(Request, Sender<Response>)>(config.request_queue_cap);
 
         let shared = Arc::new(Shared {
             wal: Mutex::new(Wal::new(Arc::clone(&disk), "wal/current")),

@@ -166,10 +166,7 @@ mod tests {
         let older = entries(&[("a", "old"), ("b", "old")]);
         let newer = entries(&[("b", "new"), ("c", "new")]);
         let merged = merge_entries(&[older, newer]);
-        assert_eq!(
-            merged,
-            entries(&[("a", "old"), ("b", "new"), ("c", "new")])
-        );
+        assert_eq!(merged, entries(&[("a", "old"), ("b", "new"), ("c", "new")]));
     }
 
     #[test]

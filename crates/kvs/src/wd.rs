@@ -54,50 +54,11 @@ pub const KEY_PROBE_PREFIX: &str = "__wd:";
 const PROBE_FILE_CAP: usize = 64 * 1024;
 
 /// Tunables for the assembled kvs watchdog.
-#[derive(Debug, Clone)]
-pub struct WdOptions {
-    /// Checking round interval.
-    pub interval: Duration,
-    /// Per-checker execution timeout (the stuck-detection threshold).
-    pub checker_timeout: Duration,
-    /// Latency above which mimicked I/O and communication ops report
-    /// `Slow`. Lock/compute ops are exempt (waiting on a held lock is
-    /// contention, not slowness).
-    pub slow_threshold: Duration,
-    /// Latency above which a successful *probe* (full API round trip)
-    /// reports `Slow`; separate from the mimic threshold because a probe
-    /// includes queueing delay that is normal under load.
-    pub probe_slow_threshold: Duration,
-    /// Maximum tolerated context age.
-    pub max_context_age: Option<Duration>,
-    /// Memory watermark for the signal checker, in bytes.
-    pub memory_watermark: u64,
-    /// Queue-depth threshold for the signal checkers.
-    pub queue_threshold: usize,
-    /// Include generated mimic checkers.
-    pub mimics: bool,
-    /// Include probe checkers.
-    pub probes: bool,
-    /// Include signal checkers.
-    pub signals: bool,
-}
-
-impl Default for WdOptions {
-    fn default() -> Self {
-        Self {
-            interval: Duration::from_millis(500),
-            checker_timeout: Duration::from_secs(2),
-            slow_threshold: Duration::from_millis(300),
-            probe_slow_threshold: Duration::from_millis(500),
-            max_context_age: None,
-            memory_watermark: 64 << 20,
-            queue_threshold: 512,
-            mimics: true,
-            probes: true,
-            signals: true,
-        }
-    }
-}
+///
+/// The shared [`wdog_target::WdOptions`] type's defaults are kvs's
+/// historical tuning, so the re-export is an exact replacement for the old
+/// per-target struct; family toggles moved into [`Families`].
+pub use wdog_target::{Families, WdOptions};
 
 /// Builds kvs's IR: every component of Figure 1 as functions, call edges,
 /// and operations, with the five continuously-executing entry points marked.
@@ -122,7 +83,9 @@ pub fn describe_ir() -> ProgramIr {
                 .compute("enqueue_replication")
         })
         // Durability path.
-        .function("wal_loop", |f| f.long_running().call_in_loop("wal_write_record"))
+        .function("wal_loop", |f| {
+            f.long_running().call_in_loop("wal_write_record")
+        })
         .function("wal_write_record", |f| {
             f.op("wal_append", OpKind::DiskWrite, |o| {
                 o.resource("wal/").in_loop().arg("payload", ArgType::Bytes)
@@ -130,7 +93,9 @@ pub fn describe_ir() -> ProgramIr {
             .op("wal_sync", OpKind::DiskSync, |o| o.resource("wal/"))
         })
         // Flush path.
-        .function("flusher_loop", |f| f.long_running().call_in_loop("flush_once"))
+        .function("flusher_loop", |f| {
+            f.long_running().call_in_loop("flush_once")
+        })
         .function("flush_once", |f| {
             f.compute("snapshot_index")
                 .op("sst_write", OpKind::DiskWrite, |o| {
@@ -144,13 +109,15 @@ pub fn describe_ir() -> ProgramIr {
             f.long_running().call_in_loop("compact_once")
         })
         .function("compact_once", |f| {
-            f.op("compaction_lock", OpKind::LockAcquire, |o| o.resource("compaction"))
-                .op("sst_read", OpKind::DiskRead, |o| {
-                    o.resource("sst/").in_loop().arg("sst_path", ArgType::Str)
-                })
-                .compute("merge_entries")
-                .op("sst_merge_write", OpKind::DiskWrite, |o| o.resource("sst/"))
-                .simple_op("compaction_unlock", OpKind::LockRelease)
+            f.op("compaction_lock", OpKind::LockAcquire, |o| {
+                o.resource("compaction")
+            })
+            .op("sst_read", OpKind::DiskRead, |o| {
+                o.resource("sst/").in_loop().arg("sst_path", ArgType::Str)
+            })
+            .compute("merge_entries")
+            .op("sst_merge_write", OpKind::DiskWrite, |o| o.resource("sst/"))
+            .simple_op("compaction_unlock", OpKind::LockRelease)
         })
         // Replication path.
         .function("replication_loop", |f| {
@@ -158,7 +125,9 @@ pub fn describe_ir() -> ProgramIr {
         })
         .function("replicate_op", |f| {
             f.op("repl_send", OpKind::NetSend, |o| {
-                o.resource("replica").in_loop().arg("op_payload", ArgType::Bytes)
+                o.resource("replica")
+                    .in_loop()
+                    .arg("op_payload", ArgType::Bytes)
             })
         })
         // Initialization (excluded from checking by region extraction).
@@ -492,7 +461,7 @@ pub fn build_watchdog(
     let mut driver = WatchdogDriver::new(config, Arc::clone(&clock));
 
     let plan = generate_kvs_plan(&ReductionConfig::default());
-    if opts.mimics {
+    if opts.families.mimics {
         let table = op_table(server);
         let reader = server.context().reader();
         let mimics = instantiate(
@@ -510,12 +479,12 @@ pub fn build_watchdog(
             driver.register(Box::new(c))?;
         }
     }
-    if opts.probes {
+    if opts.families.probes {
         for c in probe_checkers(server, opts) {
             driver.register(c)?;
         }
     }
-    if opts.signals {
+    if opts.families.signals {
         for c in signal_checkers(server, opts) {
             driver.register(c)?;
         }
@@ -531,7 +500,9 @@ pub fn build_watchdog(
 pub fn sst_recovery_action(
     server: &KvsServer,
 ) -> (
-    Arc<wdog_core::action::CallbackAction<impl Fn(&wdog_core::report::FailureReport) + Send + Sync>>,
+    Arc<
+        wdog_core::action::CallbackAction<impl Fn(&wdog_core::report::FailureReport) + Send + Sync>,
+    >,
     Arc<AtomicU64>,
 ) {
     let shared = Arc::clone(server.shared());
@@ -547,7 +518,12 @@ pub fn sst_recovery_action(
             }
             // Rebuild everything on the sst volume from the index.
             let _guard = shared.compaction_lock.lock();
-            let old: Vec<String> = shared.partitions.tables().into_iter().map(|t| t.path).collect();
+            let old: Vec<String> = shared
+                .partitions
+                .tables()
+                .into_iter()
+                .map(|t| t.path)
+                .collect();
             let entries = shared.index.snapshot();
             let path = shared.partitions.next_path();
             if let Ok(meta) = crate::sstable::write_sstable(&shared.disk, &path, &entries) {

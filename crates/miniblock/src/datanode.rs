@@ -13,7 +13,7 @@ use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 
 use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::hooks::Hooks;
+use wdog_core::hooks::{HookSite, Hooks};
 
 use crate::block::BlockStore;
 use crate::namenode::{NnMsg, NAMENODE_ADDR};
@@ -69,6 +69,9 @@ pub(crate) struct DnShared {
     pub(crate) next_block: AtomicU64,
     pub(crate) running: AtomicBool,
     pub(crate) hooks: Hooks,
+    /// Per-ingest hook, resolved once so `write_block` publishes through
+    /// its cached slot instead of re-creating a site per call.
+    pub(crate) ingest_hook: HookSite,
     pub(crate) context: Arc<ContextTable>,
     pub(crate) blocks_written: AtomicU64,
     pub(crate) blocks_scanned: AtomicU64,
@@ -116,6 +119,7 @@ impl DataNode {
             blocks: RwLock::new(BTreeMap::new()),
             next_block: AtomicU64::new(1),
             running: AtomicBool::new(true),
+            ingest_hook: hooks.site("ingest_loop"),
             hooks,
             context,
             blocks_written: AtomicU64::new(0),
@@ -189,9 +193,7 @@ impl DataNode {
                                     continue;
                                 }
                                 let p = path.clone();
-                                hook.fire(|| {
-                                    vec![("block_path".into(), CtxValue::Str(p))]
-                                });
+                                hook.fire(|| vec![("block_path".into(), CtxValue::Str(p))]);
                                 // In-place error handler: a bad block is
                                 // counted and scanning continues.
                                 match s.store.validate_path(&path) {
@@ -222,12 +224,17 @@ impl DataNode {
     /// Ingests a block; returns its id.
     pub fn write_block(&self, data: &[u8]) -> BaseResult<u64> {
         let s = &self.shared;
+        if !s.is_running() {
+            return Err(wdog_base::error::BaseError::Disconnected(
+                "datanode is down".into(),
+            ));
+        }
         let id = s.next_block.fetch_add(1, Ordering::Relaxed);
         let volume = s.store.pick_volume().to_owned();
         // Hook before the vulnerable write (generated plan point).
         let sample: Vec<u8> = data.iter().copied().take(1024).collect();
         let vol = volume.clone();
-        s.hooks.site("ingest_loop").fire(|| {
+        s.ingest_hook.fire(|| {
             vec![
                 ("block_data".into(), CtxValue::Bytes(sample)),
                 ("volume".into(), CtxValue::Str(vol)),
@@ -241,6 +248,11 @@ impl DataNode {
 
     /// Reads a block back.
     pub fn read_block(&self, id: u64) -> BaseResult<Vec<u8>> {
+        if !self.shared.is_running() {
+            return Err(wdog_base::error::BaseError::Disconnected(
+                "datanode is down".into(),
+            ));
+        }
         let volume = self
             .shared
             .blocks
@@ -276,6 +288,18 @@ impl DataNode {
     /// Returns this node's id.
     pub fn id(&self) -> &str {
         &self.config.id
+    }
+
+    /// Simulates a whole-process failure: background threads exit and the
+    /// block API starts refusing requests, but nothing is joined — exactly
+    /// what an abrupt kill looks like to detectors.
+    pub fn crash(&self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the node is still serving.
+    pub fn is_running(&self) -> bool {
+        self.shared.is_running()
     }
 
     /// Stops all threads (detaching any wedged in a fault).

@@ -85,6 +85,9 @@ impl EnhancedDiskChecker {
         }
     }
 
+    // CheckFailure is a large-but-cold error: it exists only on the failure
+    // path, where allocation cost is irrelevant next to reporting.
+    #[allow(clippy::result_large_err)]
     fn probe_volume(&self, volume: &str) -> Result<(), CheckFailure> {
         let disk = self.store.disk();
         let path = format!("blocks/{volume}/__wd_probe_enhanced");
@@ -104,7 +107,11 @@ impl EnhancedDiskChecker {
             p.enter(location("write"));
         }
         disk.write_all(&path, &file).map_err(|e| {
-            CheckFailure::new(FailureKind::from_error(&e), location("write"), e.to_string())
+            CheckFailure::new(
+                FailureKind::from_error(&e),
+                location("write"),
+                e.to_string(),
+            )
         })?;
         if let Some(p) = &self.probe {
             p.enter(location("sync"));
@@ -193,11 +200,8 @@ mod tests {
     fn both_checkers_pass_on_healthy_volumes() {
         let store = store_with_markers();
         let mut legacy = LegacyDiskChecker::new(Arc::clone(&store));
-        let mut enhanced = EnhancedDiskChecker::new(
-            store,
-            RealClock::shared(),
-            Duration::from_millis(200),
-        );
+        let mut enhanced =
+            EnhancedDiskChecker::new(store, RealClock::shared(), Duration::from_millis(200));
         assert!(legacy.check().is_pass());
         assert!(enhanced.check().is_pass());
     }
@@ -233,7 +237,9 @@ mod tests {
     #[test]
     fn legacy_misses_silent_corruption_enhanced_catches_it() {
         let store = store_with_markers();
-        store.disk().inject(data_fault("vol1", DiskFault::CorruptWrites));
+        store
+            .disk()
+            .inject(data_fault("vol1", DiskFault::CorruptWrites));
         let mut legacy = LegacyDiskChecker::new(Arc::clone(&store));
         let mut enhanced = EnhancedDiskChecker::new(
             Arc::clone(&store),
@@ -276,8 +282,7 @@ mod tests {
             vec![DiskOpKind::Write, DiskOpKind::Sync, DiskOpKind::Read],
             DiskFault::Slow { factor: 3000.0 },
         ));
-        let mut enhanced =
-            EnhancedDiskChecker::new(store, clock, Duration::from_millis(20));
+        let mut enhanced = EnhancedDiskChecker::new(store, clock, Duration::from_millis(20));
         let CheckStatus::Fail(f) = enhanced.check() else {
             panic!("enhanced checker missed the fail-slow volume");
         };

@@ -28,6 +28,7 @@ pub mod block;
 pub mod datanode;
 pub mod disk_checker;
 pub mod namenode;
+pub mod target;
 pub mod wd;
 
 pub use block::BlockStore;

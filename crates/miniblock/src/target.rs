@@ -1,0 +1,260 @@
+//! The [`WatchdogTarget`] implementation for miniblock.
+//!
+//! Like minizk, the DataNode exposes the *substrate* fault surface only:
+//! its volumes live on a simulated disk and its NameNode link on a
+//! simulated network, with no cooperative toggles or stall point. Disk
+//! scenarios distinguish a *partial* failure (one volume, `blocks/vol1/`)
+//! from store-wide ones (`blocks/`) — the HDFS single-bad-volume shape the
+//! disk-checker evolution was built for.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use wdog_base::clock::{RealClock, SharedClock};
+use wdog_base::error::BaseResult;
+use wdog_base::rng::derive_seed;
+
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+use simio::LatencyModel;
+
+use faults::catalog::{Scenario, TargetProfile};
+use faults::injector::Injector;
+
+use wdog_core::driver::WatchdogDriver;
+use wdog_gen::ir::ProgramIr;
+use wdog_gen::plan::WatchdogPlan;
+
+use wdog_target::{
+    catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
+    TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver, WorkloadProfile,
+};
+
+use crate::datanode::{DataNode, DataNodeConfig};
+use crate::namenode::{NameNode, NAMENODE_ADDR};
+use crate::wd::default_dn_options;
+
+/// The miniblock target: one DataNode + NameNode on simulated substrates.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DnTarget;
+
+/// Scenario locations mapped onto the DataNode's layout.
+fn dn_profile() -> TargetProfile {
+    TargetProfile {
+        // "WAL" scenarios strike one volume (partial failure), the
+        // "SSTable" scenarios the whole store.
+        wal_prefix: "blocks/vol1/".into(),
+        sst_prefix: "blocks/".into(),
+        replica_src: "dn1".into(),
+        replica_dst: NAMENODE_ADDR.into(),
+        flusher_component: "block".into(),
+        replication_component: "report".into(),
+        ..TargetProfile::default()
+    }
+}
+
+impl WatchdogTarget for DnTarget {
+    fn name(&self) -> &'static str {
+        "miniblock"
+    }
+
+    fn describe_ir(&self) -> ProgramIr {
+        crate::wd::describe_ir()
+    }
+
+    fn default_options(&self) -> WdOptions {
+        default_dn_options()
+    }
+
+    fn catalog(&self) -> Vec<Scenario> {
+        let mut cat = catalog_for(&dn_profile(), FaultSurface::SUBSTRATE);
+        for s in &mut cat {
+            if s.expected.component_hint == "sst" {
+                s.expected.component_hint = "block".into();
+            }
+            if s.expected.component_hint == "kvs" {
+                s.expected.component_hint = "miniblock".into();
+            }
+        }
+        cat
+    }
+
+    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
+        let clock: SharedClock = RealClock::shared();
+        let net = SimNet::new(
+            LatencyModel::new(30.0, derive_seed(seed, "net")),
+            Arc::clone(&clock),
+        );
+        let disk = SimDisk::new(
+            1 << 30,
+            LatencyModel::new(20.0, derive_seed(seed, "disk")),
+            Arc::clone(&clock),
+        );
+        let namenode = NameNode::start(net.clone(), Arc::clone(&clock), Duration::from_secs(1));
+        let datanode = Arc::new(DataNode::start(
+            DataNodeConfig::default(),
+            Arc::clone(&clock),
+            Arc::clone(&disk),
+            net.clone(),
+        )?);
+        Ok(Box::new(DnInstance {
+            clock,
+            net,
+            disk,
+            datanode,
+            namenode: Some(namenode),
+            workload: None,
+        }))
+    }
+}
+
+/// One booted miniblock testbed.
+pub struct DnInstance {
+    clock: SharedClock,
+    net: SimNet,
+    disk: Arc<SimDisk>,
+    datanode: Arc<DataNode>,
+    namenode: Option<NameNode>,
+    workload: Option<WorkloadHandle>,
+}
+
+impl TargetInstance for DnInstance {
+    fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    fn build_watchdog(&self, opts: &WdOptions) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
+        crate::wd::build_watchdog(&self.datanode, opts)
+    }
+
+    fn injector(&self, on_crash: CrashSignal) -> Injector {
+        let crash_dn = Arc::clone(&self.datanode);
+        Injector::new()
+            .with_disk(Arc::clone(&self.disk))
+            .with_net(self.net.clone())
+            .with_clock(Arc::clone(&self.clock))
+            .with_crash_hook(Arc::new(move || {
+                crash_dn.crash();
+                on_crash();
+            }))
+    }
+
+    fn start_workload(&mut self, profile: &WorkloadProfile, observer: Option<WorkloadObserver>) {
+        // Block ids assigned by ingest, shared so readers pick real blocks.
+        let written: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let dn = Arc::clone(&self.datanode);
+        self.workload = Some(spawn_workload(
+            profile,
+            observer,
+            Arc::new(move |ticket| {
+                if ticket.write || written.lock().unwrap().is_empty() {
+                    let data = format!("block-payload-{}", ticket.value);
+                    let id = dn.write_block(data.as_bytes())?;
+                    let mut ids = written.lock().unwrap();
+                    ids.push(id);
+                    // Bound the replay set so reads stay recent.
+                    if ids.len() > 512 {
+                        ids.remove(0);
+                    }
+                    Ok(())
+                } else {
+                    let ids = written.lock().unwrap();
+                    let id = ids[ticket.key % ids.len()];
+                    drop(ids);
+                    dn.read_block(id).map(|_| ())
+                }
+            }),
+        ));
+    }
+
+    fn workload_counters(&self) -> (u64, u64) {
+        self.workload
+            .as_ref()
+            .map(|w| w.counters())
+            .unwrap_or((0, 0))
+    }
+
+    fn stop_workload(&mut self) {
+        if let Some(w) = &mut self.workload {
+            w.stop();
+        }
+    }
+
+    fn api_probe(&self) -> ApiProbe {
+        let dn = Arc::clone(&self.datanode);
+        Arc::new(move || {
+            let id = dn.write_block(b"__ext_probe")?;
+            dn.read_block(id).map(|_| ())
+        })
+    }
+
+    fn liveness_probe(&self) -> LivenessProbe {
+        let dn = Arc::clone(&self.datanode);
+        Arc::new(move || dn.is_running())
+    }
+
+    fn errors_handled(&self) -> u64 {
+        // The scanner's in-place error handler is the DataNode's only
+        // swallow-and-continue path.
+        self.datanode.stats().scan_errors
+    }
+
+    fn clear_faults(&self) {
+        self.disk.clear_all();
+        self.net.clear_all();
+    }
+
+    fn teardown(&mut self) {
+        self.stop_workload();
+        self.datanode.crash();
+        if let Some(nn) = &mut self.namenode {
+            nn.stop();
+        }
+        self.namenode = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dn_catalog_separates_partial_from_whole_store_faults() {
+        let cat = DnTarget.catalog();
+        assert_eq!(cat.len(), 7);
+        let partial = cat.iter().find(|s| s.id == "partial-disk-stuck").unwrap();
+        assert_eq!(
+            partial.kind,
+            faults::spec::FaultKind::DiskStuck {
+                path_prefix: "blocks/vol1/".into()
+            }
+        );
+        let slow = cat.iter().find(|s| s.id == "disk-fail-slow").unwrap();
+        assert_eq!(slow.expected.component_hint, "block");
+    }
+
+    #[test]
+    fn booted_instance_probes_and_serves_workload() {
+        let mut inst = DnTarget.start(4).unwrap();
+        inst.api_probe()().unwrap();
+        assert!(inst.liveness_probe()());
+        inst.start_workload(
+            &WorkloadProfile {
+                threads: 2,
+                period: Duration::from_millis(2),
+                keys: 16,
+                ..WorkloadProfile::default()
+            },
+            None,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        inst.stop_workload();
+        let (ok, failed) = inst.workload_counters();
+        assert!(ok > 10, "workload too slow: ok={ok} failed={failed}");
+        assert_eq!(failed, 0);
+        inst.teardown();
+        // After teardown the API refuses requests — crash semantics.
+        assert!(inst.api_probe()().is_err());
+    }
+}

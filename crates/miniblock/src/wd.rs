@@ -17,28 +17,23 @@ use wdog_gen::reduce::ReductionConfig;
 use crate::datanode::DataNode;
 use crate::namenode::NAMENODE_ADDR;
 
-/// Tunables for the assembled DataNode watchdog.
-#[derive(Debug, Clone)]
-pub struct DnWdOptions {
-    /// Checking round interval.
-    pub interval: Duration,
-    /// Per-checker execution timeout.
-    pub checker_timeout: Duration,
-    /// Latency above which mimicked I/O reports `Slow`.
-    pub slow_threshold: Duration,
-    /// Include the hand-written disk checkers (legacy + enhanced) alongside
-    /// the generated mimics.
-    pub disk_checkers: bool,
-}
+/// Tunables for the assembled DataNode watchdog — the shared options type;
+/// miniblock's historical tuning lives in [`default_dn_options`]. The
+/// hand-written disk checkers (legacy + enhanced) are the `probes` family.
+pub use wdog_target::{Families, WdOptions};
 
-impl Default for DnWdOptions {
-    fn default() -> Self {
-        Self {
-            interval: Duration::from_millis(200),
-            checker_timeout: Duration::from_millis(800),
-            slow_threshold: Duration::from_millis(200),
-            disk_checkers: true,
-        }
+/// Back-compat alias for the old per-target options name.
+pub type DnWdOptions = WdOptions;
+
+/// miniblock's tuned defaults: DataNode-scale intervals (a block store
+/// reacts in hundreds of milliseconds, not seconds).
+pub fn default_dn_options() -> WdOptions {
+    WdOptions {
+        interval: Duration::from_millis(200),
+        checker_timeout: Duration::from_millis(800),
+        slow_threshold: Duration::from_millis(200),
+        probe_slow_threshold: Duration::from_millis(200),
+        ..WdOptions::default()
     }
 }
 
@@ -46,7 +41,9 @@ impl Default for DnWdOptions {
 /// loop, and the heartbeat loop as continuously-executing regions.
 pub fn describe_ir() -> ProgramIr {
     ProgramBuilder::new("miniblock")
-        .function("ingest_loop", |f| f.long_running().call_in_loop("write_block"))
+        .function("ingest_loop", |f| {
+            f.long_running().call_in_loop("write_block")
+        })
         .function("write_block", |f| {
             f.compute("pick_volume")
                 .op("block_write", OpKind::DiskWrite, |o| {
@@ -58,18 +55,26 @@ pub fn describe_ir() -> ProgramIr {
                 .op("block_sync", OpKind::DiskSync, |o| o.resource("blocks/"))
                 .compute("register_block")
         })
-        .function("scanner_loop", |f| f.long_running().call_in_loop("scan_block"))
+        .function("scanner_loop", |f| {
+            f.long_running().call_in_loop("scan_block")
+        })
         .function("scan_block", |f| {
             f.op("block_read", OpKind::DiskRead, |o| {
-                o.resource("blocks/").in_loop().arg("block_path", ArgType::Str)
+                o.resource("blocks/")
+                    .in_loop()
+                    .arg("block_path", ArgType::Str)
             })
             .compute("verify_checksum")
         })
-        .function("report_loop", |f| f.long_running().call_in_loop("send_report"))
+        .function("report_loop", |f| {
+            f.long_running().call_in_loop("send_report")
+        })
         .function("send_report", |f| {
             f.compute("collect_blocks")
                 .op("report_send", OpKind::NetSend, |o| {
-                    o.resource("namenode").in_loop().arg("block_count", ArgType::U64)
+                    o.resource("namenode")
+                        .in_loop()
+                        .arg("block_count", ArgType::U64)
                 })
         })
         .function("heartbeat_loop", |f| {
@@ -83,8 +88,9 @@ pub fn describe_ir() -> ProgramIr {
             })
         })
         .function("startup_format", |f| {
-            f.init_only()
-                .op("write_markers", OpKind::DiskWrite, |o| o.resource("blocks/"))
+            f.init_only().op("write_markers", OpKind::DiskWrite, |o| {
+                o.resource("blocks/")
+            })
         })
         .build()
 }
@@ -181,22 +187,24 @@ pub fn build_watchdog(
         Arc::clone(&clock),
     );
     let plan = generate_dn_plan(&ReductionConfig::default());
-    let table = op_table(dn);
-    let mimics = instantiate(
-        &plan,
-        &table,
-        &dn.context().reader(),
-        &clock,
-        &InstantiateOptions {
-            timeout: Some(opts.checker_timeout),
-            max_context_age: None,
-            slow_threshold: Some(opts.slow_threshold),
-        },
-    )?;
-    for c in mimics {
-        driver.register(Box::new(c))?;
+    if opts.families.mimics {
+        let table = op_table(dn);
+        let mimics = instantiate(
+            &plan,
+            &table,
+            &dn.context().reader(),
+            &clock,
+            &InstantiateOptions {
+                timeout: Some(opts.checker_timeout),
+                max_context_age: opts.max_context_age,
+                slow_threshold: Some(opts.slow_threshold),
+            },
+        )?;
+        for c in mimics {
+            driver.register(Box::new(c))?;
+        }
     }
-    if opts.disk_checkers {
+    if opts.families.probes {
         let store = Arc::new(crate::block::BlockStore::new(
             Arc::clone(dn.store().disk()),
             dn.store().volumes().len(),
@@ -226,10 +234,7 @@ mod tests {
     fn ir_is_well_formed_with_four_regions() {
         let ir = describe_ir();
         assert!(ir.dangling_callees().is_empty());
-        assert_eq!(
-            ir.functions.values().filter(|f| f.long_running).count(),
-            4
-        );
+        assert_eq!(ir.functions.values().filter(|f| f.long_running).count(), 4);
     }
 
     #[test]
@@ -259,7 +264,11 @@ mod tests {
         let plan = generate_dn_plan(&ReductionConfig::default());
         for c in &plan.checkers {
             for op in &c.ops {
-                assert!(table.get(op.op_id.as_str()).is_some(), "missing {}", op.op_id);
+                assert!(
+                    table.get(op.op_id.as_str()).is_some(),
+                    "missing {}",
+                    op.op_id
+                );
             }
         }
     }
@@ -279,7 +288,7 @@ mod tests {
             &dn,
             &DnWdOptions {
                 interval: Duration::from_millis(50),
-                ..DnWdOptions::default()
+                ..default_dn_options()
             },
         )
         .unwrap();
@@ -315,8 +324,8 @@ mod tests {
             &DnWdOptions {
                 interval: Duration::from_millis(50),
                 checker_timeout: Duration::from_millis(400),
-                disk_checkers: false, // generated mimics only
-                ..DnWdOptions::default()
+                families: Families::only("mimic"), // generated mimics only
+                ..default_dn_options()
             },
         )
         .unwrap();

@@ -27,7 +27,7 @@ use wdog_core::report::{FailureKind, FailureReport};
 
 use crate::heartbeat::HeartbeatProber;
 use crate::quorum::{follower_addr, Cluster, ClusterConfig, LEADER_ADDR};
-use crate::wd::{build_watchdog, ZkWdOptions};
+use crate::wd::{build_watchdog, default_zk_options, ZkWdOptions};
 
 /// Scenario tunables.
 #[derive(Debug, Clone)]
@@ -89,7 +89,11 @@ impl Bug2201 {
     pub fn run(opts: &Bug2201Options) -> BaseResult<Bug2201Report> {
         let clock: SharedClock = RealClock::shared();
         let net = SimNet::new(simio::LatencyModel::new(50.0, 2201), Arc::clone(&clock));
-        let disk = SimDisk::new(1 << 30, simio::LatencyModel::new(30.0, 1022), Arc::clone(&clock));
+        let disk = SimDisk::new(
+            1 << 30,
+            simio::LatencyModel::new(30.0, 1022),
+            Arc::clone(&clock),
+        );
         let cluster = Arc::new(Cluster::start(
             ClusterConfig {
                 client_timeout: Duration::from_millis(500),
@@ -112,7 +116,7 @@ impl Bug2201 {
             &ZkWdOptions {
                 interval: opts.checker_interval,
                 checker_timeout: opts.checker_timeout,
-                ..ZkWdOptions::default()
+                ..default_zk_options()
             },
         )?;
         driver.start()?;
@@ -168,7 +172,11 @@ impl Bug2201 {
         // Warm up, then inject: wedge the leader → follower-1 link and
         // start the sync that will block inside the critical section.
         std::thread::sleep(Duration::from_secs(1));
-        net.inject(LinkRule::link(LEADER_ADDR, follower_addr(1), NetFault::BlockSend));
+        net.inject(LinkRule::link(
+            LEADER_ADDR,
+            follower_addr(1),
+            NetFault::BlockSend,
+        ));
         fault_active.store(true, Ordering::Relaxed);
         let injected_at = clock.now();
         let _sync = cluster.sync_follower(1);
@@ -285,7 +293,8 @@ mod tests {
         assert!(ms < 4_000, "detection too slow: {ms} ms");
         let pin = report.pinpoint.unwrap();
         assert!(
-            pin.contains("serialize_node") || pin.contains("tree_write_lock")
+            pin.contains("serialize_node")
+                || pin.contains("tree_write_lock")
                 || pin.contains("final_apply"),
             "pinpoint {pin} not in the wedged code region"
         );

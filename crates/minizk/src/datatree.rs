@@ -161,9 +161,7 @@ impl DataTree {
         nodes
             .keys()
             .filter(|k| {
-                k.starts_with(&prefix)
-                    && k.as_str() != path
-                    && !k[prefix.len()..].contains('/')
+                k.starts_with(&prefix) && k.as_str() != path && !k[prefix.len()..].contains('/')
             })
             .cloned()
             .collect()

@@ -81,8 +81,7 @@ impl HeartbeatProber {
                     .name("hb-collector".into())
                     .spawn(move || {
                         while running.load(Ordering::Relaxed) {
-                            let Some(m) = mailbox.recv_timeout(Duration::from_millis(10))
-                            else {
+                            let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
                                 continue;
                             };
                             if let Ok(ZkMsg::Pong { .. }) = ZkMsg::decode(&m.payload) {

@@ -31,6 +31,7 @@ pub mod msg;
 pub mod processors;
 pub mod quorum;
 pub mod snapshot;
+pub mod target;
 pub mod wd;
 
 pub use bug2201::Bug2201;

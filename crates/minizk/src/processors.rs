@@ -96,7 +96,7 @@ fn sync_txn(shared: &Arc<ZkShared>, zxid: u64, op: &WriteOp) -> BaseResult<()> {
     let payload = op.encode();
     // Watchdog hook before the vulnerable append (generated plan point).
     let hook_payload = payload.clone();
-    shared.hooks.site("request_processor_loop").fire(|| {
+    shared.txn_hook.fire(|| {
         vec![
             ("txn_payload".into(), CtxValue::Bytes(hook_payload)),
             ("zxid".into(), CtxValue::U64(zxid)),

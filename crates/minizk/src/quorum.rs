@@ -24,7 +24,7 @@ use wdog_base::clock::SharedClock;
 use wdog_base::error::{BaseError, BaseResult};
 
 use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::hooks::Hooks;
+use wdog_core::hooks::{HookSite, Hooks};
 
 use crate::datatree::DataTree;
 use crate::msg::ZkMsg;
@@ -95,6 +95,9 @@ pub struct ZkShared {
     pub(crate) follower_addrs: Vec<String>,
     pub(crate) running: AtomicBool,
     pub(crate) hooks: Hooks,
+    /// Per-transaction hook, resolved once so `sync_txn` publishes through
+    /// its cached slot instead of re-creating a site per request.
+    pub(crate) txn_hook: HookSite,
     pub(crate) context: Arc<ContextTable>,
     pub(crate) monitor: ResourceMonitor,
     pub(crate) stats: ZkStatsInner,
@@ -153,8 +156,7 @@ impl Follower {
                                 let _ = t.set_data(&path, data);
                             }
                             a.fetch_add(1, Ordering::Relaxed);
-                            let _ =
-                                net2.send(&my_addr, &m.src, ZkMsg::CommitAck { zxid }.encode());
+                            let _ = net2.send(&my_addr, &m.src, ZkMsg::CommitAck { zxid }.encode());
                         }
                         ZkMsg::SnapRecord { path, data } => {
                             if path != "/" && !t.exists(&path) {
@@ -251,6 +253,7 @@ impl Cluster {
             broadcast_tx,
             follower_addrs,
             running: AtomicBool::new(true),
+            txn_hook: hooks.site("request_processor_loop"),
             hooks,
             context,
             monitor,
@@ -476,18 +479,17 @@ fn broadcast_loop(shared: Arc<ZkShared>, rx: Receiver<(u64, WriteOp)>) {
         let (path, data) = match op {
             WriteOp::Create { path, data } | WriteOp::SetData { path, data } => (path, data),
         };
-        let msg = ZkMsg::Commit {
-            zxid,
-            path,
-            data,
-        };
+        let msg = ZkMsg::Commit { zxid, path, data };
         let payload = msg.encode();
         let hook_payload = payload.to_vec();
         hook.fire(|| vec![("commit_payload".into(), CtxValue::Bytes(hook_payload))]);
         for f in &shared.follower_addrs {
             let _ = shared.net.send(LEADER_ADDR, f, payload.clone());
         }
-        shared.stats.commits_broadcast.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .commits_broadcast
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -571,10 +573,7 @@ mod tests {
             || cluster.followers()[1].snap_records() >= 7,
             "snapshot records to arrive",
         );
-        assert_eq!(
-            cluster.followers()[1].get_data("/app/n3").unwrap(),
-            b"data"
-        );
+        assert_eq!(cluster.followers()[1].get_data("/app/n3").unwrap(), b"data");
     }
 
     #[test]
@@ -587,8 +586,10 @@ mod tests {
 
     #[test]
     fn crashed_cluster_times_out_writes() {
-        let mut config = ClusterConfig::default();
-        config.client_timeout = Duration::from_millis(100);
+        let config = ClusterConfig {
+            client_timeout: Duration::from_millis(100),
+            ..ClusterConfig::default()
+        };
         let cluster = Cluster::start(
             config,
             wdog_base::clock::RealClock::shared(),

@@ -1,0 +1,262 @@
+//! The [`WatchdogTarget`] implementation for minizk.
+//!
+//! minizk exposes the *substrate* fault surface: its txn log and snapshot
+//! path live on a simulated disk and its leader→follower links on a
+//! simulated network, but it has no cooperative fault toggles and no stall
+//! point, so the shared catalogue is filtered to disk, network, and crash
+//! scenarios. All disk faults land on the `txnlog/` volume and the
+//! replication scenarios wedge the leader→follower-0 link — the
+//! ZOOKEEPER-2201 shape.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wdog_base::clock::{RealClock, SharedClock};
+use wdog_base::error::BaseResult;
+use wdog_base::rng::derive_seed;
+
+use simio::disk::SimDisk;
+use simio::net::SimNet;
+use simio::LatencyModel;
+
+use faults::catalog::{Scenario, TargetProfile};
+use faults::injector::Injector;
+
+use wdog_core::driver::WatchdogDriver;
+use wdog_gen::ir::ProgramIr;
+use wdog_gen::plan::WatchdogPlan;
+
+use wdog_target::{
+    catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
+    TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver, WorkloadProfile,
+};
+
+use crate::quorum::{follower_addr, Cluster, ClusterConfig, LEADER_ADDR};
+use crate::wd::default_zk_options;
+
+/// Node the external API probe round-trips through.
+const PROBE_NODE: &str = "/__probe";
+
+/// The minizk target: leader + followers on simulated disk + network.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ZkTarget;
+
+/// Scenario locations mapped onto minizk's layout.
+fn zk_profile() -> TargetProfile {
+    TargetProfile {
+        wal_prefix: "txnlog/".into(),
+        sst_prefix: "txnlog/".into(),
+        replica_src: LEADER_ADDR.into(),
+        replica_dst: follower_addr(0),
+        flusher_component: "txnlog".into(),
+        replication_component: "commit".into(),
+        ..TargetProfile::default()
+    }
+}
+
+impl WatchdogTarget for ZkTarget {
+    fn name(&self) -> &'static str {
+        "minizk"
+    }
+
+    fn describe_ir(&self) -> ProgramIr {
+        crate::wd::describe_ir()
+    }
+
+    fn default_options(&self) -> WdOptions {
+        default_zk_options()
+    }
+
+    fn catalog(&self) -> Vec<Scenario> {
+        let mut cat = catalog_for(&zk_profile(), FaultSurface::SUBSTRATE);
+        // The shared catalogue hard-codes a few kvs-shaped hints; remap
+        // them onto minizk's components.
+        for s in &mut cat {
+            if s.expected.component_hint == "sst" {
+                s.expected.component_hint = "txnlog".into();
+            }
+            if s.expected.component_hint == "kvs" {
+                s.expected.component_hint = "minizk".into();
+            }
+        }
+        cat
+    }
+
+    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
+        let clock: SharedClock = RealClock::shared();
+        let net = SimNet::new(
+            LatencyModel::new(30.0, derive_seed(seed, "net")),
+            Arc::clone(&clock),
+        );
+        let disk = SimDisk::new(
+            1 << 30,
+            LatencyModel::new(20.0, derive_seed(seed, "disk")),
+            Arc::clone(&clock),
+        );
+        let cluster = Arc::new(Cluster::start(
+            ClusterConfig {
+                client_timeout: Duration::from_millis(500),
+                ..ClusterConfig::default()
+            },
+            Arc::clone(&clock),
+            Arc::clone(&disk),
+            net.clone(),
+        )?);
+        cluster.create(PROBE_NODE, b"probe")?;
+        Ok(Box::new(ZkInstance {
+            clock,
+            net,
+            disk,
+            cluster,
+            workload: None,
+        }))
+    }
+}
+
+/// One booted minizk testbed.
+pub struct ZkInstance {
+    clock: SharedClock,
+    net: SimNet,
+    disk: Arc<SimDisk>,
+    cluster: Arc<Cluster>,
+    workload: Option<WorkloadHandle>,
+}
+
+impl TargetInstance for ZkInstance {
+    fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    fn build_watchdog(&self, opts: &WdOptions) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
+        crate::wd::build_watchdog(&self.cluster, opts)
+    }
+
+    fn injector(&self, on_crash: CrashSignal) -> Injector {
+        let crash_cluster = Arc::clone(&self.cluster);
+        Injector::new()
+            .with_disk(Arc::clone(&self.disk))
+            .with_net(self.net.clone())
+            .with_clock(Arc::clone(&self.clock))
+            .with_crash_hook(Arc::new(move || {
+                crash_cluster.crash();
+                on_crash();
+            }))
+    }
+
+    fn start_workload(&mut self, profile: &WorkloadProfile, observer: Option<WorkloadObserver>) {
+        // Pre-create the key space so the steady mix is pure
+        // set_data/get_data (creates of existing paths would count as
+        // spurious client failures).
+        let _ = self.cluster.create("/wl", b"root");
+        for k in 0..profile.keys.max(1) {
+            let _ = self.cluster.create(&format!("/wl/n{k}"), b"initial");
+        }
+        let cluster = Arc::clone(&self.cluster);
+        self.workload = Some(spawn_workload(
+            profile,
+            observer,
+            Arc::new(move |ticket| {
+                let path = format!("/wl/n{}", ticket.key);
+                if ticket.write {
+                    cluster
+                        .set_data(&path, format!("v{}", ticket.value).as_bytes())
+                        .map(|_| ())
+                } else {
+                    cluster.get_data(&path).map(|_| ())
+                }
+            }),
+        ));
+    }
+
+    fn workload_counters(&self) -> (u64, u64) {
+        self.workload
+            .as_ref()
+            .map(|w| w.counters())
+            .unwrap_or((0, 0))
+    }
+
+    fn stop_workload(&mut self) {
+        if let Some(w) = &mut self.workload {
+            w.stop();
+        }
+    }
+
+    fn api_probe(&self) -> ApiProbe {
+        let cluster = Arc::clone(&self.cluster);
+        Arc::new(move || {
+            cluster.set_data(PROBE_NODE, b"x")?;
+            cluster.get_data(PROBE_NODE).map(|_| ())
+        })
+    }
+
+    fn liveness_probe(&self) -> LivenessProbe {
+        let cluster = Arc::clone(&self.cluster);
+        Arc::new(move || cluster.admin_ruok() == "imok")
+    }
+
+    fn errors_handled(&self) -> u64 {
+        // minizk has no in-process error-absorption counter; the
+        // error-handler baseline simply never fires here.
+        0
+    }
+
+    fn clear_faults(&self) {
+        self.disk.clear_all();
+        self.net.clear_all();
+    }
+
+    fn teardown(&mut self) {
+        self.stop_workload();
+        // Flip the running flag so cluster threads exit; the final Arc drop
+        // joins them (Cluster::drop → stop).
+        self.cluster.crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zk_catalog_is_substrate_only_with_remapped_hints() {
+        let cat = ZkTarget.catalog();
+        assert_eq!(cat.len(), 7);
+        assert!(cat.iter().all(|s| !s.kind.label().starts_with("task")));
+        assert!(cat
+            .iter()
+            .all(|s| s.expected.component_hint != "sst" && s.expected.component_hint != "kvs"));
+        let wedged = cat
+            .iter()
+            .find(|s| s.id == "replication-link-wedged")
+            .unwrap();
+        assert_eq!(
+            wedged.kind,
+            faults::spec::FaultKind::NetBlockSend {
+                src: LEADER_ADDR.into(),
+                dst: follower_addr(0),
+            }
+        );
+    }
+
+    #[test]
+    fn booted_instance_probes_and_serves_workload() {
+        let mut inst = ZkTarget.start(3).unwrap();
+        inst.api_probe()().unwrap();
+        assert!(inst.liveness_probe()());
+        inst.start_workload(
+            &WorkloadProfile {
+                threads: 2,
+                period: Duration::from_millis(2),
+                keys: 16,
+                ..WorkloadProfile::default()
+            },
+            None,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        inst.stop_workload();
+        let (ok, failed) = inst.workload_counters();
+        assert!(ok > 10, "workload too slow: ok={ok} failed={failed}");
+        assert_eq!(failed, 0);
+        inst.teardown();
+    }
+}

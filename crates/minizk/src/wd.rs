@@ -37,31 +37,24 @@ pub const TXNLOG_PROBE_PATH: &str = "txnlog/__wd_probe";
 /// Probe files are reset once they grow past this.
 const PROBE_FILE_CAP: usize = 64 * 1024;
 
-/// Tunables for the assembled minizk watchdog.
-#[derive(Debug, Clone)]
-pub struct ZkWdOptions {
-    /// Checking round interval.
-    pub interval: Duration,
-    /// Per-checker execution timeout (the stuck-detection threshold).
-    pub checker_timeout: Duration,
-    /// Latency above which mimicked ops report `Slow`.
-    pub slow_threshold: Duration,
-    /// Maximum tolerated context age (snapshot contexts go stale after a
-    /// completed sync; stale means "do not probe").
-    pub max_context_age: Option<Duration>,
-    /// Include probe and signal checkers alongside the generated mimics.
-    pub all_families: bool,
-}
+/// Tunables for the assembled minizk watchdog — the shared options type;
+/// minizk's historical tuning lives in [`default_zk_options`].
+pub use wdog_target::{Families, WdOptions};
 
-impl Default for ZkWdOptions {
-    fn default() -> Self {
-        Self {
-            interval: Duration::from_secs(2),
-            checker_timeout: Duration::from_secs(3),
-            slow_threshold: Duration::from_millis(500),
-            max_context_age: Some(Duration::from_secs(30)),
-            all_families: true,
-        }
+/// Back-compat alias for the old per-target options name.
+pub type ZkWdOptions = WdOptions;
+
+/// minizk's tuned defaults: ZooKeeper-scale intervals (seconds, not
+/// hundreds of milliseconds) and a context-age cap so snapshot contexts go
+/// stale after a completed sync (stale means "do not probe").
+pub fn default_zk_options() -> WdOptions {
+    WdOptions {
+        interval: Duration::from_secs(2),
+        checker_timeout: Duration::from_secs(3),
+        slow_threshold: Duration::from_millis(500),
+        probe_slow_threshold: Duration::from_millis(500),
+        max_context_age: Some(Duration::from_secs(30)),
+        ..WdOptions::default()
     }
 }
 
@@ -75,15 +68,21 @@ pub fn describe_ir() -> ProgramIr {
             f.long_running().call_in_loop("process_request")
         })
         .function("process_request", |f| {
-            f.compute("prep_request").call("sync_txn").call("final_apply")
+            f.compute("prep_request")
+                .call("sync_txn")
+                .call("final_apply")
         })
         .function("sync_txn", |f| {
             f.op("txnlog_append", OpKind::DiskWrite, |o| {
-                o.resource("txnlog/").in_loop().arg("txn_payload", ArgType::Bytes)
+                o.resource("txnlog/")
+                    .in_loop()
+                    .arg("txn_payload", ArgType::Bytes)
             })
             // A second write to the same log (the epoch marker): similar to
             // the append above, so reduction drops it.
-            .op("txnlog_marker", OpKind::DiskWrite, |o| o.resource("txnlog/"))
+            .op("txnlog_marker", OpKind::DiskWrite, |o| {
+                o.resource("txnlog/")
+            })
             .op("txnlog_sync", OpKind::DiskSync, |o| o.resource("txnlog/"))
         })
         .function("final_apply", |f| {
@@ -111,7 +110,9 @@ pub fn describe_ir() -> ProgramIr {
         .function("serialize_snapshot", |f| {
             f.compute("reset_scount").call("serialize")
         })
-        .function("serialize", |f| f.compute("init_path").call("serialize_node"))
+        .function("serialize", |f| {
+            f.compute("init_path").call("serialize_node")
+        })
         .function("serialize_node", |f| {
             f.compute("get_node")
                 .op("node_lock", OpKind::LockAcquire, |o| {
@@ -284,23 +285,25 @@ pub fn build_watchdog(
     );
 
     let plan = generate_zk_plan(&ReductionConfig::default());
-    let table = op_table(cluster);
-    let mimics = instantiate(
-        &plan,
-        &table,
-        &cluster.context().reader(),
-        &clock,
-        &InstantiateOptions {
-            timeout: Some(opts.checker_timeout),
-            max_context_age: opts.max_context_age,
-            slow_threshold: Some(opts.slow_threshold),
-        },
-    )?;
-    for c in mimics {
-        driver.register(Box::new(c))?;
+    if opts.families.mimics {
+        let table = op_table(cluster);
+        let mimics = instantiate(
+            &plan,
+            &table,
+            &cluster.context().reader(),
+            &clock,
+            &InstantiateOptions {
+                timeout: Some(opts.checker_timeout),
+                max_context_age: opts.max_context_age,
+                slow_threshold: Some(opts.slow_threshold),
+            },
+        )?;
+        for c in mimics {
+            driver.register(Box::new(c))?;
+        }
     }
 
-    if opts.all_families {
+    if opts.families.probes {
         // Probe checker: a write through the public API.
         let tree = cluster.tree();
         let counter = std::sync::atomic::AtomicU64::new(0);
@@ -321,24 +324,26 @@ pub fn build_watchdog(
                     tree.get_data("/").map(|_| ())
                 },
             )
-            .with_slow_threshold(opts.slow_threshold)
+            .with_slow_threshold(opts.probe_slow_threshold)
             .with_timeout(opts.checker_timeout),
         ))?;
+    }
 
+    if opts.families.signals {
         // Signal checkers: pipeline and broadcast backlogs.
         driver.register(Box::new(QueueDepthChecker::new(
             "minizk.signal.pipeline",
             "minizk.processors",
             cluster.monitor(),
             "pipeline",
-            512,
+            opts.queue_threshold,
         )))?;
         driver.register(Box::new(QueueDepthChecker::new(
             "minizk.signal.broadcast",
             "minizk.quorum",
             cluster.monitor(),
             "broadcast",
-            512,
+            opts.queue_threshold,
         )))?;
     }
 
@@ -372,12 +377,9 @@ mod tests {
         );
         // The generated hook sits before write_record in serialize_node,
         // publishing into the region context — Figure 2 line 28.
-        assert!(plan
-            .hooks
-            .iter()
-            .any(|h| h.function == "serialize_node"
-                && h.before_op == "write_record"
-                && h.context_key == "snapshot_sync_loop"));
+        assert!(plan.hooks.iter().any(|h| h.function == "serialize_node"
+            && h.before_op == "write_record"
+            && h.context_key == "snapshot_sync_loop"));
     }
 
     #[test]
@@ -411,7 +413,7 @@ mod tests {
         }
         let opts = ZkWdOptions {
             interval: Duration::from_millis(50),
-            ..ZkWdOptions::default()
+            ..default_zk_options()
         };
         let (mut driver, _) = build_watchdog(&cluster, &opts).unwrap();
         driver.start().unwrap();

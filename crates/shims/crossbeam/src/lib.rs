@@ -1,0 +1,9 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` — multi-producer **multi-consumer**
+//! channels with optional capacity — implemented over a mutex-protected
+//! `VecDeque` plus two condition variables. std's `mpsc` is not sufficient
+//! because the workspace clones `Receiver`s (per-checker executors and
+//! worker pools all drain one queue).
+
+pub mod channel;

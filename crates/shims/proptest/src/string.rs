@@ -1,0 +1,129 @@
+//! String generation from the character-class pattern subset the workspace
+//! uses: sequences of `[class]{m,n}`, `[class]{n}`, or literal characters,
+//! where a class holds plain characters and `a-z` style ranges.
+
+use crate::TestRng;
+
+/// Generates one string matching `pattern`.
+///
+/// Panics on syntax outside the supported subset — that is a test-author
+/// error, not a runtime condition.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i);
+                i = next;
+                let (min, max, next) = parse_repeat(&chars, i);
+                i = next;
+                let n = if max > min {
+                    min + rng.below(max - min + 1)
+                } else {
+                    min
+                };
+                for _ in 0..n {
+                    out.push(class[rng.below(class.len())]);
+                }
+            }
+            '\\' => {
+                i += 1;
+                if i < chars.len() {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                assert!(
+                    !"{}()*+?|^$.".contains(c),
+                    "unsupported pattern syntax `{c}` in {pattern:?}"
+                );
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parses `[...]` starting at `start` (which must point at `[`); returns
+/// the expanded character set and the index after `]`.
+fn parse_class(chars: &[char], start: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut i = start + 1;
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    assert!(!set.is_empty(), "empty character class");
+    (set, i + 1)
+}
+
+/// Parses an optional `{m,n}` or `{n}` repetition; returns (min, max, next
+/// index). Without a repetition, both are 1.
+fn parse_repeat(chars: &[char], start: usize) -> (usize, usize, usize) {
+    if start >= chars.len() || chars[start] != '{' {
+        return (1, 1, start);
+    }
+    let mut i = start + 1;
+    let mut text = String::new();
+    while i < chars.len() && chars[i] != '}' {
+        text.push(chars[i]);
+        i += 1;
+    }
+    assert!(i < chars.len(), "unterminated repetition");
+    let (min, max) = match text.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repeat min"),
+            hi.trim().parse().expect("repeat max"),
+        ),
+        None => {
+            let n = text.trim().parse().expect("repeat count");
+            (n, n)
+        }
+    };
+    (min, max, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_bounds() {
+        let mut rng = TestRng::for_case("string", 0);
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::for_case("string2", 0);
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_case("string3", 0);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Real serde is a zero-copy visitor framework; this shim is a small
+//! value-model codec that preserves the property the workspace actually
+//! relies on — faithful round-trips of plain data types through JSON — while
+//! building with no external dependencies. `Serialize` lowers a value into
+//! a [`Value`] tree, `Deserialize` rebuilds it, and the in-workspace
+//! `serde_json` shim prints/parses that tree as standard JSON. The
+//! `#[derive(Serialize, Deserialize)]` macros come from the sibling
+//! `serde_derive` proc-macro crate and follow serde's data model: structs as
+//! objects, newtype structs as their inner value, enums externally tagged.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error: a message plus a breadcrumb path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Prefixes the error with a location breadcrumb (`Struct.field`).
+    pub fn context(self, location: &str) -> Self {
+        Error {
+            msg: format!("{location}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value-model representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from its value-model representation.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field in an object, treating a missing key as `Null`
+/// (so `Option` fields tolerate omission, as with real serde).
+pub fn from_field<T: Deserialize>(obj: &Map, type_name: &str, field: &str) -> Result<T, Error> {
+    static NULL: Value = Value::Null;
+    let value = obj.get(field).unwrap_or(&NULL);
+    T::from_value(value).map_err(|e| e.context(&format!("{type_name}.{field}")))
+}

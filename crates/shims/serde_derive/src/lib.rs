@@ -1,0 +1,435 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives the value-model `Serialize`/`Deserialize` traits defined by the
+//! in-workspace `serde` shim. The derive follows serde's data model for the
+//! shapes this workspace uses:
+//!
+//! - named-field structs   → JSON objects keyed by field name
+//! - newtype structs       → the inner value, untagged
+//! - multi-field tuple structs → arrays
+//! - unit structs          → `null`
+//! - enums                 → externally tagged: unit variants as `"Name"`,
+//!   payload variants as `{"Name": value | [values] | {fields}}`
+//!
+//! Implemented with raw `proc_macro` token iteration (no `syn`/`quote`,
+//! which are unavailable offline). Generic types are not supported — the
+//! workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` with field count.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let body = match which {
+        Trait::Serialize => gen_serialize(&name, &shape),
+        Trait::Deserialize => gen_deserialize(&name, &shape),
+    };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type {name} is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+        other => Err(format!("expected struct/enum, got `{other}`")),
+    }
+}
+
+/// Skips leading `#[...]` attributes (including doc comments) and
+/// `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields of a tuple struct/variant: comma-separated
+/// segments at angle-bracket depth 0 (ignoring a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                depth -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    count += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde_derive shim: explicit discriminant on variant {name} is not supported"
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => ser_named_fields(fields, "self."),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    VariantFields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                        v = v.name
+                    ),
+                    VariantFields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::tagged(\"{v}\", ::serde::Serialize::to_value(f0)),",
+                        v = v.name
+                    ),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::tagged(\"{v}\", ::serde::Value::Array(vec![{items}])),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let obj = ser_named_fields(fields, "");
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::tagged(\"{v}\", {obj}),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Builds a `Value::Object` expression from field names; `prefix` is
+/// `"self."` for structs and empty for destructured enum variants.
+fn ser_named_fields(fields: &[String], prefix: &str) -> String {
+    let mut out = String::from("{ let mut m = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(m) }");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "if value.is_null() {{ Ok({name}) }} else {{ \
+             Err(::serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Shape::NamedStruct(fields) => {
+            let inner = de_named_fields(name, fields);
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected object for {name}, got {{}}\", value.kind())))?;\n\
+                 Ok({name} {inner})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value).map_err(|e| e.context(\"{name}\"))?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", items.len()))); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => de_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn de_named_fields(type_name: &str, fields: &[String]) -> String {
+    let mut out = String::from("{\n");
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::from_field(obj, \"{type_name}\", \"{f}\")?,\n"
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings; payload variants as one-entry
+    // objects. Unit variants inside an object (`{"V": null}`) also accepted.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{v}\" => return Ok({name}::{v}),", v = v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .map(|v| match &v.fields {
+            VariantFields::Unit => {
+                format!("\"{v}\" => Ok({name}::{v}),", v = v.name)
+            }
+            VariantFields::Tuple(1) => format!(
+                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)\
+                 .map_err(|e| e.context(\"{name}::{v}\"))?)),",
+                v = v.name
+            ),
+            VariantFields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     let items = inner.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                     if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                     \"wrong arity for {name}::{v}\")); }}\n\
+                     Ok({name}::{v}({items}))\n}}",
+                    v = v.name,
+                    items = items.join(", ")
+                )
+            }
+            VariantFields::Named(fields) => {
+                let inner_fields = de_named_fields(&format!("{name}::{}", v.name), fields);
+                format!(
+                    "\"{v}\" => {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                     Ok({name}::{v} {inner_fields})\n}}",
+                    v = v.name
+                )
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+         ::serde::Value::Str(s) => {{\n\
+         match s.as_str() {{\n{units}\n_ => {{}}\n}}\n\
+         Err(::serde::Error::custom(format!(\"unknown {name} variant {{s}}\")))\n\
+         }}\n\
+         ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+         let (tag, inner) = m.iter().next().expect(\"one entry\");\n\
+         match tag.as_str() {{\n{tagged}\n\
+         other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n\
+         }}\n\
+         }}\n\
+         other => Err(::serde::Error::custom(format!(\"expected {name}, got {{}}\", other.kind()))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}

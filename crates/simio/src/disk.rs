@@ -500,10 +500,7 @@ mod tests {
             wdog_base::clock::RealClock::shared(),
         );
         d.append("f", b"0123456789").unwrap();
-        assert!(matches!(
-            d.append("f", b"x"),
-            Err(BaseError::Exhausted(_))
-        ));
+        assert!(matches!(d.append("f", b"x"), Err(BaseError::Exhausted(_))));
         // Removing frees space.
         d.remove("f").unwrap();
         d.append("f", b"x").unwrap();
@@ -563,7 +560,11 @@ mod tests {
     #[test]
     fn stuck_fault_blocks_until_cleared() {
         let d = SimDisk::for_tests();
-        let h = d.inject(FaultRule::scoped("f", vec![DiskOpKind::Write], DiskFault::Stuck));
+        let h = d.inject(FaultRule::scoped(
+            "f",
+            vec![DiskOpKind::Write],
+            DiskFault::Stuck,
+        ));
         let d2 = Arc::clone(&d);
         let t = std::thread::spawn(move || d2.append("f", b"x"));
         std::thread::sleep(Duration::from_millis(30));

@@ -99,8 +99,7 @@ impl LinkRule {
     }
 
     fn matches(&self, src: &str, dst: &str) -> bool {
-        self.src.as_deref().is_none_or(|s| s == src)
-            && self.dst.as_deref().is_none_or(|d| d == dst)
+        self.src.as_deref().is_none_or(|s| s == src) && self.dst.as_deref().is_none_or(|d| d == dst)
     }
 }
 
@@ -269,9 +268,12 @@ impl SimNet {
     pub fn send(&self, src: &str, dst: &str, payload: Bytes) -> BaseResult<()> {
         // Block while a matching block-send fault is armed.
         loop {
-            let blocked = self.shared.faults.read().iter().any(|(_, r)| {
-                matches!(r.fault, NetFault::BlockSend) && r.matches(src, dst)
-            });
+            let blocked = self
+                .shared
+                .faults
+                .read()
+                .iter()
+                .any(|(_, r)| matches!(r.fault, NetFault::BlockSend) && r.matches(src, dst));
             if !blocked {
                 break;
             }
@@ -363,7 +365,9 @@ impl SimNet {
 
 impl std::fmt::Debug for SimNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimNet").field("stats", &self.stats()).finish()
+        f.debug_struct("SimNet")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 

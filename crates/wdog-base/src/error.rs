@@ -109,9 +109,6 @@ mod tests {
         assert_eq!(BaseError::Corruption("x".into()).class(), "corruption");
         assert_eq!(BaseError::NotFound("x".into()).class(), "not-found");
         assert_eq!(BaseError::Exhausted("x".into()).class(), "exhausted");
-        assert_eq!(
-            BaseError::InvalidState("x".into()).class(),
-            "invalid-state"
-        );
+        assert_eq!(BaseError::InvalidState("x".into()).class(), "invalid-state");
     }
 }

@@ -174,19 +174,14 @@ impl Checker for MimicChecker {
             }
         }
         for op in &self.ops {
-            if op
-                .required_fields
-                .iter()
-                .any(|f| snapshot.get(f).is_none())
-            {
+            if op.required_fields.iter().any(|f| snapshot.get(f).is_none()) {
                 return CheckStatus::NotReady;
             }
         }
 
         for op in &mut self.ops {
-            let location =
-                FaultLocation::new(self.component.clone(), op.function.clone())
-                    .with_op(op.op.clone());
+            let location = FaultLocation::new(self.component.clone(), op.function.clone())
+                .with_op(op.op.clone());
             if let Some(probe) = &self.probe {
                 probe.enter(location.clone());
             }
@@ -327,7 +322,10 @@ mod tests {
         };
         assert_eq!(f.kind, FailureKind::Error);
         assert_eq!(f.location.function, "flush_memtable");
-        assert_eq!(f.location.operation.as_ref().unwrap().as_str(), "disk_write");
+        assert_eq!(
+            f.location.operation.as_ref().unwrap().as_str(),
+            "disk_write"
+        );
         assert_eq!(f.payload, vec![("path".to_string(), "wal/0".to_string())]);
     }
 
@@ -380,15 +378,9 @@ mod tests {
         let t = ContextTable::new(clock.clone());
         t.publish("k", vec![]);
         clock.advance(Duration::from_secs(60));
-        let mut c = MimicChecker::new(
-            "c",
-            "comp",
-            "k",
-            t.reader(),
-            clock.clone(),
-        )
-        .with_max_context_age(Duration::from_secs(30))
-        .push_op(MimicOp::new("w", "f", Box::new(|_| Ok(()))));
+        let mut c = MimicChecker::new("c", "comp", "k", t.reader(), clock.clone())
+            .with_max_context_age(Duration::from_secs(30))
+            .push_op(MimicOp::new("w", "f", Box::new(|_| Ok(()))));
         assert_eq!(c.check(), CheckStatus::NotReady);
         // Refreshing the context makes it runnable again.
         t.publish("k", vec![]);

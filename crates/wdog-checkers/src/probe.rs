@@ -172,7 +172,10 @@ mod tests {
         };
         assert_eq!(f.kind, FailureKind::Error);
         assert_eq!(f.location.function, "set");
-        assert!(f.location.operation.is_none(), "probes must not pinpoint ops");
+        assert!(
+            f.location.operation.is_none(),
+            "probes must not pinpoint ops"
+        );
         assert!(f.detail.contains("write failed"));
     }
 

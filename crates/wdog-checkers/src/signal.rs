@@ -299,7 +299,10 @@ impl Checker for LoadChecker {
             CheckStatus::Fail(CheckFailure::new(
                 FailureKind::AssertViolation,
                 indicator_location(&self.component, "load"),
-                format!("{load} operations in flight (threshold {})", self.max_inflight),
+                format!(
+                    "{load} operations in flight (threshold {})",
+                    self.max_inflight
+                ),
             ))
         } else {
             CheckStatus::Pass
@@ -437,11 +440,7 @@ mod tests {
 
     #[test]
     fn disk_space_fires_when_nearly_full() {
-        let disk = SimDisk::new(
-            100,
-            simio::LatencyModel::zero(),
-            RealClock::shared(),
-        );
+        let disk = SimDisk::new(100, simio::LatencyModel::zero(), RealClock::shared());
         let mut c = DiskSpaceChecker::new("ds", "proc", Arc::clone(&disk), 0.8);
         disk.append("f", &[0u8; 70]).unwrap();
         assert!(c.check().is_pass());

@@ -124,7 +124,7 @@ impl<A: Action> Action for EscalatingAction<A> {
             let mut counts = self.counts.lock();
             let c = counts.entry(report.location.component.clone()).or_insert(0);
             *c += 1;
-            *c % self.threshold == 0
+            c.is_multiple_of(self.threshold)
         };
         if fire {
             self.escalations.fetch_add(1, Ordering::Relaxed);
@@ -293,10 +293,7 @@ mod tests {
                 CheckStatus::Pass
             }
         });
-        let gate = ImpactGatedAction::new(
-            Box::new(probe),
-            Arc::clone(&log) as Arc<dyn Action>,
-        );
+        let gate = ImpactGatedAction::new(Box::new(probe), Arc::clone(&log) as Arc<dyn Action>);
         // No client impact: the mimic detection is suppressed.
         gate.on_failure(&report("kvs.wal"));
         assert_eq!(gate.counters(), (0, 1));

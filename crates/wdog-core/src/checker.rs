@@ -267,13 +267,9 @@ mod tests {
 
     #[test]
     fn failure_builder_chains() {
-        let f = CheckFailure::new(
-            FailureKind::Error,
-            FaultLocation::new("c", "f"),
-            "boom",
-        )
-        .with_payload(vec![("k".into(), "v".into())])
-        .with_latency_ms(12);
+        let f = CheckFailure::new(FailureKind::Error, FaultLocation::new("c", "f"), "boom")
+            .with_payload(vec![("k".into(), "v".into())])
+            .with_latency_ms(12);
         assert_eq!(f.observed_latency_ms, Some(12));
         assert_eq!(f.payload.len(), 1);
         assert!(CheckStatus::Fail(f).is_fail());

@@ -14,12 +14,27 @@
 //! deep copy — which is the paper's *context replication* isolation
 //! mechanism (§5.1): a checker mutating its snapshot can never corrupt the
 //! main program's data.
+//!
+//! # Sharded layout
+//!
+//! Contexts are stored as pre-registered, index-addressed [`ContextSlot`]s,
+//! each with its own small mutex. A hook site calls
+//! [`ContextTable::register`] once when it is created and caches the
+//! returned `Arc<ContextSlot>`; every subsequent publish locks only that
+//! slot. Two components publishing into different slots never contend, and
+//! the hot path performs no key hashing and takes no table-wide lock. The
+//! string-keyed [`ContextTable::publish`]/[`ContextTable::read`] API is
+//! preserved as a convenience path that resolves the slot through a
+//! read-mostly index map. The original single `RwLock<HashMap>` design is
+//! retained in [`baseline`] purely so the overhead benchmark can measure the
+//! sharded layout against it.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use wdog_base::clock::SharedClock;
@@ -109,13 +124,6 @@ impl From<bool> for CtxValue {
     }
 }
 
-#[derive(Debug, Clone, Default)]
-struct Slot {
-    fields: HashMap<String, CtxValue>,
-    version: u64,
-    updated_at: Duration,
-}
-
 /// A deep-copied view of one context slot at read time.
 ///
 /// Mutating a snapshot has no effect on the table — this is the context
@@ -148,15 +156,110 @@ impl ContextSnapshot {
     }
 }
 
+/// Mutable slot contents, guarded by the per-slot mutex.
+#[derive(Debug, Default)]
+struct SlotState {
+    fields: HashMap<String, CtxValue>,
+    updated_at: Duration,
+}
+
+/// One pre-registered context slot with its own lock.
+///
+/// Hook sites hold an `Arc<ContextSlot>` resolved once at site creation, so
+/// the publish hot path is: one relaxed enable check (in the hook), one
+/// per-slot mutex, one field merge. The `version` counter doubles as the
+/// "ever published" flag (0 = registered but empty) and is readable without
+/// the lock.
+pub struct ContextSlot {
+    key: String,
+    id: usize,
+    clock: SharedClock,
+    version: AtomicU64,
+    state: Mutex<SlotState>,
+}
+
+impl ContextSlot {
+    fn new(key: String, id: usize, clock: SharedClock) -> Self {
+        Self {
+            key,
+            id,
+            clock,
+            version: AtomicU64::new(0),
+            state: Mutex::new(SlotState::default()),
+        }
+    }
+
+    /// Returns the context key this slot stores.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Returns the slot's registration index (stable for the table's life).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Publishes fields, replacing same-named fields and bumping the slot
+    /// version. Called from main-program hook sites; locks only this slot.
+    pub fn publish(&self, fields: Vec<(String, CtxValue)>) {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        for (k, v) in fields {
+            state.fields.insert(k, v);
+        }
+        state.updated_at = now;
+        // Bumped under the lock so locked readers see version and fields
+        // move together; lock-free peeks only need Acquire/Release.
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Reads a deep copy, or `None` if nothing was ever published.
+    pub fn snapshot(&self) -> Option<ContextSnapshot> {
+        if self.version.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let now = self.clock.now();
+        let state = self.state.lock();
+        let snap = ContextSnapshot {
+            fields: state.fields.clone(),
+            version: self.version.load(Ordering::Acquire),
+            age: now.saturating_sub(state.updated_at),
+        };
+        Some(snap)
+    }
+
+    /// Returns the current version without locking (0 = never published).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` once the slot has been published at least once.
+    pub fn is_ready(&self) -> bool {
+        self.version() > 0
+    }
+}
+
+impl std::fmt::Debug for ContextSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextSlot")
+            .field("key", &self.key)
+            .field("id", &self.id)
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
 /// The table of all checker contexts inside one watchdog.
 ///
 /// Keys are free-form strings; by convention the generated watchdogs use the
 /// reduced function's name (e.g. `"serialize_snapshot"`). Writes happen only
-/// through [`ContextTable::publish`], which the hook machinery calls from
-/// the main program's threads; checkers hold a [`ContextReader`].
+/// through [`ContextTable::publish`] or a registered [`ContextSlot`], which
+/// the hook machinery calls from the main program's threads; checkers hold a
+/// [`ContextReader`]. The key → slot index is touched only at registration
+/// and string-keyed lookup, never on a slot-handle publish.
 pub struct ContextTable {
     clock: SharedClock,
-    slots: RwLock<HashMap<String, Slot>>,
+    index: RwLock<HashMap<String, Arc<ContextSlot>>>,
 }
 
 impl ContextTable {
@@ -164,42 +267,62 @@ impl ContextTable {
     pub fn new(clock: SharedClock) -> Arc<Self> {
         Arc::new(Self {
             clock,
-            slots: RwLock::new(HashMap::new()),
+            index: RwLock::new(HashMap::new()),
         })
     }
 
-    /// Publishes fields into a slot, replacing same-named fields and bumping
-    /// the slot version. Called from main-program hook sites.
-    pub fn publish(&self, key: &str, fields: Vec<(String, CtxValue)>) {
-        let now = self.clock.now();
-        let mut slots = self.slots.write();
-        let slot = slots.entry(key.to_owned()).or_default();
-        for (k, v) in fields {
-            slot.fields.insert(k, v);
+    /// Registers (or finds) the slot for `key`, returning a handle that
+    /// publishes without consulting the table again. Hook sites call this
+    /// once at creation and cache the handle.
+    pub fn register(&self, key: &str) -> Arc<ContextSlot> {
+        if let Some(slot) = self.index.read().get(key) {
+            return Arc::clone(slot);
         }
-        slot.version += 1;
-        slot.updated_at = now;
+        let mut index = self.index.write();
+        if let Some(slot) = index.get(key) {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(ContextSlot::new(
+            key.to_owned(),
+            index.len(),
+            self.clock.clone(),
+        ));
+        index.insert(key.to_owned(), Arc::clone(&slot));
+        slot
+    }
+
+    /// Looks up the slot for `key` without creating it.
+    pub fn slot(&self, key: &str) -> Option<Arc<ContextSlot>> {
+        self.index.read().get(key).map(Arc::clone)
+    }
+
+    /// Publishes fields into a slot, replacing same-named fields and bumping
+    /// the slot version. String-keyed convenience path; hot code should
+    /// publish through a registered [`ContextSlot`] instead.
+    pub fn publish(&self, key: &str, fields: Vec<(String, CtxValue)>) {
+        self.register(key).publish(fields);
     }
 
     /// Reads a deep copy of a slot, or `None` if it was never published.
     pub fn read(&self, key: &str) -> Option<ContextSnapshot> {
-        let now = self.clock.now();
-        let slots = self.slots.read();
-        slots.get(key).map(|s| ContextSnapshot {
-            fields: s.fields.clone(),
-            version: s.version,
-            age: now.saturating_sub(s.updated_at),
-        })
+        self.slot(key).and_then(|s| s.snapshot())
     }
 
-    /// Returns `true` if the slot exists — the paper's "context ready" test.
+    /// Returns `true` if the slot has been published — the paper's "context
+    /// ready" test. Registered-but-empty slots are not ready.
     pub fn is_ready(&self, key: &str) -> bool {
-        self.slots.read().contains_key(key)
+        self.slot(key).is_some_and(|s| s.is_ready())
     }
 
     /// Returns the keys of all published slots, sorted.
     pub fn keys(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.slots.read().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .index
+            .read()
+            .values()
+            .filter(|s| s.is_ready())
+            .map(|s| s.key().to_owned())
+            .collect();
         v.sort();
         v
     }
@@ -244,6 +367,68 @@ impl std::fmt::Debug for ContextReader {
     }
 }
 
+pub mod baseline {
+    //! The pre-sharding context table: one `RwLock<HashMap>` for everything.
+    //!
+    //! Every publish from any component serializes on the same write lock
+    //! and re-hashes its key. Kept only as the comparison point for
+    //! `bench/benches/overhead.rs`; production code uses the sharded
+    //! [`ContextTable`](super::ContextTable).
+
+    use super::*;
+
+    #[derive(Debug, Clone, Default)]
+    struct Slot {
+        fields: HashMap<String, CtxValue>,
+        version: u64,
+        updated_at: Duration,
+    }
+
+    /// Single-lock context table retained for benchmarking.
+    pub struct BaselineContextTable {
+        clock: SharedClock,
+        slots: RwLock<HashMap<String, Slot>>,
+    }
+
+    impl BaselineContextTable {
+        /// Creates an empty table on the given clock.
+        pub fn new(clock: SharedClock) -> Arc<Self> {
+            Arc::new(Self {
+                clock,
+                slots: RwLock::new(HashMap::new()),
+            })
+        }
+
+        /// Publishes fields under the table-wide write lock.
+        pub fn publish(&self, key: &str, fields: Vec<(String, CtxValue)>) {
+            let now = self.clock.now();
+            let mut slots = self.slots.write();
+            let slot = slots.entry(key.to_owned()).or_default();
+            for (k, v) in fields {
+                slot.fields.insert(k, v);
+            }
+            slot.version += 1;
+            slot.updated_at = now;
+        }
+
+        /// Reads a deep copy under the table-wide read lock.
+        pub fn read(&self, key: &str) -> Option<ContextSnapshot> {
+            let now = self.clock.now();
+            let slots = self.slots.read();
+            slots.get(key).map(|s| ContextSnapshot {
+                fields: s.fields.clone(),
+                version: s.version,
+                age: now.saturating_sub(s.updated_at),
+            })
+        }
+
+        /// Returns `true` if the slot exists.
+        pub fn is_ready(&self, key: &str) -> bool {
+            self.slots.read().contains_key(key)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +439,16 @@ mod tests {
         let table = ContextTable::new(VirtualClock::shared());
         assert!(!table.is_ready("x"));
         assert!(table.read("x").is_none());
+    }
+
+    #[test]
+    fn registered_but_unpublished_slot_is_not_ready() {
+        let table = ContextTable::new(VirtualClock::shared());
+        let slot = table.register("x");
+        assert!(!slot.is_ready());
+        assert!(!table.is_ready("x"));
+        assert!(table.read("x").is_none());
+        assert!(table.keys().is_empty());
     }
 
     #[test]
@@ -335,7 +530,66 @@ mod tests {
         assert!(!reader.is_ready("k"));
         table.publish("k", vec![("a".into(), CtxValue::U64(7))]);
         assert!(reader.is_ready("k"));
-        assert_eq!(reader.read("k").unwrap().get("a").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            reader.read("k").unwrap().get("a").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn register_is_idempotent_and_ids_are_stable() {
+        let table = ContextTable::new(VirtualClock::shared());
+        let a0 = table.register("a");
+        let b = table.register("b");
+        let a1 = table.register("a");
+        assert_eq!(a0.id(), a1.id());
+        assert!(Arc::ptr_eq(&a0, &a1));
+        assert_ne!(a0.id(), b.id());
+        assert_eq!(a0.key(), "a");
+    }
+
+    #[test]
+    fn slot_handle_publish_is_visible_through_string_reads() {
+        let table = ContextTable::new(VirtualClock::shared());
+        let slot = table.register("k");
+        slot.publish(vec![("a".into(), CtxValue::U64(9))]);
+        assert!(table.is_ready("k"));
+        assert_eq!(table.read("k").unwrap().get("a").unwrap().as_u64(), Some(9));
+        assert_eq!(slot.snapshot().unwrap().version, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_slots_do_not_interfere() {
+        let table = ContextTable::new(VirtualClock::shared());
+        let slots: Vec<_> = (0..4).map(|i| table.register(&format!("s{i}"))).collect();
+        std::thread::scope(|scope| {
+            for slot in &slots {
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        slot.publish(vec![("i".into(), CtxValue::U64(i))]);
+                    }
+                });
+            }
+        });
+        for slot in &slots {
+            let snap = slot.snapshot().unwrap();
+            assert_eq!(snap.version, 1000);
+            assert_eq!(snap.get("i").unwrap().as_u64(), Some(999));
+        }
+    }
+
+    #[test]
+    fn baseline_table_matches_sharded_semantics() {
+        let sharded = ContextTable::new(VirtualClock::shared());
+        let base = baseline::BaselineContextTable::new(VirtualClock::shared());
+        for t in [0u64, 1, 2] {
+            sharded.publish("k", vec![("t".into(), CtxValue::U64(t))]);
+            base.publish("k", vec![("t".into(), CtxValue::U64(t))]);
+        }
+        let (s, b) = (sharded.read("k").unwrap(), base.read("k").unwrap());
+        assert_eq!(s.version, b.version);
+        assert_eq!(s.get("t"), b.get("t"));
+        assert!(base.is_ready("k") && sharded.is_ready("k"));
     }
 
     #[test]

@@ -330,9 +330,8 @@ fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
         .name(format!("wdog-exec-{id}"))
         .spawn(move || {
             while run_rx.recv().is_ok() {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    checker.check()
-                }));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.check()));
                 let status = match outcome {
                     Ok(s) => s,
                     Err(payload) => {
@@ -613,9 +612,10 @@ mod tests {
                 self.probe = Some(probe);
             }
             fn check(&mut self) -> CheckStatus {
-                self.probe.as_ref().unwrap().enter(
-                    FaultLocation::new("zk.sync", "serialize_node").with_op("net::send"),
-                );
+                self.probe
+                    .as_ref()
+                    .unwrap()
+                    .enter(FaultLocation::new("zk.sync", "serialize_node").with_op("net::send"));
                 while self.gate.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(2));
                 }
@@ -629,9 +629,15 @@ mod tests {
         }))
         .unwrap();
         d.start().unwrap();
-        assert!(wait_until(|| d.stats().timeouts >= 1, Duration::from_secs(5)));
+        assert!(wait_until(
+            || d.stats().timeouts >= 1,
+            Duration::from_secs(5)
+        ));
         let reports = d.log().reports();
-        let stuck = reports.iter().find(|r| r.kind == FailureKind::Stuck).unwrap();
+        let stuck = reports
+            .iter()
+            .find(|r| r.kind == FailureKind::Stuck)
+            .unwrap();
         assert_eq!(stuck.location.function, "serialize_node");
         assert_eq!(
             stuck.location.operation.as_ref().unwrap().as_str(),
@@ -660,7 +666,10 @@ mod tests {
         ))
         .unwrap();
         d.start().unwrap();
-        assert!(wait_until(|| d.stats().timeouts >= 1, Duration::from_secs(5)));
+        assert!(wait_until(
+            || d.stats().timeouts >= 1,
+            Duration::from_secs(5)
+        ));
         std::thread::sleep(Duration::from_millis(100));
         d.stop();
         // One episode lasting ~400ms must yield exactly one stuck report.
@@ -767,10 +776,15 @@ mod tests {
     #[test]
     fn not_ready_checkers_are_counted_not_reported() {
         let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("nr", "c", || CheckStatus::NotReady)))
-            .unwrap();
+        d.register(Box::new(FnChecker::new("nr", "c", || {
+            CheckStatus::NotReady
+        })))
+        .unwrap();
         d.start().unwrap();
-        assert!(wait_until(|| d.stats().not_ready >= 3, Duration::from_secs(5)));
+        assert!(wait_until(
+            || d.stats().not_ready >= 3,
+            Duration::from_secs(5)
+        ));
         d.stop();
         assert!(d.log().is_empty());
     }

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::context::{ContextTable, CtxValue};
+use crate::context::{ContextSlot, ContextTable, CtxValue};
 
 /// Shared hook infrastructure for one instrumented program.
 ///
@@ -56,9 +56,13 @@ impl Hooks {
     }
 
     /// Creates a hook site that publishes into the context slot `key`.
+    ///
+    /// The slot is registered and resolved here, once; firing the site never
+    /// consults the table's key index again.
     pub fn site(&self, key: impl Into<String>) -> HookSite {
+        let key = key.into();
         HookSite {
-            key: key.into(),
+            slot: self.table.register(&key),
             hooks: self.clone(),
         }
     }
@@ -98,7 +102,7 @@ impl std::fmt::Debug for Hooks {
 /// ```
 #[derive(Clone)]
 pub struct HookSite {
-    key: String,
+    slot: Arc<ContextSlot>,
     hooks: Hooks,
 }
 
@@ -106,7 +110,8 @@ impl HookSite {
     /// Publishes state built by `fields` if hooks are enabled.
     ///
     /// The closure runs only when enabled, so argument capture costs nothing
-    /// when the watchdog is off.
+    /// when the watchdog is off. The site holds its slot handle, so an
+    /// enabled fire locks only this slot — no key hashing, no table lock.
     pub fn fire<F>(&self, fields: F)
     where
         F: FnOnce() -> Vec<(String, CtxValue)>,
@@ -114,19 +119,26 @@ impl HookSite {
         if !self.hooks.enabled.load(Ordering::Relaxed) {
             return;
         }
-        self.hooks.table.publish(&self.key, fields());
+        self.slot.publish(fields());
         self.hooks.fired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Returns the context key this site publishes to.
     pub fn key(&self) -> &str {
-        &self.key
+        self.slot.key()
+    }
+
+    /// Returns the cached slot handle this site publishes through.
+    pub fn slot(&self) -> &Arc<ContextSlot> {
+        &self.slot
     }
 }
 
 impl std::fmt::Debug for HookSite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HookSite").field("key", &self.key).finish()
+        f.debug_struct("HookSite")
+            .field("key", &self.key())
+            .finish()
     }
 }
 
@@ -208,8 +220,8 @@ mod tests {
         let a = hooks.site("a");
         let b = hooks.site("b");
         hooks.set_enabled(false);
-        a.fire(|| vec![]);
-        b.fire(|| vec![]);
+        a.fire(Vec::new);
+        b.fire(Vec::new);
         assert_eq!(hooks.fired_count(), 0);
     }
 

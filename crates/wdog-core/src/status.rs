@@ -194,7 +194,10 @@ mod tests {
         let board = HealthBoard::new(clock.clone(), Duration::from_secs(10));
         board.record(&report("a", FailureKind::Error));
         clock.advance(Duration::from_secs(11));
-        assert_eq!(board.component(&ComponentId::new("a")), ComponentHealth::Healthy);
+        assert_eq!(
+            board.component(&ComponentId::new("a")),
+            ComponentHealth::Healthy
+        );
         assert_eq!(board.overall(), ComponentHealth::Healthy);
     }
 
@@ -203,8 +206,14 @@ mod tests {
         let board = HealthBoard::new(VirtualClock::shared(), Duration::from_secs(10));
         board.record(&report("a", FailureKind::Slow));
         board.record(&report("b", FailureKind::Corruption));
-        assert_eq!(board.component(&ComponentId::new("a")), ComponentHealth::Degraded);
-        assert_eq!(board.component(&ComponentId::new("b")), ComponentHealth::Failing);
+        assert_eq!(
+            board.component(&ComponentId::new("a")),
+            ComponentHealth::Degraded
+        );
+        assert_eq!(
+            board.component(&ComponentId::new("b")),
+            ComponentHealth::Failing
+        );
         let problems = board.problems();
         assert_eq!(problems.len(), 2);
         assert_eq!(problems[0].0, ComponentId::new("a"));
@@ -215,6 +224,9 @@ mod tests {
         let board = HealthBoard::new(VirtualClock::shared(), Duration::from_secs(10));
         board.record(&report("a", FailureKind::Slow));
         board.record(&report("a", FailureKind::Stuck));
-        assert_eq!(board.component(&ComponentId::new("a")), ComponentHealth::Failing);
+        assert_eq!(
+            board.component(&ComponentId::new("a")),
+            ComponentHealth::Failing
+        );
     }
 }

@@ -1,0 +1,176 @@
+//! Property tests for the sharded context table (paper §3.1 / §5.1).
+//!
+//! Three invariants the watchdog's correctness rests on, checked over
+//! random operation sequences rather than hand-picked cases:
+//!
+//! 1. **Version monotonicity** — a slot's version equals the number of
+//!    publishes it received, never decreases across interleaved reads, and
+//!    stays 0 until the first publish.
+//! 2. **One-way flow / snapshot isolation** — a checker mutating its
+//!    [`ContextSnapshot`] (a deep copy) can never alter what the table or
+//!    any later reader sees.
+//! 3. **Baseline equivalence** — the sharded table is observationally
+//!    identical to the pre-sharding single-lock [`baseline`] table on any
+//!    sequential publish/read sequence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wdog_base::clock::VirtualClock;
+use wdog_core::context::{baseline::BaselineContextTable, ContextTable, CtxValue};
+
+const KEYS: [&str; 4] = ["flush", "compact", "replicate", "scan"];
+const FIELDS: [&str; 3] = ["path", "len", "seq"];
+
+/// One randomly generated table operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Publish `(field, value)` into `KEYS[key]`.
+    Publish {
+        key: usize,
+        field: usize,
+        value: u64,
+    },
+    /// Read `KEYS[key]` and check it against the model.
+    Read { key: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    vec(
+        prop_oneof![
+            (0..KEYS.len(), 0..FIELDS.len(), any::<u64>())
+                .prop_map(|(key, field, value)| Op::Publish { key, field, value }),
+            (0..KEYS.len()).prop_map(|key| Op::Read { key }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn versions_are_monotonic_and_count_publishes(ops in ops()) {
+        let table = ContextTable::new(VirtualClock::shared());
+        // Model: per-key publish count and last version seen by a read.
+        let mut published: HashMap<usize, u64> = HashMap::new();
+        let mut last_seen: HashMap<usize, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Publish { key, field, value } => {
+                    table.publish(
+                        KEYS[key],
+                        vec![(FIELDS[field].to_owned(), CtxValue::U64(value))],
+                    );
+                    *published.entry(key).or_default() += 1;
+                }
+                Op::Read { key } => {
+                    let count = published.get(&key).copied().unwrap_or(0);
+                    match table.read(KEYS[key]) {
+                        None => prop_assert_eq!(count, 0, "slot readable before any publish"),
+                        Some(snap) => {
+                            prop_assert_eq!(snap.version, count);
+                            let floor = last_seen.get(&key).copied().unwrap_or(0);
+                            prop_assert!(snap.version >= floor, "version went backwards");
+                            last_seen.insert(key, snap.version);
+                        }
+                    }
+                }
+            }
+        }
+        for (key, count) in &published {
+            prop_assert_eq!(table.read(KEYS[*key]).unwrap().version, *count);
+        }
+    }
+
+    #[test]
+    fn snapshot_mutation_never_flows_back(ops in ops(), victim in 0..KEYS.len()) {
+        let table = ContextTable::new(VirtualClock::shared());
+        for op in &ops {
+            if let Op::Publish { key, field, value } = *op {
+                table.publish(
+                    KEYS[key],
+                    vec![(FIELDS[field].to_owned(), CtxValue::U64(value))],
+                );
+            }
+        }
+        let reader = table.reader();
+        // Skip cases where nothing was published into the victim slot.
+        if let Some(mut snap) = reader.read(KEYS[victim]) {
+            let before = reader.read(KEYS[victim]).unwrap();
+            // A buggy checker scribbling all over its snapshot...
+            snap.fields.clear();
+            snap.fields
+                .insert("injected".into(), CtxValue::Bytes(vec![0xde, 0xad]));
+            snap.version = u64::MAX;
+            // ...must be invisible to the table and every later reader.
+            let after = reader.read(KEYS[victim]).unwrap();
+            prop_assert_eq!(after.version, before.version);
+            prop_assert_eq!(&after.fields, &before.fields);
+            prop_assert!(!after.fields.contains_key("injected"));
+        }
+    }
+
+    #[test]
+    fn sharded_table_is_observationally_equal_to_baseline(ops in ops()) {
+        let sharded = ContextTable::new(VirtualClock::shared());
+        let base = BaselineContextTable::new(VirtualClock::shared());
+        for op in &ops {
+            match *op {
+                Op::Publish { key, field, value } => {
+                    let fields =
+                        vec![(FIELDS[field].to_owned(), CtxValue::U64(value))];
+                    sharded.publish(KEYS[key], fields.clone());
+                    base.publish(KEYS[key], fields);
+                }
+                Op::Read { key } => {
+                    let (s, b) = (sharded.read(KEYS[key]), base.read(KEYS[key]));
+                    prop_assert_eq!(s.is_some(), b.is_some());
+                    if let (Some(s), Some(b)) = (s, b) {
+                        prop_assert_eq!(s.version, b.version);
+                        prop_assert_eq!(s.fields, b.fields);
+                    }
+                    prop_assert_eq!(
+                        sharded.is_ready(KEYS[key]),
+                        base.is_ready(KEYS[key])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_publishes_keep_per_slot_counts(
+        per_thread in 1..200usize,
+        threads in 1..4usize,
+    ) {
+        // Every (thread, slot) pair publishes `per_thread` times; slots are
+        // disjoint per thread, so each slot's final version must equal
+        // exactly its own publish count — no lost updates across shards.
+        let table = ContextTable::new(VirtualClock::shared());
+        let slots: Vec<_> = (0..threads)
+            .map(|t| table.register(&format!("slot-{t}")))
+            .collect();
+        std::thread::scope(|scope| {
+            for slot in &slots {
+                let slot = Arc::clone(slot);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        slot.publish(vec![("i".into(), CtxValue::U64(i as u64))]);
+                    }
+                });
+            }
+        });
+        for slot in &slots {
+            let snap = slot.snapshot().unwrap();
+            prop_assert_eq!(snap.version, per_thread as u64);
+            prop_assert_eq!(
+                snap.get("i").unwrap().as_u64(),
+                Some(per_thread as u64 - 1)
+            );
+        }
+    }
+}

@@ -73,7 +73,9 @@ impl OpTable {
 
 impl std::fmt::Debug for OpTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OpTable").field("ops", &self.op_ids()).finish()
+        f.debug_struct("OpTable")
+            .field("ops", &self.op_ids())
+            .finish()
     }
 }
 
@@ -142,9 +144,7 @@ pub fn instantiate(
             checker = checker.with_timeout(t);
         }
         for planned in &gc.ops {
-            let body = table
-                .get(planned.op_id.as_str())
-                .expect("validated above");
+            let body = table.get(planned.op_id.as_str()).expect("validated above");
             let mut op = MimicOp::new(
                 planned.op_id.clone(),
                 planned.function.clone(),

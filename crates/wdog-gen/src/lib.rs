@@ -40,6 +40,8 @@ pub mod vulnerable;
 pub use interp::OpTable;
 pub use ir::{ArgSpec, ArgType, Function, OpKind, Operation, ProgramBuilder, ProgramIr};
 pub use plan::{generate_plan, GeneratedChecker, HookPoint, WatchdogPlan};
-pub use reduce::{reduce_program, ReducedFunction, ReducedProgram, ReductionConfig, ReductionStats};
+pub use reduce::{
+    reduce_program, ReducedFunction, ReducedProgram, ReductionConfig, ReductionStats,
+};
 pub use regions::{find_regions, Region};
 pub use vulnerable::{VulnClass, VulnerabilityRules};

@@ -86,7 +86,10 @@ impl WatchdogPlan {
 
     /// Returns the hooks that instrument `function`.
     pub fn hooks_in(&self, function: &str) -> Vec<&HookPoint> {
-        self.hooks.iter().filter(|h| h.function == function).collect()
+        self.hooks
+            .iter()
+            .filter(|h| h.function == function)
+            .collect()
     }
 }
 
@@ -155,7 +158,9 @@ mod tests {
             .function("snapshot_loop", |f| {
                 f.long_running().call_in_loop("serialize_snapshot")
             })
-            .function("serialize_snapshot", |f| f.compute("prep").call("serialize_node"))
+            .function("serialize_snapshot", |f| {
+                f.compute("prep").call("serialize_node")
+            })
             .function("serialize_node", |f| {
                 f.op("node_lock", OpKind::LockAcquire, |o| o.resource("node"))
                     .op("write_record", OpKind::DiskWrite, |o| {

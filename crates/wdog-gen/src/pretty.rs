@@ -72,7 +72,11 @@ pub fn render_region(ir: &ProgramIr, plan: &WatchdogPlan, entry: &str) -> String
 /// Renders a generated checker as pseudo-code (Figure 3).
 pub fn render_checker(checker: &GeneratedChecker) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "checker {} (component {}) {{", checker.name, checker.component);
+    let _ = writeln!(
+        out,
+        "checker {} (component {}) {{",
+        checker.name, checker.component
+    );
     let _ = writeln!(
         out,
         "    let ctx = ContextFactory::context(\"{}\");",

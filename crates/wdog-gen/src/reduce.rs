@@ -107,7 +107,10 @@ pub struct ReducedProgram {
 impl ReducedProgram {
     /// Returns the reduced functions belonging to `region` in DFS order.
     pub fn functions_in(&self, region: &str) -> Vec<&ReducedFunction> {
-        self.functions.iter().filter(|f| f.region == region).collect()
+        self.functions
+            .iter()
+            .filter(|f| f.region == region)
+            .collect()
     }
 
     /// Returns all retained ops of one region, flattened in DFS order as
@@ -244,7 +247,9 @@ mod tests {
             .function("serialize_snapshot", |f| {
                 f.compute("reset_count").call("serialize")
             })
-            .function("serialize", |f| f.compute("init_path").call("serialize_node"))
+            .function("serialize", |f| {
+                f.compute("init_path").call("serialize_node")
+            })
             .function("serialize_node", |f| {
                 f.compute("get_node")
                     .op("node_lock", OpKind::LockAcquire, |o| o.resource("node"))

@@ -165,12 +165,7 @@ mod tests {
         let r = VulnerabilityRules::all();
         assert!(!r.is_vulnerable(&op("c", OpKind::Compute)));
         assert!(!r.is_vulnerable(&op("u", OpKind::LockRelease)));
-        assert!(!r.is_vulnerable(&op(
-            "call",
-            OpKind::Call {
-                callee: "f".into()
-            }
-        )));
+        assert!(!r.is_vulnerable(&op("call", OpKind::Call { callee: "f".into() })));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The shared watchdog options type.
+//!
+//! Every target used to carry its own near-identical options struct
+//! (`kvs::wd::WdOptions`, `minizk::wd::ZkWdOptions`,
+//! `miniblock::wd::DnWdOptions`). They are unified here: one tuning surface
+//! plus a [`Families`] toggle set; targets express their historical defaults
+//! through [`WatchdogTarget::default_options`](crate::WatchdogTarget) and
+//! re-export the old names as aliases.
+
+use std::time::Duration;
+
+/// Which checker families the assembled watchdog includes.
+///
+/// What counts as a family member is the target's call: generated mimics are
+/// always `mimics`; hand-written checkers that exercise a resource or the
+/// public API (kvs's API probes, miniblock's disk checkers) are `probes`;
+/// health-indicator monitors (queue depths, memory watermarks) are
+/// `signals`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Families {
+    /// Include generated mimic checkers.
+    pub mimics: bool,
+    /// Include probe checkers.
+    pub probes: bool,
+    /// Include signal checkers.
+    pub signals: bool,
+}
+
+impl Families {
+    /// Every family enabled.
+    pub fn all() -> Self {
+        Self {
+            mimics: true,
+            probes: true,
+            signals: true,
+        }
+    }
+
+    /// Exactly one family enabled, by name (`mimic`/`probe`/`signal`).
+    pub fn only(family: &str) -> Self {
+        Self {
+            mimics: family == "mimic",
+            probes: family == "probe",
+            signals: family == "signal",
+        }
+    }
+}
+
+impl Default for Families {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Tunables for an assembled watchdog, shared by every target.
+#[derive(Debug, Clone)]
+pub struct WdOptions {
+    /// Checking round interval.
+    pub interval: Duration,
+    /// Per-checker execution timeout (the stuck-detection threshold).
+    pub checker_timeout: Duration,
+    /// Latency above which mimicked I/O and communication ops report
+    /// `Slow`. Lock/compute ops are exempt (waiting on a held lock is
+    /// contention, not slowness).
+    pub slow_threshold: Duration,
+    /// Latency above which a successful *probe* (full API round trip)
+    /// reports `Slow`; separate from the mimic threshold because a probe
+    /// includes queueing delay that is normal under load.
+    pub probe_slow_threshold: Duration,
+    /// Maximum tolerated context age.
+    pub max_context_age: Option<Duration>,
+    /// Memory watermark for the signal checker, in bytes.
+    pub memory_watermark: u64,
+    /// Queue-depth threshold for the signal checkers.
+    pub queue_threshold: usize,
+    /// Which checker families to include.
+    pub families: Families,
+}
+
+impl Default for WdOptions {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(500),
+            checker_timeout: Duration::from_secs(2),
+            slow_threshold: Duration::from_millis(300),
+            probe_slow_threshold: Duration::from_millis(500),
+            max_context_age: None,
+            memory_watermark: 64 << 20,
+            queue_threshold: 512,
+            families: Families::all(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_only_selects_one() {
+        assert_eq!(
+            Families::only("mimic"),
+            Families {
+                mimics: true,
+                probes: false,
+                signals: false
+            }
+        );
+        assert_eq!(
+            Families::only("signal"),
+            Families {
+                mimics: false,
+                probes: false,
+                signals: true
+            }
+        );
+        assert_eq!(Families::default(), Families::all());
+    }
+
+    #[test]
+    fn default_options_enable_everything() {
+        let o = WdOptions::default();
+        assert!(o.families.mimics && o.families.probes && o.families.signals);
+        assert!(o.checker_timeout > o.interval);
+    }
+}

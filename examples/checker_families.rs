@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use watchdogs::base::clock::RealClock;
-use watchdogs::kvs::wd::{build_watchdog, WdOptions};
+use watchdogs::kvs::wd::{build_watchdog, Families, WdOptions};
 use watchdogs::kvs::{KvsConfig, KvsServer};
 use watchdogs::simio::disk::SimDisk;
 
@@ -32,9 +32,7 @@ fn run_family(family: &str) {
     let opts = WdOptions {
         interval: Duration::from_millis(150),
         checker_timeout: Duration::from_millis(700),
-        mimics: family == "mimic",
-        probes: family == "probe",
-        signals: family == "signal",
+        families: Families::only(family),
         ..WdOptions::default()
     };
     let (mut driver, _) = build_watchdog(&server, &opts).expect("watchdog");

@@ -54,7 +54,10 @@ fn main() {
 
     println!("healthy volumes:");
     println!("  legacy   (metadata only):   {}", verdict(&legacy.check()));
-    println!("  enhanced (HADOOP-13738):    {}\n", verdict(&enhanced.check()));
+    println!(
+        "  enhanced (HADOOP-13738):    {}\n",
+        verdict(&enhanced.check())
+    );
 
     println!(">>> vol1's data path starts returning I/O errors (metadata intact)");
     let fault = disk.inject(FaultRule::scoped(

@@ -45,7 +45,10 @@ fn main() {
         ..WdOptions::default()
     };
     let (mut driver, plan) = build_watchdog(&server, &opts).expect("build watchdog");
-    println!("AutoWatchdog generated {} mimic checkers:", plan.checkers.len());
+    println!(
+        "AutoWatchdog generated {} mimic checkers:",
+        plan.checkers.len()
+    );
     for c in &plan.checkers {
         println!(
             "  - {} ({} ops: {})",
@@ -58,7 +61,10 @@ fn main() {
                 .join(", ")
         );
     }
-    println!("plus {} hook points in the main program\n", plan.hooks.len());
+    println!(
+        "plus {} hook points in the main program\n",
+        plan.hooks.len()
+    );
     driver.start().expect("start watchdog");
 
     // Background workload.

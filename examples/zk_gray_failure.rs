@@ -23,14 +23,21 @@ fn main() {
     };
     let report = Bug2201::run(&opts).expect("scenario");
 
-    println!("workload:   {} writes succeeded before the fault", report.writes_before);
+    println!(
+        "workload:   {} writes succeeded before the fault",
+        report.writes_before
+    );
     println!(
         "failure:    {} write timeouts during the fault, {} writes completed",
         report.write_timeouts, report.writes_during
     );
     println!(
         "gray-ness:  reads stayed {}",
-        if report.reads_ok_during { "healthy" } else { "BROKEN" }
+        if report.reads_ok_during {
+            "healthy"
+        } else {
+            "BROKEN"
+        }
     );
     println!(
         "heartbeat:  leader reported {} throughout",
@@ -51,10 +58,7 @@ fn main() {
     match report.watchdog_detection_ms {
         Some(ms) => {
             println!("\nwatchdog:   DETECTED in {:.1} s", ms as f64 / 1000.0);
-            println!(
-                "pinpoint:   {}",
-                report.pinpoint.as_deref().unwrap_or("-")
-            );
+            println!("pinpoint:   {}", report.pinpoint.as_deref().unwrap_or("-"));
             if !report.payload.is_empty() {
                 let ctx: Vec<String> = report
                     .payload

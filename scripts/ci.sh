@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, build, and the complete test suite.
+#
+# Everything runs --offline: external dependencies are satisfied by the
+# in-workspace shim crates (crates/shims/), so no registry access is needed
+# or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release --offline
+cargo test --offline -q
+
+echo "==> full workspace tests"
+cargo test --offline --workspace -q
+
+echo "CI OK"

@@ -17,3 +17,4 @@ pub use wdog_base as base;
 pub use wdog_checkers as checkers;
 pub use wdog_core as core;
 pub use wdog_gen as gen;
+pub use wdog_target as target;

@@ -4,9 +4,10 @@
 
 use std::time::Duration;
 
-use faults::{gray_failure_catalog, TargetProfile};
-use harness::scenario::{run_kvs_scenario, RunnerOptions};
-use kvs::wd::WdOptions;
+use harness::scenario::{run_scenario, RunnerOptions};
+use kvs::target::KvsTarget;
+use kvs::wd::{Families, WdOptions};
+use wdog_target::WatchdogTarget;
 
 fn quick_opts() -> RunnerOptions {
     RunnerOptions {
@@ -24,7 +25,8 @@ fn quick_opts() -> RunnerOptions {
 }
 
 fn scenario(id: &str) -> faults::Scenario {
-    gray_failure_catalog(&TargetProfile::default())
+    KvsTarget
+        .catalog()
         .into_iter()
         .find(|s| s.id == id)
         .unwrap_or_else(|| panic!("unknown scenario {id}"))
@@ -32,7 +34,12 @@ fn scenario(id: &str) -> faults::Scenario {
 
 #[test]
 fn gray_disk_fault_watchdog_detects_heartbeat_does_not() {
-    let result = run_kvs_scenario(Some(&scenario("partial-disk-stuck")), &quick_opts()).unwrap();
+    let result = run_scenario(
+        &KvsTarget,
+        Some(&scenario("partial-disk-stuck")),
+        &quick_opts(),
+    )
+    .unwrap();
     let wd = result.outcome("watchdog").unwrap();
     assert!(wd.detected, "watchdog missed the stuck WAL: {result:#?}");
     assert_eq!(wd.class.as_deref(), Some("stuck"));
@@ -44,7 +51,7 @@ fn gray_disk_fault_watchdog_detects_heartbeat_does_not() {
 
 #[test]
 fn crash_heartbeat_detects_watchdog_dies_with_process() {
-    let result = run_kvs_scenario(Some(&scenario("process-crash")), &quick_opts()).unwrap();
+    let result = run_scenario(&KvsTarget, Some(&scenario("process-crash")), &quick_opts()).unwrap();
     let hb = result.outcome("heartbeat").unwrap();
     assert!(hb.detected, "heartbeat missed the crash");
     let wd = result.outcome("watchdog").unwrap();
@@ -53,7 +60,7 @@ fn crash_heartbeat_detects_watchdog_dies_with_process() {
 
 #[test]
 fn explicit_disk_errors_reach_the_error_handler() {
-    let result = run_kvs_scenario(Some(&scenario("disk-error")), &quick_opts()).unwrap();
+    let result = run_scenario(&KvsTarget, Some(&scenario("disk-error")), &quick_opts()).unwrap();
     let handler = result.outcome("error-handler").unwrap();
     assert!(handler.detected, "in-place handler saw no explicit error");
     let wd = result.outcome("watchdog").unwrap();
@@ -62,7 +69,7 @@ fn explicit_disk_errors_reach_the_error_handler() {
 
 #[test]
 fn control_run_produces_no_watchdog_report() {
-    let result = run_kvs_scenario(None, &quick_opts()).unwrap();
+    let result = run_scenario(&KvsTarget, None, &quick_opts()).unwrap();
     let wd = result.outcome("watchdog").unwrap();
     assert!(
         !wd.detected,
@@ -79,16 +86,14 @@ fn mimic_only_family_detects_the_stuck_task_probe_only_does_not() {
 
     let mimic_opts = RunnerOptions {
         wd: WdOptions {
-            mimics: true,
-            probes: false,
-            signals: false,
+            families: Families::only("mimic"),
             ..base.wd.clone()
         },
         extrinsic: false,
         observe: Duration::from_secs(5),
         ..base.clone()
     };
-    let result = run_kvs_scenario(Some(&stuck), &mimic_opts).unwrap();
+    let result = run_scenario(&KvsTarget, Some(&stuck), &mimic_opts).unwrap();
     assert!(
         result.outcome("watchdog").unwrap().detected,
         "mimic family missed the stuck compaction"
@@ -96,15 +101,13 @@ fn mimic_only_family_detects_the_stuck_task_probe_only_does_not() {
 
     let probe_opts = RunnerOptions {
         wd: WdOptions {
-            mimics: false,
-            probes: true,
-            signals: false,
+            families: Families::only("probe"),
             ..base.wd.clone()
         },
         extrinsic: false,
         ..base
     };
-    let result = run_kvs_scenario(Some(&stuck), &probe_opts).unwrap();
+    let result = run_scenario(&KvsTarget, Some(&stuck), &probe_opts).unwrap();
     assert!(
         !result.outcome("watchdog").unwrap().detected,
         "probe family should not see a stuck background task"

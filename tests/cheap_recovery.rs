@@ -41,7 +41,9 @@ fn corruption_detection_triggers_partition_rebuild_and_service_survives() {
 
     // Write real data, let it flush.
     for i in 0..40 {
-        client.set(&format!("key-{i}"), &format!("val-{i}")).unwrap();
+        client
+            .set(&format!("key-{i}"), &format!("val-{i}"))
+            .unwrap();
     }
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while server.sstable_count() == 0 && std::time::Instant::now() < deadline {
@@ -74,7 +76,9 @@ fn corruption_detection_triggers_partition_rebuild_and_service_survives() {
     // After the episode ends, the next repair (or the last one racing the
     // fault) leaves the partitions valid; force one more to be sure.
     server.rebuild_partitions().unwrap();
-    server.validate_partitions().expect("partitions still corrupt");
+    server
+        .validate_partitions()
+        .expect("partitions still corrupt");
 
     // And no data was lost.
     for i in 0..40 {

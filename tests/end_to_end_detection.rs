@@ -72,7 +72,10 @@ fn wal_stuck_is_detected_and_pinpointed_to_the_wal_operation() {
     ));
     let fault = disk.inject(simio::disk::FaultRule::scoped(
         "wal/",
-        vec![simio::disk::DiskOpKind::Write, simio::disk::DiskOpKind::Sync],
+        vec![
+            simio::disk::DiskOpKind::Write,
+            simio::disk::DiskOpKind::Sync,
+        ],
         simio::disk::DiskFault::Stuck,
     ));
     let detected = drive_until(&client, || !driver.log().is_empty(), Duration::from_secs(8));
@@ -128,12 +131,9 @@ fn index_corruption_is_detected_by_the_generated_index_checker() {
     let detected = drive_until(
         &client,
         || {
-            driver
-                .log()
-                .reports()
-                .iter()
-                .any(|r| r.kind == FailureKind::Corruption
-                    && r.location.to_string().contains("index"))
+            driver.log().reports().iter().any(|r| {
+                r.kind == FailureKind::Corruption && r.location.to_string().contains("index")
+            })
         },
         Duration::from_secs(8),
     );
@@ -225,7 +225,9 @@ fn healthy_server_under_load_produces_no_reports() {
     let (mut driver, _) = build_watchdog(&server, &fast_opts()).unwrap();
     driver.start().unwrap();
     for i in 0..300 {
-        client.set(&format!("k{}", i % 32), &format!("v{i}")).unwrap();
+        client
+            .set(&format!("k{}", i % 32), &format!("v{i}"))
+            .unwrap();
         if i % 3 == 0 {
             client.get(&format!("k{}", i % 32)).unwrap();
         }

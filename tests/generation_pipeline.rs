@@ -9,7 +9,10 @@ use wdog_gen::reduce::ReductionConfig;
 fn plans() -> Vec<(wdog_gen::ir::ProgramIr, wdog_gen::plan::WatchdogPlan)> {
     let config = ReductionConfig::default();
     vec![
-        (kvs::wd::describe_ir(), generate_plan(&kvs::wd::describe_ir(), &config)),
+        (
+            kvs::wd::describe_ir(),
+            generate_plan(&kvs::wd::describe_ir(), &config),
+        ),
         (
             minizk::wd::describe_ir(),
             generate_plan(&minizk::wd::describe_ir(), &config),
@@ -98,7 +101,11 @@ fn no_initialization_code_is_ever_checked() {
         for checker in &plan.checkers {
             for op in &checker.ops {
                 let func = ir.function(&op.function).unwrap();
-                assert!(!func.init_only, "{}: init code checked: {}", ir.name, op.op_id);
+                assert!(
+                    !func.init_only,
+                    "{}: init code checked: {}",
+                    ir.name, op.op_id
+                );
             }
         }
     }
@@ -166,7 +173,11 @@ fn op_tables_cover_plans_for_running_systems() {
     let plan = generate_plan(&kvs::wd::describe_ir(), &ReductionConfig::default());
     for c in &plan.checkers {
         for op in &c.ops {
-            assert!(table.get(op.op_id.as_str()).is_some(), "kvs missing {}", op.op_id);
+            assert!(
+                table.get(op.op_id.as_str()).is_some(),
+                "kvs missing {}",
+                op.op_id
+            );
         }
     }
     // minizk.

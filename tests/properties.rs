@@ -40,10 +40,7 @@ fn program() -> impl Strategy<Value = ProgramIr> {
                 n,
             );
             let long_running = proptest::collection::vec(any::<bool>(), n);
-            let calls = proptest::collection::vec(
-                proptest::collection::vec(0..n, 0..3),
-                n,
-            );
+            let calls = proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
             (Just(n), ops_per_fn, long_running, calls)
         })
         .prop_map(|(n, ops_per_fn, long_running, calls)| {
