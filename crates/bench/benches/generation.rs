@@ -1,9 +1,13 @@
 //! Benchmarks of the AutoWatchdog pipeline itself (Figures 2–3 machinery):
 //! region finding, reduction, and full plan generation over both target
 //! IRs, plus a synthetic large program to show the pipeline scales far
-//! beyond the targets.
+//! beyond the targets, plus static IR extraction from each target's
+//! Rust source (lexing + region discovery + classification, disk reads
+//! included — this is what `wdog-lint` pays per target).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+
+use wdog_analyze::{extract_target, target_named};
 
 use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
 use wdog_gen::plan::generate_plan;
@@ -53,6 +57,12 @@ fn generation(c: &mut Criterion) {
     group.bench_function("plan_synthetic_50_regions", |b| {
         b.iter(|| generate_plan(&big, &config))
     });
+    for name in ["kvs", "minizk", "miniblock"] {
+        let cfg = target_named(name).expect("builtin target");
+        group.bench_function(&format!("extract_{name}"), |b| {
+            b.iter(|| extract_target(cfg).expect("workspace sources readable"))
+        });
+    }
     group.finish();
 }
 

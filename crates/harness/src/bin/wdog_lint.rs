@@ -1,0 +1,69 @@
+//! `wdog-lint` — the hook/IR drift gate.
+//!
+//! Extracts each target's IR from its Rust source (`wdog-analyze`),
+//! diffs it against the hand-written `describe_ir()` self-description
+//! and the generated hook plan, renders the findings, and archives the
+//! machine-readable reports under `results/`. With `--deny-drift`, any
+//! finding not absorbed by the target's documented allowlist exits
+//! non-zero — the CI gate that keeps descriptions honest.
+
+use harness::lint::{run_lint, select_lint_targets};
+use wdog_gen::pretty::render_drift;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = "all".to_owned();
+    let mut deny = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" if i + 1 < args.len() => {
+                name = args[i + 1].clone();
+                i += 2;
+            }
+            "--deny-drift" => {
+                deny = true;
+                i += 1;
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--target=") {
+                    name = v.to_owned();
+                    i += 1;
+                } else {
+                    eprintln!(
+                        "usage: wdog-lint [--target {{kvs|minizk|miniblock|all}}] [--deny-drift]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(targets) = select_lint_targets(&name) else {
+        eprintln!("unknown target {name:?}; expected kvs, minizk, miniblock, or all");
+        std::process::exit(2);
+    };
+
+    let mut denied_total = 0usize;
+    let mut reports = Vec::new();
+    for target in &targets {
+        match run_lint(target) {
+            Ok(report) => {
+                println!("{}", render_drift(&report));
+                denied_total += report.denied().len();
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: cannot analyze {}: {e}", target.name);
+                std::process::exit(2);
+            }
+        }
+    }
+    harness::write_json(&harness::result_name("drift", &name), &reports);
+
+    if deny && denied_total > 0 {
+        eprintln!(
+            "\nwdog-lint: {denied_total} undocumented drift finding(s); failing (--deny-drift)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod ablations;
 pub mod fmt;
+pub mod lint;
 pub mod reduction;
 pub mod scenario;
 pub mod table1;

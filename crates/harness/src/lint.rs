@@ -1,0 +1,110 @@
+//! The drift lint: extracted IR vs self-description vs registered hooks.
+//!
+//! Each target crate ships two things this lint consumes: its
+//! `describe_ir()` self-description and its `drift_allowlist()` of
+//! deliberate, documented exceptions. The extractor recovers the same IR
+//! straight from the target's Rust source, and [`run_lint`] diffs the
+//! two (plus the generated hook plan) into a
+//! [`wdog_gen::DriftReport`]. The `wdog-lint` binary renders the report
+//! and gates CI with `--deny-drift`.
+
+use wdog_analyze::{compare, extract_target, target_named};
+use wdog_gen::plan::generate_plan;
+use wdog_gen::reduce::ReductionConfig;
+use wdog_gen::vulnerable::VulnerabilityRules;
+use wdog_gen::{AllowEntry, DriftReport, ProgramIr};
+
+/// One lintable target: the analyzer scope plus the target's own
+/// description and allowlist hooks.
+pub struct LintTarget {
+    /// Target name (`kvs`, `minizk`, `miniblock`).
+    pub name: &'static str,
+    /// The target's `describe_ir`.
+    pub describe: fn() -> ProgramIr,
+    /// The target's documented drift exceptions.
+    pub allow: fn() -> Vec<AllowEntry>,
+}
+
+/// All lintable targets.
+pub fn lint_targets() -> Vec<LintTarget> {
+    vec![
+        LintTarget {
+            name: "kvs",
+            describe: kvs::wd::describe_ir,
+            allow: kvs::wd::drift_allowlist,
+        },
+        LintTarget {
+            name: "minizk",
+            describe: minizk::wd::describe_ir,
+            allow: minizk::wd::drift_allowlist,
+        },
+        LintTarget {
+            name: "miniblock",
+            describe: miniblock::wd::describe_ir,
+            allow: miniblock::wd::drift_allowlist,
+        },
+    ]
+}
+
+/// Resolves a `--target` value to lint targets (`all` selects every one).
+pub fn select_lint_targets(name: &str) -> Option<Vec<LintTarget>> {
+    if name == "all" {
+        return Some(lint_targets());
+    }
+    let selected: Vec<LintTarget> = lint_targets()
+        .into_iter()
+        .filter(|t| t.name == name)
+        .collect();
+    if selected.is_empty() {
+        None
+    } else {
+        Some(selected)
+    }
+}
+
+/// Extracts, compares, and allowlists one target.
+pub fn run_lint(target: &LintTarget) -> std::io::Result<DriftReport> {
+    let cfg = target_named(target.name)
+        .unwrap_or_else(|| panic!("no analyzer scope registered for target {}", target.name));
+    let extracted = extract_target(cfg)?;
+    let described = (target.describe)();
+    let plan = generate_plan(&described, &ReductionConfig::default());
+    let mut report = compare(
+        &described,
+        &plan,
+        &extracted,
+        &VulnerabilityRules::default(),
+    );
+    report.apply_allowlist(&(target.allow)());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_target_has_an_analyzer_scope() {
+        for t in lint_targets() {
+            assert!(
+                target_named(t.name).is_some(),
+                "no TargetConfig for {}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn merged_tree_is_drift_clean() {
+        for t in lint_targets() {
+            let report = run_lint(&t).expect("extraction reads workspace sources");
+            assert!(
+                report.is_clean(),
+                "{} drifted:\n{}",
+                t.name,
+                wdog_gen::pretty::render_drift(&report)
+            );
+            assert!(report.matched_ops > 0, "{} matched nothing", t.name);
+        }
+    }
+}

@@ -64,6 +64,7 @@ pub(crate) fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
     let resp = match &req {
         Request::Get { key } => Response::Value(shared.index.get(key)),
         Request::Set { key, value } => {
+            // wdog: vulnerable name=index_put resource=index
             shared.index.put(key, value);
             shared.stats.sets.fetch_add(1, Ordering::Relaxed);
             Response::Ok

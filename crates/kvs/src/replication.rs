@@ -23,6 +23,7 @@ use crate::server::{apply_to_index, Shared};
 pub const WD_PROBE_PREFIX: &[u8] = b"__wd__:";
 
 /// Background replication thread body (primary side).
+// wdog: resource replica
 pub(crate) fn replication_loop(shared: Arc<Shared>, rx: Receiver<Vec<u8>>) {
     let Some(repl) = shared.config.replication.clone() else {
         return;
@@ -71,6 +72,7 @@ impl Replica {
         let app = Arc::clone(&applied);
         let thread = std::thread::Builder::new()
             .name("kvs-replica".into())
+            // wdog: ignore -- replica peer process, not a leader region
             .spawn(move || {
                 while run.load(Ordering::Relaxed) {
                     let Some(msg) = mailbox.recv_timeout(std::time::Duration::from_millis(10))

@@ -33,6 +33,7 @@ pub struct SstMeta {
 }
 
 /// Writes `entries` (which must be sorted by key) as an SSTable at `path`.
+// wdog: resource sst/
 pub fn write_sstable(
     disk: &Arc<SimDisk>,
     path: &str,
@@ -61,6 +62,7 @@ pub fn write_sstable(
 }
 
 /// Reads and validates the SSTable at `path`.
+// wdog: resource sst/
 pub fn read_sstable(disk: &SimDisk, path: &str) -> BaseResult<Vec<(String, String)>> {
     let raw = disk.read(path)?;
     if raw.len() < 4 {
@@ -78,6 +80,7 @@ pub fn read_sstable(disk: &SimDisk, path: &str) -> BaseResult<Vec<(String, Strin
 }
 
 /// Validates the checksum at `path` without materializing entries.
+// wdog: resource sst/
 pub fn validate_sstable(disk: &SimDisk, path: &str) -> BaseResult<()> {
     let raw = disk.read(path)?;
     if raw.len() < 4 {

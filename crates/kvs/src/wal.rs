@@ -44,6 +44,7 @@ impl Wal {
     }
 
     /// Appends one record and makes it durable.
+    // wdog: resource wal/
     pub fn append_record(&mut self, payload: &[u8]) -> BaseResult<()> {
         let mut frame = Vec::with_capacity(HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -94,6 +95,7 @@ impl Wal {
     }
 
     /// Discards the log contents after a successful flush.
+    // wdog: resource wal/
     pub fn truncate(&mut self) -> BaseResult<()> {
         self.disk.write_all(&self.path, &[])?;
         self.disk.fsync(&self.path)?;

@@ -87,10 +87,13 @@ pub fn describe_ir() -> ProgramIr {
             f.long_running().call_in_loop("wal_write_record")
         })
         .function("wal_write_record", |f| {
-            f.op("wal_append", OpKind::DiskWrite, |o| {
-                o.resource("wal/").in_loop().arg("payload", ArgType::Bytes)
-            })
-            .op("wal_sync", OpKind::DiskSync, |o| o.resource("wal/"))
+            // The WAL mutex guards every append; the flusher takes the same
+            // lock when rotating the log, so a wedged holder stalls both.
+            f.op("wal_lock", OpKind::LockAcquire, |o| o.resource("wal"))
+                .op("wal_append", OpKind::DiskWrite, |o| {
+                    o.resource("wal/").in_loop().arg("payload", ArgType::Bytes)
+                })
+                .op("wal_sync", OpKind::DiskSync, |o| o.resource("wal/"))
         })
         // Flush path.
         .function("flusher_loop", |f| {
@@ -110,7 +113,7 @@ pub fn describe_ir() -> ProgramIr {
         })
         .function("compact_once", |f| {
             f.op("compaction_lock", OpKind::LockAcquire, |o| {
-                o.resource("compaction")
+                o.resource("compaction_lock")
             })
             .op("sst_read", OpKind::DiskRead, |o| {
                 o.resource("sst/").in_loop().arg("sst_path", ArgType::Str)
@@ -143,6 +146,12 @@ pub fn describe_ir() -> ProgramIr {
 /// Runs the AutoWatchdog pipeline over kvs's IR.
 pub fn generate_kvs_plan(config: &ReductionConfig) -> WatchdogPlan {
     generate_plan(&describe_ir(), config)
+}
+
+/// Documented exceptions to the `wdog-lint` drift gate. Empty: the kvs
+/// description fully accounts for what extraction sees.
+pub fn drift_allowlist() -> Vec<wdog_gen::AllowEntry> {
+    Vec::new()
 }
 
 fn probe_write(disk: &simio::disk::SimDisk, path: &str, payload: &[u8]) -> BaseResult<()> {
@@ -202,6 +211,21 @@ pub fn op_table(server: &KvsServer) -> OpTable {
                 s.disk.append(WAL_PROBE_PATH, b"")?;
             }
             s.disk.fsync(WAL_PROBE_PATH)
+        });
+    }
+
+    // wal_write_record#wal_lock: try the real WAL mutex with a bounded
+    // wait. A writer wedged mid-append holds it — fate sharing.
+    {
+        let s = Arc::clone(&shared);
+        table.register("wal_write_record#wal_lock", move |_snap| {
+            match s.wal.try_lock_for(Duration::from_millis(500)) {
+                Some(_guard) => Ok(()),
+                None => Err(BaseError::Timeout {
+                    what: "wal lock acquisition".into(),
+                    after_ms: 500,
+                }),
+            }
         });
     }
 

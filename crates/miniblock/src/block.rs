@@ -53,6 +53,7 @@ impl BlockStore {
     }
 
     /// Writes a block durably to `volume`; returns its path.
+    // wdog: resource blocks/
     pub fn write_block(&self, volume: &str, block_id: u64, data: &[u8]) -> BaseResult<String> {
         let path = Self::block_path(volume, block_id);
         let mut file = Vec::with_capacity(4 + data.len());
@@ -81,6 +82,7 @@ impl BlockStore {
     }
 
     /// Validates the checksum of the block at `path` without copying out.
+    // wdog: resource blocks/
     pub fn validate_path(&self, path: &str) -> BaseResult<()> {
         let raw = self.disk.read(path)?;
         if raw.len() < 4 {

@@ -137,6 +137,7 @@ impl DataNode {
             threads.push(
                 std::thread::Builder::new()
                     .name("dn-heartbeat".into())
+                    // wdog: region heartbeat_loop
                     .spawn(move || {
                         while s.is_running() {
                             let msg = NnMsg::Heartbeat {

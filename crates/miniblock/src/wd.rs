@@ -72,7 +72,7 @@ pub fn describe_ir() -> ProgramIr {
         .function("send_report", |f| {
             f.compute("collect_blocks")
                 .op("report_send", OpKind::NetSend, |o| {
-                    o.resource("namenode")
+                    o.resource(NAMENODE_ADDR)
                         .in_loop()
                         .arg("block_count", ArgType::U64)
                 })
@@ -84,7 +84,7 @@ pub fn describe_ir() -> ProgramIr {
             // Similar to report_send (same peer): dropped by global dedup,
             // exactly as a human would fold the two send probes into one.
             f.op("heartbeat_send", OpKind::NetSend, |o| {
-                o.resource("namenode").in_loop()
+                o.resource(NAMENODE_ADDR).in_loop()
             })
         })
         .function("startup_format", |f| {
@@ -98,6 +98,11 @@ pub fn describe_ir() -> ProgramIr {
 /// Runs the AutoWatchdog pipeline over the DataNode IR.
 pub fn generate_dn_plan(config: &ReductionConfig) -> WatchdogPlan {
     generate_plan(&describe_ir(), config)
+}
+
+/// Documented exceptions to the `wdog-lint` drift gate.
+pub fn drift_allowlist() -> Vec<wdog_gen::AllowEntry> {
+    Vec::new()
 }
 
 /// Builds the op table binding the DataNode's vulnerable IR ops to real,

@@ -38,6 +38,7 @@ impl Znode {
 
     /// Locks the node and runs `f` on its data — the Figure 2
     /// `synchronized (node)` critical section.
+    // wdog: resource znode
     pub fn with_locked_data<T>(&self, f: impl FnOnce(&mut Vec<u8>) -> T) -> T {
         let mut guard = self.data.lock();
         f(&mut guard)

@@ -137,6 +137,7 @@ impl Follower {
         let my_addr = addr.clone();
         let thread = std::thread::Builder::new()
             .name(format!("minizk-{addr}"))
+            // wdog: ignore -- follower peer process, not a leader region
             .spawn(move || {
                 while r.load(Ordering::Relaxed) {
                     let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
@@ -468,6 +469,7 @@ impl std::fmt::Debug for Cluster {
 }
 
 /// Drains the commit queue, shipping commits to every follower.
+// wdog: resource followers
 fn broadcast_loop(shared: Arc<ZkShared>, rx: Receiver<(u64, WriteOp)>) {
     let hook = shared.hooks.site("broadcast_loop");
     while shared.is_running() {

@@ -1,0 +1,355 @@
+//! A minimal Rust lexer: just enough structure for call-site extraction.
+//!
+//! The workspace builds fully offline, so there is no `syn` to lean on.
+//! This hand-rolled lexer produces the four token shapes the extractor
+//! needs — identifiers, string literals (with their values, for resource
+//! resolution), punctuation, and lifetimes — plus the `// wdog:` comment
+//! annotations the paper's "developer tags customized vulnerable methods"
+//! mechanism rides on. Everything else (numbers, other comments, doc text)
+//! is consumed and dropped.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (plain, raw, or byte), with its decoded-enough value.
+    Str(String),
+    /// Any single punctuation character.
+    Punct(char),
+    /// A lifetime like `'a` (kept distinct so apostrophes don't confuse).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token shape.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// Returns the identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A `// wdog: <directive>` comment, e.g. `// wdog: vulnerable name=x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Directive text after `wdog:`, trimmed.
+    pub body: String,
+}
+
+/// Lexes `src` into tokens and `// wdog:` annotations.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Annotation>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut annotations = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    let bump_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                let trimmed = text.trim_start_matches(['/', '!']).trim();
+                if let Some(body) = trimmed.strip_prefix("wdog:") {
+                    annotations.push(Annotation {
+                        line,
+                        body: body.trim().to_owned(),
+                    });
+                }
+                i = end;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                line += bump_lines(&chars[i..j.min(chars.len())]);
+                i = j;
+            }
+            '"' => {
+                let (value, end) = lex_string(&chars, i + 1);
+                line += bump_lines(&chars[i..end.min(chars.len())]);
+                tokens.push(Token {
+                    tok: Tok::Str(value),
+                    line,
+                });
+                i = end;
+            }
+            'r' | 'b' if is_string_prefix(&chars, i) => {
+                let (value, end) = lex_prefixed_string(&chars, i);
+                line += bump_lines(&chars[i..end.min(chars.len())]);
+                tokens.push(Token {
+                    tok: Tok::Str(value),
+                    line,
+                });
+                i = end;
+            }
+            '\'' => {
+                // Lifetime `'a` (ident chars with no closing quote right
+                // after one char) vs char literal `'x'` / `'\n'`.
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if (next.is_alphabetic() || next == '_') && chars.get(i + 2) != Some(&'\'') {
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        j += 2; // skip the escaped char
+                                // `\u{...}` escapes.
+                        if chars.get(j - 1) == Some(&'u') && chars.get(j) == Some(&'{') {
+                            while j < chars.len() && chars[j] != '}' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                // Float continuation: `1.5` but not `1..4` or `1.method()`.
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                i = j; // numbers carry no signal for extraction
+            }
+            other => {
+                tokens.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (tokens, annotations)
+}
+
+fn is_string_prefix(chars: &[char], i: usize) -> bool {
+    // r"..", r#"..."#, b"..", br"..", br#"..."#
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// Lexes a plain string body starting just after the opening quote.
+/// Returns (value, index after closing quote).
+fn lex_string(chars: &[char], start: usize) -> (String, usize) {
+    let mut value = String::new();
+    let mut j = start;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                // Keep escaped chars opaque; resource names never use them.
+                if let Some(&esc) = chars.get(j + 1) {
+                    value.push(esc);
+                }
+                j += 2;
+            }
+            '"' => return (value, j + 1),
+            c => {
+                value.push(c);
+                j += 1;
+            }
+        }
+    }
+    (value, j)
+}
+
+/// Lexes `r`/`b`/`br`-prefixed strings starting at the prefix.
+fn lex_prefixed_string(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    j += 1;
+    if !raw {
+        return lex_string(chars, j);
+    }
+    let mut value = String::new();
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let closing = (1..=hashes).all(|k| chars.get(j + k) == Some(&'#'));
+            if closing {
+                return (value, j + 1 + hashes);
+            }
+        }
+        value.push(chars[j]);
+        j += 1;
+    }
+    (value, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lexes_method_chain() {
+        let (toks, _) = lex("shared.disk.fsync(&self.path)?;");
+        let shapes: Vec<String> = toks
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                Tok::Punct(c) => c.to_string(),
+                Tok::Str(s) => format!("{s:?}"),
+                Tok::Lifetime => "'_".into(),
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec!["shared", ".", "disk", ".", "fsync", "(", "&", "self", ".", "path", ")", "?", ";"]
+        );
+    }
+
+    #[test]
+    fn captures_wdog_annotations_with_lines() {
+        let src = "let a = 1;\n// wdog: vulnerable name=index_put resource=index\nx.put(k, v);\n// plain comment\n";
+        let (_, anns) = lex(src);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].line, 2);
+        assert_eq!(anns[0].body, "vulnerable name=index_put resource=index");
+    }
+
+    #[test]
+    fn string_values_survive() {
+        let (toks, _) = lex(r#"disk.append("wal/log", &frame)"#);
+        assert!(toks.iter().any(|t| t.tok == Tok::Str("wal/log".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex() {
+        let (toks, _) = lex(r##"let a = r#"raw "x" body"#; let b = b"bytes";"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r#"raw "x" body"#, "bytes"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        // Char literal contents must not leak identifiers.
+        assert!(!idents("let c = 'x';").contains(&"x".to_owned()));
+    }
+
+    #[test]
+    fn comments_and_numbers_are_dropped() {
+        let ids = idents("// fsync here\n/* disk.read */ let x = 42u64 + 1.5; for i in 0..4 {}");
+        assert_eq!(ids, vec!["let", "x", "for", "i", "in"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let (toks, _) = lex("let a = \"l1\nl2\";\nfsync();");
+        let fsync = toks.iter().find(|t| t.ident() == Some("fsync")).unwrap();
+        assert_eq!(fsync.line, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! wdog-analyze: static extraction of AutoWatchdog IR from Rust source.
+//!
+//! The paper's AutoWatchdog front end analyzes the target program itself
+//! (Soot over Java bytecode) to find continuously-executed regions and
+//! vulnerable operations. This workspace's targets instead ship
+//! hand-written `describe_ir()` self-descriptions — convenient, but free
+//! to rot as the source changes. This crate closes that gap:
+//!
+//! * [`extract`] parses each target crate's Rust source with a minimal
+//!   hand-rolled [`lexer`] (the workspace builds offline; no `syn`),
+//!   discovers spawn-rooted long-running regions, classifies call sites
+//!   with the shared [`wdog_gen::patterns`] rule table, and emits a
+//!   [`wdog_gen::ProgramIr`] plus source sites and runtime hook firings;
+//! * [`drift`] compares that extracted IR against the self-description
+//!   and the generated hook plan, producing the
+//!   [`wdog_gen::DriftReport`] that the `wdog-lint` tool gates CI on.
+//!
+//! The extractor is deliberately conservative (see `DESIGN.md` §2 for
+//! the soundness limits): no macro expansion, no trait-object
+//! resolution — ambiguous calls are skipped, and `// wdog:` annotations
+//! cover the places where that matters.
+
+pub mod drift;
+pub mod extract;
+pub mod lexer;
+pub mod model;
+
+pub use drift::compare;
+pub use extract::{
+    extract_model, extract_target, restrict_to_regions, target_named, workspace_root,
+    ExtractedProgram, TargetConfig, TARGETS,
+};
+pub use model::{CrateModel, SourceFile};

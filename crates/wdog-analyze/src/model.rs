@@ -1,0 +1,305 @@
+//! Crate model: files, function bodies, and the const-string registry.
+//!
+//! The extractor works per target crate: every `*.rs` file under the
+//! crate's `src/` is lexed, functions are discovered by brace matching
+//! (with `#[cfg(test)] mod` bodies skipped), and `const`/`static` string
+//! values are collected crate-wide so call-site arguments like
+//! `WAL_ROTATED_PATH` resolve to their resource names. Files on the
+//! target's exclude list still contribute consts but no functions — the
+//! analysis scope knob, the moral equivalent of a Soot classpath filter.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::lexer::{lex, Annotation, Tok, Token};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/kvs/src/listener.rs`.
+    pub rel_path: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// `// wdog:` annotations, in line order.
+    pub annotations: Vec<Annotation>,
+    /// Excluded files contribute consts only.
+    pub excluded: bool,
+}
+
+impl SourceFile {
+    /// Lexes `src` into a file model.
+    pub fn parse(rel_path: impl Into<String>, src: &str, excluded: bool) -> Self {
+        let (tokens, annotations) = lex(src);
+        Self {
+            rel_path: rel_path.into(),
+            tokens,
+            annotations,
+            excluded,
+        }
+    }
+}
+
+/// A discovered function body.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name (last path segment; impl blocks are not tracked).
+    pub name: String,
+    /// Index into [`CrateModel::files`].
+    pub file: usize,
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Token range of the body, exclusive of the outer braces.
+    pub body: Range<usize>,
+}
+
+/// Everything the extractor needs to know about one target crate.
+#[derive(Debug)]
+pub struct CrateModel {
+    /// All lexed files, excluded ones included (for consts).
+    pub files: Vec<SourceFile>,
+    /// Discovered functions from non-excluded files.
+    pub fns: Vec<FnDecl>,
+    /// Function indices by name, for call resolution.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `const`/`static` string values, crate-wide.
+    pub consts: BTreeMap<String, String>,
+}
+
+impl CrateModel {
+    /// Builds the model from lexed files.
+    pub fn build(files: Vec<SourceFile>) -> Self {
+        let mut fns = Vec::new();
+        let mut consts = BTreeMap::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            collect_consts(&file.tokens, &mut consts);
+            if !file.excluded {
+                collect_fns(&file.tokens, file_idx, &mut fns);
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Self {
+            files,
+            fns,
+            by_name,
+            consts,
+        }
+    }
+
+    /// Resolves an identifier to a const string value, if one exists.
+    pub fn const_str(&self, name: &str) -> Option<&str> {
+        self.consts.get(name).map(String::as_str)
+    }
+}
+
+/// Finds the index of the matching close brace for the open brace at `open`.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    debug_assert!(tokens[open].is_punct('{'));
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the index of the matching close paren for the open paren at `open`.
+pub fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    debug_assert!(tokens[open].is_punct('('));
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// True if tokens starting at `i` spell the `#[cfg(test)]` attribute.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).and_then(Token::ident) == Some("cfg")
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 4).and_then(Token::ident) == Some("test")
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+        && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'))
+}
+
+fn collect_fns(tokens: &[Token], file_idx: usize, out: &mut Vec<FnDecl>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip `#[cfg(test)] mod name { ... }` wholesale.
+        if is_cfg_test_attr(tokens, i) {
+            let mut j = i + 7;
+            // Allow further attributes between cfg(test) and the item.
+            while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                if let Some(close) = tokens[j + 1..]
+                    .iter()
+                    .position(|t| t.is_punct(']'))
+                    .map(|p| j + 1 + p)
+                {
+                    j = close + 1;
+                } else {
+                    break;
+                }
+            }
+            if tokens.get(j).and_then(Token::ident) == Some("mod") {
+                if let Some(open) = tokens[j..]
+                    .iter()
+                    .position(|t| t.is_punct('{'))
+                    .map(|p| j + p)
+                {
+                    if let Some(close) = matching_brace(tokens, open) {
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+        if tokens[i].ident() == Some("fn") {
+            // `fn` in type position (`fn(..)`) has no following ident.
+            if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                let sig_line = tokens[i].line;
+                // Find the body open brace or a trailing `;` (trait decl).
+                let mut j = i + 2;
+                let mut body = None;
+                while j < tokens.len() {
+                    if tokens[j].is_punct(';') {
+                        break;
+                    }
+                    if tokens[j].is_punct('{') {
+                        if let Some(close) = matching_brace(tokens, j) {
+                            body = Some((j + 1)..close);
+                            i = j; // re-scan inside the body for nested fns
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(body) = body {
+                    out.push(FnDecl {
+                        name: name.to_owned(),
+                        file: file_idx,
+                        sig_line,
+                        body,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn collect_consts(tokens: &[Token], out: &mut BTreeMap<String, String>) {
+    for i in 0..tokens.len() {
+        let kw = tokens[i].ident();
+        if kw != Some("const") && kw != Some("static") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        // Find `= "value"` within a short window (the type annotation).
+        for j in (i + 2)..(i + 12).min(tokens.len().saturating_sub(1)) {
+            if tokens[j].is_punct(';') {
+                break;
+            }
+            if tokens[j].is_punct('=') {
+                if let Some(Tok::Str(v)) = tokens.get(j + 1).map(|t| t.tok.clone()) {
+                    out.insert(name.to_owned(), v);
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> CrateModel {
+        CrateModel::build(vec![SourceFile::parse("lib.rs", src, false)])
+    }
+
+    #[test]
+    fn discovers_functions_and_bodies() {
+        let m = model(
+            "pub fn alpha(x: u64) -> u64 { x + 1 }\n\
+             impl Foo {\n    pub(crate) fn beta(&self) { self.go(); }\n}\n\
+             trait T { fn gamma(&self); }\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"], "gamma has no body");
+        assert!(m.by_name.contains_key("beta"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let m = model(
+            "fn real() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn fake() { real(); }\n}\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn nested_fns_and_closures_do_not_confuse_bodies() {
+        let m = model("fn outer() { let f = |x: u64| { x }; fn inner() {} inner(); }\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // outer's body must span past inner.
+        let outer = &m.fns[0];
+        let inner = &m.fns[1];
+        assert!(outer.body.start < inner.body.start && inner.body.end <= outer.body.end);
+    }
+
+    #[test]
+    fn const_and_static_strings_collect() {
+        let m = model(
+            "pub const NAMENODE_ADDR: &str = \"bb-namenode\";\n\
+             static GREETING: &'static str = \"hi\";\n\
+             const N: usize = 4;\n",
+        );
+        assert_eq!(m.const_str("NAMENODE_ADDR"), Some("bb-namenode"));
+        assert_eq!(m.const_str("GREETING"), Some("hi"));
+        assert_eq!(m.const_str("N"), None);
+    }
+
+    #[test]
+    fn excluded_files_contribute_consts_but_no_fns() {
+        let m = CrateModel::build(vec![SourceFile::parse(
+            "x.rs",
+            "pub const A: &str = \"v\"; pub fn hidden() {}",
+            true,
+        )]);
+        assert_eq!(m.const_str("A"), Some("v"));
+        assert!(m.fns.is_empty());
+    }
+
+    #[test]
+    fn brace_and_paren_matching() {
+        let (toks, _) = lex("{ a ( b { c } ) d }");
+        assert_eq!(matching_brace(&toks, 0), Some(toks.len() - 1));
+        let open = toks.iter().position(|t| t.is_punct('(')).unwrap();
+        let close = matching_paren(&toks, open).unwrap();
+        assert!(toks[close].is_punct(')'));
+    }
+}

@@ -21,27 +21,35 @@
 //! | analyze the context required; generate context factory + hooks | [`plan`] |
 //! | enhance with runtime checks; package checkers into the driver | [`interp`] |
 //!
-//! The front end is a self-description [`ir`] that target systems build with
-//! [`ir::ProgramBuilder`] — the engineering substitution for Soot-style
-//! bytecode analysis (see `DESIGN.md` §2). Everything downstream of the IR
-//! is the paper's algorithm, and the generated checkers execute *real*
-//! system operations through an [`interp::OpTable`].
+//! The front end is the [`ir`]: target systems ship a hand-written
+//! self-description built with [`ir::ProgramBuilder`], and the
+//! `wdog-analyze` crate extracts the same IR directly from their Rust
+//! source using the shared [`patterns`] rule table (the stand-in for
+//! Soot-style bytecode analysis, see `DESIGN.md` §2). The `wdog-lint` tool
+//! diffs the two — and the registered runtime hooks — into [`drift`]
+//! findings so the description cannot silently rot. Everything downstream
+//! of the IR is the paper's algorithm, and the generated checkers execute
+//! *real* system operations through an [`interp::OpTable`].
 //!
 //! [`pretty`] renders Figure 2/3-style before/after listings.
 
+pub mod drift;
 pub mod interp;
 pub mod ir;
+pub mod patterns;
 pub mod plan;
 pub mod pretty;
 pub mod reduce;
 pub mod regions;
 pub mod vulnerable;
 
+pub use drift::{AllowEntry, DriftFinding, DriftKind, DriftReport, SourceRef};
 pub use interp::OpTable;
 pub use ir::{ArgSpec, ArgType, Function, OpKind, Operation, ProgramBuilder, ProgramIr};
+pub use patterns::{classify_callee, kind_for_label, resource_family, CalleeRule, CALLEE_RULES};
 pub use plan::{generate_plan, GeneratedChecker, HookPoint, WatchdogPlan};
 pub use reduce::{
-    reduce_program, ReducedFunction, ReducedProgram, ReductionConfig, ReductionStats,
+    class_counts, reduce_program, ReducedFunction, ReducedProgram, ReductionConfig, ReductionStats,
 };
 pub use regions::{find_regions, Region};
 pub use vulnerable::{VulnClass, VulnerabilityRules};

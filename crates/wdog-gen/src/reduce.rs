@@ -16,13 +16,13 @@
 //! Both dedup steps are ablation switches on [`ReductionConfig`] so
 //! experiment E6 can measure the checker-count blow-up without them.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::ir::{Operation, ProgramIr};
 use crate::regions::{find_regions, Region};
-use crate::vulnerable::VulnerabilityRules;
+use crate::vulnerable::{VulnClass, VulnerabilityRules};
 
 /// Configuration for one reduction run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,6 +121,28 @@ impl ReducedProgram {
             .flat_map(|f| f.kept_ops.iter().map(move |o| (f.name.as_str(), o)))
             .collect()
     }
+}
+
+/// Counts retained operations per vulnerability class across the whole
+/// reduced program (each shared function counted once, as reduced).
+///
+/// This is the `ReductionStats`-level equivalence the extraction golden
+/// tests assert: two IRs of the same program — one hand-written, one
+/// source-extracted — may name ops differently, but after reduction they
+/// must retain the same number of ops per class.
+pub fn class_counts(
+    reduced: &ReducedProgram,
+    rules: &VulnerabilityRules,
+) -> BTreeMap<VulnClass, usize> {
+    let mut counts = BTreeMap::new();
+    for func in &reduced.functions {
+        for op in &func.kept_ops {
+            if let Some(class) = rules.classify(op) {
+                *counts.entry(class).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
 }
 
 /// Runs program logic reduction over `ir`.
@@ -401,6 +423,15 @@ mod tests {
             .map(|o| o.name.as_str())
             .collect();
         assert_eq!(names, vec!["checksum_partition"]);
+    }
+
+    #[test]
+    fn class_counts_tally_kept_ops() {
+        let reduced = reduce_program(&zk_like(), &ReductionConfig::default());
+        let counts = class_counts(&reduced, &VulnerabilityRules::all());
+        assert_eq!(counts.get(&VulnClass::Io), Some(&1), "{counts:?}");
+        assert_eq!(counts.get(&VulnClass::Synchronization), Some(&1));
+        assert_eq!(counts.values().sum::<usize>(), reduced.stats.ops_retained);
     }
 
     #[test]

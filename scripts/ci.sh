@@ -13,6 +13,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> wdog-lint --target all --deny-drift"
+cargo run --offline -q -p harness --bin wdog-lint -- --target all --deny-drift
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test --offline -q
