@@ -1,0 +1,96 @@
+//! Replays the gray-failure catalogue through the closed recovery loop
+//! (§5.2) and reports per-scenario MTTR, attempts, and dispositions.
+//!
+//! ```text
+//! wdog-recovery [--target {kvs|minizk|miniblock|all}]
+//!               [--scenarios id,id,...]
+//!               [--require-verified N]
+//! ```
+//!
+//! `--scenarios` filters the catalogue by id; `--require-verified N` exits
+//! nonzero unless at least N scenarios (summed over targets) ended
+//! verified-recovered — the CI smoke gate.
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: wdog-recovery [--target {{kvs|minizk|miniblock|all}}] \
+         [--scenarios id,id,...] [--require-verified N]"
+    );
+    std::process::exit(code);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target_name = "kvs".to_owned();
+    let mut scenarios: Option<Vec<String>> = None;
+    let mut require_verified: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" if i + 1 < args.len() => {
+                target_name = args[i + 1].clone();
+                i += 2;
+            }
+            "--scenarios" if i + 1 < args.len() => {
+                scenarios = Some(args[i + 1].split(',').map(str::to_owned).collect());
+                i += 2;
+            }
+            "--require-verified" if i + 1 < args.len() => {
+                require_verified = args[i + 1].parse().unwrap_or_else(|_| usage(2));
+                i += 2;
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--target=") {
+                    target_name = v.to_owned();
+                } else if let Some(v) = other.strip_prefix("--scenarios=") {
+                    scenarios = Some(v.split(',').map(str::to_owned).collect());
+                } else if let Some(v) = other.strip_prefix("--require-verified=") {
+                    require_verified = v.parse().unwrap_or_else(|_| usage(2));
+                } else {
+                    usage(2);
+                }
+                i += 1;
+            }
+        }
+    }
+    let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
+        eprintln!("unknown target {target_name:?}; expected kvs, minizk, miniblock, or all");
+        std::process::exit(2);
+    });
+
+    let opts = harness::recovery::RecoveryOptions::default();
+    let mut verified_total = 0;
+    let mut failed = false;
+    for target in targets {
+        match harness::recovery::run(target.as_ref(), scenarios.as_deref(), &opts) {
+            Ok(campaign) => {
+                println!("{}", harness::recovery::render(&campaign));
+                verified_total += campaign.verified_total;
+                if campaign.idle_total != campaign.scenarios.len() as u64 {
+                    eprintln!(
+                        "wdog-recovery [{}]: coordinator not idle on every scenario",
+                        campaign.target
+                    );
+                    failed = true;
+                }
+                harness::write_json(
+                    &harness::result_name("recovery", &campaign.target),
+                    &campaign,
+                );
+            }
+            Err(e) => {
+                eprintln!("wdog-recovery [{}] failed: {e}", target.name());
+                failed = true;
+            }
+        }
+    }
+    if verified_total < require_verified {
+        eprintln!(
+            "wdog-recovery: {verified_total} verified recoveries < required {require_verified}"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

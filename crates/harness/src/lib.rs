@@ -7,6 +7,7 @@
 //! | [`reduction`] | Figures 2–3 — program logic reduction | `reduction` |
 //! | [`zk2201`] | §4.2 — the ZOOKEEPER-2201 reproduction | `zk2201` |
 //! | [`ablations`] | §3.1/§3.3 design choices (E6) | `ablations` |
+//! | [`recovery`] | §5.2 — closed-loop recovery campaign | `wdog-recovery` |
 //!
 //! Each experiment returns a serde-serializable result struct; binaries
 //! print the paper-style table *and* write the raw JSON next to it (under
@@ -15,6 +16,7 @@
 pub mod ablations;
 pub mod fmt;
 pub mod lint;
+pub mod recovery;
 pub mod reduction;
 pub mod scenario;
 pub mod table1;

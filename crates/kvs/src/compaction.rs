@@ -14,7 +14,7 @@
 //! the blocked operation the way the paper's watchdog pinpoints the blocked
 //! `serializeNode` call in ZOOKEEPER-2201.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use wdog_core::context::CtxValue;
@@ -22,10 +22,11 @@ use wdog_core::context::CtxValue;
 use crate::server::Shared;
 use crate::sstable::{merge_entries, read_sstable, write_sstable};
 
-/// Background compaction thread body.
-pub(crate) fn compaction_loop(shared: Arc<Shared>) {
+/// Background compaction thread body; `alive` is this generation's
+/// supervision flag — a restart retires it and spawns a fresh loop.
+pub(crate) fn compaction_loop(shared: Arc<Shared>, alive: Arc<AtomicBool>) {
     let hook = shared.hooks.site("compaction_loop");
-    while shared.is_running() {
+    while shared.is_running() && alive.load(Ordering::Relaxed) {
         shared.clock.sleep(shared.config.compaction_interval);
         shared.stall.pass(shared.clock.as_ref());
         // Hook: publish the oldest table path for the sst_read mimic op.

@@ -6,7 +6,7 @@
 //! a bounded sample of the flushed payload so the generated `sst_write`
 //! mimic op writes realistically sized data into the watchdog namespace.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use wdog_core::context::CtxValue;
@@ -20,10 +20,11 @@ const SAMPLE_BYTES: usize = 4096;
 /// Where the WAL is parked during a flush (replayed first on recovery).
 pub(crate) const WAL_ROTATED_PATH: &str = "wal/flushing";
 
-/// Background flusher thread body.
-pub(crate) fn flusher_loop(shared: Arc<Shared>) {
+/// Background flusher thread body; `alive` is this generation's
+/// supervision flag — a restart retires it and spawns a fresh loop.
+pub(crate) fn flusher_loop(shared: Arc<Shared>, alive: Arc<AtomicBool>) {
     let hook = shared.hooks.site("flusher_loop");
-    while shared.is_running() {
+    while shared.is_running() && alive.load(Ordering::Relaxed) {
         shared.clock.sleep(shared.config.flush_interval);
         shared.stall.pass(shared.clock.as_ref());
         let appended = shared.wal.lock().appended_bytes();

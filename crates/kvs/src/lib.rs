@@ -33,9 +33,11 @@ pub mod flusher;
 pub mod index;
 pub mod listener;
 pub mod partition;
+pub mod recover;
 pub mod replication;
 pub mod server;
 pub mod sstable;
+pub mod supervise;
 pub mod target;
 pub mod wal;
 pub mod wd;
@@ -43,3 +45,4 @@ pub mod wd;
 pub use api::{Request, Response};
 pub use config::{KvsConfig, ReplicationConfig};
 pub use server::{KvsClient, KvsServer};
+pub use supervise::SupervisionStats;

@@ -1,0 +1,345 @@
+//! The kvs recovery surface: component restarts, workload shedding, and
+//! verification re-checks for the closed-loop recovery coordinator.
+//!
+//! This is the target-side half of the paper's §5.2 argument: because the
+//! watchdog pinpoints *which* component failed, recovery can stay component
+//! scoped — respawn the compactor, rebuild the corrupted partitions, free
+//! the leaking request path — and every mitigation is verified by
+//! re-dispatching a fresh check against the same real resources the blaming
+//! checker used (the compaction lock, the WAL volume, the replication
+//! link), so a "recovered" verdict means the fault is actually gone.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wdog_base::ids::ComponentId;
+
+use wdog_core::action::{Degradable, Restartable};
+use wdog_core::checker::{CheckFailure, CheckStatus, Checker, FnChecker};
+use wdog_core::report::{FailureKind, FaultLocation};
+
+use wdog_target::{RecoverySurface, VerifierFactory};
+
+use crate::replication::WD_PROBE_PREFIX;
+use crate::server::KvsServer;
+use crate::wd::{KEY_PROBE_PREFIX, WAL_PROBE_PATH};
+
+/// Bounded wait when a verifier try-locks a real mutex.
+const VERIFY_LOCK_WAIT: Duration = Duration::from_millis(300);
+
+/// Memory level a restarted request path must be back under (matches the
+/// default signal-checker watermark).
+const VERIFY_MEMORY_BYTES: u64 = 64 * 1024 * 1024;
+
+fn fail(kind: FailureKind, component: &ComponentId, detail: String) -> CheckStatus {
+    CheckStatus::Fail(CheckFailure::new(
+        kind,
+        FaultLocation::new(component.clone(), "recovery_verify"),
+        detail,
+    ))
+}
+
+/// Builds the full [`RecoverySurface`] for a running server.
+pub fn recovery_surface(server: &Arc<KvsServer>) -> RecoverySurface {
+    struct KvsRestart(Arc<KvsServer>);
+    impl Restartable for KvsRestart {
+        fn restart(&self, component: &ComponentId) {
+            self.0.restart_component(component.as_str());
+        }
+    }
+    struct KvsDegrade(Arc<KvsServer>);
+    impl Degradable for KvsDegrade {
+        fn degrade(&self, component: &ComponentId) {
+            self.0.degrade_component(component.as_str());
+        }
+    }
+    RecoverySurface {
+        restart: Arc::new(KvsRestart(Arc::clone(server))),
+        degrade: Arc::new(KvsDegrade(Arc::clone(server))),
+        verifier: verifier_factory(server),
+    }
+}
+
+/// Builds verification re-checks per blamed component. Each verifier
+/// exercises the same real resource the blaming checker watched, so it
+/// fate-shares with a still-present fault (and the coordinator's verify
+/// timeout bounds a wedged verifier).
+pub fn verifier_factory(server: &Arc<KvsServer>) -> VerifierFactory {
+    let server = Arc::clone(server);
+    Arc::new(move |component: &ComponentId| {
+        let c = component.as_str();
+        let comp = component.clone();
+        if c.contains("compact") {
+            // The compaction mimic blames a held lock; recovered means the
+            // real lock is takeable again.
+            let s = Arc::clone(&server);
+            Some(Box::new(FnChecker::new(
+                "kvs.verify.compaction",
+                comp.clone(),
+                move || match s.shared().compaction_lock.try_lock_for(VERIFY_LOCK_WAIT) {
+                    Some(_guard) => CheckStatus::Pass,
+                    None => fail(
+                        FailureKind::Stuck,
+                        &comp,
+                        "compaction lock still held".into(),
+                    ),
+                },
+            )) as Box<dyn Checker>)
+        } else if c.contains("flush") || c.contains("wal") {
+            // A probe write + sync on the WAL volume: wedges under a disk
+            // fault exactly like the real flusher.
+            let disk = server.disk();
+            Some(Box::new(FnChecker::new(
+                "kvs.verify.flusher",
+                comp.clone(),
+                move || {
+                    let r = disk
+                        .append(WAL_PROBE_PATH, b"rv")
+                        .and_then(|()| disk.fsync(WAL_PROBE_PATH));
+                    match r {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Error, &comp, format!("wal probe: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else if c.contains("repl") {
+            // A tagged probe frame on the real link; blocks while the link
+            // is wedged, fails while it errors.
+            let s = Arc::clone(&server);
+            Some(Box::new(FnChecker::new(
+                "kvs.verify.replication",
+                comp.clone(),
+                move || {
+                    let (Some(repl), Some(net)) = (
+                        s.shared().config.replication.clone(),
+                        s.shared().net.clone(),
+                    ) else {
+                        return fail(FailureKind::Error, &comp, "replication disabled".into());
+                    };
+                    let mut frame = WD_PROBE_PREFIX.to_vec();
+                    frame.extend_from_slice(b"recovery-verify");
+                    match net.send(&repl.src_addr, &repl.dst_addr, bytes::Bytes::from(frame)) {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Error, &comp, format!("repl probe: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else if c.contains("index") || c.contains("sst") {
+            // Recovered means the index round-trips values again AND every
+            // live partition passes checksum validation.
+            let s = Arc::clone(&server);
+            Some(Box::new(FnChecker::new(
+                "kvs.verify.index",
+                comp.clone(),
+                move || {
+                    let shared = s.shared();
+                    let key = format!("{KEY_PROBE_PREFIX}recover");
+                    shared.index.put(&key, "rv");
+                    let got = shared.index.get(&key);
+                    shared.index.remove(&key);
+                    if got.as_deref() != Some("rv") {
+                        return fail(
+                            FailureKind::Corruption,
+                            &comp,
+                            format!("index read back {got:?}"),
+                        );
+                    }
+                    match shared.partitions.validate_all() {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Corruption, &comp, format!("partitions: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else if c.contains("api") || c.contains("listener") {
+            // A full client round trip through the request path.
+            let client = server.client();
+            Some(
+                Box::new(FnChecker::new("kvs.verify.api", comp.clone(), move || {
+                    let key = format!("{KEY_PROBE_PREFIX}verify");
+                    let r = client.set(&key, "rv").and_then(|()| client.get(&key));
+                    match r {
+                        Ok(Some(v)) if v == "rv" => CheckStatus::Pass,
+                        Ok(got) => fail(
+                            FailureKind::Corruption,
+                            &comp,
+                            format!("api read back {got:?}"),
+                        ),
+                        Err(e) => fail(FailureKind::Error, &comp, format!("api probe: {e}")),
+                    }
+                })) as Box<dyn Checker>,
+            )
+        } else if c == "kvs" || c.contains("memory") {
+            // Process-level blame (memory watermark, sleep drift, disk
+            // space): memory back under the watermark plus a live round
+            // trip — wedged workers (runtime pause) fail the round trip.
+            let s = Arc::clone(&server);
+            let client = server.client();
+            Some(Box::new(FnChecker::new(
+                "kvs.verify.process",
+                comp.clone(),
+                move || {
+                    let used = s.monitor().memory_bytes();
+                    if used > VERIFY_MEMORY_BYTES {
+                        return fail(
+                            FailureKind::AssertViolation,
+                            &comp,
+                            format!("memory still at {used} B"),
+                        );
+                    }
+                    let key = format!("{KEY_PROBE_PREFIX}verify");
+                    match client.set(&key, "rv") {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Error, &comp, format!("round trip: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn wait_for(mut pred: impl FnMut() -> bool, what: &str) {
+        let start = std::time::Instant::now();
+        while start.elapsed() < Duration::from_secs(10) {
+            if pred() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    fn busy_server() -> Arc<KvsServer> {
+        let config = crate::config::KvsConfig {
+            flush_interval: Duration::from_millis(10),
+            compaction_interval: Duration::from_millis(10),
+            compaction_trigger: 3,
+            ..crate::config::KvsConfig::default()
+        };
+        Arc::new(
+            KvsServer::start(
+                config,
+                wdog_base::clock::RealClock::shared(),
+                simio::disk::SimDisk::for_tests(),
+                None,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn restart_unwedges_stuck_compaction_without_process_restart() {
+        let server = busy_server();
+        let client = server.client();
+        server.toggles().set("kvs.compaction.stuck", true);
+        for round in 0..10 {
+            for i in 0..5 {
+                client.set(&format!("k{round}-{i}"), "v").unwrap();
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        wait_for(
+            || server.shared().compaction_lock.try_lock().is_none(),
+            "compaction to wedge inside the lock",
+        );
+        let before = server.stats().compactions;
+
+        assert!(server.restart_component("kvs.compaction"));
+        assert_eq!(server.supervision().compaction_restarts, 1);
+
+        // The fresh generation compacts again; the process never restarted.
+        for round in 0..10 {
+            for i in 0..5 {
+                client.set(&format!("r{round}-{i}"), "v").unwrap();
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        wait_for(
+            || server.stats().compactions > before,
+            "fresh compaction generation to run",
+        );
+        assert!(server.is_running());
+
+        // And the verifier agrees.
+        let factory = verifier_factory(&server);
+        let mut checker = factory(&ComponentId::new("kvs.compaction")).unwrap();
+        wait_for(|| checker.check().is_pass(), "verifier to pass");
+    }
+
+    #[test]
+    fn index_restart_repairs_corruption() {
+        let server = busy_server();
+        let client = server.client();
+        for i in 0..20 {
+            client.set(&format!("k{i}"), "v").unwrap();
+        }
+        wait_for(|| server.sstable_count() >= 1, "a flushed table");
+        server.toggles().set("kvs.indexer.corrupt", true);
+
+        assert!(server.restart_component("kvs.index"));
+        assert_eq!(server.supervision().index_rebuilds, 1);
+        assert!(
+            !server.toggles().is_set("kvs.indexer.corrupt"),
+            "restart must drop the corrupting state"
+        );
+        let factory = verifier_factory(&server);
+        let mut checker = factory(&ComponentId::new("kvs.index")).unwrap();
+        assert!(checker.check().is_pass());
+    }
+
+    #[test]
+    fn memory_restart_releases_leak() {
+        let server = busy_server();
+        let client = server.client();
+        server.toggles().set("kvs.listener.leak", true);
+        for i in 0..50 {
+            client.set(&format!("k{i}"), "v").unwrap();
+        }
+        assert!(server.monitor().memory_bytes() > 0);
+        assert!(server.restart_component("kvs"));
+        assert_eq!(server.monitor().memory_bytes(), 0);
+        assert!(!server.toggles().is_set("kvs.listener.leak"));
+    }
+
+    #[test]
+    fn flusher_restart_spawns_fresh_generation() {
+        let server = busy_server();
+        let client = server.client();
+        assert!(server.restart_component("kvs.flusher"));
+        assert_eq!(server.supervision().flusher_restarts, 1);
+        let before = server.stats().flushes;
+        for i in 0..20 {
+            client.set(&format!("k{i}"), "v").unwrap();
+        }
+        wait_for(
+            || server.stats().flushes > before,
+            "fresh flusher generation to flush",
+        );
+    }
+
+    #[test]
+    fn degrade_sheds_component() {
+        let server = busy_server();
+        assert!(server.degrade_component("kvs.flusher"));
+        assert_eq!(server.supervision().degraded, 1);
+        // The rest of the server keeps serving.
+        let client = server.client();
+        client.set("k", "v").unwrap();
+        assert_eq!(client.get("k").unwrap().as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn unknown_component_has_no_verifier_or_restart() {
+        let server = busy_server();
+        assert!(!server.restart_component("something.else"));
+        assert!(!server.degrade_component("something.else"));
+        let factory = verifier_factory(&server);
+        assert!(factory(&ComponentId::new("something.else")).is_none());
+    }
+}

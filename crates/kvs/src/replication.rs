@@ -22,9 +22,15 @@ use crate::server::{apply_to_index, Shared};
 /// Prefix marking watchdog probe traffic; replicas skip these frames.
 pub const WD_PROBE_PREFIX: &[u8] = b"__wd__:";
 
-/// Background replication thread body (primary side).
+/// Background replication thread body (primary side); `alive` is this
+/// generation's supervision flag — a restart retires it and spawns a fresh
+/// loop on the same queue.
 // wdog: resource replica
-pub(crate) fn replication_loop(shared: Arc<Shared>, rx: Receiver<Vec<u8>>) {
+pub(crate) fn replication_loop(
+    shared: Arc<Shared>,
+    rx: Receiver<Vec<u8>>,
+    alive: Arc<std::sync::atomic::AtomicBool>,
+) {
     let Some(repl) = shared.config.replication.clone() else {
         return;
     };
@@ -32,7 +38,7 @@ pub(crate) fn replication_loop(shared: Arc<Shared>, rx: Receiver<Vec<u8>>) {
         return;
     };
     let hook = shared.hooks.site("replication_loop");
-    while shared.is_running() {
+    while shared.is_running() && alive.load(Ordering::Relaxed) {
         let op = match rx.recv_timeout(std::time::Duration::from_millis(10)) {
             Ok(op) => op,
             Err(RecvTimeoutError::Timeout) => continue,

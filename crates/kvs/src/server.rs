@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use faults::ToggleSet;
@@ -34,6 +34,7 @@ use crate::config::KvsConfig;
 use crate::index::MemIndex;
 use crate::partition::PartitionManager;
 use crate::sstable::read_sstable;
+use crate::supervise::{SupervisionStats, Supervisor};
 use crate::wal::Wal;
 
 /// Counters exposed for experiments and assertions.
@@ -102,8 +103,12 @@ pub(crate) struct Shared {
     pub(crate) wal: Mutex<Wal>,
     pub(crate) wal_tx: Sender<Vec<u8>>,
     pub(crate) repl_tx: Sender<Vec<u8>>,
+    /// Retained so a restarted replication loop can resume the same queue.
+    pub(crate) repl_rx: Receiver<Vec<u8>>,
     pub(crate) partitions: PartitionManager,
     pub(crate) compaction_lock: Mutex<()>,
+    pub(crate) supervisor: Supervisor,
+    pub(crate) index_rebuilds: AtomicU64,
     pub(crate) running: AtomicBool,
     pub(crate) hooks: Hooks,
     pub(crate) context: Arc<ContextTable>,
@@ -168,8 +173,11 @@ impl KvsServer {
             index,
             wal_tx,
             repl_tx,
+            repl_rx: repl_rx.clone(),
             partitions,
             compaction_lock: Mutex::new(()),
+            supervisor: Supervisor::new(),
+            index_rebuilds: AtomicU64::new(0),
             running: AtomicBool::new(true),
             hooks,
             context,
@@ -204,26 +212,29 @@ impl KvsServer {
                     .expect("spawn kvs wal writer"),
             );
             let s = Arc::clone(&shared);
+            let alive = s.supervisor.flusher.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("kvs-flusher".into())
-                    .spawn(move || crate::flusher::flusher_loop(s))
+                    .spawn(move || crate::flusher::flusher_loop(s, alive))
                     .expect("spawn kvs flusher"),
             );
             let s = Arc::clone(&shared);
+            let alive = s.supervisor.compaction.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("kvs-compaction".into())
-                    .spawn(move || crate::compaction::compaction_loop(s))
+                    .spawn(move || crate::compaction::compaction_loop(s, alive))
                     .expect("spawn kvs compaction"),
             );
         }
         if config.replication.is_some() {
             let s = Arc::clone(&shared);
+            let alive = s.supervisor.replication.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("kvs-replication".into())
-                    .spawn(move || crate::replication::replication_loop(s, repl_rx))
+                    .spawn(move || crate::replication::replication_loop(s, repl_rx, alive))
                     .expect("spawn kvs replication"),
             );
         }
@@ -339,6 +350,125 @@ impl KvsServer {
         let meta = crate::sstable::write_sstable(&self.shared.disk, &path, &entries)?;
         self.shared.partitions.replace(&old, meta)?;
         Ok(old.len())
+    }
+
+    /// Component-scoped restart (paper §5.2): retires the named component's
+    /// current generation, clears the cooperative faults a fresh instance
+    /// would discard with its in-memory state, and spawns a replacement.
+    ///
+    /// `component` is matched loosely (`kvs.flusher`, `flush`, `compact`,
+    /// `repl`, `index`/`sst`, `kvs`/`listener`/`memory`) so watchdog blame
+    /// at any granularity maps onto the owning component. Returns `false`
+    /// when nothing restartable matches.
+    pub fn restart_component(&self, component: &str) -> bool {
+        let c = component;
+        if c.contains("flush") || c.contains("wal") {
+            if !self.shared.config.durable {
+                return false;
+            }
+            let s = Arc::clone(&self.shared);
+            let alive = s.supervisor.flusher.next_generation();
+            std::thread::Builder::new()
+                .name("kvs-flusher".into())
+                .spawn(move || crate::flusher::flusher_loop(s, alive))
+                .expect("respawn kvs flusher");
+            true
+        } else if c.contains("compact") {
+            if !self.shared.config.durable {
+                return false;
+            }
+            // A fresh compactor has no wedged/spinning state: the toggles
+            // model in-memory state the retired generation takes with it.
+            self.shared.toggles.set("kvs.compaction.stuck", false);
+            self.shared.toggles.set("kvs.compaction.busyloop", false);
+            let s = Arc::clone(&self.shared);
+            let alive = s.supervisor.compaction.next_generation();
+            std::thread::Builder::new()
+                .name("kvs-compaction".into())
+                .spawn(move || crate::compaction::compaction_loop(s, alive))
+                .expect("respawn kvs compaction");
+            true
+        } else if c.contains("repl") {
+            if self.shared.config.replication.is_none() {
+                return false;
+            }
+            let s = Arc::clone(&self.shared);
+            let rx = self.shared.repl_rx.clone();
+            let alive = s.supervisor.replication.next_generation();
+            std::thread::Builder::new()
+                .name("kvs-replication".into())
+                .spawn(move || crate::replication::replication_loop(s, rx, alive))
+                .expect("respawn kvs replication");
+            true
+        } else if c.contains("index") || c.contains("sst") {
+            // "Restarting" the indexer replaces its corrupted on-disk
+            // objects: drop the corrupting state and rebuild the partitions
+            // from the authoritative in-memory index.
+            self.shared.toggles.set("kvs.indexer.corrupt", false);
+            let ok = self.rebuild_partitions().is_ok();
+            if ok {
+                self.shared.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            ok
+        } else if c.contains("api") || c.contains("listener") || c.contains("memory") || c == "kvs"
+        {
+            // Restarting the request path re-initializes its in-process
+            // state: stop the leak, release what it accumulated, and — when
+            // the indexer has been corrupting entries — replace the
+            // corrupted objects like an index restart would.
+            self.shared.toggles.set("kvs.listener.leak", false);
+            let leaked = self.shared.monitor.memory_bytes();
+            if leaked > 0 {
+                self.shared.monitor.free(leaked);
+            }
+            if self.shared.toggles.is_set("kvs.indexer.corrupt") {
+                self.shared.toggles.set("kvs.indexer.corrupt", false);
+                if self.rebuild_partitions().is_ok() {
+                    self.shared.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sheds the named component's workload without a replacement (the
+    /// recovery ladder's degrade rung). Returns `false` when the component
+    /// has no sheddable generation.
+    pub fn degrade_component(&self, component: &str) -> bool {
+        let c = component;
+        if c.contains("flush") || c.contains("wal") {
+            self.shared.supervisor.flusher.shed();
+            true
+        } else if c.contains("compact") {
+            // Unwedge the retiring generation so it releases the lock.
+            self.shared.toggles.set("kvs.compaction.stuck", false);
+            self.shared.toggles.set("kvs.compaction.busyloop", false);
+            self.shared.supervisor.compaction.shed();
+            true
+        } else if c.contains("repl") {
+            self.shared.supervisor.replication.shed();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns supervision bookkeeping for experiments and assertions.
+    pub fn supervision(&self) -> SupervisionStats {
+        let sup = &self.shared.supervisor;
+        let degraded = [&sup.flusher, &sup.compaction, &sup.replication]
+            .into_iter()
+            .filter(|s| s.is_degraded())
+            .count() as u32;
+        SupervisionStats {
+            flusher_restarts: sup.flusher.restarts(),
+            compaction_restarts: sup.compaction.restarts(),
+            replication_restarts: sup.replication.restarts(),
+            index_rebuilds: self.shared.index_rebuilds.load(Ordering::Relaxed),
+            degraded,
+        }
     }
 
     /// Returns the configuration the server was started with.

@@ -1,0 +1,37 @@
+//! kvs component supervision: one [`Supervised`] generation flag per
+//! restartable background component (see `wdog_target::supervise` for the
+//! mechanism and the §5.2 rationale).
+
+pub(crate) use wdog_target::Supervised;
+
+/// Supervision state for every restartable kvs component.
+pub(crate) struct Supervisor {
+    pub(crate) flusher: Supervised,
+    pub(crate) compaction: Supervised,
+    pub(crate) replication: Supervised,
+}
+
+impl Supervisor {
+    pub(crate) fn new() -> Self {
+        Self {
+            flusher: Supervised::new(),
+            compaction: Supervised::new(),
+            replication: Supervised::new(),
+        }
+    }
+}
+
+/// Snapshot of supervision bookkeeping, for experiments and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Flusher generations retired by restart.
+    pub flusher_restarts: u64,
+    /// Compaction generations retired by restart.
+    pub compaction_restarts: u64,
+    /// Replication generations retired by restart.
+    pub replication_restarts: u64,
+    /// Index/partition rebuilds performed as component restarts.
+    pub index_rebuilds: u64,
+    /// Components currently shed (degraded, no live generation).
+    pub degraded: u32,
+}

@@ -26,7 +26,8 @@ use wdog_gen::plan::WatchdogPlan;
 
 use wdog_target::{
     catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
-    TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver, WorkloadProfile,
+    RecoverySurface, TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver,
+    WorkloadProfile,
 };
 
 use crate::config::KvsConfig;
@@ -171,6 +172,10 @@ impl TargetInstance for KvsInstance {
 
     fn errors_handled(&self) -> u64 {
         self.server.stats().errors_handled
+    }
+
+    fn recovery_surface(&self) -> Option<RecoverySurface> {
+        Some(crate::recover::recovery_surface(&self.server))
     }
 
     fn clear_faults(&self) {

@@ -15,6 +15,8 @@ use wdog_base::error::BaseResult;
 use wdog_core::context::{ContextTable, CtxValue};
 use wdog_core::hooks::{HookSite, Hooks};
 
+use wdog_target::Supervised;
+
 use crate::block::BlockStore;
 use crate::namenode::{NnMsg, NAMENODE_ADDR};
 
@@ -60,6 +62,36 @@ pub struct DataNodeStats {
     pub reports: u64,
 }
 
+/// Supervision bookkeeping for the DataNode's background components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnSupervisionStats {
+    /// Heartbeat generations retired by restart.
+    pub heartbeat_restarts: u64,
+    /// Report generations retired by restart.
+    pub report_restarts: u64,
+    /// Scanner generations retired by restart.
+    pub scanner_restarts: u64,
+    /// Components currently shed (degraded, no live generation).
+    pub degraded: u32,
+}
+
+/// One [`Supervised`] per restartable background loop.
+pub(crate) struct DnSupervisor {
+    pub(crate) heartbeat: Supervised,
+    pub(crate) report: Supervised,
+    pub(crate) scanner: Supervised,
+}
+
+impl DnSupervisor {
+    fn new() -> Self {
+        Self {
+            heartbeat: Supervised::new(),
+            report: Supervised::new(),
+            scanner: Supervised::new(),
+        }
+    }
+}
+
 pub(crate) struct DnShared {
     pub(crate) store: BlockStore,
     pub(crate) net: SimNet,
@@ -78,6 +110,8 @@ pub(crate) struct DnShared {
     pub(crate) scan_errors: AtomicU64,
     pub(crate) heartbeats: AtomicU64,
     pub(crate) reports: AtomicU64,
+    pub(crate) supervisor: DnSupervisor,
+    pub(crate) config: DataNodeConfig,
 }
 
 impl DnShared {
@@ -127,90 +161,41 @@ impl DataNode {
             scan_errors: AtomicU64::new(0),
             heartbeats: AtomicU64::new(0),
             reports: AtomicU64::new(0),
+            supervisor: DnSupervisor::new(),
+            config: config.clone(),
         });
 
         let mut threads = Vec::new();
         // Heartbeat loop.
         {
             let s = Arc::clone(&shared);
-            let interval = config.heartbeat_interval;
+            let alive = s.supervisor.heartbeat.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("dn-heartbeat".into())
-                    // wdog: region heartbeat_loop
-                    .spawn(move || {
-                        while s.is_running() {
-                            let msg = NnMsg::Heartbeat {
-                                datanode: s.id.clone(),
-                            };
-                            if s.net.send(&s.id, NAMENODE_ADDR, msg.encode()).is_ok() {
-                                s.heartbeats.fetch_add(1, Ordering::Relaxed);
-                            }
-                            s.clock.sleep(interval);
-                        }
-                    })
+                    .spawn(move || heartbeat_loop(s, alive))
                     .expect("spawn dn heartbeat"),
             );
         }
         // Block-report loop.
         {
             let s = Arc::clone(&shared);
-            let interval = config.report_interval;
+            let alive = s.supervisor.report.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("dn-report".into())
-                    .spawn(move || {
-                        let hook = s.hooks.site("report_loop");
-                        while s.is_running() {
-                            s.clock.sleep(interval);
-                            let blocks: Vec<u64> = s.blocks.read().keys().copied().collect();
-                            let count = blocks.len() as u64;
-                            hook.fire(|| vec![("block_count".into(), CtxValue::U64(count))]);
-                            let msg = NnMsg::BlockReport {
-                                datanode: s.id.clone(),
-                                blocks,
-                            };
-                            if s.net.send(&s.id, NAMENODE_ADDR, msg.encode()).is_ok() {
-                                s.reports.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    })
+                    .spawn(move || report_loop(s, alive))
                     .expect("spawn dn report"),
             );
         }
         // Block scanner loop (HDFS's DataBlockScanner).
         {
             let s = Arc::clone(&shared);
-            let interval = config.scan_interval;
+            let alive = s.supervisor.scanner.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("dn-scanner".into())
-                    .spawn(move || {
-                        let hook = s.hooks.site("scanner_loop");
-                        while s.is_running() {
-                            s.clock.sleep(interval);
-                            for (_, path) in s.store.list_all() {
-                                if path.ends_with(".volume") || path.contains("__wd") {
-                                    continue;
-                                }
-                                let p = path.clone();
-                                hook.fire(|| vec![("block_path".into(), CtxValue::Str(p))]);
-                                // In-place error handler: a bad block is
-                                // counted and scanning continues.
-                                match s.store.validate_path(&path) {
-                                    Ok(()) => {
-                                        s.blocks_scanned.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        s.scan_errors.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                                if !s.is_running() {
-                                    break;
-                                }
-                            }
-                        }
-                    })
+                    .spawn(move || scanner_loop(s, alive))
                     .expect("spawn dn scanner"),
             );
         }
@@ -281,6 +266,11 @@ impl DataNode {
         &self.shared.store
     }
 
+    /// Returns the node's network handle (for probes).
+    pub fn net(&self) -> &SimNet {
+        &self.shared.net
+    }
+
     /// Returns the watchdog context table fed by this node's hooks.
     pub fn context(&self) -> Arc<ContextTable> {
         Arc::clone(&self.shared.context)
@@ -289,6 +279,74 @@ impl DataNode {
     /// Returns this node's id.
     pub fn id(&self) -> &str {
         &self.config.id
+    }
+
+    /// Restarts one background component by blamed-component name: the old
+    /// generation is retired (it exits at its next flag poll, or when an
+    /// armed fault releases it) and a fresh one is spawned detached (§5.2
+    /// component restart — the process never goes down). Returns whether
+    /// the name mapped to a restartable component.
+    pub fn restart_component(&self, component: &str) -> bool {
+        let s = &self.shared;
+        if component.contains("heartbeat") {
+            let s2 = Arc::clone(s);
+            let alive = s.supervisor.heartbeat.next_generation();
+            std::thread::Builder::new()
+                .name("dn-heartbeat".into())
+                .spawn(move || heartbeat_loop(s2, alive))
+                .expect("respawn dn heartbeat");
+            true
+        } else if component.contains("report") || component.contains("namenode") {
+            let s2 = Arc::clone(s);
+            let alive = s.supervisor.report.next_generation();
+            std::thread::Builder::new()
+                .name("dn-report".into())
+                .spawn(move || report_loop(s2, alive))
+                .expect("respawn dn report");
+            true
+        } else if component.contains("scan") {
+            let s2 = Arc::clone(s);
+            let alive = s.supervisor.scanner.next_generation();
+            std::thread::Builder::new()
+                .name("dn-scanner".into())
+                .spawn(move || scanner_loop(s2, alive))
+                .expect("respawn dn scanner");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sheds one background component (degrade): its generation is retired
+    /// with no replacement while block ingest keeps serving.
+    pub fn degrade_component(&self, component: &str) -> bool {
+        let s = &self.shared;
+        if component.contains("heartbeat") {
+            s.supervisor.heartbeat.shed();
+            true
+        } else if component.contains("report") || component.contains("namenode") {
+            s.supervisor.report.shed();
+            true
+        } else if component.contains("scan") {
+            s.supervisor.scanner.shed();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Supervision bookkeeping snapshot.
+    pub fn supervision(&self) -> DnSupervisionStats {
+        let sup = &self.shared.supervisor;
+        DnSupervisionStats {
+            heartbeat_restarts: sup.heartbeat.restarts(),
+            report_restarts: sup.report.restarts(),
+            scanner_restarts: sup.scanner.restarts(),
+            degraded: [&sup.heartbeat, &sup.report, &sup.scanner]
+                .iter()
+                .filter(|s| s.is_degraded())
+                .count() as u32,
+        }
     }
 
     /// Simulates a whole-process failure: background threads exit and the
@@ -312,6 +370,69 @@ impl DataNode {
 
     pub(crate) fn shared(&self) -> &Arc<DnShared> {
         &self.shared
+    }
+}
+
+/// Periodically tells the NameNode this node is alive; `alive` is this
+/// generation's supervision flag.
+fn heartbeat_loop(s: Arc<DnShared>, alive: Arc<AtomicBool>) {
+    let interval = s.config.heartbeat_interval;
+    while s.is_running() && alive.load(Ordering::Relaxed) {
+        let msg = NnMsg::Heartbeat {
+            datanode: s.id.clone(),
+        };
+        if s.net.send(&s.id, NAMENODE_ADDR, msg.encode()).is_ok() {
+            s.heartbeats.fetch_add(1, Ordering::Relaxed);
+        }
+        s.clock.sleep(interval);
+    }
+}
+
+/// Periodically ships the full block inventory to the NameNode.
+fn report_loop(s: Arc<DnShared>, alive: Arc<AtomicBool>) {
+    let hook = s.hooks.site("report_loop");
+    let interval = s.config.report_interval;
+    while s.is_running() && alive.load(Ordering::Relaxed) {
+        s.clock.sleep(interval);
+        let blocks: Vec<u64> = s.blocks.read().keys().copied().collect();
+        let count = blocks.len() as u64;
+        hook.fire(|| vec![("block_count".into(), CtxValue::U64(count))]);
+        let msg = NnMsg::BlockReport {
+            datanode: s.id.clone(),
+            blocks,
+        };
+        if s.net.send(&s.id, NAMENODE_ADDR, msg.encode()).is_ok() {
+            s.reports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Periodically validates every stored block (HDFS's DataBlockScanner).
+fn scanner_loop(s: Arc<DnShared>, alive: Arc<AtomicBool>) {
+    let hook = s.hooks.site("scanner_loop");
+    let interval = s.config.scan_interval;
+    while s.is_running() && alive.load(Ordering::Relaxed) {
+        s.clock.sleep(interval);
+        for (_, path) in s.store.list_all() {
+            if path.ends_with(".volume") || path.contains("__wd") {
+                continue;
+            }
+            let p = path.clone();
+            hook.fire(|| vec![("block_path".into(), CtxValue::Str(p))]);
+            // In-place error handler: a bad block is counted and scanning
+            // continues.
+            match s.store.validate_path(&path) {
+                Ok(()) => {
+                    s.blocks_scanned.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    s.scan_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if !s.is_running() {
+                break;
+            }
+        }
     }
 }
 

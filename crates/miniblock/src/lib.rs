@@ -28,10 +28,11 @@ pub mod block;
 pub mod datanode;
 pub mod disk_checker;
 pub mod namenode;
+pub mod recover;
 pub mod target;
 pub mod wd;
 
 pub use block::BlockStore;
-pub use datanode::{DataNode, DataNodeConfig};
+pub use datanode::{DataNode, DataNodeConfig, DnSupervisionStats};
 pub use disk_checker::{EnhancedDiskChecker, LegacyDiskChecker};
 pub use namenode::NameNode;

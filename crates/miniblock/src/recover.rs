@@ -1,0 +1,217 @@
+//! The miniblock recovery surface: DataNode component restarts, shedding,
+//! and verification re-checks for the closed-loop recovery coordinator.
+//!
+//! All three DataNode background loops (heartbeat, block report, scanner)
+//! are individually restartable — each owns only a flag and rebuilds its
+//! working set from `DnShared` on respawn, the easy case for §5.2 component
+//! restart. Ingest has no background thread, so block-path blame recovers
+//! by retry-and-verify against the volume itself.
+
+use std::sync::Arc;
+
+use wdog_base::ids::ComponentId;
+
+use wdog_core::action::{Degradable, Restartable};
+use wdog_core::checker::{CheckFailure, CheckStatus, Checker, FnChecker};
+use wdog_core::report::{FailureKind, FaultLocation};
+
+use wdog_target::{RecoverySurface, VerifierFactory};
+
+use crate::datanode::DataNode;
+use crate::namenode::{NnMsg, NAMENODE_ADDR};
+
+/// Volume path the disk verifier probes (skipped by the scanner).
+const RECOVER_PROBE_PATH: &str = "blocks/vol1/__wd_recover";
+
+fn fail(kind: FailureKind, component: &ComponentId, detail: String) -> CheckStatus {
+    CheckStatus::Fail(CheckFailure::new(
+        kind,
+        FaultLocation::new(component.clone(), "recovery_verify"),
+        detail,
+    ))
+}
+
+/// Builds the full [`RecoverySurface`] for a running DataNode.
+pub fn recovery_surface(datanode: &Arc<DataNode>) -> RecoverySurface {
+    struct DnRestart(Arc<DataNode>);
+    impl Restartable for DnRestart {
+        fn restart(&self, component: &ComponentId) {
+            self.0.restart_component(component.as_str());
+        }
+    }
+    struct DnDegrade(Arc<DataNode>);
+    impl Degradable for DnDegrade {
+        fn degrade(&self, component: &ComponentId) {
+            self.0.degrade_component(component.as_str());
+        }
+    }
+    RecoverySurface {
+        restart: Arc::new(DnRestart(Arc::clone(datanode))),
+        degrade: Arc::new(DnDegrade(Arc::clone(datanode))),
+        verifier: verifier_factory(datanode),
+    }
+}
+
+/// Builds verification re-checks per blamed component.
+pub fn verifier_factory(datanode: &Arc<DataNode>) -> VerifierFactory {
+    let datanode = Arc::clone(datanode);
+    Arc::new(move |component: &ComponentId| {
+        let c = component.as_str();
+        let comp = component.clone();
+        if c.contains("block") || c.contains("vol") || c.contains("ingest") || c.contains("scan") {
+            // Block-path blame: a probe write + sync on the faulted volume
+            // wedges or errors exactly like ingest and the scanner do.
+            let disk = Arc::clone(datanode.store().disk());
+            Some(Box::new(FnChecker::new(
+                "miniblock.verify.volume",
+                comp.clone(),
+                move || {
+                    let r = disk
+                        .append(RECOVER_PROBE_PATH, b"rv")
+                        .and_then(|()| disk.fsync(RECOVER_PROBE_PATH));
+                    match r {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Error, &comp, format!("volume probe: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else if c.contains("report") || c.contains("heartbeat") || c.contains("namenode") {
+            // NameNode-link blame: a real heartbeat frame on the same link.
+            let dn = Arc::clone(&datanode);
+            Some(Box::new(FnChecker::new(
+                "miniblock.verify.link",
+                comp.clone(),
+                move || {
+                    let msg = NnMsg::Heartbeat {
+                        datanode: dn.id().to_owned(),
+                    };
+                    match dn.net().send(dn.id(), NAMENODE_ADDR, msg.encode()) {
+                        Ok(()) => CheckStatus::Pass,
+                        Err(e) => fail(FailureKind::Error, &comp, format!("link probe: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else if c == "miniblock" || c.contains("api") {
+            // Process-level blame: a full ingest + read-back round trip.
+            let dn = Arc::clone(&datanode);
+            Some(Box::new(FnChecker::new(
+                "miniblock.verify.process",
+                comp.clone(),
+                move || {
+                    let r = dn
+                        .write_block(b"__wd_recover")
+                        .and_then(|id| dn.read_block(id));
+                    match r {
+                        Ok(v) if v == b"__wd_recover" => CheckStatus::Pass,
+                        Ok(v) => fail(
+                            FailureKind::Corruption,
+                            &comp,
+                            format!("round trip read back {} B", v.len()),
+                        ),
+                        Err(e) => fail(FailureKind::Error, &comp, format!("round trip: {e}")),
+                    }
+                },
+            )) as Box<dyn Checker>)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datanode::DataNodeConfig;
+    use crate::namenode::NameNode;
+    use simio::net::SimNet;
+    use std::time::Duration;
+    use wdog_base::clock::RealClock;
+
+    fn wait_for(mut pred: impl FnMut() -> bool, what: &str) {
+        let start = std::time::Instant::now();
+        while start.elapsed() < Duration::from_secs(10) {
+            if pred() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    fn node() -> (Arc<DataNode>, NameNode) {
+        let net = SimNet::for_tests();
+        let nn = NameNode::start(net.clone(), RealClock::shared(), Duration::from_millis(300));
+        let dn = Arc::new(
+            DataNode::start(
+                DataNodeConfig::default(),
+                RealClock::shared(),
+                simio::disk::SimDisk::for_tests(),
+                net,
+            )
+            .unwrap(),
+        );
+        (dn, nn)
+    }
+
+    #[test]
+    fn report_restart_spawns_fresh_generation() {
+        let (dn, _nn) = node();
+        assert!(dn.restart_component("miniblock.report_loop"));
+        assert_eq!(dn.supervision().report_restarts, 1);
+        let before = dn.stats().reports;
+        wait_for(
+            || dn.stats().reports > before,
+            "fresh report generation to report",
+        );
+        assert!(dn.is_running());
+    }
+
+    #[test]
+    fn degrade_sheds_scanner_but_ingest_keeps_serving() {
+        let (dn, _nn) = node();
+        assert!(dn.degrade_component("miniblock.scanner_loop"));
+        assert_eq!(dn.supervision().degraded, 1);
+        let id = dn.write_block(b"still-serving").unwrap();
+        assert_eq!(dn.read_block(id).unwrap(), b"still-serving");
+    }
+
+    #[test]
+    fn verifiers_cover_every_blamable_component() {
+        let (dn, _nn) = node();
+        let factory = verifier_factory(&dn);
+        for c in [
+            "miniblock.ingest_loop",
+            "miniblock.scanner_loop",
+            "miniblock.report_loop",
+            "miniblock.heartbeat_loop",
+            "miniblock.block",
+            "miniblock",
+        ] {
+            let mut checker =
+                factory(&ComponentId::new(c)).unwrap_or_else(|| panic!("no verifier for {c}"));
+            assert!(checker.check().is_pass(), "healthy verify failed for {c}");
+        }
+        assert!(factory(&ComponentId::new("something.else")).is_none());
+        assert!(!dn.restart_component("something.else"));
+        assert!(!dn.degrade_component("something.else"));
+    }
+
+    #[test]
+    fn volume_verifier_fails_while_disk_errors() {
+        use simio::disk::{DiskFault, DiskOpKind, FaultRule};
+        let (dn, _nn) = node();
+        let disk = Arc::clone(dn.store().disk());
+        let handle = disk.inject(FaultRule::scoped(
+            "blocks/vol1/",
+            vec![DiskOpKind::Write],
+            DiskFault::Error {
+                message: "verify-probe".into(),
+            },
+        ));
+        let factory = verifier_factory(&dn);
+        let mut checker = factory(&ComponentId::new("miniblock.ingest_loop")).unwrap();
+        assert!(!checker.check().is_pass());
+        disk.clear(handle);
+        assert!(checker.check().is_pass());
+    }
+}

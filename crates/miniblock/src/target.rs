@@ -28,7 +28,8 @@ use wdog_gen::plan::WatchdogPlan;
 
 use wdog_target::{
     catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
-    TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver, WorkloadProfile,
+    RecoverySurface, TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver,
+    WorkloadProfile,
 };
 
 use crate::datanode::{DataNode, DataNodeConfig};
@@ -198,6 +199,10 @@ impl TargetInstance for DnInstance {
         // The scanner's in-place error handler is the DataNode's only
         // swallow-and-continue path.
         self.datanode.stats().scan_errors
+    }
+
+    fn recovery_surface(&self) -> Option<RecoverySurface> {
+        Some(crate::recover::recovery_surface(&self.datanode))
     }
 
     fn clear_faults(&self) {

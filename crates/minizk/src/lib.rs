@@ -30,6 +30,7 @@ pub mod heartbeat;
 pub mod msg;
 pub mod processors;
 pub mod quorum;
+pub mod recover;
 pub mod snapshot;
 pub mod target;
 pub mod wd;

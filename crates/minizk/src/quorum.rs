@@ -26,6 +26,8 @@ use wdog_base::error::{BaseError, BaseResult};
 use wdog_core::context::{ContextTable, CtxValue};
 use wdog_core::hooks::{HookSite, Hooks};
 
+use wdog_target::Supervised;
+
 use crate::datatree::DataTree;
 use crate::msg::ZkMsg;
 use crate::processors::{PipelineItem, WriteOp};
@@ -92,6 +94,10 @@ pub struct ZkShared {
     pub(crate) clock: SharedClock,
     pub(crate) next_zxid: AtomicU64,
     pub(crate) broadcast_tx: Sender<(u64, WriteOp)>,
+    /// Retained so a restarted broadcast loop can resume the same queue.
+    pub(crate) broadcast_rx: Receiver<(u64, WriteOp)>,
+    /// Supervision for the commit-broadcast component.
+    pub(crate) broadcast_super: Supervised,
     pub(crate) follower_addrs: Vec<String>,
     pub(crate) running: AtomicBool,
     pub(crate) hooks: Hooks,
@@ -252,6 +258,8 @@ impl Cluster {
             clock,
             next_zxid: AtomicU64::new(1),
             broadcast_tx,
+            broadcast_rx: broadcast_rx.clone(),
+            broadcast_super: Supervised::new(),
             follower_addrs,
             running: AtomicBool::new(true),
             txn_hook: hooks.site("request_processor_loop"),
@@ -276,10 +284,11 @@ impl Cluster {
         // Commit broadcast.
         {
             let s = Arc::clone(&shared);
+            let alive = s.broadcast_super.flag();
             threads.push(
                 std::thread::Builder::new()
                     .name("minizk-broadcast".into())
-                    .spawn(move || broadcast_loop(s, broadcast_rx))
+                    .spawn(move || broadcast_loop(s, broadcast_rx, alive))
                     .expect("spawn broadcast"),
             );
         }
@@ -398,6 +407,36 @@ impl Cluster {
             .expect("spawn sync")
     }
 
+    /// Retires the current broadcast generation and spawns a replacement on
+    /// the same commit queue (§5.2 component restart: a wedged broadcaster
+    /// is abandoned to exit when its fault clears, while the fresh
+    /// generation resumes shipping commits immediately).
+    pub fn restart_broadcast(&self) {
+        let s = Arc::clone(&self.shared);
+        let rx = self.shared.broadcast_rx.clone();
+        let alive = self.shared.broadcast_super.next_generation();
+        std::thread::Builder::new()
+            .name("minizk-broadcast".into())
+            .spawn(move || broadcast_loop(s, rx, alive))
+            .expect("respawn broadcast");
+    }
+
+    /// Sheds the broadcast component: followers stop receiving commits but
+    /// the leader keeps serving reads and logging writes.
+    pub fn degrade_broadcast(&self) {
+        self.shared.broadcast_super.shed();
+    }
+
+    /// Broadcast generations retired by restart.
+    pub fn broadcast_restarts(&self) -> u64 {
+        self.shared.broadcast_super.restarts()
+    }
+
+    /// Whether the broadcast component is currently shed.
+    pub fn broadcast_degraded(&self) -> bool {
+        self.shared.broadcast_super.is_degraded()
+    }
+
     /// Returns the follower handles.
     pub fn followers(&self) -> &[Follower] {
         &self.followers
@@ -468,11 +507,13 @@ impl std::fmt::Debug for Cluster {
     }
 }
 
-/// Drains the commit queue, shipping commits to every follower.
+/// Drains the commit queue, shipping commits to every follower; `alive` is
+/// this generation's supervision flag — a restart retires it and spawns a
+/// fresh loop on the same queue.
 // wdog: resource followers
-fn broadcast_loop(shared: Arc<ZkShared>, rx: Receiver<(u64, WriteOp)>) {
+fn broadcast_loop(shared: Arc<ZkShared>, rx: Receiver<(u64, WriteOp)>, alive: Arc<AtomicBool>) {
     let hook = shared.hooks.site("broadcast_loop");
-    while shared.is_running() {
+    while shared.is_running() && alive.load(Ordering::Relaxed) {
         let (zxid, op) = match rx.recv_timeout(Duration::from_millis(10)) {
             Ok(item) => item,
             Err(RecvTimeoutError::Timeout) => continue,

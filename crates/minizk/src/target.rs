@@ -28,7 +28,8 @@ use wdog_gen::plan::WatchdogPlan;
 
 use wdog_target::{
     catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
-    TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver, WorkloadProfile,
+    RecoverySurface, TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver,
+    WorkloadProfile,
 };
 
 use crate::quorum::{follower_addr, Cluster, ClusterConfig, LEADER_ADDR};
@@ -198,6 +199,10 @@ impl TargetInstance for ZkInstance {
         // minizk has no in-process error-absorption counter; the
         // error-handler baseline simply never fires here.
         0
+    }
+
+    fn recovery_surface(&self) -> Option<RecoverySurface> {
+        Some(crate::recover::recovery_surface(&self.cluster))
     }
 
     fn clear_faults(&self) {

@@ -67,3 +67,19 @@ pub fn from_field<T: Deserialize>(obj: &Map, type_name: &str, field: &str) -> Re
     let value = obj.get(field).unwrap_or(&NULL);
     T::from_value(value).map_err(|e| e.context(&format!("{type_name}.{field}")))
 }
+
+/// Looks up a `#[serde(default)]` struct field, substituting the type's
+/// default when the key is absent (matching real serde's behaviour, so data
+/// written before a field existed still loads).
+pub fn from_field_or_default<T: Deserialize + Default>(
+    obj: &Map,
+    type_name: &str,
+    field: &str,
+) -> Result<T, Error> {
+    match obj.get(field) {
+        None => Ok(T::default()),
+        Some(value) => {
+            T::from_value(value).map_err(|e| e.context(&format!("{type_name}.{field}")))
+        }
+    }
+}

@@ -18,13 +18,16 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Trait::Serialize)
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+///
+/// Supports the `#[serde(default)]` field attribute: such fields fall back
+/// to `Default::default()` when their key is absent from the input object.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Trait::Deserialize)
 }
@@ -39,11 +42,17 @@ enum Shape {
     /// `struct S;`
     UnitStruct,
     /// `struct S { a: T, b: U }`
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     /// `struct S(T, U);` with field count.
     TupleStruct(usize),
     /// `enum E { ... }`
     Enum(Vec<Variant>),
+}
+
+/// A named field plus whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -54,7 +63,7 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, which: Trait) -> TokenStream {
@@ -116,15 +125,21 @@ fn parse(input: TokenStream) -> Result<(String, Shape), String> {
 }
 
 /// Skips leading `#[...]` attributes (including doc comments) and
-/// `pub`/`pub(...)` visibility.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// `pub`/`pub(...)` visibility. Returns whether a `#[serde(default)]`
+/// attribute was among those skipped.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
-                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
-                {
-                    *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if attr_is_serde_default(g.stream()) {
+                            has_default = true;
+                        }
+                        *i += 1;
+                    }
                 }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -134,18 +149,33 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
     }
 }
 
-/// Parses `name: Type, ...` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Recognizes the token shape of a `serde(default)` attribute body.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref w) if w.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_attrs_and_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -170,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -283,7 +313,11 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         )
                     }
                     VariantFields::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let obj = ser_named_fields(fields, "");
                         format!(
                             "{name}::{v} {{ {binds} }} => ::serde::Value::tagged(\"{v}\", {obj}),",
@@ -304,9 +338,10 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
 
 /// Builds a `Value::Object` expression from field names; `prefix` is
 /// `"self."` for structs and empty for destructured enum variants.
-fn ser_named_fields(fields: &[String], prefix: &str) -> String {
+fn ser_named_fields(fields: &[Field], prefix: &str) -> String {
     let mut out = String::from("{ let mut m = ::serde::Map::new();\n");
     for f in fields {
+        let f = &f.name;
         out.push_str(&format!(
             "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}));\n"
         ));
@@ -358,11 +393,17 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
     )
 }
 
-fn de_named_fields(type_name: &str, fields: &[String]) -> String {
+fn de_named_fields(type_name: &str, fields: &[Field]) -> String {
     let mut out = String::from("{\n");
     for f in fields {
+        let helper = if f.default {
+            "from_field_or_default"
+        } else {
+            "from_field"
+        };
+        let f = &f.name;
         out.push_str(&format!(
-            "{f}: ::serde::from_field(obj, \"{type_name}\", \"{f}\")?,\n"
+            "{f}: ::serde::{helper}(obj, \"{type_name}\", \"{f}\")?,\n"
         ));
     }
     out.push('}');

@@ -22,42 +22,79 @@ pub trait Action: Send + Sync {
     fn on_failure(&self, report: &FailureReport);
 }
 
+/// Default retained-report capacity for [`LogAction`].
+pub const DEFAULT_LOG_CAP: usize = 4096;
+
 /// Collects reports into a shared, inspectable log.
-#[derive(Default)]
+///
+/// The log is a **ring buffer**: at most `capacity` reports are retained,
+/// and a failure storm evicts the oldest entries rather than growing without
+/// bound (the watchdog must not OOM the process it guards). Evictions are
+/// visible through [`LogAction::dropped`].
 pub struct LogAction {
-    reports: Mutex<Vec<FailureReport>>,
+    reports: Mutex<std::collections::VecDeque<FailureReport>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for LogAction {
+    fn default() -> Self {
+        Self {
+            reports: Mutex::new(std::collections::VecDeque::new()),
+            capacity: DEFAULT_LOG_CAP,
+            dropped: AtomicU64::new(0),
+        }
+    }
 }
 
 impl LogAction {
-    /// Creates an empty shared log.
+    /// Creates an empty shared log with the default capacity.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
-    /// Returns a copy of all reports so far.
-    pub fn reports(&self) -> Vec<FailureReport> {
-        self.reports.lock().clone()
+    /// Creates an empty shared log retaining at most `capacity` reports.
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            capacity: capacity.max(1),
+            ..Self::default()
+        })
     }
 
-    /// Returns the number of reports so far.
+    /// Returns a copy of all retained reports, oldest first.
+    pub fn reports(&self) -> Vec<FailureReport> {
+        self.reports.lock().iter().cloned().collect()
+    }
+
+    /// Returns the number of retained reports.
     pub fn len(&self) -> usize {
         self.reports.lock().len()
     }
 
-    /// Returns `true` if no report has arrived yet.
+    /// Returns `true` if no report is retained.
     pub fn is_empty(&self) -> bool {
         self.reports.lock().is_empty()
     }
 
-    /// Removes and returns all reports so far.
+    /// Removes and returns all retained reports, oldest first.
     pub fn drain(&self) -> Vec<FailureReport> {
-        std::mem::take(&mut *self.reports.lock())
+        self.reports.lock().drain(..).collect()
+    }
+
+    /// Returns how many reports were evicted to honour the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
 impl Action for LogAction {
     fn on_failure(&self, report: &FailureReport) {
-        self.reports.lock().push(report.clone());
+        let mut reports = self.reports.lock();
+        if reports.len() >= self.capacity {
+            reports.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        reports.push_back(report.clone());
     }
 }
 
@@ -91,14 +128,36 @@ pub trait Restartable: Send + Sync {
     fn restart(&self, component: &ComponentId);
 }
 
+/// A component whose workload can be shed when recovery fails.
+///
+/// Degrading is the rung between restart and escalation on the recovery
+/// ladder: the component stops doing (and accepting) its work so the rest of
+/// the process keeps running without it — e.g. compaction pauses, a
+/// replication link goes silent — instead of a chronically failing component
+/// flapping forever or forcing a whole-process restart.
+pub trait Degradable: Send + Sync {
+    /// Sheds the named component's workload, leaving it parked.
+    fn degrade(&self, component: &ComponentId);
+}
+
 /// Escalates to an inner action only after `threshold` reports for the same
 /// component, suppressing one-off transients.
+///
+/// Counters are pruned: a component with no report inside `window_ms`
+/// (typically the driver's `health_window`) is forgotten, so a long-lived
+/// process blaming many distinct components over time does not accumulate an
+/// unbounded map.
 pub struct EscalatingAction<A> {
     threshold: u64,
-    counts: Mutex<std::collections::HashMap<ComponentId, u64>>,
+    /// Per-component `(reports, last_report_at_ms)`.
+    counts: Mutex<std::collections::HashMap<ComponentId, (u64, u64)>>,
+    window_ms: u64,
     inner: A,
     escalations: AtomicU64,
 }
+
+/// Default prune window matching `WatchdogConfig::health_window`'s default.
+const DEFAULT_ESCALATION_WINDOW_MS: u64 = 30_000;
 
 impl<A: Action> EscalatingAction<A> {
     /// Creates an escalator that fires `inner` on every `threshold`-th report
@@ -107,14 +166,26 @@ impl<A: Action> EscalatingAction<A> {
         Self {
             threshold: threshold.max(1),
             counts: Mutex::new(std::collections::HashMap::new()),
+            window_ms: DEFAULT_ESCALATION_WINDOW_MS,
             inner,
             escalations: AtomicU64::new(0),
         }
     }
 
+    /// Sets how long a silent component's counter is retained.
+    pub fn with_window(mut self, window: std::time::Duration) -> Self {
+        self.window_ms = (window.as_millis() as u64).max(1);
+        self
+    }
+
     /// Returns how many times the inner action fired.
     pub fn escalations(&self) -> u64 {
         self.escalations.load(Ordering::Relaxed)
+    }
+
+    /// Returns how many component counters are currently retained.
+    pub fn tracked_components(&self) -> usize {
+        self.counts.lock().len()
     }
 }
 
@@ -122,9 +193,16 @@ impl<A: Action> Action for EscalatingAction<A> {
     fn on_failure(&self, report: &FailureReport) {
         let fire = {
             let mut counts = self.counts.lock();
-            let c = counts.entry(report.location.component.clone()).or_insert(0);
-            *c += 1;
-            c.is_multiple_of(self.threshold)
+            // Drop components silent for longer than the window; report
+            // timestamps drive the clock so no time source is needed here.
+            let horizon = report.at_ms.saturating_sub(self.window_ms);
+            counts.retain(|_, (_, last)| *last >= horizon);
+            let entry = counts
+                .entry(report.location.component.clone())
+                .or_insert((0, report.at_ms));
+            entry.0 += 1;
+            entry.1 = report.at_ms;
+            entry.0.is_multiple_of(self.threshold)
         };
         if fire {
             self.escalations.fetch_add(1, Ordering::Relaxed);
@@ -220,6 +298,10 @@ mod tests {
     use wdog_base::ids::CheckerId;
 
     fn report(component: &str) -> FailureReport {
+        report_at(component, 0)
+    }
+
+    fn report_at(component: &str, at_ms: u64) -> FailureReport {
         FailureReport {
             checker: CheckerId::new("c"),
             kind: FailureKind::Error,
@@ -227,7 +309,7 @@ mod tests {
             detail: "d".into(),
             payload: vec![],
             observed_latency_ms: None,
-            at_ms: 0,
+            at_ms,
         }
     }
 
@@ -240,6 +322,26 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.len(), 2);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn log_action_ring_evicts_oldest_and_counts_drops() {
+        let log = LogAction::with_capacity(3);
+        for i in 0..5 {
+            log.on_failure(&report(&format!("c{i}")));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let kept: Vec<String> = log
+            .reports()
+            .iter()
+            .map(|r| r.location.component.to_string())
+            .collect();
+        assert_eq!(kept, vec!["c2", "c3", "c4"]);
+        // Draining resets the retained set but not the eviction count.
+        assert_eq!(log.drain().len(), 3);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 2);
     }
 
     #[test]
@@ -274,6 +376,48 @@ mod tests {
         fn on_failure(&self, r: &FailureReport) {
             self.0.on_failure(r);
         }
+    }
+
+    #[test]
+    fn escalation_counters_are_pruned_outside_window() {
+        let log = LogAction::new();
+        let esc = EscalatingAction::new(3, CallbackActionToLog(Arc::clone(&log)))
+            .with_window(std::time::Duration::from_millis(1_000));
+        // Blame many distinct components across a long run: only those seen
+        // within the last second of report-time may remain tracked.
+        for i in 0..100u64 {
+            esc.on_failure(&report_at(&format!("comp{i}"), i * 500));
+        }
+        assert!(
+            esc.tracked_components() <= 4,
+            "counter map not pruned: {} entries",
+            esc.tracked_components()
+        );
+        // Pruning also resets stale escalation progress: two old reports
+        // separated from a third by more than the window must not fire.
+        let esc2 = EscalatingAction::new(3, CallbackActionToLog(LogAction::new()))
+            .with_window(std::time::Duration::from_millis(1_000));
+        esc2.on_failure(&report_at("a", 0));
+        esc2.on_failure(&report_at("a", 10));
+        esc2.on_failure(&report_at("a", 5_000));
+        assert_eq!(esc2.escalations(), 0);
+        // Whereas three inside the window do.
+        esc2.on_failure(&report_at("a", 5_100));
+        esc2.on_failure(&report_at("a", 5_200));
+        assert_eq!(esc2.escalations(), 1);
+    }
+
+    #[test]
+    fn degradable_receives_component() {
+        struct Shedder(Mutex<Vec<ComponentId>>);
+        impl Degradable for Shedder {
+            fn degrade(&self, c: &ComponentId) {
+                self.0.lock().push(c.clone());
+            }
+        }
+        let s = Shedder(Mutex::new(vec![]));
+        s.degrade(&ComponentId::new("kvs.compaction"));
+        assert_eq!(s.0.lock()[0], ComponentId::new("kvs.compaction"));
     }
 
     #[test]

@@ -30,6 +30,22 @@
 //! re-dispatched; other checkers proceed independently, so one wedged
 //! component never blinds the watchdog to the rest of the process.
 //!
+//! # Driver self-healing
+//!
+//! A wedged checker permanently consumes its executor thread: the thread is
+//! parked inside the hung operation and cannot be killed. For checkers
+//! registered through [`WatchdogDriver::register_respawnable`] the driver
+//! *abandons* such an executor once the checker has been stuck for twice its
+//! timeout and spawns a fresh executor (and fresh checker instance) in its
+//! place, so coverage of that component resumes while the old thread drains
+//! whenever the underlying operation completes. Respawns are bounded
+//! ([`MAX_EXECUTOR_RESPAWNS`]) and counted in
+//! [`DriverStats::executor_respawns`]. Similarly, failure reports are handed
+//! to actions through a bounded queue serviced by a dedicated thread, so a
+//! slow action (say, a recovery attempt) can never wedge the scheduler;
+//! overflow is counted in [`DriverStats::reports_dropped`] rather than
+//! blocking detection.
+//!
 //! For the in-place ablation (experiment E6), [`WatchdogDriver::run_inline_round`]
 //! executes every checker synchronously on the caller's thread — the design
 //! the paper argues *against* — without spawning anything.
@@ -88,6 +104,10 @@ pub struct DriverStats {
     pub timeouts: u64,
     /// Checker panics caught.
     pub panics: u64,
+    /// Wedged executor threads abandoned and replaced.
+    pub executor_respawns: u64,
+    /// Failure reports dropped because the action queue was full.
+    pub reports_dropped: u64,
 }
 
 #[derive(Default)]
@@ -99,6 +119,8 @@ struct StatsInner {
     not_ready: AtomicU64,
     timeouts: AtomicU64,
     panics: AtomicU64,
+    executor_respawns: AtomicU64,
+    reports_dropped: AtomicU64,
 }
 
 impl StatsInner {
@@ -111,14 +133,20 @@ impl StatsInner {
             not_ready: self.not_ready.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            executor_respawns: self.executor_respawns.load(Ordering::Relaxed),
+            reports_dropped: self.reports_dropped.load(Ordering::Relaxed),
         }
     }
 }
+
+/// Builds a fresh checker instance for executor respawning.
+pub type CheckerFactory = Arc<dyn Fn() -> Box<dyn Checker> + Send + Sync>;
 
 /// A checker not yet started: still owned by the driver.
 struct Pending {
     checker: Box<dyn Checker>,
     probe: ExecutionProbe,
+    factory: Option<CheckerFactory>,
 }
 
 /// Driver-side view of a running checker's executor.
@@ -131,10 +159,27 @@ struct ExecSlot {
     result_rx: Receiver<CheckStatus>,
     busy_since: Option<Duration>,
     reported_stuck: bool,
+    /// Rebuilds the checker when its executor must be abandoned; `None`
+    /// keeps the legacy skip-while-busy behaviour.
+    factory: Option<CheckerFactory>,
+    /// Executors abandoned so far for this checker.
+    respawns: u64,
+    /// Dispatch offset within each round (anti-thundering-herd phase).
+    phase: Duration,
+    /// Whether this checker has had its dispatch chance this round.
+    dispatched: bool,
 }
 
 /// How often the scheduler polls results and timeouts while sleeping.
 const POLL_QUANTUM: Duration = Duration::from_millis(2);
+
+/// Upper bound on executor replacements per checker: a checker that wedges
+/// repeatedly is leaking a thread per respawn, so after this many the driver
+/// stops replacing it and falls back to skip-while-busy.
+pub const MAX_EXECUTOR_RESPAWNS: u64 = 3;
+
+/// Capacity of the bounded scheduler→action queue.
+const ACTION_QUEUE_CAP: usize = 256;
 
 /// The watchdog driver. See module docs for the execution model.
 pub struct WatchdogDriver {
@@ -147,6 +192,7 @@ pub struct WatchdogDriver {
     stats: Arc<StatsInner>,
     shutdown: Arc<AtomicBool>,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    action_worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl WatchdogDriver {
@@ -163,6 +209,7 @@ impl WatchdogDriver {
             stats: Arc::new(StatsInner::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             scheduler: None,
+            action_worker: None,
         }
     }
 
@@ -177,7 +224,34 @@ impl WatchdogDriver {
         }
         let probe = ExecutionProbe::new();
         checker.attach_probe(probe.clone());
-        self.pending.push(Pending { checker, probe });
+        self.pending.push(Pending {
+            checker,
+            probe,
+            factory: None,
+        });
+        Ok(())
+    }
+
+    /// Registers a checker through a factory, enabling executor replacement.
+    ///
+    /// When this checker wedges past twice its timeout, the driver abandons
+    /// the executor thread and builds a fresh checker via `factory` (bounded
+    /// by [`MAX_EXECUTOR_RESPAWNS`]), so a single hung probe never
+    /// permanently shrinks watchdog coverage.
+    pub fn register_respawnable(&mut self, factory: CheckerFactory) -> BaseResult<()> {
+        if self.scheduler.is_some() {
+            return Err(BaseError::InvalidState(
+                "cannot register checkers after start".into(),
+            ));
+        }
+        let mut checker = factory();
+        let probe = ExecutionProbe::new();
+        checker.attach_probe(probe.clone());
+        self.pending.push(Pending {
+            checker,
+            probe,
+            factory: Some(factory),
+        });
         Ok(())
     }
 
@@ -260,17 +334,39 @@ impl WatchdogDriver {
         }
         let mut slots = Vec::with_capacity(self.pending.len());
         for p in self.pending.drain(..) {
-            slots.push(spawn_executor(p, self.config.default_timeout));
+            let mut slot = spawn_executor(p, self.config.default_timeout);
+            slot.phase = self.config.policy.phase_offset(slot.id.as_str());
+            slots.push(slot);
         }
+
+        // Actions run on their own thread behind a bounded queue: a slow or
+        // blocking action (a recovery attempt, say) must never stall
+        // detection, and a failure storm overflows into a counter instead of
+        // unbounded memory.
+        let (action_tx, action_rx) = bounded::<FailureReport>(ACTION_QUEUE_CAP);
+        let actions = self.actions.clone();
+        self.action_worker = Some(
+            std::thread::Builder::new()
+                .name("wdog-actions".into())
+                .spawn(move || {
+                    while let Ok(report) = action_rx.recv() {
+                        for a in &actions {
+                            a.on_failure(&report);
+                        }
+                    }
+                })
+                .expect("spawn wdog-actions"),
+        );
 
         let ctx = SchedulerCtx {
             slots,
-            actions: self.actions.clone(),
+            action_tx,
             board: Arc::clone(&self.board),
             log: Arc::clone(&self.log),
             stats: Arc::clone(&self.stats),
             clock: Arc::clone(&self.clock),
             policy: self.config.policy.clone(),
+            default_timeout: self.config.default_timeout,
             shutdown: Arc::clone(&self.shutdown),
         };
         self.scheduler = Some(
@@ -291,6 +387,11 @@ impl WatchdogDriver {
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        // The scheduler owned the only sender; once it is gone the action
+        // worker drains whatever is queued and exits.
+        if let Some(handle) = self.action_worker.take() {
             let _ = handle.join();
         }
     }
@@ -317,7 +418,11 @@ impl std::fmt::Debug for WatchdogDriver {
 }
 
 fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
-    let Pending { mut checker, probe } = p;
+    let Pending {
+        mut checker,
+        probe,
+        factory,
+    } = p;
     let id = checker.id();
     let component = checker.component();
     let timeout = checker.timeout().unwrap_or(default_timeout);
@@ -365,6 +470,10 @@ fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
         result_rx,
         busy_since: None,
         reported_stuck: false,
+        factory,
+        respawns: 0,
+        phase: Duration::ZERO,
+        dispatched: false,
     }
 }
 
@@ -380,12 +489,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 struct SchedulerCtx {
     slots: Vec<ExecSlot>,
-    actions: Vec<Arc<dyn Action>>,
+    action_tx: Sender<FailureReport>,
     board: Arc<HealthBoard>,
     log: Arc<LogAction>,
     stats: Arc<StatsInner>,
     clock: SharedClock,
     policy: SchedulePolicy,
+    default_timeout: Duration,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -393,8 +503,10 @@ impl SchedulerCtx {
     fn emit(&self, report: FailureReport) {
         self.board.record(&report);
         self.log.on_failure(&report);
-        for a in &self.actions {
-            a.on_failure(&report);
+        // Actions run on the wdog-actions thread; if its queue is full the
+        // report is counted as dropped rather than blocking the scheduler.
+        if self.action_tx.try_send(report).is_err() {
+            self.stats.reports_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -447,46 +559,83 @@ impl SchedulerCtx {
         }
     }
 
-    /// Reports checkers that have exceeded their execution timeout.
+    /// Reports checkers that have exceeded their execution timeout and
+    /// replaces executors wedged past recovery.
     fn detect_stuck(&mut self) {
         let now = self.clock.now();
         let now_ms = self.clock.now_millis();
         let mut reports = Vec::new();
+        let mut respawned = 0u64;
         for slot in &mut self.slots {
             let Some(since) = slot.busy_since else {
                 continue;
             };
             let elapsed = now.saturating_sub(since);
-            if elapsed <= slot.timeout || slot.reported_stuck {
+            if elapsed <= slot.timeout {
                 continue;
             }
-            slot.reported_stuck = true;
-            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-            let location = slot.probe.current().unwrap_or_else(|| {
-                FaultLocation::new(slot.component.clone(), format!("<checker {}>", slot.id))
-            });
-            reports.push(FailureReport {
-                checker: slot.id.clone(),
-                kind: FailureKind::Stuck,
-                location,
-                detail: format!(
-                    "checker execution exceeded timeout of {} ms",
-                    slot.timeout.as_millis()
-                ),
-                payload: Vec::new(),
-                observed_latency_ms: Some(elapsed.as_millis() as u64),
-                at_ms: now_ms,
-            });
+            if !slot.reported_stuck {
+                slot.reported_stuck = true;
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                let location = slot.probe.current().unwrap_or_else(|| {
+                    FaultLocation::new(slot.component.clone(), format!("<checker {}>", slot.id))
+                });
+                reports.push(FailureReport {
+                    checker: slot.id.clone(),
+                    kind: FailureKind::Stuck,
+                    location,
+                    detail: format!(
+                        "checker execution exceeded timeout of {} ms",
+                        slot.timeout.as_millis()
+                    ),
+                    payload: Vec::new(),
+                    observed_latency_ms: Some(elapsed.as_millis() as u64),
+                    at_ms: now_ms,
+                });
+                continue;
+            }
+            // Already reported: once the checker has overstayed twice its
+            // timeout, abandon the wedged executor and spawn a fresh one so
+            // this component's coverage resumes. The old thread exits on its
+            // own when the hung operation completes (its result channel is
+            // gone by then).
+            if elapsed > slot.timeout * 2
+                && slot.factory.is_some()
+                && slot.respawns < MAX_EXECUTOR_RESPAWNS
+            {
+                respawn_slot(slot, self.default_timeout);
+                respawned += 1;
+            }
+        }
+        if respawned > 0 {
+            self.stats
+                .executor_respawns
+                .fetch_add(respawned, Ordering::Relaxed);
         }
         for r in reports {
             self.emit(r);
         }
     }
 
-    /// Dispatches a new execution to every idle checker.
-    fn dispatch_round(&mut self) {
+    /// Resets per-round dispatch flags at the top of a round.
+    fn begin_round(&mut self) {
+        for slot in &mut self.slots {
+            slot.dispatched = false;
+        }
+    }
+
+    /// Dispatches each checker whose phase offset has elapsed this round.
+    ///
+    /// With `phase_frac == 0` every phase is zero and this behaves exactly
+    /// like the old dispatch-everything-at-round-start. A checker still busy
+    /// at its phase time is skipped for the round, as before.
+    fn dispatch_due(&mut self, round_start: Duration) {
         let now = self.clock.now();
         for slot in &mut self.slots {
+            if slot.dispatched || now < round_start + slot.phase {
+                continue;
+            }
+            slot.dispatched = true;
             if slot.busy_since.is_some() {
                 continue; // Still running (possibly stuck); skip this round.
             }
@@ -496,6 +645,33 @@ impl SchedulerCtx {
             }
         }
     }
+
+    fn any_pending_dispatch(&self) -> bool {
+        self.slots.iter().any(|s| !s.dispatched)
+    }
+}
+
+/// Abandons a wedged executor and installs a fresh checker in its slot,
+/// preserving identity, phase, and the respawn budget already spent.
+fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration) {
+    let Some(factory) = slot.factory.clone() else {
+        return;
+    };
+    let mut checker = factory();
+    let probe = ExecutionProbe::new();
+    checker.attach_probe(probe.clone());
+    let mut fresh = spawn_executor(
+        Pending {
+            checker,
+            probe,
+            factory: Some(factory),
+        },
+        default_timeout,
+    );
+    fresh.phase = slot.phase;
+    fresh.respawns = slot.respawns + 1;
+    fresh.dispatched = slot.dispatched;
+    *slot = fresh;
 }
 
 /// Sleep chunk while no checker is running: long enough to keep the idle
@@ -510,20 +686,28 @@ fn scheduler_loop(mut ctx: SchedulerCtx) {
     let mut round: u64 = 0;
     while !ctx.shutdown.load(Ordering::Relaxed) {
         ctx.collect_results();
-        ctx.dispatch_round();
-        let deadline = clock.now() + ctx.policy.round_sleep(round);
+        let round_start = clock.now();
+        ctx.begin_round();
+        ctx.dispatch_due(round_start);
+        let deadline = round_start + ctx.policy.round_sleep(round);
         while !ctx.shutdown.load(Ordering::Relaxed) {
             let now = clock.now();
             if now >= deadline {
                 break;
             }
-            // Poll fast only while checkers are in flight; once every
-            // executor is idle the scheduler sleeps in coarse chunks so a
-            // quiescent watchdog costs (almost) nothing (experiment E5).
+            // Poll fast while checkers are in flight or phase-delayed
+            // dispatches are still owed; once every executor is idle the
+            // scheduler sleeps in coarse chunks so a quiescent watchdog
+            // costs (almost) nothing (experiment E5).
             let any_busy = ctx.slots.iter().any(|s| s.busy_since.is_some());
-            let quantum = if any_busy { POLL_QUANTUM } else { IDLE_QUANTUM };
+            let quantum = if any_busy || ctx.any_pending_dispatch() {
+                POLL_QUANTUM
+            } else {
+                IDLE_QUANTUM
+            };
             clock.sleep(quantum.min(deadline.saturating_sub(now)));
             ctx.collect_results();
+            ctx.dispatch_due(round_start);
             ctx.detect_stuck();
         }
         ctx.stats.rounds.fetch_add(1, Ordering::Relaxed);
@@ -783,6 +967,107 @@ mod tests {
         d.start().unwrap();
         assert!(wait_until(
             || d.stats().not_ready >= 3,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+        assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn wedged_executor_is_abandoned_and_replaced() {
+        let mut d = WatchdogDriver::new(fast_config(10, 40), RealClock::shared());
+        // First instance wedges forever; every later instance passes and
+        // bumps a counter so we can see the replacement actually running.
+        let instances = Arc::new(AtomicU64::new(0));
+        let fresh_passes = Arc::new(AtomicU64::new(0));
+        let inst2 = Arc::clone(&instances);
+        let fresh2 = Arc::clone(&fresh_passes);
+        d.register_respawnable(Arc::new(move || {
+            let n = inst2.fetch_add(1, Ordering::Relaxed);
+            if n == 0 {
+                Box::new(FnChecker::new("wedge", "kvs.compaction", || loop {
+                    std::thread::sleep(Duration::from_millis(20));
+                })) as Box<dyn Checker>
+            } else {
+                let f = Arc::clone(&fresh2);
+                Box::new(FnChecker::new("wedge", "kvs.compaction", move || {
+                    f.fetch_add(1, Ordering::Relaxed);
+                    CheckStatus::Pass
+                }))
+            }
+        }))
+        .unwrap();
+        d.register(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+            .unwrap();
+        d.start().unwrap();
+        // The wedge is detected (Stuck report), the executor is replaced,
+        // and the replacement gets dispatched and passes — while the healthy
+        // checker keeps running throughout.
+        assert!(wait_until(
+            || d.stats().timeouts >= 1,
+            Duration::from_secs(5)
+        ));
+        assert!(wait_until(
+            || d.stats().executor_respawns >= 1,
+            Duration::from_secs(5)
+        ));
+        assert!(wait_until(
+            || fresh_passes.load(Ordering::Relaxed) >= 3,
+            Duration::from_secs(5)
+        ));
+        let healthy_passes = d.stats().passes;
+        assert!(wait_until(
+            || d.stats().passes > healthy_passes,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+        assert!(d
+            .log()
+            .reports()
+            .iter()
+            .any(|r| r.kind == FailureKind::Stuck));
+        assert!(instances.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn executor_respawns_are_bounded() {
+        let mut d = WatchdogDriver::new(fast_config(10, 25), RealClock::shared());
+        // Every instance wedges: the driver must give up after the cap
+        // instead of leaking threads forever.
+        d.register_respawnable(Arc::new(|| {
+            Box::new(FnChecker::new("always-wedged", "c", || loop {
+                std::thread::sleep(Duration::from_millis(10));
+            })) as Box<dyn Checker>
+        }))
+        .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(
+            || d.stats().executor_respawns >= MAX_EXECUTOR_RESPAWNS,
+            Duration::from_secs(10)
+        ));
+        // Give it time to (incorrectly) overshoot, then check the bound.
+        std::thread::sleep(Duration::from_millis(300));
+        d.stop();
+        assert_eq!(d.stats().executor_respawns, MAX_EXECUTOR_RESPAWNS);
+    }
+
+    #[test]
+    fn phase_spread_checkers_all_run() {
+        let config = WatchdogConfig {
+            policy: SchedulePolicy::every(Duration::from_millis(40)).with_phase_spread(0.5),
+            default_timeout: Duration::from_millis(500),
+            health_window: Duration::from_secs(10),
+        };
+        let mut d = WatchdogDriver::new(config, RealClock::shared());
+        for name in ["a", "b", "c", "d"] {
+            d.register(Box::new(FnChecker::new(name, "comp", || CheckStatus::Pass)))
+                .unwrap();
+        }
+        d.start().unwrap();
+        // 4 checkers staggered across the round must each still run every
+        // round: 3 rounds → at least 12 passes.
+        assert!(wait_until(
+            || d.stats().passes >= 12,
             Duration::from_secs(5)
         ));
         d.stop();

@@ -26,6 +26,12 @@ pub struct SchedulePolicy {
     /// `NotReady` instead of running with stale arguments; `None` disables
     /// the staleness test.
     pub max_context_age: Option<Duration>,
+    /// Fraction of the interval over which per-checker dispatch phases are
+    /// spread (`0.0` fires every checker at the top of the round). Spreading
+    /// phases avoids a thundering herd on shared substrates (disk, network)
+    /// when many checkers would otherwise probe in lock-step.
+    #[serde(default)]
+    pub phase_frac: f64,
 }
 
 impl SchedulePolicy {
@@ -36,6 +42,7 @@ impl SchedulePolicy {
             jitter_frac: 0.0,
             initial_delay: Duration::ZERO,
             max_context_age: None,
+            phase_frac: 0.0,
         }
     }
 
@@ -55,6 +62,28 @@ impl SchedulePolicy {
     pub fn with_max_context_age(mut self, d: Duration) -> Self {
         self.max_context_age = Some(d);
         self
+    }
+
+    /// Sets the phase-spread fraction, clamped to `[0, 0.9]`.
+    pub fn with_phase_spread(mut self, frac: f64) -> Self {
+        self.phase_frac = frac.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Returns the dispatch offset for a checker within each round.
+    ///
+    /// The offset is a pure function of the checker id (FNV-1a hashed to a
+    /// fraction of `interval * phase_frac`), so schedules are stable across
+    /// runs and independent of registration order — the anti-thundering-herd
+    /// stagger costs nothing in reproducibility.
+    pub fn phase_offset(&self, key: &str) -> Duration {
+        if self.phase_frac <= 0.0 {
+            return Duration::ZERO;
+        }
+        let h = wdog_base::rng::derive_seed(0x9e37_79b9_7f4a_7c15, key);
+        // Top 53 bits → uniform fraction in [0, 1).
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.interval.mul_f64(self.phase_frac * frac)
     }
 
     /// Returns the sleep before round `round` (0-based), including jitter.
@@ -115,6 +144,52 @@ mod tests {
     fn jitter_clamped() {
         let p = SchedulePolicy::every(Duration::from_secs(1)).with_jitter(9.0);
         assert_eq!(p.jitter_frac, 0.5);
+    }
+
+    #[test]
+    fn zero_phase_spread_means_no_offset() {
+        let p = SchedulePolicy::every(Duration::from_millis(100));
+        assert_eq!(p.phase_offset("kvs.probe.set_get"), Duration::ZERO);
+    }
+
+    #[test]
+    fn phase_offsets_are_stable_bounded_and_spread() {
+        let p = SchedulePolicy::every(Duration::from_millis(100)).with_phase_spread(0.5);
+        let ids = [
+            "kvs.wal_write_record_checker",
+            "kvs.flush_once_checker",
+            "kvs.compact_once_checker",
+            "kvs.probe.set_get",
+            "kvs.signal.memory",
+        ];
+        let offsets: Vec<Duration> = ids.iter().map(|id| p.phase_offset(id)).collect();
+        for (id, off) in ids.iter().zip(&offsets) {
+            assert!(*off < Duration::from_millis(50), "{id}: {off:?}");
+            // Seed-stable: same id, same offset, every time.
+            assert_eq!(*off, p.phase_offset(id));
+        }
+        // Distinct checkers should not all collapse onto one phase.
+        let distinct: std::collections::BTreeSet<Duration> = offsets.iter().copied().collect();
+        assert!(distinct.len() >= 4, "phases collapsed: {offsets:?}");
+    }
+
+    #[test]
+    fn phase_spread_clamped() {
+        let p = SchedulePolicy::every(Duration::from_secs(1)).with_phase_spread(7.0);
+        assert_eq!(p.phase_frac, 0.9);
+    }
+
+    #[test]
+    fn policy_deserializes_without_phase_field() {
+        // Configs written before phase spreading existed must still load.
+        let json = r#"{
+            "interval": {"secs": 1, "nanos": 0},
+            "jitter_frac": 0.0,
+            "initial_delay": {"secs": 0, "nanos": 0},
+            "max_context_age": null
+        }"#;
+        let p: SchedulePolicy = serde_json::from_str(json).unwrap();
+        assert_eq!(p.phase_frac, 0.0);
     }
 
     #[test]

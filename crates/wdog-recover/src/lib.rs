@@ -1,0 +1,36 @@
+//! Closed-loop recovery for watchdog detections.
+//!
+//! The paper's driver does not stop at detection: it "applies an action to
+//! the main program accordingly" (§3.1), and §5.2 argues that *pinpointed*
+//! detection is what makes recovery cheap — restart one component or replace
+//! one corrupted object instead of bouncing the whole process. This crate is
+//! that missing half. A [`RecoveryCoordinator`] consumes
+//! [`FailureReport`](wdog_core::report::FailureReport)s as a driver
+//! [`Action`](wdog_core::action::Action) and walks each blamed component up
+//! a policy ladder:
+//!
+//! 1. **Retry** — wait out a transient with bounded, deterministic-jitter
+//!    exponential backoff, then re-check;
+//! 2. **Restart** — component-scoped restart through
+//!    [`Restartable`](wdog_core::action::Restartable), then re-check;
+//! 3. **Degrade** — shed the component's workload through
+//!    [`Degradable`](wdog_core::action::Degradable) so the rest of the
+//!    process keeps running;
+//! 4. **Escalate** — hand off to an operator action; nothing on the ladder
+//!    helped.
+//!
+//! Every rung is **verified**: the coordinator re-dispatches a fresh
+//! instance of the blaming check (via the target's
+//! [`RecoverySurface`]) and only marks the component recovered when the
+//! re-check passes. Chronically flapping components trip a circuit breaker
+//! and are pinned in degraded mode. Each incident records full MTTR
+//! accounting — opened at first blame, closed at its terminal state — so
+//! campaigns can report time-to-repair per failure class.
+
+pub mod coordinator;
+pub mod incident;
+pub mod policy;
+
+pub use coordinator::{RecoveryCoordinator, RecoverySurface, VerifierFactory};
+pub use incident::{Incident, RecoveryOutcome};
+pub use policy::{BackoffPolicy, RecoveryPolicy};

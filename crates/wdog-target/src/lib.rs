@@ -32,10 +32,16 @@ use faults::injector::Injector;
 use faults::spec::FaultKind;
 
 pub mod options;
+pub mod supervise;
 pub mod workload;
 
 pub use options::{Families, WdOptions};
+pub use supervise::Supervised;
 pub use workload::{spawn_workload, RequestFn, WorkloadHandle, WorkloadProfile, WorkloadTicket};
+
+/// Re-exported so targets and campaign runners share one recovery contract
+/// without depending on `wdog-recover` directly.
+pub use wdog_recover::{RecoverySurface, VerifierFactory};
 
 /// A full API round trip against the target, for the external-probe
 /// baseline detector (matches `detectors::probe_client::ProbeFn`).
@@ -179,6 +185,13 @@ pub trait TargetInstance: Send {
     /// How many errors the target's own error handling has absorbed —
     /// campaign scoring uses this to detect silently-masked faults.
     fn errors_handled(&self) -> u64;
+
+    /// The component-scoped recovery surface — restart/degrade handles plus
+    /// verification re-checks — for the closed-loop recovery coordinator.
+    /// `None` means the instance supports detection only.
+    fn recovery_surface(&self) -> Option<RecoverySurface> {
+        None
+    }
 
     /// Clears every armed fault on the instance's surfaces (used at
     /// teardown so background threads can drain).

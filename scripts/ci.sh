@@ -16,6 +16,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> wdog-lint --target all --deny-drift"
 cargo run --offline -q -p harness --bin wdog-lint -- --target all --deny-drift
 
+echo "==> wdog-recovery smoke: kvs stuck-task + corruption must verified-recover"
+cargo run --offline -q -p harness --bin wdog-recovery -- --target kvs \
+    --scenarios background-task-stuck,state-corruption --require-verified 2
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test --offline -q
