@@ -11,12 +11,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use wdog_base::clock::RealClock;
-use wdog_core::checker::{CheckStatus, FnChecker};
-use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
-use wdog_core::hooks::Hooks;
-use wdog_core::policy::SchedulePolicy;
+use wdog_core::prelude::*;
 
 fn hook_costs(c: &mut Criterion) {
     let table = ContextTable::new(RealClock::shared());
@@ -77,21 +72,19 @@ fn driver_throughput(c: &mut Criterion) {
     // round interval: measures pure scheduling/dispatch overhead.
     group.bench_function("rounds_16_checkers", |b| {
         b.iter_custom(|iters| {
-            let mut driver = WatchdogDriver::new(
-                WatchdogConfig {
+            let mut driver = WatchdogDriver::builder()
+                .config(WatchdogConfig {
                     policy: SchedulePolicy::every(Duration::from_millis(1)),
                     default_timeout: Duration::from_secs(1),
                     health_window: Duration::from_secs(10),
-                },
-                RealClock::shared(),
-            );
-            for i in 0..16 {
-                driver
-                    .register(Box::new(FnChecker::new(format!("c{i}"), "bench", || {
+                })
+                .checkers((0..16).map(|i| {
+                    Box::new(FnChecker::new(format!("c{i}"), "bench", || {
                         CheckStatus::Pass
-                    })))
-                    .unwrap();
-            }
+                    })) as Box<dyn Checker>
+                }))
+                .build()
+                .unwrap();
             driver.start().unwrap();
             let start = std::time::Instant::now();
             let target = iters.max(1);

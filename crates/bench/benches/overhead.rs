@@ -20,8 +20,8 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 
 use bench::bench_server;
 use kvs::wd::{build_watchdog, WdOptions};
-use wdog_base::clock::RealClock;
-use wdog_core::context::{baseline::BaselineContextTable, ContextTable, CtxValue};
+use wdog_core::context::baseline::BaselineContextTable;
+use wdog_core::prelude::*;
 
 fn kvs_set_roundtrips(c: &mut Criterion) {
     let mut group = c.benchmark_group("kvs_set");
@@ -231,10 +231,49 @@ fn context_publish_contended(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry-plane overhead on the hook hot path: firing a site with no
+/// registry attached (the guard is one relaxed atomic load) vs. an armed
+/// registry (count every fire, time one in 64). The two must stay within a
+/// few percent of each other — CI enforces a 15% budget through
+/// `wdog-telemetry --bench-guard`.
+fn hook_fire_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hook_fire");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    {
+        let hooks = Hooks::new(ContextTable::new(RealClock::shared()));
+        let site = hooks.site("bench.telemetry");
+        let mut i = 0u64;
+        group.bench_function("telemetry_off", |b| {
+            b.iter(|| {
+                i += 1;
+                site.fire(|| ctx_fields(i));
+            })
+        });
+    }
+    {
+        let hooks = Hooks::new(ContextTable::new(RealClock::shared()));
+        hooks.attach_telemetry(TelemetryRegistry::shared());
+        let site = hooks.site("bench.telemetry");
+        let mut i = 0u64;
+        group.bench_function("telemetry_on", |b| {
+            b.iter(|| {
+                i += 1;
+                site.fire(|| ctx_fields(i));
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     kvs_set_roundtrips,
     context_publish_single,
-    context_publish_contended
+    context_publish_contended,
+    hook_fire_telemetry
 );
 criterion_main!(benches);

@@ -9,9 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use std::time::Duration;
 
-use wdog_core::action::{Action, LogAction};
-use wdog_core::policy::SchedulePolicy;
-use wdog_core::report::{FailureKind, FailureReport, FaultLocation};
+use wdog_core::prelude::*;
 use wdog_recover::policy::{BackoffPolicy, RecoveryPolicy};
 
 fn sample_report() -> FailureReport {

@@ -24,9 +24,7 @@ use kvs::{KvsConfig, KvsServer};
 use simio::disk::SimDisk;
 use wdog_base::clock::{RealClock, SharedClock};
 use wdog_base::error::BaseResult;
-use wdog_core::checker::{CheckStatus, Checker, FnChecker};
-use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
-use wdog_core::policy::SchedulePolicy;
+use wdog_core::prelude::*;
 use wdog_gen::interp::{instantiate, InstantiateOptions};
 use wdog_gen::reduce::ReductionConfig;
 use wdog_target::WatchdogTarget;
@@ -206,26 +204,22 @@ pub fn run_placement_ablation() -> BaseResult<PlacementAblation> {
 
     // Concurrent: same checkers on the watchdog's own executors.
     let server = KvsServer::for_tests();
-    let mut driver = WatchdogDriver::new(
-        WatchdogConfig {
+    let mut driver = WatchdogDriver::builder()
+        .config(WatchdogConfig {
             policy: SchedulePolicy::every(Duration::from_millis(50)),
             ..WatchdogConfig::default()
-        },
-        RealClock::shared(),
-    );
-    for c in heavy_checkers(CHECKERS, CHECK_COST) {
-        driver.register(c)?;
-    }
+        })
+        .checkers(heavy_checkers(CHECKERS, CHECK_COST))
+        .build()?;
     driver.start()?;
     let concurrent_us = measure(&server, None);
     driver.stop();
 
     // In place: the same checks executed on the request thread.
     let server = KvsServer::for_tests();
-    let mut driver = WatchdogDriver::new(WatchdogConfig::default(), RealClock::shared());
-    for c in heavy_checkers(CHECKERS, CHECK_COST) {
-        driver.register(c)?;
-    }
+    let mut driver = WatchdogDriver::builder()
+        .checkers(heavy_checkers(CHECKERS, CHECK_COST))
+        .build()?;
     let inplace_us = measure(&server, Some(&mut driver));
 
     Ok(PlacementAblation {

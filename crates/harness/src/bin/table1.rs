@@ -5,9 +5,11 @@
 //! target the catalogue's expectations were calibrated on.
 
 fn main() {
-    let opts = harness::scenario::RunnerOptions::default();
     let mut failed = false;
     for target in harness::targets_from_cli("table1") {
+        let registry = wdog_telemetry::TelemetryRegistry::shared();
+        let mut opts = harness::scenario::RunnerOptions::default();
+        opts.wd.telemetry = Some(std::sync::Arc::clone(&registry));
         match harness::table1::run(target.as_ref(), &opts) {
             Ok(result) => {
                 println!("{}", harness::table1::render(&result));
@@ -23,6 +25,10 @@ fn main() {
                     }
                 }
                 harness::write_json(&harness::result_name("table1", &result.target), &result);
+                harness::telemetry::write_snapshot(
+                    &format!("telemetry_table1_{}", result.target),
+                    &registry.snapshot(),
+                );
             }
             Err(e) => {
                 eprintln!("table1 [{}] failed: {e}", target.name());

@@ -5,9 +5,11 @@
 //! checker families span all three types.
 
 fn main() {
-    let opts = harness::scenario::RunnerOptions::default();
     let mut failed = false;
     for target in harness::targets_from_cli("table2") {
+        let registry = wdog_telemetry::TelemetryRegistry::shared();
+        let mut opts = harness::scenario::RunnerOptions::default();
+        opts.wd.telemetry = Some(std::sync::Arc::clone(&registry));
         match harness::table2::run(target.as_ref(), &opts, 3) {
             Ok(result) => {
                 println!("{}", harness::table2::render(&result));
@@ -23,6 +25,10 @@ fn main() {
                     }
                 }
                 harness::write_json(&harness::result_name("table2", &result.target), &result);
+                harness::telemetry::write_snapshot(
+                    &format!("telemetry_table2_{}", result.target),
+                    &registry.snapshot(),
+                );
             }
             Err(e) => {
                 eprintln!("table2 [{}] failed: {e}", target.name());

@@ -58,10 +58,12 @@ fn main() {
         std::process::exit(2);
     });
 
-    let opts = harness::recovery::RecoveryOptions::default();
     let mut verified_total = 0;
     let mut failed = false;
     for target in targets {
+        let registry = wdog_telemetry::TelemetryRegistry::shared();
+        let mut opts = harness::recovery::RecoveryOptions::default();
+        opts.wd.telemetry = Some(std::sync::Arc::clone(&registry));
         match harness::recovery::run(target.as_ref(), scenarios.as_deref(), &opts) {
             Ok(campaign) => {
                 println!("{}", harness::recovery::render(&campaign));
@@ -76,6 +78,10 @@ fn main() {
                 harness::write_json(
                     &harness::result_name("recovery", &campaign.target),
                     &campaign,
+                );
+                harness::telemetry::write_snapshot(
+                    &format!("telemetry_recovery_{}", campaign.target),
+                    &registry.snapshot(),
                 );
             }
             Err(e) => {

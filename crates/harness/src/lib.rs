@@ -8,6 +8,7 @@
 //! | [`zk2201`] | §4.2 — the ZOOKEEPER-2201 reproduction | `zk2201` |
 //! | [`ablations`] | §3.1/§3.3 design choices (E6) | `ablations` |
 //! | [`recovery`] | §5.2 — closed-loop recovery campaign | `wdog-recovery` |
+//! | [`telemetry`] | runtime telemetry plane export | `wdog-telemetry` |
 //!
 //! Each experiment returns a serde-serializable result struct; binaries
 //! print the paper-style table *and* write the raw JSON next to it (under
@@ -21,6 +22,7 @@ pub mod reduction;
 pub mod scenario;
 pub mod table1;
 pub mod table2;
+pub mod telemetry;
 pub mod zk2201;
 
 use wdog_target::WatchdogTarget;

@@ -33,6 +33,7 @@ use faults::spec::FaultKind;
 use faults::Scenario;
 use wdog_base::error::{BaseError, BaseResult};
 use wdog_base::rng::derive_seed;
+use wdog_core::prelude::*;
 use wdog_recover::{RecoveryCoordinator, RecoveryOutcome, RecoveryPolicy};
 use wdog_target::{WatchdogTarget, WdOptions, WorkloadProfile};
 
@@ -185,11 +186,14 @@ pub fn run_recovery_scenario(
     }));
 
     let (mut driver, _plan) = inst.build_watchdog(&opts.wd)?;
-    let coordinator = RecoveryCoordinator::builder(Arc::clone(&clock), surface)
+    let mut coord_builder = RecoveryCoordinator::builder(Arc::clone(&clock), surface)
         .default_policy(opts.policy.clone())
-        .seed(derive_seed(seed, "recovery"))
-        .start();
-    driver.add_action(Arc::clone(&coordinator) as Arc<dyn wdog_core::action::Action>);
+        .seed(derive_seed(seed, "recovery"));
+    if let Some(t) = &opts.wd.telemetry {
+        coord_builder = coord_builder.telemetry(Arc::clone(t));
+    }
+    let coordinator = coord_builder.start();
+    driver.add_action(Arc::clone(&coordinator) as Arc<dyn Action>);
     driver.start()?;
 
     inst.start_workload(
@@ -203,6 +207,11 @@ pub fn run_recovery_scenario(
 
     // Inject, hold, and (for substrate faults) heal the substrate.
     let armed = injector.inject(&scenario.kind)?;
+    if let Some(t) = &opts.wd.telemetry {
+        let at_ms = clock.now_millis();
+        t.arm_fault(&scenario.id, at_ms);
+        t.flight(at_ms, "inject", &scenario.id);
+    }
     clock.sleep(opts.fault_hold);
     if harness_clears(&scenario.kind) {
         injector.clear(&armed);
@@ -229,6 +238,9 @@ pub fn run_recovery_scenario(
     inst.clear_faults();
     inst.stop_workload();
     driver.stop();
+    if let Some(t) = &opts.wd.telemetry {
+        t.disarm_fault();
+    }
     let idle = coordinator.wait_idle(Duration::from_secs(2));
     coordinator.stop();
 

@@ -21,7 +21,7 @@ use detectors::{Detector, ExternalProbe, HeartbeatDetector, ObserverHub};
 use faults::{ArmedFault, Scenario};
 use wdog_base::error::BaseResult;
 use wdog_base::rng::derive_seed;
-use wdog_core::report::FaultLocation;
+use wdog_core::prelude::*;
 use wdog_target::{WatchdogTarget, WdOptions, WorkloadObserver, WorkloadProfile};
 
 /// What one detector said about one run.
@@ -194,6 +194,15 @@ pub fn run_scenario(
         armed = Some(injector.inject(&s.kind)?);
     }
     let injected_at = clock.now();
+    // Arm end-to-end detection-latency tracking: the first report the
+    // driver emits at-or-after this instant closes the sample.
+    if let Some(t) = &opts.wd.telemetry {
+        if let Some(s) = scenario {
+            let at_ms = injected_at.as_millis() as u64;
+            t.arm_fault(&s.id, at_ms);
+            t.flight(at_ms, "inject", &s.id);
+        }
+    }
 
     // Observe.
     let mut extrinsic_first: Vec<Option<(u64, String)>> = vec![None; extrinsics.len()];
@@ -221,6 +230,9 @@ pub fn run_scenario(
     inst.clear_faults();
     inst.stop_workload();
     driver.stop();
+    if let Some(t) = &opts.wd.telemetry {
+        t.disarm_fault();
+    }
     for d in &mut extrinsics {
         d.stop();
     }

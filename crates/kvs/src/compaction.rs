@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use wdog_core::context::CtxValue;
+use wdog_core::prelude::*;
 
 use crate::server::Shared;
 use crate::sstable::{merge_entries, read_sstable, write_sstable};

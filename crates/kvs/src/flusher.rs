@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use wdog_core::context::CtxValue;
+use wdog_core::prelude::*;
 
 use crate::server::Shared;
 use crate::sstable::write_sstable;
@@ -46,7 +46,7 @@ pub(crate) fn flusher_loop(shared: Arc<Shared>, alive: Arc<AtomicBool>) {
 /// as a growing WAL for signal checkers) rather than crashing the loop.
 pub(crate) fn flush_once(
     shared: &Arc<Shared>,
-    hook: &wdog_core::hooks::HookSite,
+    hook: &HookSite,
 ) -> wdog_base::error::BaseResult<()> {
     // Rotate the WAL first, under the WAL lock so no append straddles the
     // boundary. The index snapshot taken *after* rotation necessarily

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-use wdog_core::context::CtxValue;
+use wdog_core::prelude::*;
 
 use crate::api::{Request, Response};
 use crate::server::Shared;

@@ -14,9 +14,7 @@ use std::time::Duration;
 
 use wdog_base::ids::ComponentId;
 
-use wdog_core::action::{Degradable, Restartable};
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker, FnChecker};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 use wdog_target::{RecoverySurface, VerifierFactory};
 

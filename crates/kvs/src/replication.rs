@@ -13,7 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 
-use wdog_core::context::CtxValue;
+use wdog_core::prelude::*;
 
 use crate::api::Request;
 use crate::index::MemIndex;

@@ -26,8 +26,7 @@ use simio::resource::{ResourceMonitor, StallPoint};
 use wdog_base::clock::SharedClock;
 use wdog_base::error::{BaseError, BaseResult};
 
-use wdog_core::context::ContextTable;
-use wdog_core::hooks::Hooks;
+use wdog_core::prelude::*;
 
 use crate::api::{Request, Response};
 use crate::config::KvsConfig;

@@ -30,10 +30,7 @@ use wdog_checkers::probe::ProbeChecker;
 use wdog_checkers::signal::{
     DiskSpaceChecker, MemoryWatermarkChecker, QueueDepthChecker, SleepDriftChecker,
 };
-use wdog_core::checker::Checker;
-use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
-use wdog_core::policy::SchedulePolicy;
+use wdog_core::prelude::*;
 
 use wdog_gen::interp::{instantiate, InstantiateOptions, OpTable};
 use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
@@ -477,12 +474,17 @@ pub fn build_watchdog(
     opts: &WdOptions,
 ) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
     let clock: SharedClock = Arc::clone(&server.shared().clock);
-    let config = WatchdogConfig {
-        policy: SchedulePolicy::every(opts.interval),
-        default_timeout: opts.checker_timeout,
-        health_window: Duration::from_secs(30),
-    };
-    let mut driver = WatchdogDriver::new(config, Arc::clone(&clock));
+    let mut builder = WatchdogDriver::builder()
+        .config(WatchdogConfig {
+            policy: SchedulePolicy::every(opts.interval),
+            default_timeout: opts.checker_timeout,
+            health_window: Duration::from_secs(30),
+        })
+        .clock(Arc::clone(&clock));
+    if let Some(registry) = &opts.telemetry {
+        builder = builder.telemetry(Arc::clone(registry));
+        server.hooks().attach_telemetry(Arc::clone(registry));
+    }
 
     let plan = generate_kvs_plan(&ReductionConfig::default());
     if opts.families.mimics {
@@ -500,20 +502,16 @@ pub fn build_watchdog(
             },
         )?;
         for c in mimics {
-            driver.register(Box::new(c))?;
+            builder = builder.checker(Box::new(c));
         }
     }
     if opts.families.probes {
-        for c in probe_checkers(server, opts) {
-            driver.register(c)?;
-        }
+        builder = builder.checkers(probe_checkers(server, opts));
     }
     if opts.families.signals {
-        for c in signal_checkers(server, opts) {
-            driver.register(c)?;
-        }
+        builder = builder.checkers(signal_checkers(server, opts));
     }
-    Ok((driver, plan))
+    Ok((builder.build()?, plan))
 }
 
 /// Builds the §5.2 cheap-recovery action: on a corruption report that
@@ -524,39 +522,35 @@ pub fn build_watchdog(
 pub fn sst_recovery_action(
     server: &KvsServer,
 ) -> (
-    Arc<
-        wdog_core::action::CallbackAction<impl Fn(&wdog_core::report::FailureReport) + Send + Sync>,
-    >,
+    Arc<CallbackAction<impl Fn(&FailureReport) + Send + Sync>>,
     Arc<AtomicU64>,
 ) {
     let shared = Arc::clone(server.shared());
     let repairs = Arc::new(AtomicU64::new(0));
     let counter = Arc::clone(&repairs);
-    let action = Arc::new(wdog_core::action::CallbackAction::new(
-        move |report: &wdog_core::report::FailureReport| {
-            if report.kind != wdog_core::report::FailureKind::Corruption {
-                return;
+    let action = Arc::new(CallbackAction::new(move |report: &FailureReport| {
+        if report.kind != FailureKind::Corruption {
+            return;
+        }
+        if !report.location.to_string().contains("sst") {
+            return;
+        }
+        // Rebuild everything on the sst volume from the index.
+        let _guard = shared.compaction_lock.lock();
+        let old: Vec<String> = shared
+            .partitions
+            .tables()
+            .into_iter()
+            .map(|t| t.path)
+            .collect();
+        let entries = shared.index.snapshot();
+        let path = shared.partitions.next_path();
+        if let Ok(meta) = crate::sstable::write_sstable(&shared.disk, &path, &entries) {
+            if shared.partitions.replace(&old, meta).is_ok() {
+                counter.fetch_add(1, Ordering::Relaxed);
             }
-            if !report.location.to_string().contains("sst") {
-                return;
-            }
-            // Rebuild everything on the sst volume from the index.
-            let _guard = shared.compaction_lock.lock();
-            let old: Vec<String> = shared
-                .partitions
-                .tables()
-                .into_iter()
-                .map(|t| t.path)
-                .collect();
-            let entries = shared.index.snapshot();
-            let path = shared.partitions.next_path();
-            if let Ok(meta) = crate::sstable::write_sstable(&shared.disk, &path, &entries) {
-                if shared.partitions.replace(&old, meta).is_ok() {
-                    counter.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        },
-    ));
+        }
+    }));
     (action, repairs)
 }
 
@@ -761,7 +755,7 @@ mod tests {
             for c in &mut checkers {
                 assert_eq!(
                     c.check(),
-                    wdog_core::checker::CheckStatus::NotReady,
+                    CheckStatus::NotReady,
                     "synchronized checker ran without main-program state"
                 );
             }

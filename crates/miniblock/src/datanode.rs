@@ -12,8 +12,7 @@ use simio::net::SimNet;
 use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 
-use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::hooks::{HookSite, Hooks};
+use wdog_core::prelude::*;
 
 use wdog_target::Supervised;
 
@@ -274,6 +273,11 @@ impl DataNode {
     /// Returns the watchdog context table fed by this node's hooks.
     pub fn context(&self) -> Arc<ContextTable> {
         Arc::clone(&self.shared.context)
+    }
+
+    /// Returns the node's hook dispatcher (for telemetry arming).
+    pub fn hooks(&self) -> Hooks {
+        self.shared.hooks.clone()
     }
 
     /// Returns this node's id.

@@ -21,8 +21,7 @@ use std::time::Duration;
 use wdog_base::clock::SharedClock;
 use wdog_base::ids::{CheckerId, ComponentId};
 
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker, ExecutionProbe};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 use crate::block::BlockStore;
 

@@ -11,9 +11,7 @@ use std::sync::Arc;
 
 use wdog_base::ids::ComponentId;
 
-use wdog_core::action::{Degradable, Restartable};
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker, FnChecker};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 use wdog_target::{RecoverySurface, VerifierFactory};
 

@@ -22,7 +22,7 @@ use simio::LatencyModel;
 use faults::catalog::{Scenario, TargetProfile};
 use faults::injector::Injector;
 
-use wdog_core::driver::WatchdogDriver;
+use wdog_core::prelude::*;
 use wdog_gen::ir::ProgramIr;
 use wdog_gen::plan::WatchdogPlan;
 

@@ -6,8 +6,7 @@ use std::time::Duration;
 use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 
-use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
-use wdog_core::policy::SchedulePolicy;
+use wdog_core::prelude::*;
 
 use wdog_gen::interp::{instantiate, InstantiateOptions, OpTable};
 use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
@@ -183,14 +182,17 @@ pub fn build_watchdog(
     opts: &DnWdOptions,
 ) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
     let clock: SharedClock = Arc::clone(&dn.shared().clock);
-    let mut driver = WatchdogDriver::new(
-        WatchdogConfig {
+    let mut builder = WatchdogDriver::builder()
+        .config(WatchdogConfig {
             policy: SchedulePolicy::every(opts.interval),
             default_timeout: opts.checker_timeout,
             health_window: Duration::from_secs(30),
-        },
-        Arc::clone(&clock),
-    );
+        })
+        .clock(Arc::clone(&clock));
+    if let Some(registry) = &opts.telemetry {
+        builder = builder.telemetry(Arc::clone(registry));
+        dn.hooks().attach_telemetry(Arc::clone(registry));
+    }
     let plan = generate_dn_plan(&ReductionConfig::default());
     if opts.families.mimics {
         let table = op_table(dn);
@@ -206,7 +208,7 @@ pub fn build_watchdog(
             },
         )?;
         for c in mimics {
-            driver.register(Box::new(c))?;
+            builder = builder.checker(Box::new(c));
         }
     }
     if opts.families.probes {
@@ -214,16 +216,17 @@ pub fn build_watchdog(
             Arc::clone(dn.store().disk()),
             dn.store().volumes().len(),
         ));
-        driver.register(Box::new(crate::disk_checker::LegacyDiskChecker::new(
-            Arc::clone(&store),
-        )))?;
-        driver.register(Box::new(crate::disk_checker::EnhancedDiskChecker::new(
-            store,
-            clock,
-            opts.slow_threshold,
-        )))?;
+        builder = builder
+            .checker(Box::new(crate::disk_checker::LegacyDiskChecker::new(
+                Arc::clone(&store),
+            )))
+            .checker(Box::new(crate::disk_checker::EnhancedDiskChecker::new(
+                store,
+                clock,
+                opts.slow_threshold,
+            )));
     }
-    Ok((driver, plan))
+    Ok((builder.build()?, plan))
 }
 
 #[cfg(test)]
@@ -356,7 +359,7 @@ mod tests {
         dn.store().disk().clear_all();
         assert!(detected, "partial volume failure not detected");
         let report = &driver.log().reports()[0];
-        assert_eq!(report.kind, wdog_core::report::FailureKind::Stuck);
+        assert_eq!(report.kind, FailureKind::Stuck);
         driver.stop();
     }
 }

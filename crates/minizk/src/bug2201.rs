@@ -23,7 +23,7 @@ use simio::net::{LinkRule, NetFault, SimNet};
 use wdog_base::clock::{RealClock, SharedClock};
 use wdog_base::error::BaseResult;
 
-use wdog_core::report::{FailureKind, FailureReport};
+use wdog_core::prelude::*;
 
 use crate::heartbeat::HeartbeatProber;
 use crate::quorum::{follower_addr, Cluster, ClusterConfig, LEADER_ADDR};

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use wdog_base::error::{BaseError, BaseResult};
 
-use wdog_core::context::CtxValue;
+use wdog_core::prelude::*;
 
 use crate::quorum::ZkShared;
 

@@ -23,8 +23,7 @@ use simio::resource::ResourceMonitor;
 use wdog_base::clock::SharedClock;
 use wdog_base::error::{BaseError, BaseResult};
 
-use wdog_core::context::{ContextTable, CtxValue};
-use wdog_core::hooks::{HookSite, Hooks};
+use wdog_core::prelude::*;
 
 use wdog_target::Supervised;
 
@@ -457,6 +456,11 @@ impl Cluster {
     /// Returns the watchdog context table fed by leader hooks.
     pub fn context(&self) -> Arc<ContextTable> {
         Arc::clone(&self.shared.context)
+    }
+
+    /// Returns the leader's hook dispatcher (for telemetry arming).
+    pub fn hooks(&self) -> Hooks {
+        self.shared.hooks.clone()
     }
 
     /// Returns the resource monitor (queue depths).

@@ -21,8 +21,7 @@ use wdog_base::error::{BaseError, BaseResult};
 
 use wdog_checkers::probe::ProbeChecker;
 use wdog_checkers::signal::QueueDepthChecker;
-use wdog_core::driver::{WatchdogConfig, WatchdogDriver};
-use wdog_core::policy::SchedulePolicy;
+use wdog_core::prelude::*;
 
 use wdog_gen::interp::{instantiate, InstantiateOptions, OpTable};
 use wdog_gen::ir::{ArgType, OpKind, ProgramBuilder, ProgramIr};
@@ -287,14 +286,17 @@ pub fn build_watchdog(
     opts: &ZkWdOptions,
 ) -> BaseResult<(WatchdogDriver, WatchdogPlan)> {
     let clock: SharedClock = Arc::clone(&cluster.shared().clock);
-    let mut driver = WatchdogDriver::new(
-        WatchdogConfig {
+    let mut builder = WatchdogDriver::builder()
+        .config(WatchdogConfig {
             policy: SchedulePolicy::every(opts.interval),
             default_timeout: opts.checker_timeout,
             health_window: Duration::from_secs(30),
-        },
-        Arc::clone(&clock),
-    );
+        })
+        .clock(Arc::clone(&clock));
+    if let Some(registry) = &opts.telemetry {
+        builder = builder.telemetry(Arc::clone(registry));
+        cluster.hooks().attach_telemetry(Arc::clone(registry));
+    }
 
     let plan = generate_zk_plan(&ReductionConfig::default());
     if opts.families.mimics {
@@ -311,7 +313,7 @@ pub fn build_watchdog(
             },
         )?;
         for c in mimics {
-            driver.register(Box::new(c))?;
+            builder = builder.checker(Box::new(c));
         }
     }
 
@@ -319,7 +321,7 @@ pub fn build_watchdog(
         // Probe checker: a write through the public API.
         let tree = cluster.tree();
         let counter = std::sync::atomic::AtomicU64::new(0);
-        driver.register(Box::new(
+        builder = builder.checker(Box::new(
             ProbeChecker::new(
                 "minizk.probe.write",
                 "minizk.api",
@@ -338,28 +340,28 @@ pub fn build_watchdog(
             )
             .with_slow_threshold(opts.probe_slow_threshold)
             .with_timeout(opts.checker_timeout),
-        ))?;
+        ));
     }
 
     if opts.families.signals {
         // Signal checkers: pipeline and broadcast backlogs.
-        driver.register(Box::new(QueueDepthChecker::new(
+        builder = builder.checker(Box::new(QueueDepthChecker::new(
             "minizk.signal.pipeline",
             "minizk.processors",
             cluster.monitor(),
             "pipeline",
             opts.queue_threshold,
-        )))?;
-        driver.register(Box::new(QueueDepthChecker::new(
+        )));
+        builder = builder.checker(Box::new(QueueDepthChecker::new(
             "minizk.signal.broadcast",
             "minizk.quorum",
             cluster.monitor(),
             "broadcast",
             opts.queue_threshold,
-        )))?;
+        )));
     }
 
-    Ok((driver, plan))
+    Ok((builder.build()?, plan))
 }
 
 #[cfg(test)]

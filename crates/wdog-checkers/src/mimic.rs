@@ -27,9 +27,7 @@ use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 use wdog_base::ids::{CheckerId, ComponentId, OpId};
 
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker, ExecutionProbe};
-use wdog_core::context::{ContextReader, ContextSnapshot};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 /// The executable body of a mimicked operation.
 ///
@@ -241,7 +239,6 @@ mod tests {
     use std::sync::Arc;
     use wdog_base::clock::RealClock;
     use wdog_base::error::BaseError;
-    use wdog_core::context::{ContextTable, CtxValue};
 
     fn table() -> Arc<ContextTable> {
         ContextTable::new(RealClock::shared())

@@ -16,8 +16,7 @@ use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 use wdog_base::ids::{CheckerId, ComponentId};
 
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 /// A checker that exercises one public API call with pre-supplied input.
 ///
@@ -30,7 +29,7 @@ use wdog_core::report::{FailureKind, FaultLocation};
 ///
 /// ```
 /// use wdog_checkers::ProbeChecker;
-/// use wdog_core::checker::Checker;
+/// use wdog_core::prelude::*;
 /// use wdog_base::clock::RealClock;
 ///
 /// let mut checker = ProbeChecker::new(

@@ -20,8 +20,7 @@ use simio::resource::{ResourceMonitor, StallPoint};
 use wdog_base::clock::SharedClock;
 use wdog_base::ids::{CheckerId, ComponentId};
 
-use wdog_core::checker::{CheckFailure, CheckStatus, Checker};
-use wdog_core::report::{FailureKind, FaultLocation};
+use wdog_core::prelude::*;
 
 fn indicator_location(component: &ComponentId, indicator: &str) -> FaultLocation {
     FaultLocation::new(component.clone(), format!("indicator:{indicator}"))

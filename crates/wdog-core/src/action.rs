@@ -7,12 +7,12 @@
 //! instead of the whole process. Actions here range from logging to
 //! component-scoped restarts through a [`Restartable`] handle.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use wdog_base::ids::ComponentId;
+use wdog_telemetry::{Counter, TelemetryRegistry};
 
 use crate::report::FailureReport;
 
@@ -25,16 +25,21 @@ pub trait Action: Send + Sync {
 /// Default retained-report capacity for [`LogAction`].
 pub const DEFAULT_LOG_CAP: usize = 4096;
 
+/// Registry counter name for [`LogAction`] ring evictions.
+pub const LOG_EVICTIONS_METRIC: &str = "log_reports_evicted_total";
+
 /// Collects reports into a shared, inspectable log.
 ///
 /// The log is a **ring buffer**: at most `capacity` reports are retained,
 /// and a failure storm evicts the oldest entries rather than growing without
 /// bound (the watchdog must not OOM the process it guards). Evictions are
-/// visible through [`LogAction::dropped`].
+/// counted into the telemetry registry (metric [`LOG_EVICTIONS_METRIC`])
+/// when the log was built with [`LogAction::telemetered`], and are folded
+/// into `DriverStats::log_evictions` for the driver's own log either way.
 pub struct LogAction {
     reports: Mutex<std::collections::VecDeque<FailureReport>>,
     capacity: usize,
-    dropped: AtomicU64,
+    evictions: Counter,
 }
 
 impl Default for LogAction {
@@ -42,7 +47,7 @@ impl Default for LogAction {
         Self {
             reports: Mutex::new(std::collections::VecDeque::new()),
             capacity: DEFAULT_LOG_CAP,
-            dropped: AtomicU64::new(0),
+            evictions: Counter::new(),
         }
     }
 }
@@ -58,6 +63,16 @@ impl LogAction {
         Arc::new(Self {
             capacity: capacity.max(1),
             ..Self::default()
+        })
+    }
+
+    /// Creates a shared log whose eviction count reports through `registry`
+    /// as [`LOG_EVICTIONS_METRIC`].
+    pub fn telemetered(capacity: usize, registry: &TelemetryRegistry) -> Arc<Self> {
+        Arc::new(Self {
+            reports: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+            evictions: registry.counter(LOG_EVICTIONS_METRIC, ""),
         })
     }
 
@@ -81,9 +96,10 @@ impl LogAction {
         self.reports.lock().drain(..).collect()
     }
 
-    /// Returns how many reports were evicted to honour the capacity.
-    pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+    /// Eviction count, exposed to the driver for `DriverStats` folding.
+    /// External consumers read it from the telemetry snapshot instead.
+    pub(crate) fn eviction_count(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -92,7 +108,7 @@ impl Action for LogAction {
         let mut reports = self.reports.lock();
         if reports.len() >= self.capacity {
             reports.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         reports.push_back(report.clone());
     }
@@ -140,20 +156,28 @@ pub trait Degradable: Send + Sync {
     fn degrade(&self, component: &ComponentId);
 }
 
+/// Registry counter name for [`EscalatingAction`] inner-action firings.
+pub const ESCALATIONS_METRIC: &str = "escalations_total";
+/// Registry counter name for [`EscalatingAction`] pruned component counters.
+pub const ESCALATION_PRUNED_METRIC: &str = "escalation_counters_pruned_total";
+
 /// Escalates to an inner action only after `threshold` reports for the same
 /// component, suppressing one-off transients.
 ///
 /// Counters are pruned: a component with no report inside `window_ms`
 /// (typically the driver's `health_window`) is forgotten, so a long-lived
 /// process blaming many distinct components over time does not accumulate an
-/// unbounded map.
+/// unbounded map. Firings and prunes report through the telemetry registry
+/// (metrics [`ESCALATIONS_METRIC`] / [`ESCALATION_PRUNED_METRIC`]) when
+/// built [`EscalatingAction::with_telemetry`].
 pub struct EscalatingAction<A> {
     threshold: u64,
     /// Per-component `(reports, last_report_at_ms)`.
     counts: Mutex<std::collections::HashMap<ComponentId, (u64, u64)>>,
     window_ms: u64,
     inner: A,
-    escalations: AtomicU64,
+    escalations: Counter,
+    pruned: Counter,
 }
 
 /// Default prune window matching `WatchdogConfig::health_window`'s default.
@@ -168,7 +192,8 @@ impl<A: Action> EscalatingAction<A> {
             counts: Mutex::new(std::collections::HashMap::new()),
             window_ms: DEFAULT_ESCALATION_WINDOW_MS,
             inner,
-            escalations: AtomicU64::new(0),
+            escalations: Counter::new(),
+            pruned: Counter::new(),
         }
     }
 
@@ -178,14 +203,23 @@ impl<A: Action> EscalatingAction<A> {
         self
     }
 
-    /// Returns how many times the inner action fired.
-    pub fn escalations(&self) -> u64 {
-        self.escalations.load(Ordering::Relaxed)
+    /// Routes the firing/prune counters through `registry`.
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.escalations = registry.counter(ESCALATIONS_METRIC, "");
+        self.pruned = registry.counter(ESCALATION_PRUNED_METRIC, "");
+        self
     }
 
     /// Returns how many component counters are currently retained.
     pub fn tracked_components(&self) -> usize {
         self.counts.lock().len()
+    }
+
+    /// Firing count, exposed for in-crate tests; external consumers read
+    /// [`ESCALATIONS_METRIC`] from the telemetry snapshot.
+    #[cfg(test)]
+    fn escalation_count(&self) -> u64 {
+        self.escalations.get()
     }
 }
 
@@ -196,7 +230,12 @@ impl<A: Action> Action for EscalatingAction<A> {
             // Drop components silent for longer than the window; report
             // timestamps drive the clock so no time source is needed here.
             let horizon = report.at_ms.saturating_sub(self.window_ms);
+            let before = counts.len();
             counts.retain(|_, (_, last)| *last >= horizon);
+            let evicted = before - counts.len();
+            if evicted > 0 {
+                self.pruned.add(evicted as u64);
+            }
             let entry = counts
                 .entry(report.location.component.clone())
                 .or_insert((0, report.at_ms));
@@ -205,7 +244,7 @@ impl<A: Action> Action for EscalatingAction<A> {
             entry.0.is_multiple_of(self.threshold)
         };
         if fire {
-            self.escalations.fetch_add(1, Ordering::Relaxed);
+            self.escalations.inc();
             self.inner.on_failure(report);
         }
     }
@@ -224,8 +263,18 @@ impl<A: Action> Action for EscalatingAction<A> {
 pub struct ImpactGatedAction {
     probe: Mutex<Box<dyn crate::checker::Checker>>,
     inner: Arc<dyn Action>,
-    forwarded: AtomicU64,
-    suppressed: AtomicU64,
+    forwarded: Counter,
+    suppressed: Counter,
+}
+
+/// Named counters for an [`ImpactGatedAction`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounters {
+    /// Reports whose impact the probe confirmed; forwarded to the inner
+    /// action.
+    pub forwarded: u64,
+    /// Reports the probe found harmless; suppressed.
+    pub suppressed: u64,
 }
 
 impl ImpactGatedAction {
@@ -234,17 +283,17 @@ impl ImpactGatedAction {
         Self {
             probe: Mutex::new(probe),
             inner,
-            forwarded: AtomicU64::new(0),
-            suppressed: AtomicU64::new(0),
+            forwarded: Counter::new(),
+            suppressed: Counter::new(),
         }
     }
 
-    /// Returns `(forwarded, suppressed)` report counts.
-    pub fn counters(&self) -> (u64, u64) {
-        (
-            self.forwarded.load(Ordering::Relaxed),
-            self.suppressed.load(Ordering::Relaxed),
-        )
+    /// Returns the forwarded / suppressed report counts.
+    pub fn counters(&self) -> GateCounters {
+        GateCounters {
+            forwarded: self.forwarded.get(),
+            suppressed: self.suppressed.get(),
+        }
     }
 }
 
@@ -255,10 +304,10 @@ impl Action for ImpactGatedAction {
             !matches!(probe.check(), crate::checker::CheckStatus::Pass)
         };
         if impact {
-            self.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.forwarded.inc();
             self.inner.on_failure(report);
         } else {
-            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            self.suppressed.inc();
         }
     }
 }
@@ -266,7 +315,14 @@ impl Action for ImpactGatedAction {
 /// Restarts the failing component via a [`Restartable`] handle.
 pub struct RestartAction {
     target: Arc<dyn Restartable>,
-    restarts: AtomicU64,
+    restarts: Counter,
+}
+
+/// Named counters for a [`RestartAction`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartCounters {
+    /// Restarts requested so far.
+    pub restarts: u64,
 }
 
 impl RestartAction {
@@ -274,19 +330,21 @@ impl RestartAction {
     pub fn new(target: Arc<dyn Restartable>) -> Self {
         Self {
             target,
-            restarts: AtomicU64::new(0),
+            restarts: Counter::new(),
         }
     }
 
-    /// Returns how many restarts were requested.
-    pub fn restarts(&self) -> u64 {
-        self.restarts.load(Ordering::Relaxed)
+    /// Returns the restart counters so far.
+    pub fn counters(&self) -> RestartCounters {
+        RestartCounters {
+            restarts: self.restarts.get(),
+        }
     }
 }
 
 impl Action for RestartAction {
     fn on_failure(&self, report: &FailureReport) {
-        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.restarts.inc();
         self.target.restart(&report.location.component);
     }
 }
@@ -295,6 +353,7 @@ impl Action for RestartAction {
 mod tests {
     use super::*;
     use crate::report::{FailureKind, FaultLocation};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use wdog_base::ids::CheckerId;
 
     fn report(component: &str) -> FailureReport {
@@ -326,12 +385,13 @@ mod tests {
 
     #[test]
     fn log_action_ring_evicts_oldest_and_counts_drops() {
-        let log = LogAction::with_capacity(3);
+        let registry = TelemetryRegistry::new();
+        let log = LogAction::telemetered(3, &registry);
         for i in 0..5 {
             log.on_failure(&report(&format!("c{i}")));
         }
         assert_eq!(log.len(), 3);
-        assert_eq!(log.dropped(), 2);
+        assert_eq!(registry.counter(LOG_EVICTIONS_METRIC, "").get(), 2);
         let kept: Vec<String> = log
             .reports()
             .iter()
@@ -341,7 +401,8 @@ mod tests {
         // Draining resets the retained set but not the eviction count.
         assert_eq!(log.drain().len(), 3);
         assert!(log.is_empty());
-        assert_eq!(log.dropped(), 2);
+        assert_eq!(registry.counter(LOG_EVICTIONS_METRIC, "").get(), 2);
+        assert_eq!(log.eviction_count(), 2);
     }
 
     #[test]
@@ -365,8 +426,22 @@ mod tests {
         }
         // Interleaved component must not share the counter.
         esc.on_failure(&report("b"));
-        assert_eq!(esc.escalations(), 2); // at the 3rd and 6th "a" reports
+        assert_eq!(esc.escalation_count(), 2); // at the 3rd and 6th "a" reports
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn escalation_reports_through_registry() {
+        let registry = TelemetryRegistry::new();
+        let esc = EscalatingAction::new(2, CallbackActionToLog(LogAction::new()))
+            .with_window(std::time::Duration::from_millis(1_000))
+            .with_telemetry(&registry);
+        esc.on_failure(&report_at("a", 0));
+        esc.on_failure(&report_at("a", 10));
+        assert_eq!(registry.counter(ESCALATIONS_METRIC, "").get(), 1);
+        // A report far past the window prunes the stale "a" counter.
+        esc.on_failure(&report_at("b", 10_000));
+        assert_eq!(registry.counter(ESCALATION_PRUNED_METRIC, "").get(), 1);
     }
 
     /// Adapter used in tests: forwards into a shared [`LogAction`].
@@ -400,11 +475,11 @@ mod tests {
         esc2.on_failure(&report_at("a", 0));
         esc2.on_failure(&report_at("a", 10));
         esc2.on_failure(&report_at("a", 5_000));
-        assert_eq!(esc2.escalations(), 0);
+        assert_eq!(esc2.escalation_count(), 0);
         // Whereas three inside the window do.
         esc2.on_failure(&report_at("a", 5_100));
         esc2.on_failure(&report_at("a", 5_200));
-        assert_eq!(esc2.escalations(), 1);
+        assert_eq!(esc2.escalation_count(), 1);
     }
 
     #[test]
@@ -440,12 +515,24 @@ mod tests {
         let gate = ImpactGatedAction::new(Box::new(probe), Arc::clone(&log) as Arc<dyn Action>);
         // No client impact: the mimic detection is suppressed.
         gate.on_failure(&report("kvs.wal"));
-        assert_eq!(gate.counters(), (0, 1));
+        assert_eq!(
+            gate.counters(),
+            GateCounters {
+                forwarded: 0,
+                suppressed: 1
+            }
+        );
         assert!(log.is_empty());
         // Client impact confirmed: forwarded.
         api_broken.store(true, Ordering::Relaxed);
         gate.on_failure(&report("kvs.wal"));
-        assert_eq!(gate.counters(), (1, 1));
+        assert_eq!(
+            gate.counters(),
+            GateCounters {
+                forwarded: 1,
+                suppressed: 1
+            }
+        );
         assert_eq!(log.len(), 1);
     }
 
@@ -460,7 +547,7 @@ mod tests {
         let rec = Arc::new(Recorder(Mutex::new(vec![])));
         let action = RestartAction::new(Arc::clone(&rec) as Arc<dyn Restartable>);
         action.on_failure(&report("kvs.flusher"));
-        assert_eq!(action.restarts(), 1);
+        assert_eq!(action.counters(), RestartCounters { restarts: 1 });
         assert_eq!(rec.0.lock()[0], ComponentId::new("kvs.flusher"));
     }
 }

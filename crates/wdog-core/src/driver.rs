@@ -59,6 +59,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use wdog_base::clock::SharedClock;
 use wdog_base::error::{BaseError, BaseResult};
 use wdog_base::ids::{CheckerId, ComponentId};
+use wdog_telemetry::{AtomicHistogram, Counter, TelemetryRegistry};
 
 use crate::action::{Action, LogAction};
 use crate::checker::{CheckStatus, Checker, ExecutionProbe};
@@ -108,6 +109,9 @@ pub struct DriverStats {
     pub executor_respawns: u64,
     /// Failure reports dropped because the action queue was full.
     pub reports_dropped: u64,
+    /// Reports evicted from the driver's built-in ring log to honour its
+    /// capacity (folded in from [`LogAction`]).
+    pub log_evictions: u64,
 }
 
 #[derive(Default)]
@@ -135,12 +139,43 @@ impl StatsInner {
             panics: self.panics.load(Ordering::Relaxed),
             executor_respawns: self.executor_respawns.load(Ordering::Relaxed),
             reports_dropped: self.reports_dropped.load(Ordering::Relaxed),
+            log_evictions: 0,
         }
     }
 }
 
 /// Builds a fresh checker instance for executor respawning.
 pub type CheckerFactory = Arc<dyn Fn() -> Box<dyn Checker> + Send + Sync>;
+
+/// Per-checker telemetry handles, resolved once at `start` so the scheduler
+/// loop records through lock-free atomics only.
+#[derive(Clone)]
+struct SlotTelemetry {
+    wall_ms: AtomicHistogram,
+    dispatch_delay_ms: AtomicHistogram,
+    passes: Counter,
+    failures: Counter,
+    not_ready: Counter,
+    timeouts: Counter,
+    panics: Counter,
+    respawns: Counter,
+}
+
+impl SlotTelemetry {
+    fn resolve(registry: &TelemetryRegistry, checker: &CheckerId) -> Self {
+        let id = checker.as_str();
+        Self {
+            wall_ms: registry.histogram("checker_wall_ms", id),
+            dispatch_delay_ms: registry.histogram("checker_dispatch_delay_ms", id),
+            passes: registry.counter("checker_pass_total", id),
+            failures: registry.counter("checker_fail_total", id),
+            not_ready: registry.counter("checker_not_ready_total", id),
+            timeouts: registry.counter("checker_timeout_total", id),
+            panics: registry.counter("checker_panic_total", id),
+            respawns: registry.counter("executor_respawn_total", id),
+        }
+    }
+}
 
 /// A checker not yet started: still owned by the driver.
 struct Pending {
@@ -168,6 +203,8 @@ struct ExecSlot {
     phase: Duration,
     /// Whether this checker has had its dispatch chance this round.
     dispatched: bool,
+    /// Pre-resolved metric handles; `None` when no registry is attached.
+    telem: Option<SlotTelemetry>,
 }
 
 /// How often the scheduler polls results and timeouts while sleeping.
@@ -190,6 +227,7 @@ pub struct WatchdogDriver {
     board: Arc<HealthBoard>,
     log: Arc<LogAction>,
     stats: Arc<StatsInner>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
     shutdown: Arc<AtomicBool>,
     scheduler: Option<std::thread::JoinHandle<()>>,
     action_worker: Option<std::thread::JoinHandle<()>>,
@@ -207,10 +245,37 @@ impl WatchdogDriver {
             board,
             log: LogAction::new(),
             stats: Arc::new(StatsInner::default()),
+            telemetry: None,
             shutdown: Arc::new(AtomicBool::new(false)),
             scheduler: None,
             action_worker: None,
         }
+    }
+
+    /// Returns a [`DriverBuilder`], the preferred way to assemble a driver.
+    pub fn builder() -> DriverBuilder {
+        DriverBuilder::new()
+    }
+
+    /// Attaches a telemetry registry; must be called before
+    /// [`WatchdogDriver::start`]. Per-checker timing, outcome counters, and
+    /// report/detection observation flow into it from then on.
+    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) -> BaseResult<()> {
+        if self.scheduler.is_some() {
+            return Err(BaseError::InvalidState(
+                "cannot attach telemetry after start".into(),
+            ));
+        }
+        // Rebuild the built-in ring log so its evictions report through the
+        // registry; attach telemetry before taking `log()` handles.
+        self.log = LogAction::telemetered(crate::action::DEFAULT_LOG_CAP, &registry);
+        self.telemetry = Some(registry);
+        Ok(())
+    }
+
+    /// Returns the attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        self.telemetry.clone()
     }
 
     /// Registers a checker; must be called before [`WatchdogDriver::start`].
@@ -272,7 +337,9 @@ impl WatchdogDriver {
 
     /// Returns a snapshot of the driver counters.
     pub fn stats(&self) -> DriverStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.log_evictions = self.log.eviction_count();
+        stats
     }
 
     /// Returns the ids of all registered checkers, in registration order.
@@ -315,6 +382,9 @@ impl WatchdogDriver {
                     };
                     self.board.record(&report);
                     self.log.on_failure(&report);
+                    if let Some(t) = &self.telemetry {
+                        t.observe_report(report.checker.as_str(), report.kind.label(), now_ms);
+                    }
                     for a in &self.actions {
                         a.on_failure(&report);
                     }
@@ -336,6 +406,10 @@ impl WatchdogDriver {
         for p in self.pending.drain(..) {
             let mut slot = spawn_executor(p, self.config.default_timeout);
             slot.phase = self.config.policy.phase_offset(slot.id.as_str());
+            slot.telem = self
+                .telemetry
+                .as_deref()
+                .map(|reg| SlotTelemetry::resolve(reg, &slot.id));
             slots.push(slot);
         }
 
@@ -367,6 +441,7 @@ impl WatchdogDriver {
             clock: Arc::clone(&self.clock),
             policy: self.config.policy.clone(),
             default_timeout: self.config.default_timeout,
+            telemetry: self.telemetry.clone(),
             shutdown: Arc::clone(&self.shutdown),
         };
         self.scheduler = Some(
@@ -413,6 +488,139 @@ impl std::fmt::Debug for WatchdogDriver {
         f.debug_struct("WatchdogDriver")
             .field("started", &self.is_started())
             .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One-shot assembly of a [`WatchdogDriver`].
+///
+/// Replaces the `new` + `register`/`register_respawnable` + `add_action`
+/// dance with a fluent builder that validates the whole configuration once
+/// at [`DriverBuilder::build`]: duplicate checker ids and a zero scheduling
+/// interval are rejected there instead of surfacing as confusing runtime
+/// behaviour. The old methods remain as thin delegates for incremental
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use wdog_core::prelude::*;
+/// use std::time::Duration;
+///
+/// let driver = WatchdogDriver::builder()
+///     .config(WatchdogConfig {
+///         policy: SchedulePolicy::every(Duration::from_millis(50)),
+///         ..WatchdogConfig::default()
+///     })
+///     .checker(Box::new(FnChecker::new("ok", "comp", || CheckStatus::Pass)))
+///     .build()
+///     .unwrap();
+/// assert_eq!(driver.checker_ids().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct DriverBuilder {
+    config: WatchdogConfig,
+    clock: Option<SharedClock>,
+    checkers: Vec<Box<dyn Checker>>,
+    factories: Vec<CheckerFactory>,
+    actions: Vec<Arc<dyn Action>>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
+}
+
+impl DriverBuilder {
+    /// Creates a builder with the default [`WatchdogConfig`] and real clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the driver configuration (policy, default timeout, health window).
+    pub fn config(mut self, config: WatchdogConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the clock; defaults to the process-wide real clock.
+    pub fn clock(mut self, clock: SharedClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Adds one checker.
+    pub fn checker(mut self, checker: Box<dyn Checker>) -> Self {
+        self.checkers.push(checker);
+        self
+    }
+
+    /// Adds every checker from an iterator.
+    pub fn checkers(mut self, checkers: impl IntoIterator<Item = Box<dyn Checker>>) -> Self {
+        self.checkers.extend(checkers);
+        self
+    }
+
+    /// Adds a respawnable checker via its factory (see
+    /// [`WatchdogDriver::register_respawnable`]).
+    pub fn respawnable(mut self, factory: CheckerFactory) -> Self {
+        self.factories.push(factory);
+        self
+    }
+
+    /// Adds an action invoked for every failure report.
+    pub fn action(mut self, action: Arc<dyn Action>) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Attaches a telemetry registry.
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// Validates the assembled configuration and returns the driver.
+    ///
+    /// Errors on a zero scheduling interval or duplicate checker ids
+    /// (respawnable factories are instantiated here, so their ids count).
+    pub fn build(self) -> BaseResult<WatchdogDriver> {
+        if self.config.policy.interval.is_zero() {
+            return Err(BaseError::InvalidState(
+                "scheduling interval must be non-zero".into(),
+            ));
+        }
+        let clock = self
+            .clock
+            .unwrap_or_else(wdog_base::clock::RealClock::shared);
+        let mut driver = WatchdogDriver::new(self.config, clock);
+        if let Some(registry) = self.telemetry {
+            driver.set_telemetry(registry)?;
+        }
+        for checker in self.checkers {
+            driver.register(checker)?;
+        }
+        for factory in self.factories {
+            driver.register_respawnable(factory)?;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for id in driver.checker_ids() {
+            if !seen.insert(id.clone()) {
+                return Err(BaseError::InvalidState(format!(
+                    "duplicate checker id: {id}"
+                )));
+            }
+        }
+        for action in self.actions {
+            driver.add_action(action);
+        }
+        Ok(driver)
+    }
+}
+
+impl std::fmt::Debug for DriverBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverBuilder")
+            .field("checkers", &self.checkers.len())
+            .field("factories", &self.factories.len())
+            .field("actions", &self.actions.len())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -474,6 +682,7 @@ fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
         respawns: 0,
         phase: Duration::ZERO,
         dispatched: false,
+        telem: None,
     }
 }
 
@@ -496,6 +705,7 @@ struct SchedulerCtx {
     clock: SharedClock,
     policy: SchedulePolicy,
     default_timeout: Duration,
+    telemetry: Option<Arc<TelemetryRegistry>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -503,10 +713,26 @@ impl SchedulerCtx {
     fn emit(&self, report: FailureReport) {
         self.board.record(&report);
         self.log.on_failure(&report);
+        if let Some(t) = &self.telemetry {
+            t.observe_report(report.checker.as_str(), report.kind.label(), report.at_ms);
+            t.flight(
+                report.at_ms,
+                "report",
+                &format!(
+                    "{} {} @ {}",
+                    report.checker,
+                    report.kind.label(),
+                    report.location.component
+                ),
+            );
+        }
         // Actions run on the wdog-actions thread; if its queue is full the
         // report is counted as dropped rather than blocking the scheduler.
         if self.action_tx.try_send(report).is_err() {
             self.stats.reports_dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.telemetry {
+                t.counter("reports_dropped_total", "").inc();
+            }
         }
     }
 
@@ -530,18 +756,33 @@ impl SchedulerCtx {
             }
         }
         for (i, status, elapsed_ms) in finished {
+            if let (Some(t), Some(ms)) = (&self.slots[i].telem, elapsed_ms) {
+                t.wall_ms.record(ms);
+            }
             match status {
                 CheckStatus::Pass => {
                     self.stats.passes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &self.slots[i].telem {
+                        t.passes.inc();
+                    }
                 }
                 CheckStatus::NotReady => {
                     self.stats.not_ready.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &self.slots[i].telem {
+                        t.not_ready.inc();
+                    }
                 }
                 CheckStatus::Fail(f) => {
                     if f.kind == FailureKind::CheckerPanic {
                         self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &self.slots[i].telem {
+                            t.panics.inc();
+                        }
                     } else {
                         self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &self.slots[i].telem {
+                            t.failures.inc();
+                        }
                     }
                     let slot = &self.slots[i];
                     let report = FailureReport {
@@ -577,6 +818,16 @@ impl SchedulerCtx {
             if !slot.reported_stuck {
                 slot.reported_stuck = true;
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &slot.telem {
+                    t.timeouts.inc();
+                }
+                if let Some(t) = &self.telemetry {
+                    t.flight(
+                        now_ms,
+                        "timeout",
+                        &format!("{} stuck past {}ms", slot.id, slot.timeout.as_millis()),
+                    );
+                }
                 let location = slot.probe.current().unwrap_or_else(|| {
                     FaultLocation::new(slot.component.clone(), format!("<checker {}>", slot.id))
                 });
@@ -605,6 +856,16 @@ impl SchedulerCtx {
             {
                 respawn_slot(slot, self.default_timeout);
                 respawned += 1;
+                if let Some(t) = &slot.telem {
+                    t.respawns.inc();
+                }
+                if let Some(t) = &self.telemetry {
+                    t.flight(
+                        now_ms,
+                        "respawn",
+                        &format!("{} executor abandoned ({} so far)", slot.id, slot.respawns),
+                    );
+                }
             }
         }
         if respawned > 0 {
@@ -642,6 +903,13 @@ impl SchedulerCtx {
             if slot.run_tx.try_send(()).is_ok() {
                 slot.busy_since = Some(now);
                 self.stats.runs.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &slot.telem {
+                    // How late past its scheduled (round start + phase) slot
+                    // this dispatch actually left, i.e. scheduler lag.
+                    let due = round_start + slot.phase;
+                    t.dispatch_delay_ms
+                        .record(now.saturating_sub(due).as_millis() as u64);
+                }
             }
         }
     }
@@ -671,6 +939,7 @@ fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration) {
     fresh.phase = slot.phase;
     fresh.respawns = slot.respawns + 1;
     fresh.dispatched = slot.dispatched;
+    fresh.telem = slot.telem.clone();
     *slot = fresh;
 }
 
@@ -1072,6 +1341,118 @@ mod tests {
         ));
         d.stop();
         assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn builder_assembles_and_validates() {
+        let driver = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .clock(RealClock::shared())
+            .checker(Box::new(FnChecker::new("a", "c", || CheckStatus::Pass)))
+            .checkers(vec![
+                Box::new(FnChecker::new("b", "c", || CheckStatus::Pass)) as Box<dyn Checker>,
+            ])
+            .respawnable(Arc::new(|| {
+                Box::new(FnChecker::new("r", "c", || CheckStatus::Pass)) as Box<dyn Checker>
+            }))
+            .action(Arc::new(crate::action::CallbackAction::new(|_| {})))
+            .build()
+            .unwrap();
+        assert_eq!(
+            driver.checker_ids(),
+            vec![
+                CheckerId::new("a"),
+                CheckerId::new("b"),
+                CheckerId::new("r")
+            ]
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_checker_ids() {
+        let err = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .checker(Box::new(FnChecker::new("dup", "c", || CheckStatus::Pass)))
+            .checker(Box::new(FnChecker::new("dup", "c", || CheckStatus::Pass)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BaseError::InvalidState(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_interval() {
+        let config = WatchdogConfig {
+            policy: SchedulePolicy::every(Duration::ZERO),
+            ..WatchdogConfig::default()
+        };
+        assert!(WatchdogDriver::builder().config(config).build().is_err());
+    }
+
+    #[test]
+    fn telemetry_records_outcomes_and_detection() {
+        let registry = TelemetryRegistry::shared();
+        let clock = RealClock::shared();
+        // Arm before the failure so the first report closes a sample.
+        registry.arm_fault("test-fault", clock.now_millis());
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .clock(clock)
+            .telemetry(Arc::clone(&registry))
+            .checker(Box::new(FnChecker::new("ok", "a", || CheckStatus::Pass)))
+            .checker(Box::new(FnChecker::new("bad", "b", || {
+                CheckStatus::Fail(CheckFailure::new(
+                    FailureKind::Error,
+                    FaultLocation::new("b", "f"),
+                    "bad",
+                ))
+            })))
+            .build()
+            .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(
+            || d.stats().passes >= 2 && d.stats().failures >= 2,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+        let snap = registry.snapshot();
+        assert!(snap.counter("checker_pass_total", "ok").unwrap() >= 2);
+        assert!(snap.counter("checker_fail_total", "bad").unwrap() >= 2);
+        assert!(snap.histogram("checker_wall_ms", "ok").unwrap().count >= 2);
+        assert!(
+            snap.histogram("checker_dispatch_delay_ms", "ok")
+                .unwrap()
+                .count
+                >= 2
+        );
+        assert_eq!(snap.detections.len(), 1);
+        assert_eq!(snap.detections[0].checker, "bad");
+        assert!(snap.flight.iter().any(|e| e.kind == "report"));
+    }
+
+    #[test]
+    fn telemetry_counts_timeouts() {
+        let registry = TelemetryRegistry::shared();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 30))
+            .telemetry(Arc::clone(&registry))
+            .checker(Box::new(
+                FnChecker::new("hang", "c", || {
+                    std::thread::sleep(Duration::from_millis(300));
+                    CheckStatus::Pass
+                })
+                .with_timeout(Duration::from_millis(30)),
+            ))
+            .build()
+            .unwrap();
+        d.start().unwrap();
+        assert!(wait_until(
+            || d.stats().timeouts >= 1,
+            Duration::from_secs(5)
+        ));
+        d.stop();
+        let snap = registry.snapshot();
+        assert!(snap.counter("checker_timeout_total", "hang").unwrap() >= 1);
+        assert!(snap.flight.iter().any(|e| e.kind == "timeout"));
     }
 
     #[test]

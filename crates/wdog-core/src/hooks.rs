@@ -15,9 +15,34 @@
 //!    measures this.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use wdog_telemetry::{AtomicHistogram, Counter, TelemetryRegistry};
 
 use crate::context::{ContextSlot, ContextTable, CtxValue};
+
+/// Fires between timed fires: every 64th enabled fire measures its own
+/// publish latency, so sampling overhead stays off the steady-state path.
+const FIRE_SAMPLE_MASK: u64 = 63;
+
+/// Telemetry attachment shared by every site of one [`Hooks`] instance.
+///
+/// Hooks are created when the instrumented program boots — *before* any
+/// watchdog (and its registry) exists — so attachment is post-hoc: the
+/// `armed` flag is flipped only after the registry is stored, and the
+/// un-armed fire path reads exactly one extra relaxed atomic.
+#[derive(Default)]
+struct HookTelemetry {
+    armed: AtomicBool,
+    registry: Mutex<Option<Arc<TelemetryRegistry>>>,
+}
+
+/// Per-site metric handles, resolved lazily on the first armed fire.
+struct SiteStats {
+    fires: Counter,
+    fire_ns: AtomicHistogram,
+}
 
 /// Shared hook infrastructure for one instrumented program.
 ///
@@ -28,6 +53,7 @@ pub struct Hooks {
     table: Arc<ContextTable>,
     enabled: Arc<AtomicBool>,
     fired: Arc<AtomicU64>,
+    telemetry: Arc<HookTelemetry>,
 }
 
 impl Hooks {
@@ -37,7 +63,24 @@ impl Hooks {
             table,
             enabled: Arc::new(AtomicBool::new(true)),
             fired: Arc::new(AtomicU64::new(0)),
+            telemetry: Arc::new(HookTelemetry::default()),
         }
+    }
+
+    /// Arms per-site fire counting and sampled fire-latency recording.
+    ///
+    /// Every site created from this instance (before or after this call)
+    /// starts reporting `hook_fires_total` and `hook_fire_ns` into
+    /// `registry`, keyed by its context key. Until this is called, firing a
+    /// site costs one extra relaxed atomic load over the pre-telemetry path.
+    pub fn attach_telemetry(&self, registry: Arc<TelemetryRegistry>) {
+        *self.telemetry.registry.lock() = Some(registry);
+        self.telemetry.armed.store(true, Ordering::Release);
+    }
+
+    /// Returns whether a telemetry registry is attached.
+    pub fn telemetry_attached(&self) -> bool {
+        self.telemetry.armed.load(Ordering::Relaxed)
     }
 
     /// Enables or disables every hook site created from this instance.
@@ -64,6 +107,7 @@ impl Hooks {
         HookSite {
             slot: self.table.register(&key),
             hooks: self.clone(),
+            stats: Arc::new(OnceLock::new()),
         }
     }
 
@@ -104,6 +148,8 @@ impl std::fmt::Debug for Hooks {
 pub struct HookSite {
     slot: Arc<ContextSlot>,
     hooks: Hooks,
+    /// Lazily resolved metric handles; shared by clones of this site.
+    stats: Arc<OnceLock<SiteStats>>,
 }
 
 impl HookSite {
@@ -112,6 +158,8 @@ impl HookSite {
     /// The closure runs only when enabled, so argument capture costs nothing
     /// when the watchdog is off. The site holds its slot handle, so an
     /// enabled fire locks only this slot — no key hashing, no table lock.
+    /// With no telemetry attached the only addition over that path is the
+    /// `armed` load below; the instrumented variant lives out of line.
     pub fn fire<F>(&self, fields: F)
     where
         F: FnOnce() -> Vec<(String, CtxValue)>,
@@ -119,7 +167,44 @@ impl HookSite {
         if !self.hooks.enabled.load(Ordering::Relaxed) {
             return;
         }
+        if self.hooks.telemetry.armed.load(Ordering::Relaxed) {
+            self.fire_instrumented(fields);
+            return;
+        }
         self.slot.publish(fields());
+        self.hooks.fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The armed fire path: counts every fire, times every 64th.
+    fn fire_instrumented<F>(&self, fields: F)
+    where
+        F: FnOnce() -> Vec<(String, CtxValue)>,
+    {
+        let stats = match self.stats.get() {
+            Some(s) => s,
+            None => {
+                let Some(registry) = self.hooks.telemetry.registry.lock().clone() else {
+                    // Armed flag won the race against the registry store;
+                    // publish uninstrumented and resolve on a later fire.
+                    self.slot.publish(fields());
+                    self.hooks.fired.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let _ = self.stats.set(SiteStats {
+                    fires: registry.counter("hook_fires_total", self.key()),
+                    fire_ns: registry.histogram("hook_fire_ns", self.key()),
+                });
+                self.stats.get().expect("just set")
+            }
+        };
+        let n = stats.fires.inc_and_fetch_prev();
+        if n & FIRE_SAMPLE_MASK == 0 {
+            let t0 = std::time::Instant::now();
+            self.slot.publish(fields());
+            stats.fire_ns.record(t0.elapsed().as_nanos() as u64);
+        } else {
+            self.slot.publish(fields());
+        }
         self.hooks.fired.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -223,6 +308,54 @@ mod tests {
         a.fire(Vec::new);
         b.fire(Vec::new);
         assert_eq!(hooks.fired_count(), 0);
+    }
+
+    #[test]
+    fn attached_telemetry_counts_fires_per_site() {
+        let (table, hooks) = setup();
+        let a = hooks.site("site_a");
+        let b = hooks.site("site_b");
+        // Fires before attachment are not counted.
+        a.fire(|| vec![("x".into(), CtxValue::U64(0))]);
+        let registry = TelemetryRegistry::shared();
+        hooks.attach_telemetry(Arc::clone(&registry));
+        assert!(hooks.telemetry_attached());
+        for i in 0..70u64 {
+            a.fire(|| vec![("x".into(), CtxValue::U64(i))]);
+        }
+        b.fire(|| vec![("y".into(), CtxValue::Bool(true))]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hook_fires_total", "site_a"), Some(70));
+        assert_eq!(snap.counter("hook_fires_total", "site_b"), Some(1));
+        // Fire 0 and fire 64 are sampled; the rest skip timing.
+        let h = snap.histogram("hook_fire_ns", "site_a").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(hooks.fired_count(), 72);
+        assert!(table.is_ready("site_a"));
+    }
+
+    #[test]
+    fn sites_created_after_attachment_are_counted() {
+        let (_, hooks) = setup();
+        let registry = TelemetryRegistry::shared();
+        hooks.attach_telemetry(Arc::clone(&registry));
+        let late = hooks.site("late_site");
+        late.fire(Vec::new);
+        assert_eq!(
+            registry.snapshot().counter("hook_fires_total", "late_site"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_hooks_stay_silent_with_telemetry() {
+        let (_, hooks) = setup();
+        let registry = TelemetryRegistry::shared();
+        hooks.attach_telemetry(Arc::clone(&registry));
+        let site = hooks.site("k");
+        hooks.set_enabled(false);
+        site.fire(Vec::new);
+        assert_eq!(registry.snapshot().counter("hook_fires_total", "k"), None);
     }
 
     #[test]

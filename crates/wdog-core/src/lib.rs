@@ -32,6 +32,7 @@ pub mod driver;
 pub mod hooks;
 pub mod isolation;
 pub mod policy;
+pub mod prelude;
 pub mod report;
 pub mod status;
 pub mod wdt;
@@ -39,7 +40,7 @@ pub mod wdt;
 pub use action::{Action, CallbackAction, EscalatingAction, ImpactGatedAction, LogAction};
 pub use checker::{CheckStatus, Checker, ExecutionProbe, FnChecker};
 pub use context::{ContextReader, ContextSnapshot, ContextTable, CtxValue};
-pub use driver::{DriverStats, WatchdogConfig, WatchdogDriver};
+pub use driver::{DriverBuilder, DriverStats, WatchdogConfig, WatchdogDriver};
 pub use hooks::{HookSite, Hooks};
 pub use isolation::{Budget, IoRedirect};
 pub use policy::SchedulePolicy;

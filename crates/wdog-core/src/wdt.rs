@@ -26,6 +26,15 @@ use wdog_base::clock::SharedClock;
 /// without a kick.
 pub type Stage = Box<dyn FnMut() + Send>;
 
+/// Named counters for a [`WatchdogTimer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WdtCounters {
+    /// Kicks received from the monitored program.
+    pub kicks: u64,
+    /// Escalation stages fired.
+    pub expiries: u64,
+}
+
 struct TimerInner {
     last_kick: AtomicU64,
     kicks: AtomicU64,
@@ -100,12 +109,12 @@ impl WatchdogTimer {
         self.inner.kicks.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Returns `(kicks, stage firings)` so far.
-    pub fn counters(&self) -> (u64, u64) {
-        (
-            self.inner.kicks.load(Ordering::Relaxed),
-            self.inner.expiries.load(Ordering::Relaxed),
-        )
+    /// Returns the kick / stage-firing counters so far.
+    pub fn counters(&self) -> WdtCounters {
+        WdtCounters {
+            kicks: self.inner.kicks.load(Ordering::Relaxed),
+            expiries: self.inner.expiries.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops the timer thread.
@@ -125,10 +134,10 @@ impl Drop for WatchdogTimer {
 
 impl std::fmt::Debug for WatchdogTimer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (kicks, expiries) = self.counters();
+        let c = self.counters();
         f.debug_struct("WatchdogTimer")
-            .field("kicks", &kicks)
-            .field("expiries", &expiries)
+            .field("kicks", &c.kicks)
+            .field("expiries", &c.expiries)
             .finish()
     }
 }
@@ -160,7 +169,7 @@ mod tests {
         }
         wdt.stop();
         assert_eq!(fired.load(Ordering::Relaxed), 0);
-        assert_eq!(wdt.counters().0, 10);
+        assert_eq!(wdt.counters().kicks, 10);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use wdog_base::clock::SharedClock;
 use wdog_base::error::{BaseError, BaseResult};
 
 use wdog_checkers::mimic::{MimicChecker, MimicOp};
-use wdog_core::context::{ContextReader, ContextSnapshot};
+use wdog_core::prelude::*;
 
 use crate::plan::WatchdogPlan;
 
@@ -177,8 +177,6 @@ mod tests {
     use crate::reduce::ReductionConfig;
     use std::sync::atomic::{AtomicU64, Ordering};
     use wdog_base::clock::RealClock;
-    use wdog_core::checker::{CheckStatus, Checker};
-    use wdog_core::context::{ContextTable, CtxValue};
 
     fn plan() -> WatchdogPlan {
         let ir = ProgramBuilder::new("kvs")

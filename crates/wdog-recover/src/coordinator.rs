@@ -13,12 +13,21 @@ use wdog_base::clock::SharedClock;
 use wdog_base::ids::ComponentId;
 use wdog_base::rng::derive_seed;
 
-use wdog_core::action::{Action, Degradable, Restartable};
-use wdog_core::checker::Checker;
-use wdog_core::report::{FailureKind, FailureReport};
+use wdog_core::prelude::*;
+use wdog_telemetry::TelemetryRegistry;
 
 use crate::incident::{Incident, RecoveryOutcome};
 use crate::policy::RecoveryPolicy;
+
+/// Histogram of incident MTTR, labeled by blamed component.
+pub const RECOVERY_MTTR_METRIC: &str = "recovery_mttr_ms";
+/// Counter of closed incidents, labeled by terminal outcome.
+pub const RECOVERY_OUTCOME_METRIC: &str = "recovery_outcome_total";
+/// Counter of ladder rung executions, labeled by rung
+/// (`retry`/`restart`/`degrade`/`escalate`/`pin`).
+pub const RECOVERY_RUNG_METRIC: &str = "recovery_rung_total";
+/// Counter of verification re-checks, labeled `pass`/`fail`.
+pub const RECOVERY_VERIFICATION_METRIC: &str = "recovery_verification_total";
 
 /// Builds a fresh instance of the check that blamed a component, so a
 /// mitigation can be verified by re-dispatching it. Returns `None` when the
@@ -50,6 +59,7 @@ pub struct RecoveryCoordinatorBuilder {
     policies: HashMap<ComponentId, RecoveryPolicy>,
     escalation: Option<Arc<dyn Action>>,
     seed: u64,
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl RecoveryCoordinatorBuilder {
@@ -77,6 +87,14 @@ impl RecoveryCoordinatorBuilder {
         self
     }
 
+    /// Attaches a telemetry registry: the coordinator then records per-rung
+    /// counters, verification pass/fail counts, per-component MTTR
+    /// histograms, and incident open/close flight events.
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
     /// Spawns the coordinator worker and returns the shared handle.
     pub fn start(self) -> Arc<RecoveryCoordinator> {
         let (tx, rx) = bounded::<FailureReport>(INBOX_CAP);
@@ -96,6 +114,7 @@ impl RecoveryCoordinatorBuilder {
             policies: self.policies,
             escalation: self.escalation,
             seed: self.seed,
+            telemetry: self.telemetry,
             shared: Arc::clone(&shared),
             backlog: VecDeque::new(),
             incident_seq: 0,
@@ -150,6 +169,7 @@ impl RecoveryCoordinator {
             policies: HashMap::new(),
             escalation: None,
             seed: 0,
+            telemetry: None,
         }
     }
 
@@ -228,6 +248,7 @@ struct Worker {
     policies: HashMap<ComponentId, RecoveryPolicy>,
     escalation: Option<Arc<dyn Action>>,
     seed: u64,
+    telemetry: Option<Arc<TelemetryRegistry>>,
     shared: Arc<CoordShared>,
     /// Reports for *other* components received while a ladder was running.
     backlog: VecDeque<FailureReport>,
@@ -267,6 +288,13 @@ impl Worker {
             .clone()
     }
 
+    /// Bumps the rung counter for one ladder rung execution.
+    fn rung(&self, label: &str) {
+        if let Some(t) = &self.telemetry {
+            t.counter(RECOVERY_RUNG_METRIC, label).inc();
+        }
+    }
+
     fn handle(&mut self, report: FailureReport) {
         let component = report.location.component.clone();
         if self.shared.state.lock().pinned.contains(&component) {
@@ -275,6 +303,13 @@ impl Worker {
         }
         let policy = self.policy_for(&component);
         let opened_at_ms = self.clock.now_millis();
+        if let Some(t) = &self.telemetry {
+            t.flight(
+                opened_at_ms,
+                "incident-open",
+                &format!("{component} blamed by {}", report.checker),
+            );
+        }
 
         // Flap damping: a component whose incidents keep reopening inside
         // the window is not recovering — pin it degraded instead of cycling
@@ -288,6 +323,7 @@ impl Worker {
             hist.len() as u32 >= policy.flap_threshold
         };
         if flapping {
+            self.rung("pin");
             self.surface.degrade.degrade(&component);
             self.shared.state.lock().pinned.insert(component.clone());
             self.close(Incident {
@@ -361,6 +397,7 @@ impl Worker {
         );
         if !skip_retry {
             for attempt in 0..policy.max_retries {
+                self.rung("retry");
                 self.clock
                     .sleep(policy.backoff.delay(attempt, incident_seed));
                 retries += 1;
@@ -383,6 +420,7 @@ impl Worker {
 
         // Rung 2 — component-scoped restart (§5.2 cheap recovery).
         for _ in 0..policy.max_restarts {
+            self.rung("restart");
             self.surface.restart.restart(&component);
             restarts += 1;
             self.clock.sleep(policy.settle);
@@ -404,6 +442,7 @@ impl Worker {
 
         // Rung 3 — degrade: shed the workload, keep the process.
         if policy.allow_degrade {
+            self.rung("degrade");
             self.surface.degrade.degrade(&component);
             reports += self.coalesce(&component);
             close(
@@ -419,6 +458,7 @@ impl Worker {
         }
 
         // Rung 4 — escalate: nothing helped, hand off.
+        self.rung("escalate");
         if let Some(esc) = &self.escalation {
             esc.on_failure(&report);
         }
@@ -456,6 +496,18 @@ impl Worker {
     /// it can never wedge the coordinator — exactly the executor-abandonment
     /// discipline the driver applies to checkers.
     fn verify(&self, component: &ComponentId, policy: &RecoveryPolicy) -> bool {
+        let pass = self.verify_inner(component, policy);
+        if let Some(t) = &self.telemetry {
+            t.counter(
+                RECOVERY_VERIFICATION_METRIC,
+                if pass { "pass" } else { "fail" },
+            )
+            .inc();
+        }
+        pass
+    }
+
+    fn verify_inner(&self, component: &ComponentId, policy: &RecoveryPolicy) -> bool {
         let Some(mut checker) = (self.surface.verifier)(component) else {
             return false;
         };
@@ -475,6 +527,22 @@ impl Worker {
     }
 
     fn close(&self, incident: Incident) {
+        if let Some(t) = &self.telemetry {
+            t.histogram(RECOVERY_MTTR_METRIC, &incident.component)
+                .record(incident.mttr_ms);
+            t.counter(RECOVERY_OUTCOME_METRIC, incident.outcome.label())
+                .inc();
+            t.flight(
+                incident.closed_at_ms,
+                "incident-close",
+                &format!(
+                    "{} {} mttr={}ms",
+                    incident.component,
+                    incident.outcome.label(),
+                    incident.mttr_ms
+                ),
+            );
+        }
         self.shared.state.lock().incidents.push(incident);
     }
 }
@@ -485,8 +553,6 @@ mod tests {
     use std::sync::atomic::AtomicU64;
     use wdog_base::clock::RealClock;
     use wdog_base::ids::CheckerId;
-    use wdog_core::checker::{CheckFailure, CheckStatus, FnChecker};
-    use wdog_core::report::FaultLocation;
 
     /// Recovery surface harness: a shared "health" flag per component, a
     /// restart handle that can be told to heal on the Nth attempt, and a
@@ -653,11 +719,9 @@ mod tests {
         policy.allow_degrade = false;
         let c = RecoveryCoordinator::builder(RealClock::shared(), fx.surface())
             .default_policy(policy)
-            .escalation(Arc::new(wdog_core::action::CallbackAction::new(
-                move |_r: &FailureReport| {
-                    esc.fetch_add(1, Ordering::Relaxed);
-                },
-            )))
+            .escalation(Arc::new(CallbackAction::new(move |_r: &FailureReport| {
+                esc.fetch_add(1, Ordering::Relaxed);
+            })))
             .start();
         c.on_failure(&report("minizk.broadcast", FailureKind::Stuck));
         assert!(c.wait_idle(Duration::from_secs(10)));
@@ -738,6 +802,37 @@ mod tests {
         assert_eq!(incidents.len(), 1, "same-component reports coalesce");
         assert!(incidents[0].reports >= 2);
         c.stop();
+    }
+
+    #[test]
+    fn telemetry_records_rungs_mttr_and_flight() {
+        let fx = Fixture::new(false, 1);
+        let registry = TelemetryRegistry::shared();
+        let c = RecoveryCoordinator::builder(RealClock::shared(), fx.surface())
+            .default_policy(RecoveryPolicy::fast())
+            .telemetry(Arc::clone(&registry))
+            .seed(7)
+            .start();
+        c.on_failure(&report("kvs.compaction", FailureKind::Stuck));
+        assert!(c.wait_idle(Duration::from_secs(5)));
+        c.stop();
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(RECOVERY_OUTCOME_METRIC, "verified-recovered"),
+            Some(1)
+        );
+        assert_eq!(snap.counter(RECOVERY_RUNG_METRIC, "retry"), Some(2));
+        assert_eq!(snap.counter(RECOVERY_RUNG_METRIC, "restart"), Some(1));
+        assert_eq!(snap.counter(RECOVERY_VERIFICATION_METRIC, "fail"), Some(2));
+        assert_eq!(snap.counter(RECOVERY_VERIFICATION_METRIC, "pass"), Some(1));
+        let mttr = snap
+            .histogram(RECOVERY_MTTR_METRIC, "kvs.compaction")
+            .expect("mttr histogram");
+        assert_eq!(mttr.count, 1);
+        let kinds: Vec<&str> = snap.flight.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"incident-open"));
+        assert!(kinds.contains(&"incident-close"));
     }
 
     #[test]

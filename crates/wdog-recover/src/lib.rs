@@ -30,6 +30,7 @@
 pub mod coordinator;
 pub mod incident;
 pub mod policy;
+pub mod prelude;
 
 pub use coordinator::{RecoveryCoordinator, RecoverySurface, VerifierFactory};
 pub use incident::{Incident, RecoveryOutcome};

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 
-use wdog_core::driver::WatchdogDriver;
+use wdog_core::prelude::*;
 use wdog_gen::ir::ProgramIr;
 use wdog_gen::plan::WatchdogPlan;
 

@@ -7,7 +7,10 @@
 //! through [`WatchdogTarget::default_options`](crate::WatchdogTarget) and
 //! re-export the old names as aliases.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use wdog_telemetry::TelemetryRegistry;
 
 /// Which checker families the assembled watchdog includes.
 ///
@@ -75,6 +78,12 @@ pub struct WdOptions {
     pub queue_threshold: usize,
     /// Which checker families to include.
     pub families: Families,
+    /// Telemetry registry threaded through the assembled watchdog: the
+    /// driver records per-checker timing/outcomes, the target's hooks are
+    /// armed for per-site fire accounting, and fault-injection campaigns
+    /// measure end-to-end detection latency against it. `None` (the
+    /// default) costs one relaxed atomic load per hook fire.
+    pub telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl Default for WdOptions {
@@ -88,6 +97,7 @@ impl Default for WdOptions {
             memory_watermark: 64 << 20,
             queue_threshold: 512,
             families: Families::all(),
+            telemetry: None,
         }
     }
 }

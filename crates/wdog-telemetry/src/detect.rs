@@ -1,0 +1,156 @@
+//! End-to-end detection-latency tracking.
+//!
+//! The QoS metric failure-detector theory cares about most is detection
+//! time: the interval between a fault becoming active and the first report
+//! that blames it. The harness knows when it injected (the `FaultSurface`
+//! call); the driver knows when the first `FailureReport` was emitted. The
+//! tracker joins the two: the injector *arms* a fault, and the first report
+//! at-or-after the injection timestamp closes it into a
+//! [`DetectionSample`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One measured fault-injection → first-report interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionSample {
+    /// Fault identifier supplied at arm time (scenario/fault-kind label).
+    pub fault: String,
+    /// Checker that filed the first blaming report.
+    pub checker: String,
+    /// Failure-kind label of that report (`stuck`/`slow`/`error`/...).
+    pub kind: String,
+    /// Clock time (ms) the fault was injected.
+    pub injected_at_ms: u64,
+    /// Clock time (ms) of the first report at-or-after injection.
+    pub detected_at_ms: u64,
+    /// `detected_at_ms - injected_at_ms`.
+    pub latency_ms: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ArmedFault {
+    fault: String,
+    injected_at_ms: u64,
+}
+
+#[derive(Default)]
+struct DetectState {
+    armed: Option<ArmedFault>,
+    samples: Vec<DetectionSample>,
+}
+
+/// Tracks armed faults and collects [`DetectionSample`]s.
+///
+/// One fault is armed at a time (campaigns inject serially); arming again
+/// replaces the previous armed fault. Only the *first* qualifying report
+/// closes a sample — subsequent reports for the same episode are the
+/// steady-state re-detections the driver already counts elsewhere.
+#[derive(Default)]
+pub struct DetectionTracker {
+    state: Mutex<DetectState>,
+}
+
+impl DetectionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` as injected at `injected_at_ms`.
+    pub fn arm(&self, fault: &str, injected_at_ms: u64) {
+        self.state.lock().armed = Some(ArmedFault {
+            fault: fault.to_string(),
+            injected_at_ms,
+        });
+    }
+
+    /// Clears the armed fault without recording (scenario teardown).
+    pub fn disarm(&self) {
+        self.state.lock().armed = None;
+    }
+
+    /// Returns whether a fault is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.state.lock().armed.is_some()
+    }
+
+    /// Offers a report to the tracker.
+    ///
+    /// If a fault is armed and `at_ms` is at-or-after its injection time, a
+    /// sample is recorded, the fault is disarmed, and the sample is
+    /// returned so the caller can feed latency histograms.
+    pub fn observe(&self, checker: &str, kind: &str, at_ms: u64) -> Option<DetectionSample> {
+        let mut st = self.state.lock();
+        let armed = st.armed.as_ref()?;
+        if at_ms < armed.injected_at_ms {
+            return None;
+        }
+        let sample = DetectionSample {
+            fault: armed.fault.clone(),
+            checker: checker.to_string(),
+            kind: kind.to_string(),
+            injected_at_ms: armed.injected_at_ms,
+            detected_at_ms: at_ms,
+            latency_ms: at_ms - armed.injected_at_ms,
+        };
+        st.armed = None;
+        st.samples.push(sample.clone());
+        Some(sample)
+    }
+
+    /// Returns all recorded samples, in arrival order.
+    pub fn samples(&self) -> Vec<DetectionSample> {
+        self.state.lock().samples.clone()
+    }
+}
+
+impl std::fmt::Debug for DetectionTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("DetectionTracker")
+            .field("armed", &st.armed.is_some())
+            .field("samples", &st.samples.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_after_injection_closes_sample() {
+        let t = DetectionTracker::new();
+        t.arm("kvs.wal-stall", 100);
+        assert!(
+            t.observe("c1", "stuck", 50).is_none(),
+            "pre-injection report"
+        );
+        let s = t.observe("c1", "stuck", 340).expect("sample");
+        assert_eq!(s.latency_ms, 240);
+        assert_eq!(s.fault, "kvs.wal-stall");
+        // Disarmed: later reports do not produce more samples.
+        assert!(t.observe("c1", "stuck", 400).is_none());
+        assert_eq!(t.samples().len(), 1);
+    }
+
+    #[test]
+    fn rearming_replaces_previous_fault() {
+        let t = DetectionTracker::new();
+        t.arm("a", 10);
+        t.arm("b", 20);
+        let s = t.observe("c", "error", 30).unwrap();
+        assert_eq!(s.fault, "b");
+        assert_eq!(s.latency_ms, 10);
+    }
+
+    #[test]
+    fn disarm_clears_without_recording() {
+        let t = DetectionTracker::new();
+        t.arm("a", 10);
+        t.disarm();
+        assert!(t.observe("c", "error", 30).is_none());
+        assert!(t.samples().is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The lock-sharded metrics registry.
+//!
+//! Registration (name → handle lookup) takes one sharded mutex; recording
+//! through a returned handle is lock-free atomics. Long-lived call sites are
+//! expected to resolve their handles once and cache them, so the sharded
+//! maps are off every hot path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::detect::{DetectionSample, DetectionTracker};
+use crate::flight::{FlightRecorder, DEFAULT_FLIGHT_CAP};
+use crate::metrics::{AtomicHistogram, Counter, Gauge};
+use crate::snapshot::{CounterEntry, GaugeEntry, HistogramEntry, TelemetrySnapshot};
+
+/// Number of registration shards. Power of two so the hash masks cheaply.
+const SHARDS: usize = 16;
+
+/// Metric identity: a stable metric name plus one optional label value
+/// (checker id, hook-site key, component, ...). Empty label means unlabeled.
+type MetricKey = (String, String);
+
+fn shard_of(name: &str, label: &str) -> usize {
+    // FNV-1a over both key parts; cheap and stable.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes().chain([0u8]).chain(label.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<MetricKey, Counter>>,
+    gauges: Mutex<HashMap<MetricKey, Gauge>>,
+    histograms: Mutex<HashMap<MetricKey, AtomicHistogram>>,
+}
+
+/// Histogram of detection latency per checker.
+pub const DETECTION_LATENCY_BY_CHECKER: &str = "detection_latency_by_checker_ms";
+/// Histogram of detection latency per failure kind.
+pub const DETECTION_LATENCY_BY_KIND: &str = "detection_latency_by_kind_ms";
+/// Counter of failure reports per checker.
+pub const REPORTS_BY_CHECKER: &str = "reports_by_checker_total";
+/// Counter of failure reports per failure kind.
+pub const REPORTS_BY_KIND: &str = "reports_by_kind_total";
+
+/// The telemetry plane's root object.
+///
+/// One registry serves a whole process (or campaign): the driver, hooks,
+/// actions, and recovery coordinator all register metrics into it, and a
+/// [`TelemetrySnapshot`] exports everything at once.
+///
+/// # Examples
+///
+/// ```
+/// use wdog_telemetry::TelemetryRegistry;
+///
+/// let reg = TelemetryRegistry::shared();
+/// let fires = reg.counter("hook_fires_total", "kvs.wal_append");
+/// fires.inc();
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counters[0].value, 1);
+/// ```
+pub struct TelemetryRegistry {
+    enabled: AtomicBool,
+    shards: Vec<Shard>,
+    flight: FlightRecorder,
+    detect: DetectionTracker,
+}
+
+impl TelemetryRegistry {
+    /// Creates an enabled registry with the default flight-recorder depth.
+    pub fn new() -> Self {
+        Self::with_flight_capacity(DEFAULT_FLIGHT_CAP)
+    }
+
+    /// Creates an enabled registry retaining `cap` flight events.
+    pub fn with_flight_capacity(cap: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            flight: FlightRecorder::with_capacity(cap),
+            detect: DetectionTracker::new(),
+        }
+    }
+
+    /// Creates a registry behind an `Arc`, the shape every consumer wants.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Enables or disables event-stream recording (flight recorder and
+    /// report observation). Metric handles already handed out keep working;
+    /// the flag gates the registry-side streams only.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Returns whether event-stream recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Returns (creating on first use) the counter `name{label}`.
+    pub fn counter(&self, name: &str, label: &str) -> Counter {
+        let shard = &self.shards[shard_of(name, label)];
+        let mut map = shard.counters.lock();
+        map.entry((name.to_string(), label.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating on first use) the gauge `name{label}`.
+    pub fn gauge(&self, name: &str, label: &str) -> Gauge {
+        let shard = &self.shards[shard_of(name, label)];
+        let mut map = shard.gauges.lock();
+        map.entry((name.to_string(), label.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating on first use) the histogram `name{label}`.
+    pub fn histogram(&self, name: &str, label: &str) -> AtomicHistogram {
+        let shard = &self.shards[shard_of(name, label)];
+        let mut map = shard.histograms.lock();
+        map.entry((name.to_string(), label.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Records a flight-recorder event (no-op while disabled).
+    pub fn flight(&self, at_ms: u64, kind: &str, detail: &str) {
+        if self.is_enabled() {
+            self.flight.record(at_ms, kind, detail);
+        }
+    }
+
+    /// Returns the retained flight events, oldest first.
+    pub fn flight_events(&self) -> Vec<crate::flight::FlightEvent> {
+        self.flight.events()
+    }
+
+    /// Arms `fault` for detection-latency measurement as of `injected_at_ms`.
+    pub fn arm_fault(&self, fault: &str, injected_at_ms: u64) {
+        self.detect.arm(fault, injected_at_ms);
+    }
+
+    /// Clears any armed fault without recording a sample.
+    pub fn disarm_fault(&self) {
+        self.detect.disarm();
+    }
+
+    /// Observes one emitted failure report (driver calls this per report).
+    ///
+    /// Bumps the per-checker / per-kind report counters and, if a fault is
+    /// armed, closes a [`DetectionSample`] and feeds the detection-latency
+    /// histograms. No-op while disabled.
+    pub fn observe_report(&self, checker: &str, kind: &str, at_ms: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(REPORTS_BY_CHECKER, checker).inc();
+        self.counter(REPORTS_BY_KIND, kind).inc();
+        if let Some(sample) = self.detect.observe(checker, kind, at_ms) {
+            self.histogram(DETECTION_LATENCY_BY_CHECKER, checker)
+                .record(sample.latency_ms);
+            self.histogram(DETECTION_LATENCY_BY_KIND, kind)
+                .record(sample.latency_ms);
+            self.flight.record(
+                at_ms,
+                "detection",
+                &format!(
+                    "{} detected {} in {}ms",
+                    checker, sample.fault, sample.latency_ms
+                ),
+            );
+        }
+    }
+
+    /// Returns all detection samples recorded so far.
+    pub fn detection_samples(&self) -> Vec<DetectionSample> {
+        self.detect.samples()
+    }
+
+    /// Exports everything as a serializable, deterministically ordered
+    /// snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for shard in &self.shards {
+            for ((name, label), c) in shard.counters.lock().iter() {
+                counters.push(CounterEntry {
+                    name: name.clone(),
+                    label: label.clone(),
+                    value: c.get(),
+                });
+            }
+            for ((name, label), g) in shard.gauges.lock().iter() {
+                gauges.push(GaugeEntry {
+                    name: name.clone(),
+                    label: label.clone(),
+                    value: g.get(),
+                });
+            }
+            for ((name, label), h) in shard.histograms.lock().iter() {
+                histograms.push(HistogramEntry {
+                    name: name.clone(),
+                    label: label.clone(),
+                    summary: h.summarize(),
+                });
+            }
+        }
+        counters.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        gauges.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        histograms.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        TelemetrySnapshot {
+            enabled: self.is_enabled(),
+            counters,
+            gauges,
+            histograms,
+            detections: self.detect.samples(),
+            flight: self.flight.events(),
+            flight_dropped: self.flight.dropped(),
+        }
+    }
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRegistry")
+            .field("enabled", &self.is_enabled())
+            .field("flight", &self.flight)
+            .field("detect", &self.detect)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_key() {
+        let reg = TelemetryRegistry::new();
+        let a = reg.counter("x_total", "lbl");
+        let b = reg.counter("x_total", "lbl");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x_total", "lbl").get(), 2);
+        // Different label → different cell.
+        assert_eq!(reg.counter("x_total", "other").get(), 0);
+    }
+
+    #[test]
+    fn observe_report_feeds_counters_and_detection() {
+        let reg = TelemetryRegistry::new();
+        reg.arm_fault("zk-2201-analogue", 1_000);
+        reg.observe_report("kvs.wal_mimic", "stuck", 1_420);
+        reg.observe_report("kvs.wal_mimic", "stuck", 1_600);
+        assert_eq!(reg.counter(REPORTS_BY_CHECKER, "kvs.wal_mimic").get(), 2);
+        assert_eq!(reg.counter(REPORTS_BY_KIND, "stuck").get(), 2);
+        let samples = reg.detection_samples();
+        assert_eq!(samples.len(), 1, "only first report closes the sample");
+        assert_eq!(samples[0].latency_ms, 420);
+        let h = reg.histogram(DETECTION_LATENCY_BY_CHECKER, "kvs.wal_mimic");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_ignores_event_streams() {
+        let reg = TelemetryRegistry::new();
+        reg.set_enabled(false);
+        reg.arm_fault("f", 0);
+        reg.observe_report("c", "error", 10);
+        reg.flight(10, "report", "c");
+        assert!(reg.detection_samples().is_empty());
+        assert!(reg.flight_events().is_empty());
+        assert_eq!(reg.counter(REPORTS_BY_CHECKER, "c").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let reg = TelemetryRegistry::new();
+        reg.counter("b_total", "").inc();
+        reg.counter("a_total", "z").inc();
+        reg.counter("a_total", "a").inc();
+        let snap = reg.snapshot();
+        let keys: Vec<_> = snap
+            .counters
+            .iter()
+            .map(|c| format!("{}|{}", c.name, c.label))
+            .collect();
+        assert_eq!(keys, vec!["a_total|a", "a_total|z", "b_total|"]);
+    }
+}

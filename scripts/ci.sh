@@ -20,6 +20,13 @@ echo "==> wdog-recovery smoke: kvs stuck-task + corruption must verified-recover
 cargo run --offline -q -p harness --bin wdog-recovery -- --target kvs \
     --scenarios background-task-stuck,state-corruption --require-verified 2
 
+echo "==> telemetry smoke: kvs campaign must produce a valid snapshot with a detection"
+cargo run --offline -q --release -p harness --bin wdog-telemetry -- --target kvs \
+    --scenarios background-task-stuck --require-detections 1
+
+echo "==> telemetry bench guard: armed hook fire within 15% of disarmed"
+cargo run --offline -q --release -p harness --bin wdog-telemetry -- --bench-guard 15
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test --offline -q

@@ -13,8 +13,11 @@ pub use kvs;
 pub use miniblock;
 pub use minizk;
 pub use simio;
+pub use wdog_analyze as analyze;
 pub use wdog_base as base;
 pub use wdog_checkers as checkers;
 pub use wdog_core as core;
 pub use wdog_gen as gen;
+pub use wdog_recover as recover;
 pub use wdog_target as target;
+pub use wdog_telemetry as telemetry;
