@@ -14,14 +14,19 @@
 //! - [`injector::Injector`] — binds fault specs to live substrate handles
 //!   and arms/clears them;
 //! - [`catalog`] — the named scenario list experiments E1/E2 iterate over,
-//!   each with the failure class a detector is expected to report.
+//!   each with the failure class a detector is expected to report;
+//! - [`schedule`] — seeded composition of randomized multi-fault schedules
+//!   (with benign near-misses and delta-debugging shrink steps) for chaos
+//!   campaigns.
 
 pub mod catalog;
 pub mod injector;
+pub mod schedule;
 pub mod spec;
 pub mod toggle;
 
 pub use catalog::{gray_failure_catalog, ExpectedDetection, Scenario, TargetProfile};
 pub use injector::{ArmedFault, Injector};
+pub use schedule::{compose_schedule, ComposeOptions, FaultSchedule, ScheduledFault};
 pub use spec::{FaultKind, FaultSpec};
 pub use toggle::ToggleSet;

@@ -117,6 +117,49 @@ impl FaultKind {
     pub fn is_gray(&self) -> bool {
         !matches!(self, FaultKind::ProcessCrash)
     }
+
+    /// Whether this kind carries a scalar severity that can be dialed
+    /// between "clearly harmful" and "benign near-miss": the slow-down
+    /// factors and the pause length. Binary faults (stuck, error, corrupt,
+    /// toggles, crash) have no such dial.
+    pub fn has_magnitude(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DiskSlow { .. } | FaultKind::NetSlow { .. } | FaultKind::RuntimePause { .. }
+        )
+    }
+
+    /// The scalar severity, when the kind has one ([`Self::has_magnitude`]):
+    /// the latency factor for slow faults, the pause length in milliseconds
+    /// for runtime pauses.
+    pub fn magnitude(&self) -> Option<f64> {
+        match self {
+            FaultKind::DiskSlow { factor, .. } | FaultKind::NetSlow { factor, .. } => Some(*factor),
+            FaultKind::RuntimePause { millis } => Some(*millis as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with the scalar severity replaced. Kinds without a
+    /// magnitude are returned unchanged — composition uses this to derive
+    /// both amplified and benign near-miss variants of catalogue faults.
+    pub fn with_magnitude(&self, magnitude: f64) -> FaultKind {
+        match self {
+            FaultKind::DiskSlow { path_prefix, .. } => FaultKind::DiskSlow {
+                path_prefix: path_prefix.clone(),
+                factor: magnitude,
+            },
+            FaultKind::NetSlow { src, dst, .. } => FaultKind::NetSlow {
+                src: src.clone(),
+                dst: dst.clone(),
+                factor: magnitude,
+            },
+            FaultKind::RuntimePause { .. } => FaultKind::RuntimePause {
+                millis: magnitude.max(0.0) as u64,
+            },
+            other => other.clone(),
+        }
+    }
 }
 
 /// A fault plus its schedule within an experiment run.
@@ -198,6 +241,32 @@ mod tests {
         .lasting(Duration::from_secs(10));
         assert_eq!(s.start_after, Duration::from_secs(5));
         assert_eq!(s.duration, Some(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn magnitude_dial_covers_exactly_the_scalable_kinds() {
+        let slow = FaultKind::DiskSlow {
+            path_prefix: "sst/".into(),
+            factor: 2000.0,
+        };
+        assert!(slow.has_magnitude());
+        assert_eq!(slow.magnitude(), Some(2000.0));
+        assert_eq!(
+            slow.with_magnitude(1.2),
+            FaultKind::DiskSlow {
+                path_prefix: "sst/".into(),
+                factor: 1.2
+            }
+        );
+        let pause = FaultKind::RuntimePause { millis: 8_000 };
+        assert_eq!(
+            pause.with_magnitude(4.0),
+            FaultKind::RuntimePause { millis: 4 }
+        );
+        let stuck = FaultKind::TaskStuck { toggle: "t".into() };
+        assert!(!stuck.has_magnitude());
+        assert_eq!(stuck.magnitude(), None);
+        assert_eq!(stuck.with_magnitude(9.0), stuck);
     }
 
     #[test]

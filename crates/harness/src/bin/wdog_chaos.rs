@@ -1,0 +1,242 @@
+//! Randomized fault-schedule fuzzing of the watchdog's checkers.
+//!
+//! ```text
+//! wdog-chaos [--target {kvs|minizk|miniblock|all}]
+//!            [--seed N] [--schedules N]
+//!            [--require-detected N] [--require-clean-benign]
+//!            [--replay FILE]
+//! wdog-chaos --replay results/chaos/chaos-42-003.kvs.missed.json
+//! ```
+//!
+//! Campaign mode composes `--schedules` seeded multi-fault schedules from
+//! the target's catalogue, replays each against a live testbed, scores
+//! every fault (detected / missed / wrong-component; benign near-miss
+//! schedules must stay clean), and shrinks failing schedules to minimal
+//! reproducers. Artifacts land under `results/chaos/`:
+//!
+//! - `chaos_<target>.json` — the full deterministic [`ChaosReport`]
+//!   (byte-identical across runs of the same target+seed);
+//! - `chaos_<target>_telemetry.json`/`.prom` — the measured-latency
+//!   sidecar (wall-clock, *not* deterministic);
+//! - `<schedule-id>.<target>.<verdict>.json` — one replayable
+//!   [`Reproducer`] per failing schedule, or an `exemplar` reproducer
+//!   when the campaign was clean.
+//!
+//! `--replay FILE` reruns an archived reproducer and exits nonzero unless
+//! the fresh verdict matches the recorded one. `--require-detected N` and
+//! `--require-clean-benign` are the CI smoke gates.
+//!
+//! [`ChaosReport`]: harness::chaos::ChaosReport
+//! [`Reproducer`]: harness::chaos::Reproducer
+
+use std::path::Path;
+
+use harness::chaos::{self, ChaosOptions, ChaosReport, Reproducer};
+use wdog_telemetry::{ChaosMetrics, TelemetryRegistry};
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: wdog-chaos [--target {{kvs|minizk|miniblock|all}}] [--seed N] [--schedules N] \
+         [--require-detected N] [--require-clean-benign] [--replay FILE]"
+    );
+    std::process::exit(code);
+}
+
+/// Writes `value` as pretty JSON under `results/chaos/`.
+fn write_chaos_json(name: &str, value: &impl serde::Serialize) {
+    let dir = Path::new("results").join("chaos");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[written: {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+fn replay_file(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("wdog-chaos: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let rep: Reproducer = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wdog-chaos: {path} is not a reproducer: {e}");
+            return 2;
+        }
+    };
+    let targets = match harness::select_targets(&rep.target) {
+        Some(t) => t,
+        None => {
+            eprintln!(
+                "wdog-chaos: reproducer names unknown target {:?}",
+                rep.target
+            );
+            return 2;
+        }
+    };
+    let opts = ChaosOptions::default();
+    match chaos::replay(targets[0].as_ref(), &rep, &opts) {
+        Ok((outcome, matches)) => {
+            println!(
+                "replayed {} against {}: verdict {:?} (recorded {:?})",
+                rep.schedule.id, rep.target, outcome.verdict, rep.verdict
+            );
+            for v in &outcome.verdicts {
+                println!("  {}: {}", v.fault, v.verdict);
+            }
+            if matches {
+                println!("replay reproduces the recorded verdict");
+                0
+            } else {
+                eprintln!("wdog-chaos: replay verdict diverged from the archive");
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("wdog-chaos: replay failed: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target_name = "kvs".to_owned();
+    let mut seed: u64 = 42;
+    let mut schedules: u64 = 20;
+    let mut require_detected: u64 = 0;
+    let mut require_clean_benign = false;
+    let mut replay: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" if i + 1 < args.len() => {
+                target_name = args[i + 1].clone();
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or_else(|_| usage(2));
+                i += 2;
+            }
+            "--schedules" if i + 1 < args.len() => {
+                schedules = args[i + 1].parse().unwrap_or_else(|_| usage(2));
+                i += 2;
+            }
+            "--require-detected" if i + 1 < args.len() => {
+                require_detected = args[i + 1].parse().unwrap_or_else(|_| usage(2));
+                i += 2;
+            }
+            "--require-clean-benign" => {
+                require_clean_benign = true;
+                i += 1;
+            }
+            "--replay" if i + 1 < args.len() => {
+                replay = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--target=") {
+                    target_name = v.to_owned();
+                } else if let Some(v) = other.strip_prefix("--seed=") {
+                    seed = v.parse().unwrap_or_else(|_| usage(2));
+                } else if let Some(v) = other.strip_prefix("--schedules=") {
+                    schedules = v.parse().unwrap_or_else(|_| usage(2));
+                } else if let Some(v) = other.strip_prefix("--require-detected=") {
+                    require_detected = v.parse().unwrap_or_else(|_| usage(2));
+                } else if let Some(v) = other.strip_prefix("--replay=") {
+                    replay = Some(v.to_owned());
+                } else {
+                    usage(2);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    if let Some(path) = replay {
+        std::process::exit(replay_file(&path));
+    }
+
+    let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
+        eprintln!("unknown target {target_name:?}; expected kvs, minizk, miniblock, or all");
+        std::process::exit(2);
+    });
+
+    let mut failed = false;
+    for target in targets {
+        let metrics = ChaosMetrics::new(TelemetryRegistry::shared());
+        let opts = ChaosOptions {
+            seed,
+            schedules,
+            metrics: Some(metrics.clone()),
+            ..ChaosOptions::default()
+        };
+        let report: ChaosReport = match chaos::run_campaign(target.as_ref(), &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("wdog-chaos [{}] failed: {e}", target.name());
+                failed = true;
+                continue;
+            }
+        };
+        println!("{}", chaos::render(&report));
+        write_chaos_json(&format!("chaos_{}", target.name()), &report);
+
+        // Reproducer archive: each shrunk failing schedule, or an
+        // exemplar of the first outcome when the campaign was clean.
+        if report.reproducers.is_empty() {
+            if let Some(ex) = chaos::exemplar_reproducer(&report) {
+                write_chaos_json(
+                    &format!("{}.{}.{}", ex.schedule.id, ex.target, ex.kind),
+                    &ex,
+                );
+            }
+        }
+        for rep in &report.reproducers {
+            write_chaos_json(
+                &format!("{}.{}.{}", rep.schedule.id, rep.target, rep.kind),
+                rep,
+            );
+        }
+
+        // Telemetry sidecar: measured detection latencies and campaign
+        // counters (wall-clock — deliberately outside the canonical
+        // report).
+        let snap = metrics.registry().snapshot();
+        write_chaos_json(&format!("chaos_{}_telemetry", target.name()), &snap);
+
+        let s = &report.summary;
+        if s.detected < require_detected {
+            eprintln!(
+                "wdog-chaos [{}]: {} detected fault verdicts < required {require_detected}",
+                target.name(),
+                s.detected
+            );
+            failed = true;
+        }
+        if require_clean_benign && s.false_positives > 0 {
+            eprintln!(
+                "wdog-chaos [{}]: {} benign schedule(s) fired a checker",
+                target.name(),
+                s.false_positives
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,905 @@
+//! The chaos campaign engine behind the `wdog-chaos` bin.
+//!
+//! Table 1 replays the *hand-written* gray-failure catalogue one scenario
+//! at a time; a chaos campaign instead asks what the watchdog does under
+//! fault combinations nobody wrote down. A seeded PRNG composes
+//! multi-fault [`FaultSchedule`]s from the target's catalogue — random
+//! components, onsets, durations, severities, overlapping pairs, plus
+//! benign *near-miss* schedules that must not fire anything — and replays
+//! each against a live testbed through the generic [`WatchdogTarget`]
+//! runner. Every fault gets a verdict:
+//!
+//! - **detected** — some in-window report blames the fault's component;
+//! - **wrong-component** — the watchdog reported, but every blame landed
+//!   on a known component no active fault implicates (mislocated
+//!   pinpoint);
+//! - **missed** — no report implicates the fault at all;
+//! - **clean** / **false-positive** — the benign-schedule verdicts: a
+//!   sub-threshold near-miss must produce *no* report.
+//!
+//! Failing schedules shrink by greedy delta debugging
+//! ([`shrink`]): drop faults, shorten durations, pull onsets in — rerunning
+//! the campaign oracle at each step — down to a minimal [`Reproducer`]
+//! that `wdog-chaos --replay` reruns byte-for-byte.
+//!
+//! Everything in a [`ChaosReport`] is deterministic for a `(target, seed,
+//! schedules)` triple even on the real clock: schedule composition is a
+//! pure function of the seed, severities are bimodal (far over or far
+//! under every threshold), harmful durations span many checking rounds,
+//! and the report carries only robust facts — compositions and verdicts,
+//! never wall-clock latencies or report counts. Measured latencies go to
+//! the [`ChaosMetrics`] telemetry sidecar instead. Reports from signal
+//! checkers ([`is_signal_checker`]) are likewise measured, never scored:
+//! they watch real resource levels, so whether one trips depends on
+//! machine load at sample time rather than on the injected severity.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use faults::schedule::{compose_schedule, ComposeOptions, FaultSchedule};
+use faults::spec::FaultKind;
+use faults::ArmedFault;
+use faults::Scenario;
+use wdog_base::error::{BaseError, BaseResult};
+use wdog_core::report::FailureReport;
+use wdog_target::{WatchdogTarget, WdOptions, WorkloadProfile};
+use wdog_telemetry::ChaosMetrics;
+
+use crate::scenario::RunnerOptions;
+
+/// Verdict labels (also the `chaos_verdicts_total` counter labels).
+pub const DETECTED: &str = "detected";
+/// See [`DETECTED`].
+pub const MISSED: &str = "missed";
+/// See [`DETECTED`].
+pub const WRONG_COMPONENT: &str = "wrong-component";
+/// See [`DETECTED`].
+pub const CLEAN: &str = "clean";
+/// See [`DETECTED`].
+pub const FALSE_POSITIVE: &str = "false-positive";
+
+/// Campaign knobs.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Campaign seed: schedules, boot seeds, and workloads all derive
+    /// from it.
+    pub seed: u64,
+    /// How many schedules to compose and replay.
+    pub schedules: u64,
+    /// Schedule composition knobs.
+    pub compose: ComposeOptions,
+    /// Watchdog tuning per run (campaign tuning, as in the scenario
+    /// runner — short rounds so detection lands inside the horizon).
+    pub wd: WdOptions,
+    /// Steady-state period before each schedule's clock starts.
+    pub warmup: Duration,
+    /// Extra observation past the horizon so final-round reports land.
+    pub grace: Duration,
+    /// Workload shape per run.
+    pub workload: WorkloadProfile,
+    /// Largest number of schedule re-runs one shrink may spend.
+    pub shrink_budget: u64,
+    /// At most this many failing schedules are shrunk to reproducers.
+    pub max_reproducers: usize,
+    /// Telemetry sidecar for latencies and campaign counters.
+    pub metrics: Option<ChaosMetrics>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            schedules: 20,
+            compose: ComposeOptions::default(),
+            wd: RunnerOptions::default().wd,
+            warmup: Duration::from_millis(500),
+            grace: Duration::from_millis(400),
+            workload: WorkloadProfile {
+                period: Duration::from_millis(5),
+                ..WorkloadProfile::default()
+            },
+            shrink_budget: 24,
+            max_reproducers: 2,
+            metrics: None,
+        }
+    }
+}
+
+/// The catalogue subset chaos composes from: every gray scenario except
+/// process crashes (which kill the in-process watchdog — nothing to
+/// score) and memory leaks (whose accrual rate couples the verdict to
+/// wall time).
+pub fn chaos_pool(target: &dyn WatchdogTarget) -> Vec<Scenario> {
+    target
+        .catalog()
+        .into_iter()
+        .filter(|s| {
+            !matches!(
+                s.kind,
+                FaultKind::ProcessCrash | FaultKind::MemoryLeak { .. }
+            )
+        })
+        .collect()
+}
+
+/// One fault's verdict within a schedule run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultVerdict {
+    /// The fault's spec name (`<scenario>#<k>`).
+    pub fault: String,
+    /// Catalogue scenario it was derived from.
+    pub scenario: String,
+    /// Fault-kind label (`disk-stuck`, `net-slow`, …).
+    pub kind: String,
+    /// Substring a correct blame must contain.
+    pub component_hint: String,
+    /// `detected`, `missed`, `wrong-component`, `clean`, or
+    /// `false-positive`.
+    pub verdict: String,
+    /// Checkers whose in-window reports matched the hint (sorted); for
+    /// false positives, every checker that reported at all.
+    pub checkers: Vec<String>,
+    /// For wrong-component verdicts: the known components the in-window
+    /// reports blamed instead (sorted).
+    pub blamed: Vec<String>,
+}
+
+/// One schedule's full replay record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// The composed schedule, byte-for-byte replayable.
+    pub schedule: FaultSchedule,
+    /// Per-fault verdicts, in composition order.
+    pub verdicts: Vec<FaultVerdict>,
+    /// Schedule-level verdict: worst fault verdict (harmful), or
+    /// `clean`/`false-positive` (benign).
+    pub verdict: String,
+}
+
+impl ScheduleOutcome {
+    /// Whether this outcome is a campaign failure worth shrinking: a
+    /// harmful fault the watchdog missed or mislocated, or a benign
+    /// schedule that fired a checker.
+    pub fn failing(&self) -> bool {
+        self.verdict != DETECTED && self.verdict != CLEAN
+    }
+}
+
+/// Campaign-level accuracy accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Schedules replayed.
+    pub schedules: u64,
+    /// Harmful schedules.
+    pub harmful: u64,
+    /// Benign near-miss schedules.
+    pub benign: u64,
+    /// Per-fault `detected` verdicts.
+    pub detected: u64,
+    /// Per-fault `missed` verdicts.
+    pub missed: u64,
+    /// Per-fault `wrong-component` verdicts.
+    pub wrong_component: u64,
+    /// Benign schedules that stayed silent.
+    pub clean: u64,
+    /// Benign schedules that fired a checker.
+    pub false_positives: u64,
+}
+
+/// The campaign artifact `wdog-chaos` archives under `results/chaos/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Target name.
+    pub target: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Every schedule's outcome, in index order.
+    pub outcomes: Vec<ScheduleOutcome>,
+    /// Accuracy totals.
+    pub summary: ChaosSummary,
+    /// Shrunk minimal reproducers for failing schedules.
+    pub reproducers: Vec<Reproducer>,
+}
+
+/// A minimal failing schedule, archived as standalone replayable JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// What the reproducer reproduces: a failing verdict, or `exemplar`
+    /// for the always-emitted replay example of a clean campaign.
+    pub kind: String,
+    /// Target the schedule runs against.
+    pub target: String,
+    /// The (shrunk) schedule.
+    pub schedule: FaultSchedule,
+    /// The schedule-level verdict a faithful replay must reproduce.
+    pub verdict: String,
+    /// Shrink steps that each removed or shortened something.
+    pub shrink_steps: u64,
+    /// Schedule re-runs the shrink spent.
+    pub shrink_evals: u64,
+}
+
+/// Replays one schedule against a fresh testbed and scores every fault.
+///
+/// The instance boots from the schedule's own stored seed, so a shrunk or
+/// archived schedule replays identically with no campaign context.
+pub fn run_schedule(
+    target: &dyn WatchdogTarget,
+    schedule: &FaultSchedule,
+    opts: &ChaosOptions,
+) -> BaseResult<ScheduleOutcome> {
+    schedule.validate().map_err(BaseError::InvalidState)?;
+
+    let mut inst = target.start(schedule.seed)?;
+    let clock = inst.clock();
+    // The pool excludes crashes, so the crash hook never fires.
+    let injector = inst.injector(Arc::new(|| {}));
+
+    let mut wd = opts.wd.clone();
+    if let Some(m) = &opts.metrics {
+        wd.telemetry = Some(Arc::clone(m.registry()));
+    }
+    let (mut driver, _plan) = inst.build_watchdog(&wd)?;
+    driver.start()?;
+
+    inst.start_workload(
+        &WorkloadProfile {
+            seed: schedule.seed,
+            ..opts.workload.clone()
+        },
+        None,
+    );
+    clock.sleep(opts.warmup);
+
+    // The schedule clock starts here; every onset is relative to it.
+    let run_start = clock.now();
+    let armed: Arc<Mutex<Vec<Option<ArmedFault>>>> = Arc::new(Mutex::new(
+        (0..schedule.faults.len()).map(|_| None).collect(),
+    ));
+    let specs: Vec<_> = schedule.faults.iter().map(|f| f.spec.clone()).collect();
+    let timeline = {
+        let armed = Arc::clone(&armed);
+        let injector = injector.clone();
+        schedule.timeline().run(Arc::clone(&clock), move |event| {
+            let (op, idx) = match event.label.split_once(':') {
+                Some((op, idx)) => (op, idx),
+                None => return,
+            };
+            let Ok(i) = idx.parse::<usize>() else { return };
+            let mut slots = armed.lock().unwrap();
+            match op {
+                "arm" => {
+                    if let Ok(a) = injector.inject(&specs[i].kind) {
+                        slots[i] = Some(a);
+                    }
+                }
+                "clear" => {
+                    if let Some(a) = slots[i].take() {
+                        injector.clear(&a);
+                    }
+                }
+                _ => {}
+            }
+        })
+    };
+
+    // Observe through the horizon plus a grace period so the last
+    // checking rounds' reports land.
+    let deadline = run_start + schedule.horizon + opts.grace;
+    loop {
+        let now = clock.now();
+        if now >= deadline {
+            break;
+        }
+        clock.sleep((deadline - now).min(Duration::from_millis(50)));
+    }
+    timeline.join();
+
+    // Teardown: release every surface so wedged threads drain.
+    for a in armed.lock().unwrap().iter().flatten() {
+        injector.clear(a);
+    }
+    inst.clear_faults();
+    inst.stop_workload();
+    driver.stop();
+    let reports = driver.log().reports();
+    inst.teardown();
+
+    Ok(score_schedule(
+        target,
+        schedule,
+        &reports,
+        run_start.as_millis() as u64,
+        opts.metrics.as_ref(),
+    ))
+}
+
+/// Is `checker` a load-coupled signal checker (by the `<target>.signal.<name>`
+/// id convention)? Signal checkers sample real resource levels — queue
+/// depth, memory, disk headroom — so whether one trips during a schedule
+/// depends on machine load at the sample instant, not on the injected
+/// severity. The campaign measures their reports in the telemetry sidecar
+/// but never scores them: a verdict they could flip would wobble between
+/// same-seed runs and break the byte-identical-report contract.
+pub fn is_signal_checker(checker: &str) -> bool {
+    checker.contains(".signal.")
+}
+
+/// The most specific component of `components` a report location names:
+/// the longest substring match, ties broken lexicographically. The
+/// whole-system component (`target_name`) is the blame of last resort —
+/// practically every location mentions it, so it only wins when nothing
+/// more specific matches.
+fn primary_component(components: &[String], target_name: &str, location: &str) -> Option<String> {
+    let mut m: Vec<&String> = components
+        .iter()
+        .filter(|c| c.as_str() != target_name && location.contains(c.as_str()))
+        .collect();
+    m.sort();
+    m.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    m.first().map(|c| (*c).clone()).or_else(|| {
+        components
+            .iter()
+            .find(|c| c.as_str() == target_name && location.contains(c.as_str()))
+            .cloned()
+    })
+}
+
+/// Scores a replayed schedule from the driver's report log.
+fn score_schedule(
+    target: &dyn WatchdogTarget,
+    schedule: &FaultSchedule,
+    reports: &[FailureReport],
+    run_start_ms: u64,
+    metrics: Option<&ChaosMetrics>,
+) -> ScheduleOutcome {
+    // Deterministic scoring set: signal-checker reports are recorded as
+    // telemetry and dropped (see [`is_signal_checker`]).
+    let (signal, reports): (Vec<&FailureReport>, Vec<&FailureReport>) = reports
+        .iter()
+        .partition(|r| is_signal_checker(r.checker.as_str()));
+    if let Some(m) = metrics {
+        for r in &signal {
+            m.signal_report(r.checker.as_str());
+        }
+    }
+    let components = target.components();
+    let implicated: Vec<&str> = schedule
+        .faults
+        .iter()
+        .map(|f| f.component_hint.as_str())
+        .collect();
+    let mut verdicts = Vec::new();
+
+    if schedule.benign {
+        // A near-miss schedule must stay silent: any report at all after
+        // the schedule clock started is a false positive.
+        let firing: Vec<&FailureReport> = reports
+            .iter()
+            .filter(|r| r.at_ms >= run_start_ms)
+            .copied()
+            .collect();
+        let verdict = if firing.is_empty() {
+            CLEAN
+        } else {
+            FALSE_POSITIVE
+        };
+        let mut checkers: Vec<String> = firing
+            .iter()
+            .map(|r| r.checker.as_str().to_owned())
+            .collect();
+        checkers.sort();
+        checkers.dedup();
+        for f in &schedule.faults {
+            verdicts.push(FaultVerdict {
+                fault: f.spec.name.clone(),
+                scenario: f.scenario.clone(),
+                kind: f.spec.kind.label().to_owned(),
+                component_hint: f.component_hint.clone(),
+                verdict: verdict.to_owned(),
+                checkers: checkers.clone(),
+                blamed: Vec::new(),
+            });
+        }
+        if let Some(m) = metrics {
+            m.schedule_run(true);
+            m.verdict(verdict);
+        }
+        return ScheduleOutcome {
+            schedule: schedule.clone(),
+            verdicts,
+            verdict: verdict.to_owned(),
+        };
+    }
+
+    for f in &schedule.faults {
+        let onset_ms = run_start_ms + f.spec.start_after.as_millis() as u64;
+        let window: Vec<&FailureReport> = reports
+            .iter()
+            .filter(|r| r.at_ms >= onset_ms)
+            .copied()
+            .collect();
+        let matching: Vec<&&FailureReport> = window
+            .iter()
+            .filter(|r| r.location.to_string().contains(f.component_hint.as_str()))
+            .collect();
+        let (verdict, checkers, blamed) = if let Some(first) = matching.first() {
+            if let Some(m) = metrics {
+                m.detection_latency(f.spec.kind.label(), first.at_ms.saturating_sub(onset_ms));
+            }
+            // Canonical checker set: only checkers whose report names this
+            // fault's component as its *primary* (most specific) blame.
+            // Under overlapping faults a neighbouring component's checker
+            // can trip at an op that happens to mention this component's
+            // resource (compaction reading `sst/` during an sst disk
+            // fault), and whether it does rides on round phase — a
+            // cross-component mention is real detection signal but not a
+            // deterministic fact, so it stays out of the byte-stable
+            // report.
+            let mut c: Vec<String> = matching
+                .iter()
+                .filter(|r| {
+                    primary_component(&components, target.name(), &r.location.to_string())
+                        .as_deref()
+                        == Some(f.component_hint.as_str())
+                })
+                .map(|r| r.checker.as_str().to_owned())
+                .collect();
+            c.sort();
+            c.dedup();
+            (DETECTED, c, Vec::new())
+        } else {
+            // Missed. Did the watchdog blame a known component that no
+            // active fault implicates? That is a mislocated pinpoint,
+            // not silence.
+            let mut mislocated: Vec<String> = window
+                .iter()
+                .filter(|r| {
+                    let loc = r.location.to_string();
+                    !implicated.iter().any(|h| loc.contains(h))
+                })
+                .filter_map(|r| {
+                    primary_component(&components, target.name(), &r.location.to_string())
+                })
+                .collect();
+            mislocated.sort();
+            mislocated.dedup();
+            if mislocated.is_empty() {
+                (MISSED, Vec::new(), Vec::new())
+            } else {
+                (WRONG_COMPONENT, Vec::new(), mislocated)
+            }
+        };
+        if let Some(m) = metrics {
+            m.verdict(verdict);
+        }
+        verdicts.push(FaultVerdict {
+            fault: f.spec.name.clone(),
+            scenario: f.scenario.clone(),
+            kind: f.spec.kind.label().to_owned(),
+            component_hint: f.component_hint.clone(),
+            verdict: verdict.to_owned(),
+            checkers,
+            blamed,
+        });
+    }
+    if let Some(m) = metrics {
+        m.schedule_run(false);
+    }
+
+    // Worst fault verdict wins at the schedule level.
+    let verdict = if verdicts.iter().any(|v| v.verdict == MISSED) {
+        MISSED
+    } else if verdicts.iter().any(|v| v.verdict == WRONG_COMPONENT) {
+        WRONG_COMPONENT
+    } else {
+        DETECTED
+    };
+    ScheduleOutcome {
+        schedule: schedule.clone(),
+        verdicts,
+        verdict: verdict.to_owned(),
+    }
+}
+
+/// Greedy delta debugging over [`FaultSchedule::shrink_candidates`].
+///
+/// `oracle` replays a candidate and answers whether it still fails the
+/// same way; each accepted candidate restarts the walk from the smaller
+/// schedule. Returns the minimal schedule plus `(steps, evals)` spent.
+/// The oracle is injected (rather than baked in) so shrink logic is
+/// testable without a live testbed.
+pub fn shrink(
+    schedule: &FaultSchedule,
+    budget: u64,
+    mut oracle: impl FnMut(&FaultSchedule) -> BaseResult<bool>,
+) -> BaseResult<(FaultSchedule, u64, u64)> {
+    let mut current = schedule.clone();
+    let mut steps = 0u64;
+    let mut evals = 0u64;
+    'outer: loop {
+        for cand in current.shrink_candidates() {
+            if evals >= budget {
+                break 'outer;
+            }
+            evals += 1;
+            if oracle(&cand)? {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Ok((current, steps, evals))
+}
+
+/// Runs a full campaign: compose `opts.schedules` schedules, replay each,
+/// score every fault, and shrink up to `opts.max_reproducers` failing
+/// schedules into minimal reproducers.
+pub fn run_campaign(target: &dyn WatchdogTarget, opts: &ChaosOptions) -> BaseResult<ChaosReport> {
+    let pool = chaos_pool(target);
+    let mut outcomes: Vec<ScheduleOutcome> = Vec::new();
+    let mut reproducers: Vec<Reproducer> = Vec::new();
+
+    for index in 0..opts.schedules {
+        let Some(schedule) = compose_schedule(&pool, opts.seed, index, &opts.compose) else {
+            continue;
+        };
+        eprintln!(
+            "[wdog-chaos] {} / {} ({} fault{}, {}) ...",
+            target.name(),
+            schedule.id,
+            schedule.faults.len(),
+            if schedule.faults.len() == 1 { "" } else { "s" },
+            if schedule.benign { "benign" } else { "harmful" },
+        );
+        let outcome = run_schedule(target, &schedule, opts)?;
+
+        if outcome.failing() && reproducers.len() < opts.max_reproducers {
+            eprintln!(
+                "[wdog-chaos]   {} verdict {:?}; shrinking ...",
+                schedule.id, outcome.verdict
+            );
+            let want = outcome.verdict.clone();
+            let (minimal, shrink_steps, shrink_evals) =
+                shrink(&schedule, opts.shrink_budget, |cand| {
+                    if let Some(m) = &opts.metrics {
+                        m.shrink_eval();
+                    }
+                    Ok(run_schedule(target, cand, opts)?.verdict == want)
+                })?;
+            if let Some(m) = &opts.metrics {
+                m.reproducer(&want);
+            }
+            reproducers.push(Reproducer {
+                kind: want.clone(),
+                target: target.name().to_owned(),
+                schedule: minimal,
+                verdict: want,
+                shrink_steps,
+                shrink_evals,
+            });
+        }
+        outcomes.push(outcome);
+    }
+
+    let mut summary = ChaosSummary {
+        schedules: outcomes.len() as u64,
+        ..ChaosSummary::default()
+    };
+    for o in &outcomes {
+        if o.schedule.benign {
+            summary.benign += 1;
+            match o.verdict.as_str() {
+                CLEAN => summary.clean += 1,
+                _ => summary.false_positives += 1,
+            }
+        } else {
+            summary.harmful += 1;
+            for v in &o.verdicts {
+                match v.verdict.as_str() {
+                    DETECTED => summary.detected += 1,
+                    WRONG_COMPONENT => summary.wrong_component += 1,
+                    _ => summary.missed += 1,
+                }
+            }
+        }
+    }
+
+    Ok(ChaosReport {
+        target: target.name().to_owned(),
+        seed: opts.seed,
+        outcomes,
+        summary,
+        reproducers,
+    })
+}
+
+/// The replay artifact for a clean campaign: the first schedule's outcome
+/// packaged as an `exemplar` reproducer, so `--replay` always has a
+/// target even when nothing failed (the acceptance path that "proves no
+/// failure occurred").
+pub fn exemplar_reproducer(report: &ChaosReport) -> Option<Reproducer> {
+    report.outcomes.first().map(|o| Reproducer {
+        kind: "exemplar".into(),
+        target: report.target.clone(),
+        schedule: o.schedule.clone(),
+        verdict: o.verdict.clone(),
+        shrink_steps: 0,
+        shrink_evals: 0,
+    })
+}
+
+/// Replays an archived reproducer; returns the fresh outcome and whether
+/// its schedule-level verdict matches the recorded one.
+pub fn replay(
+    target: &dyn WatchdogTarget,
+    rep: &Reproducer,
+    opts: &ChaosOptions,
+) -> BaseResult<(ScheduleOutcome, bool)> {
+    if target.name() != rep.target {
+        return Err(BaseError::InvalidState(format!(
+            "reproducer targets {:?}, not {:?}",
+            rep.target,
+            target.name()
+        )));
+    }
+    let outcome = run_schedule(target, &rep.schedule, opts)?;
+    let matches = outcome.verdict == rep.verdict;
+    Ok((outcome, matches))
+}
+
+/// Renders the campaign's paper-style table.
+pub fn render(report: &ChaosReport) -> String {
+    let mut t = crate::fmt::Table::new(&["schedule", "kind", "faults", "verdict", "detail"]);
+    for o in &report.outcomes {
+        let faults: Vec<String> = o
+            .schedule
+            .faults
+            .iter()
+            .map(|f| f.scenario.clone())
+            .collect();
+        let detail = o
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict != DETECTED && v.verdict != CLEAN)
+            .map(|v| {
+                if v.blamed.is_empty() {
+                    format!("{}: {}", v.fault, v.verdict)
+                } else {
+                    format!("{}: {} (blamed {})", v.fault, v.verdict, v.blamed.join(","))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        t.row_owned(vec![
+            o.schedule.id.clone(),
+            if o.schedule.benign {
+                "benign"
+            } else {
+                "harmful"
+            }
+            .into(),
+            faults.join("+"),
+            o.verdict.clone(),
+            detail,
+        ]);
+    }
+    let s = &report.summary;
+    format!(
+        "Chaos campaign [{}] seed {}: {} schedules ({} harmful, {} benign)\n\
+         fault verdicts: {} detected, {} missed, {} wrong-component; \
+         benign: {} clean, {} false-positive; {} reproducer(s)\n\n{}",
+        report.target,
+        report.seed,
+        s.schedules,
+        s.harmful,
+        s.benign,
+        s.detected,
+        s.missed,
+        s.wrong_component,
+        s.clean,
+        s.false_positives,
+        report.reproducers.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::catalog::{gray_failure_catalog, TargetProfile};
+    use faults::spec::FaultSpec;
+    use kvs::target::KvsTarget;
+
+    fn pool() -> Vec<Scenario> {
+        gray_failure_catalog(&TargetProfile::default())
+            .into_iter()
+            .filter(|s| {
+                !matches!(
+                    s.kind,
+                    FaultKind::ProcessCrash | FaultKind::MemoryLeak { .. }
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chaos_pool_excludes_crash_and_leak() {
+        let p = chaos_pool(&KvsTarget);
+        assert!(!p.is_empty());
+        assert!(p.iter().all(|s| !matches!(
+            s.kind,
+            FaultKind::ProcessCrash | FaultKind::MemoryLeak { .. }
+        )));
+    }
+
+    #[test]
+    fn shrink_drops_redundant_faults_under_oracle() {
+        // Build a two-fault schedule where only the first fault matters;
+        // the oracle "fails" iff a disk-stuck fault survives.
+        let mut s = compose_schedule(&pool(), 7, 0, &ComposeOptions::default()).unwrap();
+        while s.faults.len() < 2 {
+            let mut extra = s.faults[0].clone();
+            extra.spec.name = "padding#9".into();
+            extra.scenario = "padding".into();
+            extra.component_hint = "repl".into();
+            extra.spec.kind = FaultKind::NetDrop {
+                src: "a".into(),
+                dst: "b".into(),
+            };
+            s.faults.push(extra);
+        }
+        s.faults[0].spec = FaultSpec::new(
+            "keep#0",
+            FaultKind::DiskStuck {
+                path_prefix: "wal/".into(),
+            },
+            Duration::from_millis(400),
+        );
+        s.validate().unwrap();
+        let mut evals = 0u64;
+        let (minimal, steps, spent) = shrink(&s, 64, |cand| {
+            evals += 1;
+            Ok(cand
+                .faults
+                .iter()
+                .any(|f| matches!(f.spec.kind, FaultKind::DiskStuck { .. })))
+        })
+        .unwrap();
+        assert_eq!(spent, evals);
+        assert!(steps > 0, "nothing shrank");
+        assert_eq!(minimal.faults.len(), 1, "redundant fault kept: {minimal:?}");
+        assert!(matches!(
+            minimal.faults[0].spec.kind,
+            FaultKind::DiskStuck { .. }
+        ));
+        minimal.validate().unwrap();
+    }
+
+    #[test]
+    fn shrink_respects_its_budget() {
+        let s = compose_schedule(&pool(), 7, 1, &ComposeOptions::default()).unwrap();
+        let (_, _, evals) = shrink(&s, 3, |_| Ok(false)).unwrap();
+        assert!(evals <= 3);
+    }
+
+    #[test]
+    fn scoring_separates_detected_missed_and_wrong_component() {
+        use wdog_base::ids::CheckerId;
+        use wdog_core::report::{FailureKind, FailureReport, FaultLocation};
+        let target = KvsTarget;
+        let mut s = compose_schedule(&pool(), 11, 0, &ComposeOptions::default()).unwrap();
+        s.faults.truncate(1);
+        s.faults[0].component_hint = "wal".into();
+        let onset = 1_000 + s.faults[0].spec.start_after.as_millis() as u64;
+        let report = |component: &str, at_ms: u64| FailureReport {
+            checker: CheckerId::new(format!("{component}.mimic")),
+            kind: FailureKind::Stuck,
+            location: FaultLocation::new(format!("kvs.{component}"), "op"),
+            detail: String::new(),
+            payload: Default::default(),
+            observed_latency_ms: None,
+            at_ms,
+        };
+
+        let hit = score_schedule(&target, &s, &[report("wal", onset + 50)], 1_000, None);
+        assert_eq!(hit.verdict, DETECTED);
+        assert_eq!(hit.verdicts[0].checkers, vec!["wal.mimic".to_owned()]);
+
+        let silent = score_schedule(&target, &s, &[], 1_000, None);
+        assert_eq!(silent.verdict, MISSED);
+
+        // Early reports (before onset) never count.
+        let early = score_schedule(&target, &s, &[report("wal", onset - 200)], 1_000, None);
+        assert_eq!(early.verdict, MISSED);
+
+        let mislocated = score_schedule(&target, &s, &[report("index", onset + 50)], 1_000, None);
+        assert_eq!(mislocated.verdict, WRONG_COMPONENT);
+        assert_eq!(mislocated.verdicts[0].blamed, vec!["index".to_owned()]);
+
+        // Signal-checker reports are load-coupled and never scored: an
+        // in-window, component-matching signal report must not rescue a
+        // miss, and must not pollute a detection's checker set.
+        let signal = FailureReport {
+            checker: CheckerId::new("kvs.signal.wal_queue"),
+            ..report("wal", onset + 50)
+        };
+        let unscored = score_schedule(&target, &s, std::slice::from_ref(&signal), 1_000, None);
+        assert_eq!(unscored.verdict, MISSED);
+        let both = score_schedule(
+            &target,
+            &s,
+            &[signal.clone(), report("wal", onset + 50)],
+            1_000,
+            None,
+        );
+        assert_eq!(both.verdict, DETECTED);
+        assert_eq!(both.verdicts[0].checkers, vec!["wal.mimic".to_owned()]);
+
+        // A neighbouring component's checker whose report merely mentions
+        // this fault's resource counts for detection, but stays out of
+        // the canonical checker set: its primary blame is the other
+        // component.
+        let cross = FailureReport {
+            checker: CheckerId::new("compact.mimic"),
+            location: FaultLocation::new("kvs.compact", "read").with_op("wal/0001"),
+            ..report("wal", onset + 50)
+        };
+        let grazed = score_schedule(&target, &s, std::slice::from_ref(&cross), 1_000, None);
+        assert_eq!(grazed.verdict, DETECTED);
+        assert!(grazed.verdicts[0].checkers.is_empty());
+        let mixed = score_schedule(
+            &target,
+            &s,
+            &[cross, report("wal", onset + 50)],
+            1_000,
+            None,
+        );
+        assert_eq!(mixed.verdicts[0].checkers, vec!["wal.mimic".to_owned()]);
+
+        // Benign schedules: silence is clean, any report is a false
+        // positive.
+        let mut b = s.clone();
+        b.benign = true;
+        for f in &mut b.faults {
+            f.benign = true;
+            f.expected_class.clear();
+        }
+        let quiet = score_schedule(&target, &b, &[], 1_000, None);
+        assert_eq!(quiet.verdict, CLEAN);
+        let noisy = score_schedule(&target, &b, &[report("index", 1_100)], 1_000, None);
+        assert_eq!(noisy.verdict, FALSE_POSITIVE);
+        assert_eq!(noisy.verdicts[0].checkers, vec!["index.mimic".to_owned()]);
+        // …but a lone signal-checker blip under load is not a false
+        // positive.
+        let blip = score_schedule(&target, &b, &[signal], 1_000, None);
+        assert_eq!(blip.verdict, CLEAN);
+    }
+
+    #[test]
+    fn exemplar_packages_the_first_outcome() {
+        let target = KvsTarget;
+        let s = compose_schedule(&pool(), 13, 0, &ComposeOptions::default()).unwrap();
+        let outcome = score_schedule(&target, &s, &[], 1_000, None);
+        let report = ChaosReport {
+            target: "kvs".into(),
+            seed: 13,
+            outcomes: vec![outcome.clone()],
+            summary: ChaosSummary::default(),
+            reproducers: Vec::new(),
+        };
+        let rep = exemplar_reproducer(&report).unwrap();
+        assert_eq!(rep.kind, "exemplar");
+        assert_eq!(rep.schedule, outcome.schedule);
+        assert_eq!(rep.verdict, outcome.verdict);
+        // Reproducers round-trip through JSON byte-for-byte.
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: Reproducer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -9,12 +9,14 @@
 //! | [`ablations`] | §3.1/§3.3 design choices (E6) | `ablations` |
 //! | [`recovery`] | §5.2 — closed-loop recovery campaign | `wdog-recovery` |
 //! | [`telemetry`] | runtime telemetry plane export | `wdog-telemetry` |
+//! | [`chaos`] | randomized fault-schedule fuzzing of the checkers | `wdog-chaos` |
 //!
 //! Each experiment returns a serde-serializable result struct; binaries
 //! print the paper-style table *and* write the raw JSON next to it (under
 //! `results/`) so EXPERIMENTS.md numbers are regenerable.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fmt;
 pub mod lint;
 pub mod recovery;

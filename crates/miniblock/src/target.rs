@@ -81,6 +81,13 @@ impl WatchdogTarget for DnTarget {
         cat
     }
 
+    fn components(&self) -> Vec<String> {
+        // Blameable DataNode components for chaos wrong-component accounting.
+        ["block", "report", "heartbeat", "scanner", "miniblock"]
+            .map(str::to_owned)
+            .to_vec()
+    }
+
     fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
         let clock: SharedClock = RealClock::shared();
         let net = SimNet::new(

@@ -83,6 +83,20 @@ impl WatchdogTarget for ZkTarget {
         cat
     }
 
+    fn components(&self) -> Vec<String> {
+        // Blameable minizk components for chaos wrong-component accounting.
+        [
+            "txnlog",
+            "commit",
+            "quorum",
+            "broadcast",
+            "heartbeat",
+            "minizk",
+        ]
+        .map(str::to_owned)
+        .to_vec()
+    }
+
     fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
         let clock: SharedClock = RealClock::shared();
         let net = SimNet::new(

@@ -24,8 +24,10 @@ pub mod disk;
 pub mod latency;
 pub mod net;
 pub mod resource;
+pub mod schedule;
 
 pub use disk::{DiskFault, DiskOpKind, DiskStats, SimDisk};
 pub use latency::LatencyModel;
 pub use net::{Mailbox, Message, NetFault, SimNet};
 pub use resource::{ResourceMonitor, StallPoint};
+pub use schedule::{Timeline, TimelineEvent, TimelineHandle};

@@ -149,6 +149,24 @@ pub trait WatchdogTarget: Send + Sync {
     /// this target's layout.
     fn catalog(&self) -> Vec<Scenario>;
 
+    /// The canonical blameable components of this target, as substrings a
+    /// report location can be matched against. Chaos campaigns use this
+    /// for *wrong-component* pinpoint accounting: a report that blames a
+    /// known component which no active fault implicates is a mislocated
+    /// detection, not background noise. The default derives the list from
+    /// the catalogue's blame hints; targets override it to name components
+    /// the shared catalogue never hints at.
+    fn components(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .catalog()
+            .into_iter()
+            .map(|s| s.expected.component_hint)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
     /// Boots one isolated testbed instance seeded with `seed`.
     fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>>;
 }

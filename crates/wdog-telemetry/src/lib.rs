@@ -27,12 +27,14 @@
 //! resolve once and cache the handle — `HookSite` in `wdog-core` does
 //! exactly this, keeping the telemetry-off hook path at a single branch.
 
+pub mod chaos;
 mod detect;
 mod flight;
 mod metrics;
 mod registry;
 mod snapshot;
 
+pub use chaos::ChaosMetrics;
 pub use detect::{DetectionSample, DetectionTracker};
 pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAP};
 pub use metrics::{AtomicHistogram, Counter, Gauge, HistogramSummary};

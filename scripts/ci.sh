@@ -27,6 +27,14 @@ cargo run --offline -q --release -p harness --bin wdog-telemetry -- --target kvs
 echo "==> telemetry bench guard: armed hook fire within 15% of disarmed"
 cargo run --offline -q --release -p harness --bin wdog-telemetry -- --bench-guard 15
 
+echo "==> chaos smoke: seeded kvs campaign must detect and stay benign-clean"
+cargo run --offline -q --release -p harness --bin wdog-chaos -- --target kvs \
+    --seed 42 --schedules 6 --require-detected 1 --require-clean-benign
+
+echo "==> chaos replay: the archived reproducer must rerun to its recorded verdict"
+replay_artifact=$(ls results/chaos/chaos-42-*.kvs.*.json | head -n 1)
+cargo run --offline -q --release -p harness --bin wdog-chaos -- --replay "$replay_artifact"
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test --offline -q
