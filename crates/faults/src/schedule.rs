@@ -309,8 +309,11 @@ impl FaultSchedule {
     /// One-step shrink candidates for delta debugging, all structurally
     /// valid by construction: drop each fault (when more than one remains),
     /// bound each until-end fault to half the horizon, halve each bounded
-    /// duration (flooring high enough to span checking rounds), and pull
-    /// each onset toward zero.
+    /// duration (flooring high enough to span checking rounds), pull each
+    /// onset toward zero, and attenuate each harmful fault's scalar
+    /// severity via [`FaultKind::with_magnitude`] (flooring inside the
+    /// clearly-harmful band, so the bimodal invariant — and therefore the
+    /// verdict being reproduced — survives shrinking).
     pub fn shrink_candidates(&self) -> Vec<FaultSchedule> {
         let mut out = Vec::new();
         let floor = Duration::from_millis(200);
@@ -343,6 +346,24 @@ impl FaultSchedule {
                 let mut c = self.clone();
                 c.faults[i].spec.start_after = f.spec.start_after / 2;
                 out.push(c);
+            }
+            // Severity attenuation: a reproducer is more minimal if it
+            // still fails with a gentler fault. Benign near-misses are
+            // left untouched (their magnitudes are already sub-threshold
+            // and must stay that way).
+            if !f.benign {
+                if let Some(mag) = f.spec.kind.magnitude() {
+                    let mag_floor = match f.spec.kind {
+                        FaultKind::RuntimePause { .. } => HARMFUL_PAUSE_MS.start as f64,
+                        _ => HARMFUL_FACTOR.start as f64,
+                    };
+                    let halved = mag / 2.0;
+                    if halved >= mag_floor && halved < mag {
+                        let mut c = self.clone();
+                        c.faults[i].spec.kind = f.spec.kind.with_magnitude(halved);
+                        out.push(c);
+                    }
+                }
             }
         }
         out.retain(|c| c.validate().is_ok());
@@ -459,12 +480,56 @@ mod tests {
                         || a.end(c.horizon) - a.spec.start_after
                             < b.end(s.horizon) - b.spec.start_after
                 });
+                let shrunk_magnitude = c.faults.iter().zip(&s.faults).any(|(a, b)| {
+                    matches!(
+                        (a.spec.kind.magnitude(), b.spec.kind.magnitude()),
+                        (Some(ma), Some(mb)) if ma < mb
+                    )
+                });
                 assert!(
-                    shrunk_faults || shrunk_time,
+                    shrunk_faults || shrunk_time || shrunk_magnitude,
                     "candidate did not reduce anything: {c:?}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn shrink_attenuates_harmful_magnitudes_but_not_below_the_band() {
+        let cat = catalog();
+        let mut attenuated = 0;
+        for i in 0..32 {
+            let s = compose_schedule(&cat, 3, i, &ComposeOptions::default()).unwrap();
+            for c in s.shrink_candidates() {
+                if c.faults.len() != s.faults.len() {
+                    // Drop candidates misalign the zip below.
+                    continue;
+                }
+                for (a, b) in c.faults.iter().zip(&s.faults) {
+                    let (Some(ma), Some(mb)) = (a.spec.kind.magnitude(), b.spec.kind.magnitude())
+                    else {
+                        continue;
+                    };
+                    if ma >= mb {
+                        continue;
+                    }
+                    attenuated += 1;
+                    // Benign near-misses are never touched; harmful
+                    // magnitudes stay inside the clearly-harmful band.
+                    assert!(!b.benign, "shrunk a benign near-miss: {a:?}");
+                    let floor = match a.spec.kind {
+                        FaultKind::RuntimePause { .. } => HARMFUL_PAUSE_MS.start as f64,
+                        _ => HARMFUL_FACTOR.start as f64,
+                    };
+                    assert!(ma >= floor, "magnitude {ma} fell out of the harmful band");
+                    assert_eq!(ma, mb / 2.0, "attenuation is a deterministic halving");
+                }
+            }
+        }
+        assert!(
+            attenuated > 0,
+            "no magnitude shrink candidates in 32 schedules"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! `wdog-lint` — the hook/IR drift gate.
+//! `wdog-lint` — the hook/IR drift gate plus the deep-analysis gates.
 //!
 //! Extracts each target's IR from its Rust source (`wdog-analyze`),
 //! diffs it against the hand-written `describe_ir()` self-description
@@ -6,14 +6,152 @@
 //! machine-readable reports under `results/`. With `--deny-drift`, any
 //! finding not absorbed by the target's documented allowlist exits
 //! non-zero — the CI gate that keeps descriptions honest.
+//!
+//! On top of drift, the deep static passes run per target and archive
+//! under `results/analysis/` (deterministic JSON, drift-diffable):
+//!
+//! * `--deny-deadlock-cycle` fails on any cycle in the global lock graph;
+//! * `--deny-unsafe-checker` fails on any probe body classified
+//!   `shared-mutation` (the paper's isolation requirement, mechanized);
+//! * `--deny-coverage-regression` fails when the coverage matrix gains a
+//!   gap the previously archived `coverage_<target>.json` did not have;
+//! * `--coverage-out DIR` overrides the artifact directory;
+//! * `--corpus DIR` points at the chaos reproducer corpus whose missed
+//!   schedules the matrix cross-references (defaults to
+//!   `tests/chaos_corpus`, falling back to `results/chaos`).
 
-use harness::lint::{run_lint, select_lint_targets};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use harness::lint::{
+    load_blind_spots, run_analysis, run_lint, select_lint_targets, AnalysisBundle,
+};
 use wdog_gen::pretty::render_drift;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wdog-lint [--target {{kvs|minizk|miniblock|all}}] [--deny-drift]\n\
+         \x20                [--deny-unsafe-checker] [--deny-deadlock-cycle]\n\
+         \x20                [--deny-coverage-regression] [--coverage-out DIR] [--corpus DIR]"
+    );
+    std::process::exit(2);
+}
+
+/// Reads the previously archived coverage matrix's gap keys, if any.
+fn prior_gaps(path: &Path) -> Option<BTreeSet<String>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let matrix: wdog_analyze::CoverageMatrix = serde_json::from_str(&text).ok()?;
+    Some(matrix.gap_keys().into_iter().collect())
+}
+
+fn write_artifact(dir: &Path, name: &str, value: &impl serde::Serialize) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(mut json) => {
+            json.push('\n');
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[analysis artifact written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+fn render_analysis(b: &AnalysisBundle) {
+    println!(
+        "== {} analysis: {} fns, {} call edges, {} roots ==",
+        b.target,
+        b.callgraph.functions,
+        b.callgraph.edges,
+        b.callgraph.roots.len()
+    );
+    println!(
+        "   locks: {} ordered pairs, {} cycle(s){}",
+        b.locks.edges.len(),
+        b.locks.cycles.len(),
+        if b.locks.cycles.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " — POTENTIAL DEADLOCK: {}",
+                b.locks
+                    .cycles
+                    .iter()
+                    .map(|c| c.resources.join(" -> "))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )
+        }
+    );
+    let count = |class: wdog_analyze::SafetyClass| {
+        b.safety.probes.iter().filter(|p| p.class == class).count()
+    };
+    println!(
+        "   safety: {} probes ({} read-only, {} replica-write, {} SHARED-MUTATION)",
+        b.safety.probes.len(),
+        count(wdog_analyze::SafetyClass::ReadOnly),
+        count(wdog_analyze::SafetyClass::ReplicaWrite),
+        count(wdog_analyze::SafetyClass::SharedMutation),
+    );
+    for v in b.safety.violations() {
+        println!(
+            "     !! shared-mutation probe {} ({}:{})",
+            v.id, v.file, v.line
+        );
+    }
+    let t = &b.coverage.totals;
+    println!(
+        "   coverage: {} vulnerable ops — {} covered, {} weak, {} uncovered; {} region(s) without stuck coverage",
+        t.ops,
+        t.covered,
+        t.weak,
+        t.uncovered,
+        b.coverage
+            .regions
+            .iter()
+            .filter(|r| r.stuck_coverage != wdog_analyze::CoverageStatus::Covered)
+            .count()
+    );
+    for gap in b.coverage.uncovered_ranked.iter().take(5) {
+        println!(
+            "     #{} [{}] {} ({}, {})",
+            gap.rank,
+            gap.status.label(),
+            gap.op_id,
+            gap.region,
+            gap.kind
+        );
+    }
+    for spot in &b.coverage.blind_spots {
+        println!(
+            "   blind spot {} ({}): statically {} ({} evidence row(s))",
+            spot.id,
+            spot.fault,
+            if spot.statically_flagged {
+                "FLAGGED"
+            } else {
+                "not flagged"
+            },
+            spot.evidence.len()
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name = "all".to_owned();
-    let mut deny = false;
+    let mut deny_drift = false;
+    let mut deny_unsafe = false;
+    let mut deny_deadlock = false;
+    let mut deny_coverage = false;
+    let mut coverage_out = PathBuf::from("results/analysis");
+    let mut corpus: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,8 +159,28 @@ fn main() {
                 name = args[i + 1].clone();
                 i += 2;
             }
+            "--coverage-out" if i + 1 < args.len() => {
+                coverage_out = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--corpus" if i + 1 < args.len() => {
+                corpus = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
             "--deny-drift" => {
-                deny = true;
+                deny_drift = true;
+                i += 1;
+            }
+            "--deny-unsafe-checker" => {
+                deny_unsafe = true;
+                i += 1;
+            }
+            "--deny-deadlock-cycle" => {
+                deny_deadlock = true;
+                i += 1;
+            }
+            "--deny-coverage-regression" => {
+                deny_coverage = true;
                 i += 1;
             }
             other => {
@@ -30,10 +188,7 @@ fn main() {
                     name = v.to_owned();
                     i += 1;
                 } else {
-                    eprintln!(
-                        "usage: wdog-lint [--target {{kvs|minizk|miniblock|all}}] [--deny-drift]"
-                    );
-                    std::process::exit(2);
+                    usage();
                 }
             }
         }
@@ -42,14 +197,26 @@ fn main() {
         eprintln!("unknown target {name:?}; expected kvs, minizk, miniblock, or all");
         std::process::exit(2);
     };
+    let corpus = corpus.unwrap_or_else(|| {
+        let preferred = PathBuf::from("tests/chaos_corpus");
+        if preferred.is_dir() {
+            preferred
+        } else {
+            PathBuf::from("results/chaos")
+        }
+    });
 
-    let mut denied_total = 0usize;
+    let mut denied_drift = 0usize;
+    let mut unsafe_probes = 0usize;
+    let mut deadlock_cycles = 0usize;
+    let mut new_gaps: Vec<String> = Vec::new();
     let mut reports = Vec::new();
+
     for target in &targets {
         match run_lint(target) {
             Ok(report) => {
                 println!("{}", render_drift(&report));
-                denied_total += report.denied().len();
+                denied_drift += report.denied().len();
                 reports.push(report);
             }
             Err(e) => {
@@ -57,13 +224,75 @@ fn main() {
                 std::process::exit(2);
             }
         }
+
+        let spots = load_blind_spots(&corpus, target.name);
+        let bundle = match run_analysis(target, &spots) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: analysis passes failed for {}: {e}", target.name);
+                std::process::exit(2);
+            }
+        };
+        render_analysis(&bundle);
+        unsafe_probes += bundle.safety.violations().len();
+        deadlock_cycles += bundle.locks.cycles.len();
+
+        let coverage_path = coverage_out.join(format!("coverage_{}.json", bundle.target));
+        let gaps: BTreeSet<String> = bundle.coverage.gap_keys().into_iter().collect();
+        if let Some(prior) = prior_gaps(&coverage_path) {
+            new_gaps.extend(
+                gaps.difference(&prior)
+                    .map(|g| format!("{}: {g}", bundle.target)),
+            );
+        }
+        write_artifact(
+            &coverage_out,
+            &format!("coverage_{}.json", bundle.target),
+            &bundle.coverage,
+        );
+        write_artifact(
+            &coverage_out,
+            &format!("locks_{}.json", bundle.target),
+            &bundle.locks,
+        );
+        write_artifact(
+            &coverage_out,
+            &format!("safety_{}.json", bundle.target),
+            &bundle.safety,
+        );
     }
     harness::write_json(&harness::result_name("drift", &name), &reports);
 
-    if deny && denied_total > 0 {
+    let mut failed = false;
+    if deny_drift && denied_drift > 0 {
         eprintln!(
-            "\nwdog-lint: {denied_total} undocumented drift finding(s); failing (--deny-drift)"
+            "\nwdog-lint: {denied_drift} undocumented drift finding(s); failing (--deny-drift)"
         );
+        failed = true;
+    }
+    if deny_unsafe && unsafe_probes > 0 {
+        eprintln!(
+            "\nwdog-lint: {unsafe_probes} shared-mutation probe(s); failing (--deny-unsafe-checker)"
+        );
+        failed = true;
+    }
+    if deny_deadlock && deadlock_cycles > 0 {
+        eprintln!(
+            "\nwdog-lint: {deadlock_cycles} lock-order cycle(s); failing (--deny-deadlock-cycle)"
+        );
+        failed = true;
+    }
+    if deny_coverage && !new_gaps.is_empty() {
+        eprintln!(
+            "\nwdog-lint: {} newly uncovered vulnerable op(s) vs archived matrix; failing (--deny-coverage-regression):",
+            new_gaps.len()
+        );
+        for g in &new_gaps {
+            eprintln!("  {g}");
+        }
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -20,14 +20,22 @@
 //! resolution — ambiguous calls are skipped, and `// wdog:` annotations
 //! cover the places where that matters.
 
+pub mod callgraph;
+pub mod coverage;
 pub mod drift;
 pub mod extract;
 pub mod lexer;
+pub mod locks;
 pub mod model;
+pub mod safety;
 
+pub use callgraph::{CallGraph, CallGraphSummary};
+pub use coverage::{coverage_matrix, BlindSpot, CoverageMatrix, CoverageStatus};
 pub use drift::compare;
 pub use extract::{
     extract_model, extract_target, restrict_to_regions, target_named, workspace_root,
     ExtractedProgram, TargetConfig, TARGETS,
 };
+pub use locks::{analyze_locks, LockOrderReport};
 pub use model::{CrateModel, SourceFile};
+pub use safety::{analyze_safety, analyze_safety_model, SafetyClass, SafetyReport};

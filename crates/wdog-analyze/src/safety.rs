@@ -1,0 +1,695 @@
+//! Checker-safety lint: prove every probe body is read-only or
+//! replica-isolated (the paper's §3.2 isolation requirement, checked
+//! mechanically instead of by convention).
+//!
+//! A watchdog checker runs *inside* the monitored process; if its probe
+//! mutates shared state it can corrupt the very system it guards. The
+//! target crates follow a convention: every mutation a probe performs is
+//! confined to **probe-tagged** state — paths/keys/frames carrying the
+//! `__wd` marker (or a const whose value carries it), or the dedicated
+//! `WdProbe` wire variant that peers ignore. This pass makes the
+//! convention checkable:
+//!
+//! * probe bodies are discovered lexically in each target's `wd.rs`
+//!   (`table.register("fn#op", move |snap| {..})` closures and
+//!   `ProbeChecker::new("id", .., move || {..})` closures) plus the
+//!   `check` methods of configured hand-written checker files;
+//! * every *mutating* call in a body (a known I/O or state-mutation
+//!   method) must have a probe-tagged argument: a `__wd` string, a const
+//!   resolving to one, the `WdProbe` variant, or a local whose
+//!   initializer is tagged. Bare calls to local helper functions are
+//!   followed one level (`probe_write(&disk, WAL_PROBE_PATH, ..)`);
+//! * the class is then `read-only` (no mutations), `replica-write`
+//!   (every mutation tagged), or `shared-mutation` — which
+//!   `wdog-lint --deny-unsafe-checker` fails CI on.
+//!
+//! A `// wdog: replica <reason>` annotation inside a body is the audited
+//! escape hatch for isolation the lexical rules cannot see (e.g. a
+//! checker constructed over its own private store), mirroring the drift
+//! allowlist: the exception ships next to the code it excuses.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::extract::{workspace_root, TargetConfig};
+use crate::lexer::Token;
+use crate::model::{matching_brace, matching_paren, CrateModel, SourceFile};
+
+/// The probe-isolation marker every tagged resource carries.
+pub const PROBE_MARKER: &str = "__wd";
+
+/// Methods treated as mutations of shared state when untagged.
+const MUTATORS: &[&str] = &[
+    "append",
+    "append_record",
+    "create",
+    "del",
+    "delete",
+    "fsync",
+    "insert",
+    "mkdir",
+    "put",
+    "remove",
+    "remove_path",
+    "rename",
+    "send",
+    "set",
+    "set_data",
+    "truncate",
+    "write",
+    "write_all",
+    "write_record",
+];
+
+/// Hand-written checker files (beyond `wd.rs`) whose `check` methods are
+/// probe bodies too.
+fn checker_files(target: &str) -> &'static [&'static str] {
+    match target {
+        "miniblock" => &["disk_checker.rs"],
+        _ => &[],
+    }
+}
+
+/// Safety class of one probe body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SafetyClass {
+    /// The body performs no recognized mutation.
+    ReadOnly,
+    /// Every mutation is probe-tagged (or annotation-excused).
+    ReplicaWrite,
+    /// At least one mutation reaches shared, untagged state.
+    SharedMutation,
+}
+
+impl SafetyClass {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SafetyClass::ReadOnly => "read-only",
+            SafetyClass::ReplicaWrite => "replica-write",
+            SafetyClass::SharedMutation => "shared-mutation",
+        }
+    }
+}
+
+/// One mutating call inside a probe body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationSite {
+    /// The mutating method or helper name.
+    pub method: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether a probe tag was found for this call.
+    pub tagged: bool,
+}
+
+/// One classified probe body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeSafety {
+    /// Probe id (the registered `fn#op` / checker id, or
+    /// `{enclosing_fn}@L{line}` when the id is not a literal).
+    pub id: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the body start.
+    pub line: u32,
+    /// The derived class.
+    pub class: SafetyClass,
+    /// Every mutating call found.
+    pub mutations: Vec<MutationSite>,
+    /// The `// wdog: replica` justification, when one excuses the body.
+    pub replica_annotation: Option<String>,
+}
+
+/// The checker-safety report for one target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyReport {
+    /// Program name.
+    pub program: String,
+    /// Every probe body, sorted by (file, line).
+    pub probes: Vec<ProbeSafety>,
+    /// Notes (e.g. files scanned).
+    pub info: Vec<String>,
+}
+
+impl SafetyReport {
+    /// Probes classified as shared-mutation.
+    pub fn violations(&self) -> Vec<&ProbeSafety> {
+        self.probes
+            .iter()
+            .filter(|p| p.class == SafetyClass::SharedMutation)
+            .collect()
+    }
+
+    /// True when no probe mutates shared state.
+    pub fn is_safe(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+/// What one level of helper-function analysis needs to know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HelperSummary {
+    /// The helper (transitively) performs mutations.
+    has_mutations: bool,
+    /// ... and every one of them is tagged standalone.
+    all_tagged: bool,
+}
+
+struct Scanner<'a> {
+    model: &'a CrateModel,
+    /// Const names whose string value carries the probe marker.
+    probe_consts: Vec<&'a str>,
+    helper_memo: BTreeMap<String, HelperSummary>,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(model: &'a CrateModel) -> Self {
+        let probe_consts = model
+            .consts
+            .iter()
+            .filter(|(_, v)| v.contains(PROBE_MARKER))
+            .map(|(k, _)| k.as_str())
+            .collect();
+        Self {
+            model,
+            probe_consts,
+            helper_memo: BTreeMap::new(),
+        }
+    }
+
+    /// True if one token is probe-tagged on its own (given tagged locals).
+    fn token_tagged(&self, t: &Token, locals: &BTreeMap<String, bool>) -> bool {
+        match &t.tok {
+            crate::lexer::Tok::Str(s) => {
+                s.contains(PROBE_MARKER) || self.probe_consts.iter().any(|c| s.contains(c))
+            }
+            crate::lexer::Tok::Ident(id) => {
+                id == "WdProbe"
+                    || self.probe_consts.contains(&id.as_str())
+                    || locals.get(id).copied().unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+
+    fn any_tagged(&self, tokens: &[Token], locals: &BTreeMap<String, bool>) -> bool {
+        tokens.iter().any(|t| self.token_tagged(t, locals))
+    }
+
+    /// Classifies the helper function `name` standalone (parameters count
+    /// as untagged), memoized and cycle-guarded.
+    fn helper_summary(&mut self, name: &str) -> HelperSummary {
+        if let Some(s) = self.helper_memo.get(name) {
+            return *s;
+        }
+        // Cycle guard: assume clean while analyzing; a recursive helper
+        // converges to whatever its straight-line body says.
+        self.helper_memo.insert(
+            name.to_owned(),
+            HelperSummary {
+                has_mutations: false,
+                all_tagged: true,
+            },
+        );
+        let Some(indices) = self.model.by_name.get(name) else {
+            return self.helper_memo[name];
+        };
+        if indices.len() != 1 {
+            // Ambiguous helper: leave the conservative default (no
+            // mutations assumed — ambiguity is reported at call sites
+            // only via the mutator name list).
+            return self.helper_memo[name];
+        }
+        let decl = self.model.fns[indices[0]].clone();
+        let tokens = &self.model.files[decl.file].tokens;
+        let sites = self.scan_body(tokens, decl.body.clone(), &BTreeMap::new());
+        let summary = HelperSummary {
+            has_mutations: !sites.is_empty(),
+            all_tagged: sites.iter().all(|s| s.tagged),
+        };
+        self.helper_memo.insert(name.to_owned(), summary);
+        summary
+    }
+
+    /// Finds every mutation site in a token range.
+    fn scan_body(
+        &mut self,
+        tokens: &[Token],
+        body: std::ops::Range<usize>,
+        outer_locals: &BTreeMap<String, bool>,
+    ) -> Vec<MutationSite> {
+        let mut locals = outer_locals.clone();
+        let mut sites = Vec::new();
+        let mut i = body.start;
+        while i < body.end {
+            let t = &tokens[i];
+            // Track `let [mut] name = <init> ;` and tag the local if its
+            // initializer carries a probe tag.
+            if t.ident() == Some("let") {
+                let mut j = i + 1;
+                if tokens.get(j).and_then(Token::ident) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(Token::ident) {
+                    let init_start = j + 1;
+                    let mut k = init_start;
+                    while k < body.end && !tokens[k].is_punct(';') {
+                        k += 1;
+                    }
+                    let tagged = self.any_tagged(&tokens[init_start..k.min(body.end)], &locals);
+                    if tagged {
+                        locals.insert(name.to_owned(), true);
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            let Some(name) = t.ident() else {
+                i += 1;
+                continue;
+            };
+            let is_call = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if !is_call {
+                i += 1;
+                continue;
+            }
+            let method_call = i > 0 && tokens[i - 1].is_punct('.');
+            // `self.helper(..)` counts as a bare helper call; any other
+            // receiver is judged by the mutator name list alone.
+            let self_method = method_call
+                && i >= 2
+                && tokens[i - 2].ident() == Some("self")
+                && !(i >= 3 && tokens[i - 3].is_punct('.'));
+            let bare_call = !method_call || self_method;
+
+            let close = matching_paren(tokens, i + 1).unwrap_or(body.end.min(tokens.len() - 1));
+            let args = &tokens[i + 2..close.min(body.end)];
+
+            if MUTATORS.contains(&name) {
+                sites.push(MutationSite {
+                    method: name.to_owned(),
+                    line: t.line,
+                    tagged: self.any_tagged(args, &locals),
+                });
+            } else if bare_call {
+                let name = name.to_owned();
+                let summary = self.helper_summary(&name);
+                if summary.has_mutations {
+                    let tagged = summary.all_tagged || self.any_tagged(args, &locals);
+                    sites.push(MutationSite {
+                        method: name,
+                        line: t.line,
+                        tagged,
+                    });
+                }
+            }
+            i += 1;
+        }
+        sites
+    }
+}
+
+/// A discovered probe body awaiting classification.
+struct ProbeUnit {
+    id: String,
+    file: usize,
+    line: u32,
+    body: std::ops::Range<usize>,
+}
+
+/// Finds `table.register("fn#op", move |..| { .. })` and
+/// `ProbeChecker::new("id", .., move || { .. })` closures in `tokens`.
+fn find_closure_units(file_idx: usize, file: &SourceFile, units: &mut Vec<ProbeUnit>) {
+    let tokens = &file.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_register = tokens[i].ident() == Some("register")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let is_probe_new = tokens[i].ident() == Some("ProbeChecker")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).and_then(Token::ident) == Some("new")
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('));
+        if !is_register && !is_probe_new {
+            i += 1;
+            continue;
+        }
+        let open = if is_register { i + 1 } else { i + 4 };
+        let Some(close) = matching_paren(tokens, open) else {
+            i += 1;
+            continue;
+        };
+        // Probe id: the first string argument, or a synthesized locator.
+        let id = match &tokens[open + 1].tok {
+            crate::lexer::Tok::Str(s) => s.clone(),
+            _ => format!("{}@L{}", file.rel_path, tokens[i].line),
+        };
+        // The probe body: the closure's brace block inside the arg list.
+        let mut j = open + 1;
+        let mut body = None;
+        while j < close {
+            if tokens[j].is_punct('|') {
+                // Skip to the closing pipe of the parameter list.
+                let mut k = j + 1;
+                if tokens.get(k).is_some_and(|t| t.is_punct('|')) {
+                    k += 1; // `||` — empty parameter list
+                } else {
+                    while k < close && !tokens[k].is_punct('|') {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Body opens at the next brace (possibly after `-> Type`).
+                while k < close && !tokens[k].is_punct('{') {
+                    k += 1;
+                }
+                if k < close {
+                    if let Some(end) = matching_brace(tokens, k) {
+                        body = Some((k + 1)..end);
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            units.push(ProbeUnit {
+                id,
+                file: file_idx,
+                line: tokens[i].line,
+                body,
+            });
+        }
+        i = close + 1;
+    }
+}
+
+/// Classifies every probe body of the crate in `model` (which must be
+/// built *without* excluding the checker files).
+pub fn analyze_safety_model(program: &str, model: &CrateModel) -> SafetyReport {
+    let mut units = Vec::new();
+    for (idx, file) in model.files.iter().enumerate() {
+        let fname = file.rel_path.rsplit('/').next().unwrap_or(&file.rel_path);
+        if fname == "wd.rs" {
+            find_closure_units(idx, file, &mut units);
+        }
+        if checker_files(program).contains(&fname) {
+            for decl in model.fns.iter().filter(|f| f.file == idx) {
+                if decl.name == "check" {
+                    units.push(ProbeUnit {
+                        id: format!(
+                            "{}::check@L{}",
+                            fname.trim_end_matches(".rs"),
+                            decl.sig_line
+                        ),
+                        file: idx,
+                        line: decl.sig_line,
+                        body: decl.body.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut scanner = Scanner::new(model);
+    let mut probes = Vec::new();
+    for unit in units {
+        let file = &model.files[unit.file];
+        let tokens = &file.tokens;
+        let mutations = scanner.scan_body(tokens, unit.body.clone(), &BTreeMap::new());
+
+        // `// wdog: replica <reason>` inside the body line range excuses
+        // untagged mutations — an audited, code-adjacent exception.
+        let body_lines = (
+            tokens.get(unit.body.start).map(|t| t.line).unwrap_or(0),
+            tokens
+                .get(unit.body.end.saturating_sub(1))
+                .map(|t| t.line)
+                .unwrap_or(u32::MAX),
+        );
+        let replica_annotation = file
+            .annotations
+            .iter()
+            .find(|a| {
+                a.body.starts_with("replica")
+                    && a.line >= body_lines.0.saturating_sub(1)
+                    && a.line <= body_lines.1
+            })
+            .map(|a| a.body.clone());
+
+        let class = if mutations.is_empty() {
+            SafetyClass::ReadOnly
+        } else if mutations.iter().all(|m| m.tagged) || replica_annotation.is_some() {
+            SafetyClass::ReplicaWrite
+        } else {
+            SafetyClass::SharedMutation
+        };
+        probes.push(ProbeSafety {
+            id: unit.id,
+            file: file.rel_path.clone(),
+            line: unit.line,
+            class,
+            mutations,
+            replica_annotation,
+        });
+    }
+    probes.sort_by(|a, b| (&a.file, a.line, &a.id).cmp(&(&b.file, b.line, &b.id)));
+
+    let mut info = vec![format!(
+        "{} probe bodies scanned; {} probe-marker consts in scope",
+        probes.len(),
+        scanner.probe_consts.len()
+    )];
+    if probes.is_empty() {
+        info.push("no probe bodies found — is wd.rs present?".to_owned());
+    }
+    SafetyReport {
+        program: program.to_owned(),
+        probes,
+        info,
+    }
+}
+
+/// Reads the target's crate sources (nothing excluded — probe bodies live
+/// in the very files the IR extractor skips) and classifies every probe.
+pub fn analyze_safety(cfg: &TargetConfig) -> std::io::Result<SafetyReport> {
+    let root = workspace_root();
+    let dir = root.join(cfg.src_dir);
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = format!(
+            "{}/{}",
+            cfg.src_dir,
+            path.file_name().unwrap().to_string_lossy()
+        );
+        files.push(SourceFile::parse(rel, &src, false));
+    }
+    Ok(analyze_safety_model(cfg.name, &CrateModel::build(files)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> SafetyReport {
+        let model = CrateModel::build(vec![SourceFile::parse("crates/x/src/wd.rs", src, false)]);
+        analyze_safety_model("x", &model)
+    }
+
+    #[test]
+    fn read_only_probe_classifies_clean() {
+        let r = report(
+            r#"
+fn op_table(s: &S) -> OpTable {
+    table.register("f#read", move |_snap| {
+        s.partitions.validate_all()
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes.len(), 1);
+        assert_eq!(r.probes[0].id, "f#read");
+        assert_eq!(r.probes[0].class, SafetyClass::ReadOnly);
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn tagged_write_is_replica_write() {
+        let r = report(
+            r#"
+const PROBE: &str = "wal/__wd_probe";
+fn op_table(s: &S) -> OpTable {
+    table.register("f#w", move |_snap| {
+        s.disk.append(PROBE, b"x")?;
+        s.disk.fsync(PROBE)
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::ReplicaWrite);
+        assert_eq!(r.probes[0].mutations.len(), 2);
+        assert!(r.probes[0].mutations.iter().all(|m| m.tagged));
+    }
+
+    #[test]
+    fn untagged_write_is_a_violation() {
+        let r = report(
+            r#"
+fn op_table(s: &S) -> OpTable {
+    table.register("f#w", move |_snap| {
+        s.disk.append("wal/log", b"x")
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::SharedMutation);
+        assert_eq!(r.violations().len(), 1);
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn tagged_local_binding_carries_the_tag() {
+        let r = report(
+            r#"
+const KEY_PREFIX: &str = "__wd:";
+fn op_table(s: &S) -> OpTable {
+    table.register("f#put", move |_snap| {
+        let key = format!("{KEY_PREFIX}probe");
+        s.index.put(&key, "v");
+        s.index.remove(&key);
+        Ok(())
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::ReplicaWrite, "{r:?}");
+    }
+
+    #[test]
+    fn helper_call_with_tagged_args_is_replica_write() {
+        let r = report(
+            r#"
+const PROBE: &str = "sst/__wd_probe";
+fn probe_write(disk: &D, path: &str, payload: &[u8]) -> R {
+    disk.append(path, payload)
+}
+fn op_table(s: &S) -> OpTable {
+    table.register("f#w", move |_snap| {
+        probe_write(&s.disk, PROBE, b"x")
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::ReplicaWrite, "{r:?}");
+        assert_eq!(r.probes[0].mutations[0].method, "probe_write");
+    }
+
+    #[test]
+    fn helper_call_without_tags_is_a_violation() {
+        let r = report(
+            r#"
+fn write_everything(disk: &D) -> R {
+    disk.write_all("data/live", b"x")
+}
+fn op_table(s: &S) -> OpTable {
+    table.register("f#w", move |_snap| {
+        write_everything(&s.disk)
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::SharedMutation);
+    }
+
+    #[test]
+    fn probe_checker_closures_and_wdprobe_variant() {
+        let r = report(
+            r#"
+fn build(s: &S) {
+    b.checker(Box::new(ProbeChecker::new(
+        "x.probe.send",
+        "x.api",
+        "send",
+        clock,
+        move || -> R {
+            s.net.send(SRC, DST, Msg::WdProbe.encode())
+        },
+    )));
+}
+"#,
+        );
+        assert_eq!(r.probes.len(), 1);
+        assert_eq!(r.probes[0].id, "x.probe.send");
+        assert_eq!(r.probes[0].class, SafetyClass::ReplicaWrite);
+    }
+
+    #[test]
+    fn replica_annotation_excuses_with_justification() {
+        let r = report(
+            r#"
+fn op_table(s: &S) -> OpTable {
+    table.register("f#w", move |_snap| {
+        // wdog: replica probe store is checker-private
+        s.replica.write_all("data/block", b"x")
+    });
+    table
+}
+"#,
+        );
+        assert_eq!(r.probes[0].class, SafetyClass::ReplicaWrite);
+        assert!(r.probes[0]
+            .replica_annotation
+            .as_deref()
+            .unwrap()
+            .contains("checker-private"));
+    }
+
+    #[test]
+    fn check_methods_in_checker_files_are_units() {
+        let src = r#"
+impl Checker for Legacy {
+    fn check(&mut self) -> CheckStatus {
+        let _ = self.store.list_volume("v0");
+        CheckStatus::Pass
+    }
+}
+impl Checker for Enhanced {
+    fn check(&mut self) -> CheckStatus {
+        self.probe_volume("v0")
+    }
+}
+impl Enhanced {
+    fn probe_volume(&self, v: &str) -> CheckStatus {
+        let path = format!("blocks/{v}/__wd_probe");
+        self.disk.write_all(&path, b"x");
+        CheckStatus::Pass
+    }
+}
+"#;
+        let model = CrateModel::build(vec![SourceFile::parse(
+            "crates/miniblock/src/disk_checker.rs",
+            src,
+            false,
+        )]);
+        let r = analyze_safety_model("miniblock", &model);
+        assert_eq!(r.probes.len(), 2, "{r:?}");
+        assert_eq!(r.probes[0].class, SafetyClass::ReadOnly);
+        assert_eq!(r.probes[1].class, SafetyClass::ReplicaWrite, "{r:?}");
+    }
+}
