@@ -77,6 +77,7 @@ fn driver_throughput(c: &mut Criterion) {
                     policy: SchedulePolicy::every(Duration::from_millis(1)),
                     default_timeout: Duration::from_secs(1),
                     health_window: Duration::from_secs(10),
+                    spawn_order_seed: None,
                 })
                 .checkers((0..16).map(|i| {
                     Box::new(FnChecker::new(format!("c{i}"), "bench", || {

@@ -183,7 +183,8 @@ impl Injector {
                     BaseError::InvalidState("runtime pause needs a clock bound".into())
                 })?;
                 let millis = *millis;
-                std::thread::spawn(move || {
+                let spawn_clock = Arc::clone(&clock);
+                wdog_base::clock::spawn_on(&spawn_clock, "fault-pause-release", move || {
                     clock.sleep(std::time::Duration::from_millis(millis));
                     stall2.set_stalled(false);
                 });
@@ -239,17 +240,22 @@ impl Injector {
             .clone()
             .ok_or_else(|| BaseError::InvalidState("schedule needs a clock bound".into()))?;
         let this = self.clone();
-        Ok(std::thread::spawn(move || {
-            clock.sleep(spec.start_after);
-            let armed = match this.inject(&spec.kind) {
-                Ok(a) => a,
-                Err(_) => return,
-            };
-            if let Some(d) = spec.duration {
-                clock.sleep(d);
-                this.clear(&armed);
-            }
-        }))
+        let spawn_clock = Arc::clone(&clock);
+        Ok(wdog_base::clock::spawn_on(
+            &spawn_clock,
+            "fault-schedule",
+            move || {
+                clock.sleep(spec.start_after);
+                let armed = match this.inject(&spec.kind) {
+                    Ok(a) => a,
+                    Err(_) => return,
+                };
+                if let Some(d) = spec.duration {
+                    clock.sleep(d);
+                    this.clear(&armed);
+                }
+            },
+        ))
     }
 }
 

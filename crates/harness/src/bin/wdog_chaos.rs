@@ -2,11 +2,20 @@
 //!
 //! ```text
 //! wdog-chaos [--target {kvs|minizk|miniblock|all}]
-//!            [--seed N] [--schedules N]
+//!            [--seed N] [--schedules N] [--sim] [--max-wall-ms N]
 //!            [--require-detected N] [--require-clean-benign]
 //!            [--replay FILE]
-//! wdog-chaos --replay results/chaos/chaos-42-003.kvs.missed.json
+//! wdog-chaos --sim --schedules 1000 --target all
+//! wdog-chaos --sim --replay results/chaos/chaos-42-003.kvs.missed.json
 //! ```
+//!
+//! `--sim` replays every schedule on a discrete-event virtual clock:
+//! warmup, horizon, and grace pass in virtual time, so thousands of
+//! schedules cost seconds of wall clock and the canonical report is
+//! byte-identical across runs by construction — no retry loops, no
+//! agreement protocols. `--max-wall-ms N` makes the per-target campaign
+//! wall time a hard gate (CI pins the sim sweep under the old real-clock
+//! smoke budget).
 //!
 //! Campaign mode composes `--schedules` seeded multi-fault schedules from
 //! the target's catalogue, replays each against a live testbed, scores
@@ -37,7 +46,7 @@ use wdog_telemetry::{ChaosMetrics, TelemetryRegistry};
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: wdog-chaos [--target {{kvs|minizk|miniblock|all}}] [--seed N] [--schedules N] \
-         [--require-detected N] [--require-clean-benign] [--replay FILE]"
+         [--sim] [--max-wall-ms N] [--require-detected N] [--require-clean-benign] [--replay FILE]"
     );
     std::process::exit(code);
 }
@@ -62,7 +71,7 @@ fn write_chaos_json(name: &str, value: &impl serde::Serialize) {
     }
 }
 
-fn replay_file(path: &str) -> i32 {
+fn replay_file(path: &str, sim: bool) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -87,7 +96,10 @@ fn replay_file(path: &str) -> i32 {
             return 2;
         }
     };
-    let opts = ChaosOptions::default();
+    let opts = ChaosOptions {
+        sim,
+        ..ChaosOptions::default()
+    };
     match chaos::replay(targets[0].as_ref(), &rep, &opts) {
         Ok((outcome, matches)) => {
             println!(
@@ -120,6 +132,8 @@ fn main() {
     let mut require_detected: u64 = 0;
     let mut require_clean_benign = false;
     let mut replay: Option<String> = None;
+    let mut sim = false;
+    let mut max_wall_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -143,6 +157,14 @@ fn main() {
                 require_clean_benign = true;
                 i += 1;
             }
+            "--sim" => {
+                sim = true;
+                i += 1;
+            }
+            "--max-wall-ms" if i + 1 < args.len() => {
+                max_wall_ms = Some(args[i + 1].parse().unwrap_or_else(|_| usage(2)));
+                i += 2;
+            }
             "--replay" if i + 1 < args.len() => {
                 replay = Some(args[i + 1].clone());
                 i += 2;
@@ -158,6 +180,8 @@ fn main() {
                     require_detected = v.parse().unwrap_or_else(|_| usage(2));
                 } else if let Some(v) = other.strip_prefix("--replay=") {
                     replay = Some(v.to_owned());
+                } else if let Some(v) = other.strip_prefix("--max-wall-ms=") {
+                    max_wall_ms = Some(v.parse().unwrap_or_else(|_| usage(2)));
                 } else {
                     usage(2);
                 }
@@ -167,7 +191,7 @@ fn main() {
     }
 
     if let Some(path) = replay {
-        std::process::exit(replay_file(&path));
+        std::process::exit(replay_file(&path, sim));
     }
 
     let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
@@ -182,8 +206,10 @@ fn main() {
             seed,
             schedules,
             metrics: Some(metrics.clone()),
+            sim,
             ..ChaosOptions::default()
         };
+        let campaign_start = std::time::Instant::now();
         let report: ChaosReport = match chaos::run_campaign(target.as_ref(), &opts) {
             Ok(r) => r,
             Err(e) => {
@@ -192,7 +218,23 @@ fn main() {
                 continue;
             }
         };
+        let wall_ms = campaign_start.elapsed().as_millis() as u64;
         println!("{}", chaos::render(&report));
+        println!(
+            "[{}: {} schedules in {wall_ms} ms wall{}]",
+            target.name(),
+            report.summary.schedules,
+            if sim { " (sim)" } else { "" },
+        );
+        if let Some(budget) = max_wall_ms {
+            if wall_ms > budget {
+                eprintln!(
+                    "wdog-chaos [{}]: campaign took {wall_ms} ms wall > budget {budget} ms",
+                    target.name()
+                );
+                failed = true;
+            }
+        }
         write_chaos_json(&format!("chaos_{}", target.name()), &report);
 
         // Reproducer archive: each shrunk failing schedule, or an

@@ -18,7 +18,11 @@
 //! * `--coverage-out DIR` overrides the artifact directory;
 //! * `--corpus DIR` points at the chaos reproducer corpus whose missed
 //!   schedules the matrix cross-references (defaults to
-//!   `tests/chaos_corpus`, falling back to `results/chaos`).
+//!   `tests/chaos_corpus`, falling back to `results/chaos`);
+//! * `--deny-real-clock` fails on any raw `Instant::now` /
+//!   `SystemTime::now` / `thread::sleep` in production code outside the
+//!   documented exemptions — the virtual-time substrate's determinism
+//!   guarantee depends on every time read going through `Clock`.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -32,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: wdog-lint [--target {{kvs|minizk|miniblock|all}}] [--deny-drift]\n\
          \x20                [--deny-unsafe-checker] [--deny-deadlock-cycle]\n\
-         \x20                [--deny-coverage-regression] [--coverage-out DIR] [--corpus DIR]"
+         \x20                [--deny-coverage-regression] [--deny-real-clock]\n\
+         \x20                [--coverage-out DIR] [--corpus DIR]"
     );
     std::process::exit(2);
 }
@@ -150,6 +155,7 @@ fn main() {
     let mut deny_unsafe = false;
     let mut deny_deadlock = false;
     let mut deny_coverage = false;
+    let mut deny_real_clock = false;
     let mut coverage_out = PathBuf::from("results/analysis");
     let mut corpus: Option<PathBuf> = None;
     let mut i = 0;
@@ -181,6 +187,10 @@ fn main() {
             }
             "--deny-coverage-regression" => {
                 deny_coverage = true;
+                i += 1;
+            }
+            "--deny-real-clock" => {
+                deny_real_clock = true;
                 i += 1;
             }
             other => {
@@ -263,7 +273,37 @@ fn main() {
     }
     harness::write_json(&harness::result_name("drift", &name), &reports);
 
+    // The real-clock scan is workspace-wide, not per target: one pass over
+    // every production crate that can run inside a virtual-time campaign.
+    let real_clock = match wdog_analyze::scan_real_clock(
+        &wdog_analyze::workspace_root(),
+        &wdog_analyze::REAL_CLOCK_ROOTS,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: real-clock scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== real-clock scan: {} files, {} finding(s), {} exempted ==",
+        real_clock.scanned_files,
+        real_clock.findings.len(),
+        real_clock.exempted.len()
+    );
+    for f in &real_clock.findings {
+        println!("   !! {} at {}:{}", f.pattern, f.file, f.line);
+    }
+    write_artifact(&coverage_out, "real_clock.json", &real_clock);
+
     let mut failed = false;
+    if deny_real_clock && !real_clock.findings.is_empty() {
+        eprintln!(
+            "\nwdog-lint: {} raw time call(s) in production code; failing (--deny-real-clock)",
+            real_clock.findings.len()
+        );
+        failed = true;
+    }
     if deny_drift && denied_drift > 0 {
         eprintln!(
             "\nwdog-lint: {denied_drift} undocumented drift finding(s); failing (--deny-drift)"

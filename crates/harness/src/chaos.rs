@@ -42,6 +42,8 @@ use faults::schedule::{compose_schedule, ComposeOptions, FaultSchedule};
 use faults::spec::FaultKind;
 use faults::ArmedFault;
 use faults::Scenario;
+use simio::{KillScope, SimClock};
+use wdog_base::clock::Clock;
 use wdog_base::error::{BaseError, BaseResult};
 use wdog_core::report::FailureReport;
 use wdog_target::{WatchdogTarget, WdOptions, WorkloadProfile};
@@ -85,6 +87,11 @@ pub struct ChaosOptions {
     pub max_reproducers: usize,
     /// Telemetry sidecar for latencies and campaign counters.
     pub metrics: Option<ChaosMetrics>,
+    /// Run every schedule on a discrete-event [`SimClock`] instead of the
+    /// real clock: virtual time advances only when every actor is blocked,
+    /// so a full warmup + horizon + grace replay costs milliseconds of
+    /// wall time and the report is byte-identical by construction.
+    pub sim: bool,
 }
 
 impl Default for ChaosOptions {
@@ -103,23 +110,36 @@ impl Default for ChaosOptions {
             shrink_budget: 24,
             max_reproducers: 2,
             metrics: None,
+            sim: false,
         }
     }
 }
 
-/// The catalogue subset chaos composes from: every gray scenario except
-/// process crashes (which kill the in-process watchdog — nothing to
-/// score) and memory leaks (whose accrual rate couples the verdict to
-/// wall time).
+/// The catalogue subset chaos composes from.
+///
+/// Process crashes are gated by the target's [kill
+/// hierarchy](WatchdogTarget::kill_hierarchy) rather than a hard-coded
+/// exclusion: a `ProcessCrash` scenario stays in the pool only if some
+/// process-scope node's whole cascade is killable. Under the canonical
+/// single-process hierarchy the sole process hosts the in-process
+/// watchdog, so its guard vetoes the kill — a crashed run has no detector
+/// left to score. Memory leaks stay out unconditionally: their accrual
+/// rate couples the verdict to wall time.
 pub fn chaos_pool(target: &dyn WatchdogTarget) -> Vec<Scenario> {
+    let hierarchy = target.kill_hierarchy();
+    let crash_in_scope = hierarchy.names().iter().any(|n| {
+        hierarchy
+            .find(n)
+            .is_some_and(|node| node.scope() == KillScope::Process)
+            && hierarchy.can_kill(n)
+    });
     target
         .catalog()
         .into_iter()
-        .filter(|s| {
-            !matches!(
-                s.kind,
-                FaultKind::ProcessCrash | FaultKind::MemoryLeak { .. }
-            )
+        .filter(|s| match s.kind {
+            FaultKind::ProcessCrash => crash_in_scope,
+            FaultKind::MemoryLeak { .. } => false,
+            _ => true,
         })
         .collect()
 }
@@ -232,7 +252,17 @@ pub fn run_schedule(
 ) -> BaseResult<ScheduleOutcome> {
     schedule.validate().map_err(BaseError::InvalidState)?;
 
-    let mut inst = target.start(schedule.seed)?;
+    // Sim mode: the harness owns a discrete-event clock and registers
+    // itself as its first actor, so boot, fault arming, and observation
+    // all happen at deterministic virtual instants.
+    let mut main_guard = None;
+    let mut inst = if opts.sim {
+        let sim = Arc::new(SimClock::new());
+        main_guard = Some(sim.actor("chaos-main").adopt());
+        target.start_on(schedule.seed, sim)?
+    } else {
+        target.start(schedule.seed)?
+    };
     let clock = inst.clock();
     // The pool excludes crashes, so the crash hook never fires.
     let injector = inst.injector(Arc::new(|| {}));
@@ -302,10 +332,37 @@ pub fn run_schedule(
         injector.clear(a);
     }
     inst.clear_faults();
-    inst.stop_workload();
-    driver.stop();
-    let reports = driver.log().reports();
-    inst.teardown();
+    let reports = if let Some(guard) = main_guard.take() {
+        // Sim teardown: raise every stop flag and seal the report log at
+        // the frozen virtual instant — every loop observes the same stop
+        // time, and no report past the deadline can leak into scoring —
+        // then retire the harness actor so virtual time free-runs while
+        // the blocking joins drain.
+        inst.request_stop();
+        driver.request_stop();
+        let reports = driver.log().reports();
+        guard.retire();
+        inst.stop_workload();
+        driver.stop();
+        inst.teardown();
+        reports
+    } else {
+        inst.stop_workload();
+        driver.stop();
+        let reports = driver.log().reports();
+        inst.teardown();
+        reports
+    };
+    if let Some(m) = &opts.metrics {
+        if let Some((disk, net)) = inst.io_stats() {
+            for (op, s) in disk.rows() {
+                m.sim_io_disk(op, s.calls, s.faults);
+            }
+            for (op, s) in net.rows() {
+                m.sim_io_net(op, s.calls, s.faults);
+            }
+        }
+    }
 
     Ok(score_schedule(
         target,
@@ -548,14 +605,18 @@ pub fn run_campaign(target: &dyn WatchdogTarget, opts: &ChaosOptions) -> BaseRes
         let Some(schedule) = compose_schedule(&pool, opts.seed, index, &opts.compose) else {
             continue;
         };
-        eprintln!(
-            "[wdog-chaos] {} / {} ({} fault{}, {}) ...",
-            target.name(),
-            schedule.id,
-            schedule.faults.len(),
-            if schedule.faults.len() == 1 { "" } else { "s" },
-            if schedule.benign { "benign" } else { "harmful" },
-        );
+        // Sim sweeps run thousands of schedules; log every 100th instead
+        // of flooding stderr.
+        if !opts.sim || index % 100 == 0 || index + 1 == opts.schedules {
+            eprintln!(
+                "[wdog-chaos] {} / {} ({} fault{}, {}) ...",
+                target.name(),
+                schedule.id,
+                schedule.faults.len(),
+                if schedule.faults.len() == 1 { "" } else { "s" },
+                if schedule.benign { "benign" } else { "harmful" },
+            );
+        }
         let outcome = run_schedule(target, &schedule, opts)?;
 
         if outcome.failing() && reproducers.len() < opts.max_reproducers {

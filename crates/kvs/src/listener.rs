@@ -11,12 +11,12 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use wdog_base::queue::ClockedQueue;
 
 use wdog_core::prelude::*;
 
 use crate::api::{Request, Response};
-use crate::server::Shared;
+use crate::server::{RequestItem, Shared};
 
 /// How long loops wait on their queues before re-checking the running flag.
 const IDLE_WAIT: Duration = Duration::from_millis(10);
@@ -25,16 +25,14 @@ const IDLE_WAIT: Duration = Duration::from_millis(10);
 const LEAK_BYTES: u64 = 4096;
 
 /// Drains the request queue until the server stops running.
-pub(crate) fn worker_loop(shared: Arc<Shared>, rx: Receiver<(Request, Sender<Response>)>) {
+pub(crate) fn worker_loop(shared: Arc<Shared>, rx: ClockedQueue<RequestItem>) {
     let leak_flag = shared.toggles.flag("kvs.listener.leak");
     let listener_hook = shared.hooks.site("listener_loop");
     while shared.is_running() {
         // Cooperative stop-the-world gate (runtime-pause injection).
         shared.stall.pass(shared.clock.as_ref());
-        let (req, reply) = match rx.recv_timeout(IDLE_WAIT) {
-            Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        let Some((req, reply)) = rx.pop_timeout(IDLE_WAIT) else {
+            continue;
         };
         shared.monitor.op_start();
         if leak_flag.load(Ordering::Relaxed) {
@@ -54,7 +52,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, rx: Receiver<(Request, Sender<Res
             ]
         });
         let resp = handle_request(&shared, req);
-        let _ = reply.send(resp);
+        let _ = reply.push(resp);
         shared.monitor.op_end();
     }
 }
@@ -98,22 +96,20 @@ pub(crate) fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
     };
     let encoded = logical.encode();
     if shared.config.durable {
-        let _ = shared.wal_tx.send(encoded.clone());
+        let _ = shared.wal_q.push(encoded.clone());
     }
     if shared.config.replication.is_some() {
-        let _ = shared.repl_tx.send(encoded);
+        let _ = shared.repl_q.push(encoded);
     }
     resp
 }
 
 /// Drains the WAL queue, making records durable one at a time.
-pub(crate) fn wal_loop(shared: Arc<Shared>, rx: Receiver<Vec<u8>>) {
+pub(crate) fn wal_loop(shared: Arc<Shared>, rx: ClockedQueue<Vec<u8>>) {
     let hook = shared.hooks.site("wal_loop");
     while shared.is_running() {
-        let record = match rx.recv_timeout(IDLE_WAIT) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        let Some(record) = rx.pop_timeout(IDLE_WAIT) else {
+            continue;
         };
         // Hook placed before the vulnerable append, publishing the payload
         // the mimic op will write into the redirected WAL.

@@ -11,7 +11,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use wdog_base::queue::ClockedQueue;
 
 use wdog_core::prelude::*;
 
@@ -28,7 +28,7 @@ pub const WD_PROBE_PREFIX: &[u8] = b"__wd__:";
 // wdog: resource replica
 pub(crate) fn replication_loop(
     shared: Arc<Shared>,
-    rx: Receiver<Vec<u8>>,
+    rx: ClockedQueue<Vec<u8>>,
     alive: Arc<std::sync::atomic::AtomicBool>,
 ) {
     let Some(repl) = shared.config.replication.clone() else {
@@ -39,10 +39,8 @@ pub(crate) fn replication_loop(
     };
     let hook = shared.hooks.site("replication_loop");
     while shared.is_running() && alive.load(Ordering::Relaxed) {
-        let op = match rx.recv_timeout(std::time::Duration::from_millis(10)) {
-            Ok(op) => op,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        let Some(op) = rx.pop_timeout(std::time::Duration::from_millis(10)) else {
+            continue;
         };
         let payload = op.clone();
         hook.fire(|| vec![("op_payload".into(), CtxValue::Bytes(payload))]);
@@ -76,31 +74,33 @@ impl Replica {
         let idx = index.clone();
         let run = Arc::clone(&running);
         let app = Arc::clone(&applied);
-        let thread = std::thread::Builder::new()
-            .name("kvs-replica".into())
-            // wdog: ignore -- replica peer process, not a leader region
-            .spawn(move || {
-                while run.load(Ordering::Relaxed) {
-                    let Some(msg) = mailbox.recv_timeout(std::time::Duration::from_millis(10))
-                    else {
-                        continue;
-                    };
-                    if msg.payload.starts_with(WD_PROBE_PREFIX) {
-                        continue; // Watchdog probe traffic; not real data.
-                    }
-                    if let Ok(req) = Request::decode(&msg.payload) {
-                        apply_to_index(&idx, &req);
-                        app.fetch_add(1, Ordering::Relaxed);
-                    }
+        // wdog: ignore -- replica peer process, not a leader region
+        let thread = wdog_base::clock::spawn_on(&net.clock(), "kvs-replica", move || {
+            while run.load(Ordering::Relaxed) {
+                let Some(msg) = mailbox.recv_timeout(std::time::Duration::from_millis(10)) else {
+                    continue;
+                };
+                if msg.payload.starts_with(WD_PROBE_PREFIX) {
+                    continue; // Watchdog probe traffic; not real data.
                 }
-            })
-            .expect("spawn kvs replica");
+                if let Ok(req) = Request::decode(&msg.payload) {
+                    apply_to_index(&idx, &req);
+                    app.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
         Self {
             index,
             running,
             thread: Some(thread),
             applied,
         }
+    }
+
+    /// Raises the stop flag without joining; the receive loop exits at its
+    /// next mailbox timeout (virtual-time teardown support).
+    pub fn request_stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
     }
 
     /// Reads a key from the replica's index.

@@ -15,16 +15,15 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-
 use faults::ToggleSet;
 use simio::disk::SimDisk;
 use simio::net::SimNet;
 use simio::resource::{ResourceMonitor, StallPoint};
 
-use wdog_base::clock::SharedClock;
+use wdog_base::clock::{spawn_on, SharedClock};
 use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::queue::ClockedQueue;
+use wdog_base::sync::ClockedMutex;
 
 use wdog_core::prelude::*;
 
@@ -99,13 +98,14 @@ pub(crate) struct Shared {
     pub(crate) stall: StallPoint,
     pub(crate) toggles: ToggleSet,
     pub(crate) index: MemIndex,
-    pub(crate) wal: Mutex<Wal>,
-    pub(crate) wal_tx: Sender<Vec<u8>>,
-    pub(crate) repl_tx: Sender<Vec<u8>>,
-    /// Retained so a restarted replication loop can resume the same queue.
-    pub(crate) repl_rx: Receiver<Vec<u8>>,
+    /// Clock-visible: held across WAL disk appends and flush rotation.
+    pub(crate) wal: ClockedMutex<Wal>,
+    pub(crate) wal_q: ClockedQueue<Vec<u8>>,
+    /// Shared handle: a restarted replication loop resumes the same queue.
+    pub(crate) repl_q: ClockedQueue<Vec<u8>>,
     pub(crate) partitions: PartitionManager,
-    pub(crate) compaction_lock: Mutex<()>,
+    /// Clock-visible: held across whole compaction merges (disk IO).
+    pub(crate) compaction_lock: ClockedMutex<()>,
     pub(crate) supervisor: Supervisor,
     pub(crate) index_rebuilds: AtomicU64,
     pub(crate) running: AtomicBool,
@@ -120,10 +120,13 @@ impl Shared {
     }
 }
 
+/// The request queue element: a request plus its single-slot reply queue.
+pub(crate) type RequestItem = (Request, ClockedQueue<Response>);
+
 /// The assembled kvs process.
 pub struct KvsServer {
     shared: Arc<Shared>,
-    request_tx: Sender<(Request, Sender<Response>)>,
+    request_q: ClockedQueue<RequestItem>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -155,13 +158,14 @@ impl KvsServer {
             recover(&disk, &index, &partitions)?;
         }
 
-        let (wal_tx, wal_rx) = unbounded::<Vec<u8>>();
-        let (repl_tx, repl_rx) = unbounded::<Vec<u8>>();
-        let (request_tx, request_rx) =
-            bounded::<(Request, Sender<Response>)>(config.request_queue_cap);
+        let wal_q = ClockedQueue::<Vec<u8>>::unbounded(&clock);
+        let repl_q = ClockedQueue::<Vec<u8>>::unbounded(&clock);
+        let request_q = ClockedQueue::<RequestItem>::bounded(&clock, config.request_queue_cap);
 
+        let wal = ClockedMutex::new(&clock, Wal::new(Arc::clone(&disk), "wal/current"));
+        let compaction_lock = ClockedMutex::new(&clock, ());
         let shared = Arc::new(Shared {
-            wal: Mutex::new(Wal::new(Arc::clone(&disk), "wal/current")),
+            wal,
             config: config.clone(),
             clock,
             disk,
@@ -170,11 +174,10 @@ impl KvsServer {
             stall: StallPoint::new(),
             toggles,
             index,
-            wal_tx,
-            repl_tx,
-            repl_rx: repl_rx.clone(),
+            wal_q: wal_q.clone(),
+            repl_q: repl_q.clone(),
             partitions,
-            compaction_lock: Mutex::new(()),
+            compaction_lock,
             supervisor: Supervisor::new(),
             index_rebuilds: AtomicU64::new(0),
             running: AtomicBool::new(true),
@@ -184,63 +187,50 @@ impl KvsServer {
         });
 
         // Expose queue depths to signal checkers.
-        let rq = request_rx.clone();
+        let rq = request_q.clone();
         monitor.register_queue("requests", Arc::new(move || rq.len()));
-        let wq = wal_rx.clone();
+        let wq = wal_q.clone();
         monitor.register_queue("wal", Arc::new(move || wq.len()));
-        let pq = repl_rx.clone();
+        let pq = repl_q.clone();
         monitor.register_queue("replication", Arc::new(move || pq.len()));
 
         let mut threads = Vec::new();
         for i in 0..config.workers.max(1) {
             let s = Arc::clone(&shared);
-            let rx = request_rx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("kvs-worker-{i}"))
-                    .spawn(move || crate::listener::worker_loop(s, rx))
-                    .expect("spawn kvs worker"),
-            );
+            let rx = request_q.clone();
+            threads.push(spawn_on(
+                &shared.clock,
+                &format!("kvs-worker-{i}"),
+                move || crate::listener::worker_loop(s, rx),
+            ));
         }
         if config.durable {
             let s = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("kvs-wal".into())
-                    .spawn(move || crate::listener::wal_loop(s, wal_rx))
-                    .expect("spawn kvs wal writer"),
-            );
+            threads.push(spawn_on(&shared.clock, "kvs-wal", move || {
+                crate::listener::wal_loop(s, wal_q)
+            }));
             let s = Arc::clone(&shared);
             let alive = s.supervisor.flusher.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("kvs-flusher".into())
-                    .spawn(move || crate::flusher::flusher_loop(s, alive))
-                    .expect("spawn kvs flusher"),
-            );
+            threads.push(spawn_on(&shared.clock, "kvs-flusher", move || {
+                crate::flusher::flusher_loop(s, alive)
+            }));
             let s = Arc::clone(&shared);
             let alive = s.supervisor.compaction.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("kvs-compaction".into())
-                    .spawn(move || crate::compaction::compaction_loop(s, alive))
-                    .expect("spawn kvs compaction"),
-            );
+            threads.push(spawn_on(&shared.clock, "kvs-compaction", move || {
+                crate::compaction::compaction_loop(s, alive)
+            }));
         }
         if config.replication.is_some() {
             let s = Arc::clone(&shared);
             let alive = s.supervisor.replication.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("kvs-replication".into())
-                    .spawn(move || crate::replication::replication_loop(s, repl_rx, alive))
-                    .expect("spawn kvs replication"),
-            );
+            threads.push(spawn_on(&shared.clock, "kvs-replication", move || {
+                crate::replication::replication_loop(s, repl_q, alive)
+            }));
         }
 
         Ok(Self {
             shared,
-            request_tx,
+            request_q,
             threads,
         })
     }
@@ -259,7 +249,8 @@ impl KvsServer {
     /// Returns a client handle.
     pub fn client(&self) -> KvsClient {
         KvsClient {
-            tx: self.request_tx.clone(),
+            q: self.request_q.clone(),
+            clock: Arc::clone(&self.shared.clock),
             timeout: self.shared.config.client_timeout,
         }
     }
@@ -367,10 +358,9 @@ impl KvsServer {
             }
             let s = Arc::clone(&self.shared);
             let alive = s.supervisor.flusher.next_generation();
-            std::thread::Builder::new()
-                .name("kvs-flusher".into())
-                .spawn(move || crate::flusher::flusher_loop(s, alive))
-                .expect("respawn kvs flusher");
+            spawn_on(&self.shared.clock, "kvs-flusher", move || {
+                crate::flusher::flusher_loop(s, alive)
+            });
             true
         } else if c.contains("compact") {
             if !self.shared.config.durable {
@@ -382,22 +372,20 @@ impl KvsServer {
             self.shared.toggles.set("kvs.compaction.busyloop", false);
             let s = Arc::clone(&self.shared);
             let alive = s.supervisor.compaction.next_generation();
-            std::thread::Builder::new()
-                .name("kvs-compaction".into())
-                .spawn(move || crate::compaction::compaction_loop(s, alive))
-                .expect("respawn kvs compaction");
+            spawn_on(&self.shared.clock, "kvs-compaction", move || {
+                crate::compaction::compaction_loop(s, alive)
+            });
             true
         } else if c.contains("repl") {
             if self.shared.config.replication.is_none() {
                 return false;
             }
             let s = Arc::clone(&self.shared);
-            let rx = self.shared.repl_rx.clone();
+            let rx = self.shared.repl_q.clone();
             let alive = s.supervisor.replication.next_generation();
-            std::thread::Builder::new()
-                .name("kvs-replication".into())
-                .spawn(move || crate::replication::replication_loop(s, rx, alive))
-                .expect("respawn kvs replication");
+            spawn_on(&self.shared.clock, "kvs-replication", move || {
+                crate::replication::replication_loop(s, rx, alive)
+            });
             true
         } else if c.contains("index") || c.contains("sst") {
             // "Restarting" the indexer replaces its corrupted on-disk
@@ -551,7 +539,8 @@ pub(crate) fn apply_to_index(index: &MemIndex, req: &Request) {
 /// A handle for submitting requests to a running server.
 #[derive(Clone)]
 pub struct KvsClient {
-    tx: Sender<(Request, Sender<Response>)>,
+    q: ClockedQueue<RequestItem>,
+    clock: SharedClock,
     timeout: std::time::Duration,
 }
 
@@ -560,15 +549,16 @@ impl KvsClient {
     ///
     /// Returns [`BaseError::Exhausted`] when the request queue is full and
     /// [`BaseError::Timeout`] when no response arrives in time (the
-    /// observable behaviour of a crashed or wedged server).
+    /// observable behaviour of a crashed or wedged server). The wait is
+    /// clock-paced, so a simulated clock sees it as a discrete-event wait.
     pub fn request(&self, req: Request) -> BaseResult<Response> {
-        let (reply_tx, reply_rx) = bounded::<Response>(1);
-        self.tx
-            .try_send((req, reply_tx))
+        let reply = ClockedQueue::<Response>::bounded(&self.clock, 1);
+        self.q
+            .push((req, reply.clone()))
             .map_err(|_| BaseError::Exhausted("request queue full or closed".into()))?;
-        reply_rx
-            .recv_timeout(self.timeout)
-            .map_err(|_| BaseError::Timeout {
+        reply
+            .pop_timeout(self.timeout)
+            .ok_or_else(|| BaseError::Timeout {
                 what: "kvs request".into(),
                 after_ms: self.timeout.as_millis() as u64,
             })

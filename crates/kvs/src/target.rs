@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use wdog_base::clock::{RealClock, SharedClock};
+use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 use wdog_base::rng::derive_seed;
 
@@ -25,7 +25,7 @@ use wdog_gen::ir::ProgramIr;
 use wdog_gen::plan::WatchdogPlan;
 
 use wdog_target::{
-    catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
+    catalog_for, spawn_workload_on, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
     RecoverySurface, TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver,
     WorkloadProfile,
 };
@@ -66,8 +66,7 @@ impl WatchdogTarget for KvsTarget {
         .to_vec()
     }
 
-    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
-        let clock: SharedClock = RealClock::shared();
+    fn start_on(&self, seed: u64, clock: SharedClock) -> BaseResult<Box<dyn TargetInstance>> {
         let net = SimNet::new(
             LatencyModel::new(30.0, derive_seed(seed, "net")),
             Arc::clone(&clock),
@@ -136,7 +135,8 @@ impl TargetInstance for KvsInstance {
 
     fn start_workload(&mut self, profile: &WorkloadProfile, observer: Option<WorkloadObserver>) {
         let client = self.server.client();
-        self.workload = Some(spawn_workload(
+        self.workload = Some(spawn_workload_on(
+            &self.clock,
             profile,
             observer,
             Arc::new(move |ticket| {
@@ -185,8 +185,22 @@ impl TargetInstance for KvsInstance {
         self.server.stats().errors_handled
     }
 
+    fn request_stop(&self) {
+        if let Some(w) = &self.workload {
+            w.request_stop();
+        }
+        if let Some(r) = &self.replica {
+            r.request_stop();
+        }
+        self.server.crash();
+    }
+
     fn recovery_surface(&self) -> Option<RecoverySurface> {
         Some(crate::recover::recovery_surface(&self.server))
+    }
+
+    fn io_stats(&self) -> Option<(simio::disk::DiskOpStats, simio::net::NetOpStats)> {
+        Some((self.disk.op_stats(), self.net.op_stats()))
     }
 
     fn clear_faults(&self) {

@@ -169,34 +169,31 @@ impl DataNode {
         {
             let s = Arc::clone(&shared);
             let alive = s.supervisor.heartbeat.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dn-heartbeat".into())
-                    .spawn(move || heartbeat_loop(s, alive))
-                    .expect("spawn dn heartbeat"),
-            );
+            threads.push(wdog_base::clock::spawn_on(
+                &shared.clock,
+                "dn-heartbeat",
+                move || heartbeat_loop(s, alive),
+            ));
         }
         // Block-report loop.
         {
             let s = Arc::clone(&shared);
             let alive = s.supervisor.report.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dn-report".into())
-                    .spawn(move || report_loop(s, alive))
-                    .expect("spawn dn report"),
-            );
+            threads.push(wdog_base::clock::spawn_on(
+                &shared.clock,
+                "dn-report",
+                move || report_loop(s, alive),
+            ));
         }
         // Block scanner loop (HDFS's DataBlockScanner).
         {
             let s = Arc::clone(&shared);
             let alive = s.supervisor.scanner.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dn-scanner".into())
-                    .spawn(move || scanner_loop(s, alive))
-                    .expect("spawn dn scanner"),
-            );
+            threads.push(wdog_base::clock::spawn_on(
+                &shared.clock,
+                "dn-scanner",
+                move || scanner_loop(s, alive),
+            ));
         }
 
         Ok(Self {
@@ -295,26 +292,17 @@ impl DataNode {
         if component.contains("heartbeat") {
             let s2 = Arc::clone(s);
             let alive = s.supervisor.heartbeat.next_generation();
-            std::thread::Builder::new()
-                .name("dn-heartbeat".into())
-                .spawn(move || heartbeat_loop(s2, alive))
-                .expect("respawn dn heartbeat");
+            wdog_base::clock::spawn_on(&s.clock, "dn-heartbeat", move || heartbeat_loop(s2, alive));
             true
         } else if component.contains("report") || component.contains("namenode") {
             let s2 = Arc::clone(s);
             let alive = s.supervisor.report.next_generation();
-            std::thread::Builder::new()
-                .name("dn-report".into())
-                .spawn(move || report_loop(s2, alive))
-                .expect("respawn dn report");
+            wdog_base::clock::spawn_on(&s.clock, "dn-report", move || report_loop(s2, alive));
             true
         } else if component.contains("scan") {
             let s2 = Arc::clone(s);
             let alive = s.supervisor.scanner.next_generation();
-            std::thread::Builder::new()
-                .name("dn-scanner".into())
-                .spawn(move || scanner_loop(s2, alive))
-                .expect("respawn dn scanner");
+            wdog_base::clock::spawn_on(&s.clock, "dn-scanner", move || scanner_loop(s2, alive));
             true
         } else {
             false

@@ -76,35 +76,33 @@ impl NameNode {
         let running = Arc::new(AtomicBool::new(true));
         let thread = {
             let state = Arc::clone(&state);
+            let spawn_clock = Arc::clone(&clock);
             let clock = Arc::clone(&clock);
             let running = Arc::clone(&running);
-            std::thread::Builder::new()
-                .name("bb-namenode".into())
-                .spawn(move || {
-                    while running.load(Ordering::Relaxed) {
-                        let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
-                            continue;
-                        };
-                        match NnMsg::decode(&m.payload) {
-                            Some(NnMsg::Heartbeat { datanode }) => {
-                                state.write().last_heartbeat.insert(datanode, clock.now());
-                            }
-                            Some(NnMsg::BlockReport { datanode, blocks }) => {
-                                let mut st = state.write();
-                                st.reports += 1;
-                                for b in blocks {
-                                    st.block_locations
-                                        .entry(b)
-                                        .or_default()
-                                        .insert(datanode.clone());
-                                }
-                                st.last_heartbeat.insert(datanode, clock.now());
-                            }
-                            None => {}
+            wdog_base::clock::spawn_on(&spawn_clock, "bb-namenode", move || {
+                while running.load(Ordering::Relaxed) {
+                    let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
+                        continue;
+                    };
+                    match NnMsg::decode(&m.payload) {
+                        Some(NnMsg::Heartbeat { datanode }) => {
+                            state.write().last_heartbeat.insert(datanode, clock.now());
                         }
+                        Some(NnMsg::BlockReport { datanode, blocks }) => {
+                            let mut st = state.write();
+                            st.reports += 1;
+                            for b in blocks {
+                                st.block_locations
+                                    .entry(b)
+                                    .or_default()
+                                    .insert(datanode.clone());
+                            }
+                            st.last_heartbeat.insert(datanode, clock.now());
+                        }
+                        None => {}
                     }
-                })
-                .expect("spawn namenode")
+                }
+            })
         };
         Self {
             state,
@@ -137,6 +135,11 @@ impl NameNode {
     /// Returns the number of block reports processed.
     pub fn reports(&self) -> u64 {
         self.state.read().reports
+    }
+
+    /// Raises the stop flag without joining (virtual-time teardown).
+    pub fn request_stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
     }
 
     /// Stops the NameNode thread.

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use wdog_base::clock::{RealClock, SharedClock};
+use wdog_base::clock::SharedClock;
 use wdog_base::error::BaseResult;
 use wdog_base::rng::derive_seed;
 
@@ -27,7 +27,7 @@ use wdog_gen::ir::ProgramIr;
 use wdog_gen::plan::WatchdogPlan;
 
 use wdog_target::{
-    catalog_for, spawn_workload, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
+    catalog_for, spawn_workload_on, ApiProbe, CrashSignal, FaultSurface, LivenessProbe,
     RecoverySurface, TargetInstance, WatchdogTarget, WdOptions, WorkloadHandle, WorkloadObserver,
     WorkloadProfile,
 };
@@ -88,8 +88,7 @@ impl WatchdogTarget for DnTarget {
             .to_vec()
     }
 
-    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
-        let clock: SharedClock = RealClock::shared();
+    fn start_on(&self, seed: u64, clock: SharedClock) -> BaseResult<Box<dyn TargetInstance>> {
         let net = SimNet::new(
             LatencyModel::new(30.0, derive_seed(seed, "net")),
             Arc::clone(&clock),
@@ -152,7 +151,8 @@ impl TargetInstance for DnInstance {
         // Block ids assigned by ingest, shared so readers pick real blocks.
         let written: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let dn = Arc::clone(&self.datanode);
-        self.workload = Some(spawn_workload(
+        self.workload = Some(spawn_workload_on(
+            &self.clock,
             profile,
             observer,
             Arc::new(move |ticket| {
@@ -210,6 +210,20 @@ impl TargetInstance for DnInstance {
 
     fn recovery_surface(&self) -> Option<RecoverySurface> {
         Some(crate::recover::recovery_surface(&self.datanode))
+    }
+
+    fn request_stop(&self) {
+        if let Some(w) = &self.workload {
+            w.request_stop();
+        }
+        self.datanode.crash();
+        if let Some(nn) = &self.namenode {
+            nn.request_stop();
+        }
+    }
+
+    fn io_stats(&self) -> Option<(simio::disk::DiskOpStats, simio::net::NetOpStats)> {
+        Some((self.disk.op_stats(), self.net.op_stats()))
     }
 
     fn clear_faults(&self) {

@@ -11,23 +11,28 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
+use wdog_base::clock::{RealClock, SharedClock};
 use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::sync::ClockedMutex;
 
 /// One znode.
 #[derive(Debug)]
 pub struct Znode {
     /// Full path, e.g. `/app/config`.
     pub path: String,
-    data: Mutex<Vec<u8>>,
+    // Clock-visible: the snapshot serializer holds this lock across a
+    // simulated send (`serialize_snapshot`), so contending readers must
+    // park on the clock, not the OS futex, or virtual time freezes.
+    data: ClockedMutex<Vec<u8>>,
 }
 
 impl Znode {
-    fn new(path: String, data: Vec<u8>) -> Arc<Self> {
+    fn new(clock: &SharedClock, path: String, data: Vec<u8>) -> Arc<Self> {
         Arc::new(Self {
             path,
-            data: Mutex::new(data),
+            data: ClockedMutex::new(clock, data),
         })
     }
 
@@ -61,20 +66,34 @@ pub struct DataTree {
     nodes: RwLock<BTreeMap<String, Arc<Znode>>>,
     /// The global write-serialization lock (ZooKeeper's fuzzy-snapshot
     /// critical section). Public to the crate so the watchdog op table can
-    /// try-lock the *same* lock the main program holds.
-    pub(crate) write_lock: Arc<Mutex<()>>,
+    /// try-lock the *same* lock the main program holds. Clock-visible
+    /// because `serialize_snapshot` holds it across simulated IO — exactly
+    /// the ZOOKEEPER-2201 critical section.
+    pub(crate) write_lock: Arc<ClockedMutex<()>>,
     serialized_count: AtomicU64,
+    clock: SharedClock,
 }
 
 impl DataTree {
-    /// Creates a tree containing only the root znode `/`.
+    /// Creates a tree containing only the root znode `/`, on the real
+    /// clock (tests and standalone use).
     pub fn new() -> Arc<Self> {
+        Self::new_on(&RealClock::shared())
+    }
+
+    /// Creates a tree whose locks wait on `clock` — required when the tree
+    /// lives inside a simulated process, so lock waits are discrete events.
+    pub fn new_on(clock: &SharedClock) -> Arc<Self> {
         let mut nodes = BTreeMap::new();
-        nodes.insert("/".to_owned(), Znode::new("/".to_owned(), Vec::new()));
+        nodes.insert(
+            "/".to_owned(),
+            Znode::new(clock, "/".to_owned(), Vec::new()),
+        );
         Arc::new(Self {
             nodes: RwLock::new(nodes),
-            write_lock: Arc::new(Mutex::new(())),
+            write_lock: Arc::new(ClockedMutex::new(clock, ())),
             serialized_count: AtomicU64::new(0),
+            clock: Arc::clone(clock),
         })
     }
 
@@ -104,7 +123,10 @@ impl DataTree {
         if !nodes.contains_key(parent) {
             return Err(BaseError::NotFound(format!("parent {parent}")));
         }
-        nodes.insert(path.to_owned(), Znode::new(path.to_owned(), data));
+        nodes.insert(
+            path.to_owned(),
+            Znode::new(&self.clock, path.to_owned(), data),
+        );
         Ok(())
     }
 
@@ -174,7 +196,7 @@ impl DataTree {
     }
 
     /// Returns the global write-serialization lock handle.
-    pub fn write_lock(&self) -> Arc<Mutex<()>> {
+    pub fn write_lock(&self) -> Arc<ClockedMutex<()>> {
         Arc::clone(&self.write_lock)
     }
 

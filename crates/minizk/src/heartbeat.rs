@@ -51,47 +51,47 @@ impl HeartbeatProber {
         // Pinger.
         {
             let net = net.clone();
-            let clock = Arc::clone(&clock);
+            let spawn_clock = Arc::clone(&clock);
+            let loop_clock = Arc::clone(&clock);
             let running = Arc::clone(&running);
             let pings = Arc::clone(&pings_sent);
             let addr = addr.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("hb-pinger".into())
-                    .spawn(move || {
-                        let mut seq = 0u64;
-                        while running.load(Ordering::Relaxed) {
-                            seq += 1;
-                            let _ = net.send(&addr, LEADER_ADDR, ZkMsg::Ping { seq }.encode());
-                            pings.fetch_add(1, Ordering::Relaxed);
-                            clock.sleep(interval);
-                        }
-                    })
-                    .expect("spawn hb pinger"),
-            );
+            threads.push(wdog_base::clock::spawn_on(
+                &spawn_clock,
+                "hb-pinger",
+                move || {
+                    let mut seq = 0u64;
+                    while running.load(Ordering::Relaxed) {
+                        seq += 1;
+                        let _ = net.send(&addr, LEADER_ADDR, ZkMsg::Ping { seq }.encode());
+                        pings.fetch_add(1, Ordering::Relaxed);
+                        loop_clock.sleep(interval);
+                    }
+                },
+            ));
         }
         // Pong collector.
         {
-            let clock = Arc::clone(&clock);
+            let spawn_clock = Arc::clone(&clock);
+            let loop_clock = Arc::clone(&clock);
             let running = Arc::clone(&running);
             let last = Arc::clone(&last_pong);
             let pongs = Arc::clone(&pongs_seen);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("hb-collector".into())
-                    .spawn(move || {
-                        while running.load(Ordering::Relaxed) {
-                            let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
-                                continue;
-                            };
-                            if let Ok(ZkMsg::Pong { .. }) = ZkMsg::decode(&m.payload) {
-                                *last.lock() = Some(clock.now());
-                                pongs.fetch_add(1, Ordering::Relaxed);
-                            }
+            threads.push(wdog_base::clock::spawn_on(
+                &spawn_clock,
+                "hb-collector",
+                move || {
+                    while running.load(Ordering::Relaxed) {
+                        let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
+                            continue;
+                        };
+                        if let Ok(ZkMsg::Pong { .. }) = ZkMsg::decode(&m.payload) {
+                            *last.lock() = Some(loop_clock.now());
+                            pongs.fetch_add(1, Ordering::Relaxed);
                         }
-                    })
-                    .expect("spawn hb collector"),
-            );
+                    }
+                },
+            ));
         }
 
         Self {

@@ -14,10 +14,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use serde::{Deserialize, Serialize};
 
 use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::queue::ClockedQueue;
 
 use wdog_core::prelude::*;
 
@@ -62,19 +62,17 @@ impl WriteOp {
     }
 }
 
-/// A pipeline work item: the op plus the client's reply channel.
-pub(crate) type PipelineItem = (WriteOp, Sender<BaseResult<u64>>);
+/// A pipeline work item: the op plus the client's reply queue.
+pub(crate) type PipelineItem = (WriteOp, ClockedQueue<BaseResult<u64>>);
 
 /// The pipeline thread body.
-pub(crate) fn processor_loop(shared: Arc<ZkShared>, rx: Receiver<PipelineItem>) {
+pub(crate) fn processor_loop(shared: Arc<ZkShared>, rx: ClockedQueue<PipelineItem>) {
     while shared.is_running() {
-        let (op, reply) = match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        let Some((op, reply)) = rx.pop_timeout(Duration::from_millis(10)) else {
+            continue;
         };
         let result = process_request(&shared, op);
-        let _ = reply.send(result);
+        let _ = reply.push(result);
     }
 }
 
@@ -119,7 +117,7 @@ fn final_apply(shared: &Arc<ZkShared>, zxid: u64, op: WriteOp) -> BaseResult<()>
         WriteOp::SetData { path, data } => shared.tree.set_data(path, data.clone())?,
     }
     shared.stats.writes_applied.fetch_add(1, Ordering::Relaxed);
-    let _ = shared.broadcast_tx.send((zxid, op));
+    let _ = shared.broadcast_q.push((zxid, op));
     Ok(())
 }
 

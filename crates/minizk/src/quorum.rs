@@ -13,15 +13,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
 use simio::disk::SimDisk;
 use simio::net::SimNet;
 use simio::resource::ResourceMonitor;
 
-use wdog_base::clock::SharedClock;
+use wdog_base::clock::{spawn_on, SharedClock};
 use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::queue::ClockedQueue;
 
 use wdog_core::prelude::*;
 
@@ -92,9 +92,8 @@ pub struct ZkShared {
     pub(crate) net: SimNet,
     pub(crate) clock: SharedClock,
     pub(crate) next_zxid: AtomicU64,
-    pub(crate) broadcast_tx: Sender<(u64, WriteOp)>,
-    /// Retained so a restarted broadcast loop can resume the same queue.
-    pub(crate) broadcast_rx: Receiver<(u64, WriteOp)>,
+    /// Shared handle: a restarted broadcast loop resumes the same queue.
+    pub(crate) broadcast_q: ClockedQueue<(u64, WriteOp)>,
     /// Supervision for the commit-broadcast component.
     pub(crate) broadcast_super: Supervised,
     pub(crate) follower_addrs: Vec<String>,
@@ -130,7 +129,7 @@ pub struct Follower {
 impl Follower {
     fn spawn(net: SimNet, addr: String) -> Self {
         let mailbox = net.register(addr.clone());
-        let tree = DataTree::new();
+        let tree = DataTree::new_on(&net.clock());
         let applied = Arc::new(AtomicU64::new(0));
         let snap_records = Arc::new(AtomicU64::new(0));
         let running = Arc::new(AtomicBool::new(true));
@@ -140,42 +139,39 @@ impl Follower {
         let r = Arc::clone(&running);
         let net2 = net.clone();
         let my_addr = addr.clone();
-        let thread = std::thread::Builder::new()
-            .name(format!("minizk-{addr}"))
-            // wdog: ignore -- follower peer process, not a leader region
-            .spawn(move || {
-                while r.load(Ordering::Relaxed) {
-                    let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
-                        continue;
-                    };
-                    let Ok(msg) = ZkMsg::decode(&m.payload) else {
-                        continue;
-                    };
-                    match msg {
-                        ZkMsg::Ping { seq } => {
-                            let _ = net2.send(&my_addr, &m.src, ZkMsg::Pong { seq }.encode());
-                        }
-                        ZkMsg::Commit { path, data, zxid } => {
-                            if !t.exists(&path) {
-                                let _ = t.create(&path, data);
-                            } else {
-                                let _ = t.set_data(&path, data);
-                            }
-                            a.fetch_add(1, Ordering::Relaxed);
-                            let _ = net2.send(&my_addr, &m.src, ZkMsg::CommitAck { zxid }.encode());
-                        }
-                        ZkMsg::SnapRecord { path, data } => {
-                            if path != "/" && !t.exists(&path) {
-                                let _ = t.create(&path, data);
-                            }
-                            s.fetch_add(1, Ordering::Relaxed);
-                        }
-                        ZkMsg::SnapDone { .. } => {}
-                        ZkMsg::Pong { .. } | ZkMsg::CommitAck { .. } | ZkMsg::WdProbe => {}
+        // wdog: ignore -- follower peer process, not a leader region
+        let thread = spawn_on(&net.clock(), &format!("minizk-{addr}"), move || {
+            while r.load(Ordering::Relaxed) {
+                let Some(m) = mailbox.recv_timeout(Duration::from_millis(10)) else {
+                    continue;
+                };
+                let Ok(msg) = ZkMsg::decode(&m.payload) else {
+                    continue;
+                };
+                match msg {
+                    ZkMsg::Ping { seq } => {
+                        let _ = net2.send(&my_addr, &m.src, ZkMsg::Pong { seq }.encode());
                     }
+                    ZkMsg::Commit { path, data, zxid } => {
+                        if !t.exists(&path) {
+                            let _ = t.create(&path, data);
+                        } else {
+                            let _ = t.set_data(&path, data);
+                        }
+                        a.fetch_add(1, Ordering::Relaxed);
+                        let _ = net2.send(&my_addr, &m.src, ZkMsg::CommitAck { zxid }.encode());
+                    }
+                    ZkMsg::SnapRecord { path, data } => {
+                        if path != "/" && !t.exists(&path) {
+                            let _ = t.create(&path, data);
+                        }
+                        s.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ZkMsg::SnapDone { .. } => {}
+                    ZkMsg::Pong { .. } | ZkMsg::CommitAck { .. } | ZkMsg::WdProbe => {}
                 }
-            })
-            .expect("spawn follower");
+            }
+        });
         Self {
             addr,
             tree,
@@ -201,6 +197,11 @@ impl Follower {
         self.snap_records.load(Ordering::Relaxed)
     }
 
+    /// Raises the stop flag without joining (virtual-time teardown).
+    pub fn request_stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
+    }
+
     fn stop(&mut self) {
         self.running.store(false, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
@@ -218,7 +219,7 @@ impl Drop for Follower {
 /// A running minizk cluster: one leader plus followers.
 pub struct Cluster {
     shared: Arc<ZkShared>,
-    pipeline_tx: Sender<PipelineItem>,
+    pipeline_q: ClockedQueue<PipelineItem>,
     followers: Vec<Follower>,
     threads: Vec<std::thread::JoinHandle<()>>,
     client_timeout: Duration,
@@ -240,24 +241,23 @@ impl Cluster {
 
         let context = ContextTable::new(Arc::clone(&clock));
         let hooks = Hooks::new(Arc::clone(&context));
-        let (broadcast_tx, broadcast_rx) = unbounded::<(u64, WriteOp)>();
-        let (pipeline_tx, pipeline_rx) = bounded::<PipelineItem>(config.pipeline_cap);
+        let broadcast_q = ClockedQueue::<(u64, WriteOp)>::unbounded(&clock);
+        let pipeline_q = ClockedQueue::<PipelineItem>::bounded(&clock, config.pipeline_cap);
         let monitor = ResourceMonitor::new();
-        let pq = pipeline_rx.clone();
+        let pq = pipeline_q.clone();
         monitor.register_queue("pipeline", Arc::new(move || pq.len()));
-        let bq = broadcast_rx.clone();
+        let bq = broadcast_q.clone();
         monitor.register_queue("broadcast", Arc::new(move || bq.len()));
 
         let leader_mailbox = net.register(LEADER_ADDR);
 
         let shared = Arc::new(ZkShared {
-            tree: DataTree::new(),
+            tree: DataTree::new_on(&clock),
             disk,
             net,
             clock,
             next_zxid: AtomicU64::new(1),
-            broadcast_tx,
-            broadcast_rx: broadcast_rx.clone(),
+            broadcast_q: broadcast_q.clone(),
             broadcast_super: Supervised::new(),
             follower_addrs,
             running: AtomicBool::new(true),
@@ -273,40 +273,33 @@ impl Cluster {
         // Write pipeline.
         {
             let s = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("minizk-pipeline".into())
-                    .spawn(move || crate::processors::processor_loop(s, pipeline_rx))
-                    .expect("spawn pipeline"),
-            );
+            let rx = pipeline_q.clone();
+            threads.push(spawn_on(&shared.clock, "minizk-pipeline", move || {
+                crate::processors::processor_loop(s, rx)
+            }));
         }
         // Commit broadcast.
         {
             let s = Arc::clone(&shared);
+            let rx = broadcast_q.clone();
             let alive = s.broadcast_super.flag();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("minizk-broadcast".into())
-                    .spawn(move || broadcast_loop(s, broadcast_rx, alive))
-                    .expect("spawn broadcast"),
-            );
+            threads.push(spawn_on(&shared.clock, "minizk-broadcast", move || {
+                broadcast_loop(s, rx, alive)
+            }));
         }
         // Leader responder: answers liveness pings independently of the
         // write path — this is why extrinsic heartbeats stay green during
         // the 2201 failure.
         {
             let s = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("minizk-responder".into())
-                    .spawn(move || responder_loop(s, leader_mailbox))
-                    .expect("spawn responder"),
-            );
+            threads.push(spawn_on(&shared.clock, "minizk-responder", move || {
+                responder_loop(s, leader_mailbox)
+            }));
         }
 
         Ok(Self {
             shared,
-            pipeline_tx,
+            pipeline_q,
             followers,
             threads,
             client_timeout: config.client_timeout,
@@ -325,13 +318,13 @@ impl Cluster {
     }
 
     fn submit(&self, op: WriteOp) -> BaseResult<u64> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.pipeline_tx
-            .try_send((op, reply_tx))
+        let reply = ClockedQueue::<BaseResult<u64>>::bounded(&self.shared.clock, 1);
+        self.pipeline_q
+            .push((op, reply.clone()))
             .map_err(|_| BaseError::Exhausted("write pipeline full or closed".into()))?;
-        reply_rx
-            .recv_timeout(self.client_timeout)
-            .map_err(|_| BaseError::Timeout {
+        reply
+            .pop_timeout(self.client_timeout)
+            .ok_or_else(|| BaseError::Timeout {
                 what: "minizk write".into(),
                 after_ms: self.client_timeout.as_millis() as u64,
             })?
@@ -377,33 +370,30 @@ impl Cluster {
     pub fn sync_follower(&self, follower_idx: usize) -> std::thread::JoinHandle<BaseResult<u64>> {
         let shared = Arc::clone(&self.shared);
         let target = self.followers[follower_idx].addr.clone();
-        std::thread::Builder::new()
-            .name("minizk-sync".into())
-            .spawn(move || {
-                *shared.sync_target.write() = Some(target.clone());
-                let hook = shared.hooks.site("snapshot_sync_loop");
-                let mut sink = NetSink::new(shared.net.clone(), LEADER_ADDR, &target);
-                let hook_target = target.clone();
-                let result = serialize_snapshot(&shared.tree, &mut sink, |path, data| {
-                    // Figure 2 line 28: context hook before write_record.
-                    let p = path.to_owned();
-                    let d = data.to_vec();
-                    let t = hook_target.clone();
-                    hook.fire(|| {
-                        vec![
-                            ("node_path".into(), CtxValue::Str(p)),
-                            ("node_data".into(), CtxValue::Bytes(d)),
-                            ("sync_target".into(), CtxValue::Str(t)),
-                        ]
-                    });
+        spawn_on(&self.shared.clock, "minizk-sync", move || {
+            *shared.sync_target.write() = Some(target.clone());
+            let hook = shared.hooks.site("snapshot_sync_loop");
+            let mut sink = NetSink::new(shared.net.clone(), LEADER_ADDR, &target);
+            let hook_target = target.clone();
+            let result = serialize_snapshot(&shared.tree, &mut sink, |path, data| {
+                // Figure 2 line 28: context hook before write_record.
+                let p = path.to_owned();
+                let d = data.to_vec();
+                let t = hook_target.clone();
+                hook.fire(|| {
+                    vec![
+                        ("node_path".into(), CtxValue::Str(p)),
+                        ("node_data".into(), CtxValue::Bytes(d)),
+                        ("sync_target".into(), CtxValue::Str(t)),
+                    ]
                 });
-                *shared.sync_target.write() = None;
-                if result.is_ok() {
-                    shared.stats.syncs_completed.fetch_add(1, Ordering::Relaxed);
-                }
-                result
-            })
-            .expect("spawn sync")
+            });
+            *shared.sync_target.write() = None;
+            if result.is_ok() {
+                shared.stats.syncs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            result
+        })
     }
 
     /// Retires the current broadcast generation and spawns a replacement on
@@ -412,12 +402,11 @@ impl Cluster {
     /// generation resumes shipping commits immediately).
     pub fn restart_broadcast(&self) {
         let s = Arc::clone(&self.shared);
-        let rx = self.shared.broadcast_rx.clone();
+        let rx = self.shared.broadcast_q.clone();
         let alive = self.shared.broadcast_super.next_generation();
-        std::thread::Builder::new()
-            .name("minizk-broadcast".into())
-            .spawn(move || broadcast_loop(s, rx, alive))
-            .expect("respawn broadcast");
+        spawn_on(&self.shared.clock, "minizk-broadcast", move || {
+            broadcast_loop(s, rx, alive)
+        });
     }
 
     /// Sheds the broadcast component: followers stop receiving commits but
@@ -478,6 +467,15 @@ impl Cluster {
         self.shared.running.store(false, Ordering::Relaxed);
     }
 
+    /// Raises every stop flag — leader threads and followers — without
+    /// joining anything (virtual-time teardown).
+    pub fn request_stop(&self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+        for f in &self.followers {
+            f.request_stop();
+        }
+    }
+
     /// Graceful shutdown.
     ///
     /// Threads wedged inside an armed fault are detached rather than
@@ -515,13 +513,11 @@ impl std::fmt::Debug for Cluster {
 /// this generation's supervision flag — a restart retires it and spawns a
 /// fresh loop on the same queue.
 // wdog: resource followers
-fn broadcast_loop(shared: Arc<ZkShared>, rx: Receiver<(u64, WriteOp)>, alive: Arc<AtomicBool>) {
+fn broadcast_loop(shared: Arc<ZkShared>, rx: ClockedQueue<(u64, WriteOp)>, alive: Arc<AtomicBool>) {
     let hook = shared.hooks.site("broadcast_loop");
     while shared.is_running() && alive.load(Ordering::Relaxed) {
-        let (zxid, op) = match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        let Some((zxid, op)) = rx.pop_timeout(Duration::from_millis(10)) else {
+            continue;
         };
         let (path, data) = match op {
             WriteOp::Create { path, data } | WriteOp::SetData { path, data } => (path, data),

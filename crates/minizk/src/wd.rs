@@ -291,6 +291,7 @@ pub fn build_watchdog(
             policy: SchedulePolicy::every(opts.interval),
             default_timeout: opts.checker_timeout,
             health_window: Duration::from_secs(30),
+            spawn_order_seed: opts.spawn_order_seed,
         })
         .clock(Arc::clone(&clock));
     if let Some(registry) = &opts.telemetry {

@@ -124,8 +124,7 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            self.samples
-                .push(elapsed.as_nanos() as f64 / iters as f64);
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
         }
     }
 
@@ -151,8 +150,7 @@ impl Bencher {
                 black_box(routine(input));
             }
             let elapsed = start.elapsed();
-            self.samples
-                .push(elapsed.as_nanos() as f64 / iters as f64);
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
         }
     }
 
@@ -164,8 +162,7 @@ impl Bencher {
         let (samples, iters) = plan(&self.settings, probe);
         for _ in 0..samples {
             let elapsed = routine(iters);
-            self.samples
-                .push(elapsed.as_nanos() as f64 / iters as f64);
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
         }
     }
 }

@@ -68,9 +68,7 @@ impl Serialize for u128 {
 
 impl Deserialize for u128 {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        value
-            .as_u128()
-            .ok_or_else(|| type_error("u128", value))
+        value.as_u128().ok_or_else(|| type_error("u128", value))
     }
 }
 

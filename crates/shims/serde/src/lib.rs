@@ -78,8 +78,6 @@ pub fn from_field_or_default<T: Deserialize + Default>(
 ) -> Result<T, Error> {
     match obj.get(field) {
         None => Ok(T::default()),
-        Some(value) => {
-            T::from_value(value).map_err(|e| e.context(&format!("{type_name}.{field}")))
-        }
+        Some(value) => T::from_value(value).map_err(|e| e.context(&format!("{type_name}.{field}"))),
     }
 }

@@ -111,6 +111,76 @@ impl FaultRule {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultHandle(u64);
 
+/// Per-op-kind call/fault counters, turso-`SimulatorFile` style: every
+/// callsite entry into the disk counts one *call* for its op kind, and one
+/// *fault* when an armed fault rule actually shaped that call (blocked it,
+/// slowed it, failed it, or corrupted it). The chaos telemetry plane
+/// exports these as the `sim_io_disk_*` families.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operations of this kind that entered the fault gate.
+    pub calls: u64,
+    /// Operations of this kind an armed fault acted on.
+    pub faults: u64,
+}
+
+/// The full per-op-kind stats table of a [`SimDisk`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskOpStats {
+    /// Data reads.
+    pub read: OpStats,
+    /// Data writes.
+    pub write: OpStats,
+    /// Durability barriers.
+    pub sync: OpStats,
+    /// Namespace operations.
+    pub meta: OpStats,
+}
+
+impl DiskOpStats {
+    /// `(label, stats)` rows in fixed order, for tables and telemetry.
+    pub fn rows(&self) -> [(&'static str, OpStats); 4] {
+        [
+            ("read", self.read),
+            ("write", self.write),
+            ("sync", self.sync),
+            ("meta", self.meta),
+        ]
+    }
+}
+
+/// Renders aligned `op / calls / faults` rows (shared by disk and net).
+pub(crate) fn render_stats_table(title: &str, rows: &[(&str, OpStats)]) -> String {
+    let mut out = format!("{:<12} {:>10} {:>10}\n", title, "calls", "faults");
+    for (label, s) in rows {
+        out.push_str(&format!("{label:<12} {:>10} {:>10}\n", s.calls, s.faults));
+    }
+    out
+}
+
+#[derive(Default)]
+pub(crate) struct OpCounters {
+    calls: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl OpCounters {
+    pub(crate) fn call(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> OpStats {
+        OpStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Cumulative operation counters for a [`SimDisk`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
@@ -150,6 +220,16 @@ pub struct SimDisk {
     syncs: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    per_op: [OpCounters; 4],
+}
+
+fn op_index(op: DiskOpKind) -> usize {
+    match op {
+        DiskOpKind::Read => 0,
+        DiskOpKind::Write => 1,
+        DiskOpKind::Sync => 2,
+        DiskOpKind::Meta => 3,
+    }
 }
 
 /// How long a stuck operation sleeps between fault re-checks.
@@ -173,6 +253,7 @@ impl SimDisk {
             syncs: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            per_op: Default::default(),
         })
     }
 
@@ -214,6 +295,26 @@ impl SimDisk {
         }
     }
 
+    /// Returns the per-op-kind call/fault counters.
+    pub fn op_stats(&self) -> DiskOpStats {
+        DiskOpStats {
+            read: self.per_op[op_index(DiskOpKind::Read)].snapshot(),
+            write: self.per_op[op_index(DiskOpKind::Write)].snapshot(),
+            sync: self.per_op[op_index(DiskOpKind::Sync)].snapshot(),
+            meta: self.per_op[op_index(DiskOpKind::Meta)].snapshot(),
+        }
+    }
+
+    /// Renders the per-op counters as an aligned text table.
+    pub fn stats_table(&self) -> String {
+        let stats = self.op_stats();
+        let rows = stats.rows();
+        render_stats_table(
+            "disk op",
+            &rows.iter().map(|(l, s)| (*l, *s)).collect::<Vec<_>>(),
+        )
+    }
+
     /// Returns bytes currently stored.
     pub fn used(&self) -> u64 {
         self.inner.lock().used
@@ -244,6 +345,10 @@ impl SimDisk {
     /// error if an error fault matches. Returns corruption flags for the
     /// caller to apply: `(corrupt_read, corrupt_write)`.
     fn gate(&self, path: &str, op: DiskOpKind) -> BaseResult<(bool, bool)> {
+        let counters = &self.per_op[op_index(op)];
+        counters.call();
+        let mut faulted = false;
+
         // Block while any matching stuck fault is armed. Poll so that
         // clearing the fault releases us.
         loop {
@@ -255,6 +360,7 @@ impl SimDisk {
             if !stuck {
                 break;
             }
+            faulted = true;
             self.clock.sleep(STUCK_POLL);
         }
 
@@ -267,12 +373,27 @@ impl SimDisk {
                 continue;
             }
             match &r.fault {
-                DiskFault::Slow { factor } => slow_factor = slow_factor.max(factor.max(1.0)),
-                DiskFault::Error { message } => error = Some(message.clone()),
-                DiskFault::CorruptReads => corrupt_read = true,
-                DiskFault::CorruptWrites => corrupt_write = true,
+                DiskFault::Slow { factor } => {
+                    slow_factor = slow_factor.max(factor.max(1.0));
+                    faulted = true;
+                }
+                DiskFault::Error { message } => {
+                    error = Some(message.clone());
+                    faulted = true;
+                }
+                DiskFault::CorruptReads => {
+                    corrupt_read = true;
+                    faulted = true;
+                }
+                DiskFault::CorruptWrites => {
+                    corrupt_write = true;
+                    faulted = true;
+                }
                 DiskFault::Stuck => {}
             }
+        }
+        if faulted {
+            counters.fault();
         }
 
         let delay = self.latency.sample_scaled(slow_factor);
@@ -606,6 +727,66 @@ mod tests {
         assert_eq!(s.syncs, 1);
         assert_eq!(s.bytes_written, 3);
         assert_eq!(s.bytes_read, 3);
+    }
+
+    #[test]
+    fn per_op_stats_count_calls_and_faults() {
+        let d = SimDisk::for_tests();
+        d.append("f", b"abc").unwrap();
+        d.read("f").unwrap();
+        d.fsync("f").unwrap();
+        let clean = d.op_stats();
+        assert_eq!(
+            clean.write,
+            OpStats {
+                calls: 1,
+                faults: 0
+            }
+        );
+        assert_eq!(
+            clean.read,
+            OpStats {
+                calls: 1,
+                faults: 0
+            }
+        );
+        assert_eq!(
+            clean.sync,
+            OpStats {
+                calls: 1,
+                faults: 0
+            }
+        );
+
+        let h = d.inject(FaultRule::scoped(
+            "f",
+            vec![DiskOpKind::Write],
+            DiskFault::Error {
+                message: "bad".into(),
+            },
+        ));
+        assert!(d.append("f", b"x").is_err());
+        d.read("f").unwrap(); // reads unaffected by the write-scoped fault
+        d.clear(h);
+        let after = d.op_stats();
+        assert_eq!(
+            after.write,
+            OpStats {
+                calls: 2,
+                faults: 1
+            }
+        );
+        assert_eq!(
+            after.read,
+            OpStats {
+                calls: 2,
+                faults: 0
+            }
+        );
+
+        let table = d.stats_table();
+        assert!(table.contains("write"), "table:\n{table}");
+        assert!(table.contains("faults"), "table:\n{table}");
     }
 
     #[test]

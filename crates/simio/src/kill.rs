@@ -1,0 +1,350 @@
+//! Cluster → process → component kill hierarchy with `can_kill` guards.
+//!
+//! FoundationDB's simulator models the machines it may destroy as a
+//! hierarchy (data center → machine → process) and asks a
+//! `canKillProcesses`-style guard *before* killing, so a fault workload
+//! never destroys the last copy of the thing it is trying to test
+//! (SNIPPETS.md #3). Chaos campaigns here face the same problem one level
+//! down: the watchdog under test runs *inside* the target process, so a
+//! schedule that kills the whole process also kills the detector and the
+//! run becomes unscorable — not a miss, not a detection, just noise.
+//!
+//! A [`KillHierarchy`] makes that policy explicit instead of hard-coded.
+//! Each node names a killable scope ([`KillScope::Cluster`] /
+//! [`KillScope::Process`] / [`KillScope::Component`]) and may carry:
+//!
+//! - a `can_kill` guard — consulted for the node and every descendant
+//!   before a kill cascades; any refusal vetoes the whole cascade, and
+//!   the refusal (with the guard's reason) is reported, not silently
+//!   dropped;
+//! - an `on_kill` hook — the actual destruction, run children-first so a
+//!   process kill tears its components down before the process itself.
+//!
+//! Schedule composition consults [`KillHierarchy::can_kill`] to decide
+//! which fault classes are in scope (e.g. `ProcessCrash` stays out of the
+//! pool while the sole process guard refuses), and scoring trusts that
+//! every run it sees was killable — "refused" is a composition-time
+//! outcome, never a verdict.
+
+use std::sync::Arc;
+
+/// The level of a [`KillNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillScope {
+    /// The whole testbed: every process.
+    Cluster,
+    /// One OS-process analogue; killing it kills its components.
+    Process,
+    /// One component (a background loop, a replica, a pipeline stage).
+    Component,
+}
+
+impl KillScope {
+    /// Stable lowercase label for artifacts and messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KillScope::Cluster => "cluster",
+            KillScope::Process => "process",
+            KillScope::Component => "component",
+        }
+    }
+}
+
+type Guard = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+type Hook = Arc<dyn Fn() + Send + Sync>;
+
+/// One node of the hierarchy.
+#[derive(Clone)]
+pub struct KillNode {
+    name: String,
+    scope: KillScope,
+    guard: Option<Guard>,
+    on_kill: Option<Hook>,
+    children: Vec<KillNode>,
+}
+
+impl KillNode {
+    /// Creates a guardless, hookless node.
+    pub fn new(scope: KillScope, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            scope,
+            guard: None,
+            on_kill: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Attaches a veto guard: return `Some(reason)` to refuse kills that
+    /// would include this node, `None` to allow them.
+    pub fn guarded<F>(mut self, guard: F) -> Self
+    where
+        F: Fn() -> Option<String> + Send + Sync + 'static,
+    {
+        self.guard = Some(Arc::new(guard));
+        self
+    }
+
+    /// Attaches the destruction hook run when this node is killed.
+    pub fn on_kill<F>(mut self, hook: F) -> Self
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.on_kill = Some(Arc::new(hook));
+        self
+    }
+
+    /// Adds a child node.
+    pub fn child(mut self, node: KillNode) -> Self {
+        self.children.push(node);
+        self
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's scope.
+    pub fn scope(&self) -> KillScope {
+        self.scope
+    }
+
+    fn find(&self, name: &str) -> Option<&KillNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// First refusal in this subtree, if any guard vetoes.
+    fn refusal(&self) -> Option<(String, String)> {
+        if let Some(guard) = &self.guard {
+            if let Some(reason) = guard() {
+                return Some((self.name.clone(), reason));
+            }
+        }
+        self.children.iter().find_map(|c| c.refusal())
+    }
+
+    /// Runs kill hooks children-first, collecting killed node names.
+    fn execute(&self, killed: &mut Vec<String>) {
+        for c in &self.children {
+            c.execute(killed);
+        }
+        if let Some(hook) = &self.on_kill {
+            hook();
+        }
+        killed.push(self.name.clone());
+    }
+}
+
+impl std::fmt::Debug for KillNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KillNode")
+            .field("name", &self.name)
+            .field("scope", &self.scope)
+            .field("guarded", &self.guard.is_some())
+            .field("children", &self.children)
+            .finish()
+    }
+}
+
+/// The result of a kill request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KillOutcome {
+    /// Every guard allowed it; hooks ran children-first over these nodes.
+    Killed {
+        /// Names of the nodes destroyed, children before parents.
+        nodes: Vec<String>,
+    },
+    /// A guard vetoed; nothing was destroyed.
+    Refused {
+        /// The guarded node that refused.
+        node: String,
+        /// The guard's reason.
+        reason: String,
+    },
+}
+
+/// A whole-testbed kill hierarchy rooted at a cluster node.
+#[derive(Debug, Clone)]
+pub struct KillHierarchy {
+    root: KillNode,
+}
+
+impl KillHierarchy {
+    /// Builds a hierarchy from its cluster root.
+    pub fn new(root: KillNode) -> Self {
+        assert_eq!(
+            root.scope,
+            KillScope::Cluster,
+            "hierarchy root must be the cluster"
+        );
+        Self { root }
+    }
+
+    /// The canonical single-process hierarchy every in-process target
+    /// shares: the sole process hosts the watchdog under test, so its
+    /// guard refuses process- and cluster-level kills while component
+    /// kills stay available to fault schedules.
+    pub fn single_process(target: &str, components: &[String]) -> Self {
+        let mut process =
+            KillNode::new(KillScope::Process, format!("{target}/process-0")).guarded(|| {
+                Some(
+                    "sole process hosts the in-process watchdog; killing it \
+                     leaves no detector to score"
+                        .into(),
+                )
+            });
+        for c in components {
+            process = process.child(KillNode::new(KillScope::Component, c.clone()));
+        }
+        Self::new(KillNode::new(KillScope::Cluster, target.to_owned()).child(process))
+    }
+
+    /// Whether killing `name` (and its whole subtree) would be allowed.
+    pub fn can_kill(&self, name: &str) -> bool {
+        match self.root.find(name) {
+            Some(node) => node.refusal().is_none(),
+            None => false,
+        }
+    }
+
+    /// Kills `name` and its subtree if every guard in the cascade allows
+    /// it; otherwise reports the refusing node without destroying
+    /// anything.
+    pub fn kill(&self, name: &str) -> KillOutcome {
+        let Some(node) = self.root.find(name) else {
+            return KillOutcome::Refused {
+                node: name.to_owned(),
+                reason: "no such node".into(),
+            };
+        };
+        if let Some((node, reason)) = node.refusal() {
+            return KillOutcome::Refused { node, reason };
+        }
+        let mut nodes = Vec::new();
+        node.execute(&mut nodes);
+        KillOutcome::Killed { nodes }
+    }
+
+    /// The node named `name`, if present.
+    pub fn find(&self, name: &str) -> Option<&KillNode> {
+        self.root.find(name)
+    }
+
+    /// Every node name, depth-first, parents before children.
+    pub fn names(&self) -> Vec<String> {
+        fn walk(n: &KillNode, out: &mut Vec<String>) {
+            out.push(n.name.clone());
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn single_process_guard_refuses_process_but_allows_components() {
+        let h = KillHierarchy::single_process("kvs", &["flusher".into(), "compaction".into()]);
+        assert!(
+            !h.can_kill("kvs"),
+            "cluster kill includes the guarded process"
+        );
+        assert!(!h.can_kill("kvs/process-0"));
+        assert!(h.can_kill("flusher"));
+        assert!(h.can_kill("compaction"));
+        match h.kill("kvs/process-0") {
+            KillOutcome::Refused { node, reason } => {
+                assert_eq!(node, "kvs/process-0");
+                assert!(reason.contains("watchdog"));
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_runs_hooks_children_first() {
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let push = |label: &'static str| {
+            let order = Arc::clone(&order);
+            move || order.lock().unwrap().push(label)
+        };
+        let h = KillHierarchy::new(
+            KillNode::new(KillScope::Cluster, "c").child(
+                KillNode::new(KillScope::Process, "p")
+                    .on_kill(push("p"))
+                    .child(KillNode::new(KillScope::Component, "a").on_kill(push("a")))
+                    .child(KillNode::new(KillScope::Component, "b").on_kill(push("b"))),
+            ),
+        );
+        match h.kill("p") {
+            KillOutcome::Killed { nodes } => assert_eq!(nodes, vec!["a", "b", "p"]),
+            other => panic!("expected kill, got {other:?}"),
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "p"]);
+    }
+
+    #[test]
+    fn any_descendant_guard_vetoes_the_cascade() {
+        let hook_ran = Arc::new(AtomicBool::new(false));
+        let hook_ran2 = Arc::clone(&hook_ran);
+        let h = KillHierarchy::new(
+            KillNode::new(KillScope::Cluster, "c").child(
+                KillNode::new(KillScope::Process, "p")
+                    .on_kill(move || hook_ran2.store(true, Ordering::SeqCst))
+                    .child(
+                        KillNode::new(KillScope::Component, "quorum-member")
+                            .guarded(|| Some("would break quorum".into())),
+                    ),
+            ),
+        );
+        assert!(!h.can_kill("p"));
+        assert_eq!(
+            h.kill("p"),
+            KillOutcome::Refused {
+                node: "quorum-member".into(),
+                reason: "would break quorum".into(),
+            }
+        );
+        assert!(
+            !hook_ran.load(Ordering::SeqCst),
+            "veto must destroy nothing"
+        );
+    }
+
+    #[test]
+    fn guards_are_dynamic_not_snapshotted() {
+        let replicas = Arc::new(AtomicUsize::new(1));
+        let r2 = Arc::clone(&replicas);
+        let h = KillHierarchy::new(KillNode::new(KillScope::Cluster, "c").child(
+            KillNode::new(KillScope::Process, "p").guarded(move || {
+                if r2.load(Ordering::SeqCst) <= 1 {
+                    Some("last replica".into())
+                } else {
+                    None
+                }
+            }),
+        ));
+        assert!(!h.can_kill("p"));
+        replicas.store(3, Ordering::SeqCst);
+        assert!(h.can_kill("p"));
+    }
+
+    #[test]
+    fn unknown_nodes_are_not_killable() {
+        let h = KillHierarchy::single_process("t", &[]);
+        assert!(!h.can_kill("nope"));
+        assert!(matches!(h.kill("nope"), KillOutcome::Refused { .. }));
+        assert_eq!(h.names()[0], "t");
+    }
+}

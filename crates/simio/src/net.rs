@@ -25,11 +25,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 
-use wdog_base::clock::SharedClock;
+use wdog_base::clock::{SharedClock, Waiter};
 use wdog_base::error::{BaseError, BaseResult};
 
+use crate::disk::{render_stats_table, OpCounters, OpStats};
 use crate::latency::LatencyModel;
 
 /// A message in flight or delivered.
@@ -118,6 +119,22 @@ pub struct NetStats {
     pub dropped: u64,
 }
 
+/// Per-direction call/fault counters (`sim_io_net_*` telemetry families).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetOpStats {
+    /// Send-side calls/faults.
+    pub send: OpStats,
+    /// Receive-side calls/faults.
+    pub recv: OpStats,
+}
+
+impl NetOpStats {
+    /// `(label, stats)` rows in fixed order, for tables and telemetry.
+    pub fn rows(&self) -> [(&'static str, OpStats); 2] {
+        [("send", self.send), ("recv", self.recv)]
+    }
+}
+
 #[derive(Default)]
 struct Queue {
     messages: VecDeque<Message>,
@@ -125,7 +142,10 @@ struct Queue {
 
 struct MailboxInner {
     queue: Mutex<Queue>,
-    cond: Condvar,
+    /// Clock-aware wakeup: senders notify, receivers wait on *clock* time —
+    /// a raw condvar here would be invisible to a virtual clock and would
+    /// turn every `recv_timeout` into a real-time stall under `--sim`.
+    waiter: Arc<dyn Waiter>,
 }
 
 /// The receiving end of an endpoint registered on a [`SimNet`].
@@ -156,30 +176,46 @@ impl Mailbox {
     /// Returns `None` on timeout. A [`NetFault::BlockRecv`] armed for this
     /// address holds delivery without losing messages.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.net.recv_ops.call();
         let deadline = self.net.clock.now() + timeout;
+        let mut faulted = false;
         loop {
-            if !self.recv_blocked() {
-                let mut q = self.inner.queue.lock();
-                if let Some(m) = q.messages.pop_front() {
-                    return Some(m);
-                }
-                // Wait briefly for a producer, then re-check faults/deadline.
-                self.inner.cond.wait_for(&mut q, POLL);
-                if let Some(m) = q.messages.pop_front() {
-                    return Some(m);
-                }
-            } else {
+            if self.recv_blocked() {
+                // Poll so that clearing the fault releases us promptly.
+                faulted = true;
                 self.net.clock.sleep(POLL);
+            } else {
+                if let Some(m) = self.inner.queue.lock().messages.pop_front() {
+                    if faulted {
+                        self.net.recv_ops.fault();
+                    }
+                    return Some(m);
+                }
+                let now = self.net.clock.now();
+                if now >= deadline {
+                    break;
+                }
+                // Sleep on the clock waiter until a sender notifies or the
+                // deadline passes; the waiter's stored permit closes the
+                // race with a send landing between the pop and the wait.
+                self.inner.waiter.wait_timeout(deadline - now);
+                continue;
             }
             if self.net.clock.now() >= deadline {
-                return None;
+                break;
             }
         }
+        if faulted {
+            self.net.recv_ops.fault();
+        }
+        None
     }
 
     /// Receives without waiting.
     pub fn try_recv(&self) -> Option<Message> {
+        self.net.recv_ops.call();
         if self.recv_blocked() {
+            self.net.recv_ops.fault();
             return None;
         }
         self.inner.queue.lock().messages.pop_front()
@@ -209,6 +245,8 @@ struct SimNetShared {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    send_ops: OpCounters,
+    recv_ops: OpCounters,
 }
 
 /// A simulated network. Cheap to clone ([`Arc`] inside); see module docs.
@@ -230,6 +268,8 @@ impl SimNet {
                 sent: AtomicU64::new(0),
                 delivered: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                send_ops: OpCounters::default(),
+                recv_ops: OpCounters::default(),
             }),
         }
     }
@@ -247,7 +287,7 @@ impl SimNet {
         let addr = addr.into();
         let inner = Arc::new(MailboxInner {
             queue: Mutex::new(Queue::default()),
-            cond: Condvar::new(),
+            waiter: self.shared.clock.waiter(),
         });
         self.shared
             .endpoints
@@ -266,6 +306,9 @@ impl SimNet {
     /// [`NetFault::BlockSend`] is armed. Returns an error if `dst` was never
     /// registered.
     pub fn send(&self, src: &str, dst: &str, payload: Bytes) -> BaseResult<()> {
+        self.shared.send_ops.call();
+        let mut faulted = false;
+
         // Block while a matching block-send fault is armed.
         loop {
             let blocked = self
@@ -277,6 +320,7 @@ impl SimNet {
             if !blocked {
                 break;
             }
+            faulted = true;
             self.shared.clock.sleep(POLL);
         }
 
@@ -287,10 +331,19 @@ impl SimNet {
                 continue;
             }
             match &r.fault {
-                NetFault::Slow { factor } => slow = slow.max(factor.max(1.0)),
-                NetFault::Drop => drop = true,
+                NetFault::Slow { factor } => {
+                    slow = slow.max(factor.max(1.0));
+                    faulted = true;
+                }
+                NetFault::Drop => {
+                    drop = true;
+                    faulted = true;
+                }
                 NetFault::BlockSend | NetFault::BlockRecv => {}
             }
+        }
+        if faulted {
+            self.shared.send_ops.fault();
         }
 
         let delay = self.shared.latency.sample_scaled(slow);
@@ -306,13 +359,12 @@ impl SimNet {
         let target = self.shared.endpoints.read().get(dst).cloned();
         match target {
             Some(mb) => {
-                let mut q = mb.queue.lock();
-                q.messages.push_back(Message {
+                mb.queue.lock().messages.push_back(Message {
                     src: src.to_owned(),
                     dst: dst.to_owned(),
                     payload,
                 });
-                mb.cond.notify_one();
+                mb.waiter.notify_one();
                 self.shared.delivered.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
@@ -355,6 +407,24 @@ impl SimNet {
             delivered: self.shared.delivered.load(Ordering::Relaxed),
             dropped: self.shared.dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Returns the per-direction call/fault counters.
+    pub fn op_stats(&self) -> NetOpStats {
+        NetOpStats {
+            send: self.shared.send_ops.snapshot(),
+            recv: self.shared.recv_ops.snapshot(),
+        }
+    }
+
+    /// Renders the per-direction counters as an aligned text table.
+    pub fn stats_table(&self) -> String {
+        let stats = self.op_stats();
+        let rows = stats.rows();
+        render_stats_table(
+            "net op",
+            &rows.iter().map(|(l, s)| (*l, *s)).collect::<Vec<_>>(),
+        )
     }
 
     /// Returns the clock this network runs on.
@@ -499,5 +569,66 @@ mod tests {
         assert_eq!(s.sent, 2);
         assert_eq!(s.delivered, 2);
         assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn per_op_stats_count_calls_and_faults() {
+        let net = SimNet::for_tests();
+        let mb = net.register("b");
+        net.send("a", "b", msg("clean")).unwrap();
+        assert!(mb.recv_timeout(Duration::from_millis(200)).is_some());
+        let clean = net.op_stats();
+        assert_eq!(
+            clean.send,
+            OpStats {
+                calls: 1,
+                faults: 0
+            }
+        );
+        assert_eq!(clean.recv.calls, 1);
+        assert_eq!(clean.recv.faults, 0);
+
+        let h = net.inject(LinkRule::link("a", "b", NetFault::Drop));
+        net.send("a", "b", msg("lost")).unwrap();
+        net.clear(h);
+        let after = net.op_stats();
+        assert_eq!(
+            after.send,
+            OpStats {
+                calls: 2,
+                faults: 1
+            }
+        );
+        let table = net.stats_table();
+        assert!(table.contains("send"), "table:\n{table}");
+        assert!(table.contains("recv"), "table:\n{table}");
+    }
+
+    #[test]
+    fn mailbox_recv_works_under_a_sim_clock() {
+        use crate::vclock::SimClock;
+        use wdog_base::spawn_on;
+
+        let clock = SimClock::shared();
+        let net = SimNet::new(LatencyModel::zero(), Arc::clone(&clock));
+        let mb = net.register("b");
+        let main = clock.actor("main").adopt();
+        let net2 = net.clone();
+        let c2 = Arc::clone(&clock);
+        let rx = spawn_on(&clock, "rx", move || {
+            // First receive waits (virtually) for the delayed send; the
+            // second times out at an exact virtual instant.
+            let m = mb.recv_timeout(Duration::from_secs(2))?;
+            let t_recv = c2.now_millis();
+            assert!(mb.recv_timeout(Duration::from_millis(100)).is_none());
+            Some((m, t_recv, c2.now_millis()))
+        });
+        clock.sleep(Duration::from_millis(500));
+        net2.send("a", "b", msg("late")).unwrap();
+        main.retire();
+        let (m, t_recv, t_timeout) = rx.join().unwrap().expect("message delivered");
+        assert_eq!(m.payload, msg("late"));
+        assert_eq!(t_recv, 500, "received the moment the send landed");
+        assert_eq!(t_timeout, 600, "timeout measured in virtual time");
     }
 }

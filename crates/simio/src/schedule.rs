@@ -99,13 +99,15 @@ impl Timeline {
     /// Spawns a thread that sleeps on `clock` to each event's offset (from
     /// the moment of the call) and invokes `f` with the event, in
     /// deterministic order. Returns a handle to join once the last event
-    /// has fired.
+    /// has fired. The thread registers as a clock actor, so under a
+    /// simulated clock events fire at their exact virtual offsets.
     pub fn run<F>(self, clock: SharedClock, mut f: F) -> TimelineHandle
     where
         F: FnMut(&TimelineEvent) + Send + 'static,
     {
         let events = self.into_sorted();
-        let handle = std::thread::spawn(move || {
+        let spawn_clock = std::sync::Arc::clone(&clock);
+        let handle = wdog_base::clock::spawn_on(&spawn_clock, "timeline", move || {
             let start = clock.now();
             for e in &events {
                 let target = start + e.at;

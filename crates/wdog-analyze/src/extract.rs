@@ -327,7 +327,9 @@ impl Extractor {
             let (file, body) = (self.units[u].file, self.units[u].body.clone());
             let mut i = body.start;
             while i < body.end {
-                let is_spawn = self.tokens(file)[i].ident() == Some("spawn")
+                // `spawn_on(clock, name, closure)` is the clock-registered
+                // wrapper over `thread::spawn` — same entry semantics.
+                let is_spawn = matches!(self.tokens(file)[i].ident(), Some("spawn" | "spawn_on"))
                     && self
                         .tokens(file)
                         .get(i + 1)
@@ -1071,11 +1073,15 @@ fn fired_fields(tokens: &[Token], open: usize, close: usize) -> BTreeSet<String>
 /// takes a closure: past `move`/`|params|`, either the braced block or the
 /// rest of the group.
 fn closure_body(tokens: &[Token], open: usize, close: usize) -> Option<std::ops::Range<usize>> {
+    // The thunk need not be the first argument (`spawn(move || ..)` vs
+    // `spawn_on(&clock, "name", move || ..)`): scan the argument group for
+    // the first `|` that opens a closure. Leading non-closure arguments
+    // never contain `|` in this codebase (receivers, string labels).
     let mut j = open + 1;
-    if tokens.get(j).and_then(Token::ident) == Some("move") {
+    while j < close && !tokens[j].is_punct('|') {
         j += 1;
     }
-    if !tokens.get(j).is_some_and(|t| t.is_punct('|')) {
+    if j >= close {
         return None;
     }
     // Closure params end at the next `|` (params are plain idents here).

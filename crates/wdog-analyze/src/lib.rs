@@ -27,6 +27,7 @@ pub mod extract;
 pub mod lexer;
 pub mod locks;
 pub mod model;
+pub mod realclock;
 pub mod safety;
 
 pub use callgraph::{CallGraph, CallGraphSummary};
@@ -38,4 +39,7 @@ pub use extract::{
 };
 pub use locks::{analyze_locks, LockOrderReport};
 pub use model::{CrateModel, SourceFile};
+pub use realclock::{
+    real_clock_exemptions, scan_real_clock, RealClockFinding, RealClockReport, REAL_CLOCK_ROOTS,
+};
 pub use safety::{analyze_safety, analyze_safety_model, SafetyClass, SafetyReport};

@@ -31,6 +31,194 @@ pub trait Clock: Send + Sync + 'static {
     fn now_millis(&self) -> u64 {
         self.now().as_millis() as u64
     }
+
+    /// Creates a notification primitive whose timed waits are measured on
+    /// *this clock's* time.
+    ///
+    /// Blocking code must use clock waiters instead of raw condvars: a raw
+    /// `Condvar::wait_for` measures wall time, which a simulated clock can
+    /// neither see nor advance past — the wait would hang a virtual-time
+    /// run. The default is a condvar-backed waiter appropriate for real
+    /// clocks.
+    fn waiter(&self) -> Arc<dyn Waiter> {
+        Arc::new(CondvarWaiter::default())
+    }
+
+    /// Registers a named *actor* with this clock and returns its token.
+    ///
+    /// On a discrete-event clock, registered actors are the threads whose
+    /// sleeps and waits hold virtual time: time only advances when every
+    /// actor is blocked. The token is created registered-and-runnable by
+    /// the *parent* thread (so time cannot advance past a child thread's
+    /// startup) and adopted by the child via [`ActorToken::adopt`]. On
+    /// real clocks this is a no-op token.
+    fn actor(&self, name: &str) -> ActorToken {
+        let _ = name;
+        ActorToken::inert()
+    }
+}
+
+/// A clock-aware notification primitive (see [`Clock::waiter`]).
+///
+/// Waiters carry at most **one** stored permit: a `notify_one` with no
+/// thread waiting is remembered and consumes the next wait immediately,
+/// which closes the classic check-then-wait race without requiring callers
+/// to hold a lock across the wait.
+pub trait Waiter: Send + Sync {
+    /// Blocks until notified (or consumes a stored permit immediately).
+    fn wait(&self);
+
+    /// Blocks until notified or until `d` of clock time has passed.
+    /// Returns `true` if woken by a notification, `false` on timeout.
+    fn wait_timeout(&self, d: Duration) -> bool;
+
+    /// Wakes one waiting thread, or stores a single permit if none waits.
+    fn notify_one(&self);
+
+    /// Wakes every waiting thread and stores a single permit.
+    fn notify_all(&self);
+}
+
+/// The real-clock [`Waiter`]: a condvar with a one-permit store.
+#[derive(Debug, Default)]
+pub struct CondvarWaiter {
+    state: Mutex<bool>, // the stored permit
+    cond: Condvar,
+}
+
+impl Waiter for CondvarWaiter {
+    fn wait(&self) {
+        let mut permit = self.state.lock();
+        while !*permit {
+            self.cond.wait(&mut permit);
+        }
+        *permit = false;
+    }
+
+    fn wait_timeout(&self, d: Duration) -> bool {
+        let deadline = std::time::Instant::now() + d;
+        let mut permit = self.state.lock();
+        loop {
+            if *permit {
+                *permit = false;
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.cond.wait_for(&mut permit, deadline - now);
+        }
+    }
+
+    fn notify_one(&self) {
+        *self.state.lock() = true;
+        self.cond.notify_one();
+    }
+
+    fn notify_all(&self) {
+        *self.state.lock() = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Clock-side half of an actor registration (see [`Clock::actor`]).
+///
+/// Implemented by discrete-event clocks; real clocks use inert tokens.
+pub trait ActorCtl: Send + Sync {
+    /// Called from the actor's own thread once it starts running.
+    fn adopt(&self);
+
+    /// Deregisters the actor; its sleeps no longer hold virtual time.
+    fn retire(&self);
+}
+
+/// A registered-but-not-yet-adopted actor, created by the spawning thread.
+#[derive(Default)]
+pub struct ActorToken {
+    ctl: Option<Arc<dyn ActorCtl>>,
+}
+
+impl ActorToken {
+    /// A token that does nothing — what real clocks hand out.
+    pub fn inert() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a live registration from a discrete-event clock.
+    pub fn live(ctl: Arc<dyn ActorCtl>) -> Self {
+        Self { ctl: Some(ctl) }
+    }
+
+    /// Claims the registration from the actor's own thread; the returned
+    /// guard retires the actor when dropped.
+    pub fn adopt(self) -> ActorGuard {
+        if let Some(ctl) = &self.ctl {
+            ctl.adopt();
+        }
+        ActorGuard { ctl: self.ctl }
+    }
+}
+
+impl std::fmt::Debug for ActorToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorToken")
+            .field("live", &self.ctl.is_some())
+            .finish()
+    }
+}
+
+/// RAII guard for an adopted actor; dropping it retires the registration.
+pub struct ActorGuard {
+    ctl: Option<Arc<dyn ActorCtl>>,
+}
+
+impl ActorGuard {
+    /// Retires the actor now instead of at scope end.
+    pub fn retire(mut self) {
+        if let Some(ctl) = self.ctl.take() {
+            ctl.retire();
+        }
+    }
+}
+
+impl Drop for ActorGuard {
+    fn drop(&mut self) {
+        if let Some(ctl) = self.ctl.take() {
+            ctl.retire();
+        }
+    }
+}
+
+impl std::fmt::Debug for ActorGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorGuard")
+            .field("live", &self.ctl.is_some())
+            .finish()
+    }
+}
+
+/// Spawns a named thread registered as an actor on `clock`.
+///
+/// The actor token is created *before* the OS thread starts, so a
+/// discrete-event clock counts the child as runnable from the moment of
+/// the call — virtual time cannot jump past the child's startup. Every
+/// production thread that sleeps or waits on a clock must be spawned this
+/// way (or adopt a token itself); `wdog-lint --deny-real-clock` enforces
+/// the complementary rule that such threads never touch the real clock.
+pub fn spawn_on<F, T>(clock: &SharedClock, name: &str, f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let token = clock.actor(name);
+    std::thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || {
+            let _actor = token.adopt();
+            f()
+        })
+        .unwrap_or_else(|e| panic!("failed to spawn thread: {e}"))
 }
 
 /// A shareable handle to a [`Clock`].
@@ -221,5 +409,38 @@ mod tests {
         let virt: SharedClock = VirtualClock::shared();
         let _ = real.now();
         let _ = virt.now();
+    }
+
+    #[test]
+    fn condvar_waiter_stores_one_permit() {
+        let w = CondvarWaiter::default();
+        w.notify_one();
+        w.notify_one();
+        // The first timed wait consumes the (single) stored permit…
+        assert!(w.wait_timeout(Duration::from_millis(1)));
+        // …and the second times out: permits never accumulate past one.
+        assert!(!w.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn condvar_waiter_wakes_a_blocked_thread() {
+        let w = Arc::new(CondvarWaiter::default());
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || w2.wait_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        w.notify_one();
+        assert!(t.join().unwrap(), "wait should report a notification");
+    }
+
+    #[test]
+    fn real_clock_actor_tokens_are_inert() {
+        let clock: SharedClock = RealClock::shared();
+        let token = clock.actor("t");
+        let guard = token.adopt();
+        drop(guard); // no-op all the way down
+        let h = spawn_on(&clock, "spawned", || {
+            std::thread::current().name().map(str::to_owned)
+        });
+        assert_eq!(h.join().unwrap().as_deref(), Some("spawned"));
     }
 }

@@ -17,11 +17,18 @@ pub mod error;
 pub mod histogram;
 pub mod ids;
 pub mod join;
+pub mod queue;
 pub mod rng;
+pub mod sync;
 
 pub use checksum::{crc32, verify as verify_crc32};
-pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use clock::{
+    spawn_on, ActorCtl, ActorGuard, ActorToken, Clock, CondvarWaiter, RealClock, SharedClock,
+    VirtualClock, Waiter,
+};
 pub use error::{BaseError, BaseResult};
 pub use histogram::Histogram;
 pub use ids::{CheckerId, ComponentId, NodeId, OpId};
 pub use join::{join_all_timeout, join_timeout};
+pub use queue::ClockedQueue;
+pub use sync::{ClockedMutex, ClockedMutexGuard};

@@ -56,7 +56,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use wdog_base::clock::SharedClock;
+use wdog_base::clock::{spawn_on, SharedClock, Waiter};
 use wdog_base::error::{BaseError, BaseResult};
 use wdog_base::ids::{CheckerId, ComponentId};
 use wdog_telemetry::{AtomicHistogram, Counter, TelemetryRegistry};
@@ -76,6 +76,11 @@ pub struct WatchdogConfig {
     pub default_timeout: Duration,
     /// How long failure evidence keeps a component unhealthy.
     pub health_window: Duration,
+    /// When set, executors spawn in a seed-derived permutation of
+    /// registration order instead of registration order itself. Verdicts
+    /// must not depend on spawn order; campaign determinism tests sweep
+    /// this seed to prove it.
+    pub spawn_order_seed: Option<u64>,
 }
 
 impl Default for WatchdogConfig {
@@ -84,6 +89,7 @@ impl Default for WatchdogConfig {
             policy: SchedulePolicy::default(),
             default_timeout: Duration::from_secs(5),
             health_window: Duration::from_secs(30),
+            spawn_order_seed: None,
         }
     }
 }
@@ -184,13 +190,62 @@ struct Pending {
     factory: Option<CheckerFactory>,
 }
 
+/// Scheduler→executor dispatch signal.
+///
+/// Replaces a bounded crossbeam channel with a clock-provided [`Waiter`] so
+/// executor threads block *on the clock*: under a real clock this is a plain
+/// condvar, under the simulated clock the wait is visible to the
+/// discrete-event core and virtual time can advance past it. Dispatch is a
+/// store + notify; the busy-slot gate in [`SchedulerCtx::dispatch_due`]
+/// guarantees at most one outstanding run per executor.
+struct ExecSignal {
+    waiter: Arc<dyn Waiter>,
+    run: AtomicBool,
+    closed: AtomicBool,
+}
+
+impl ExecSignal {
+    fn new(waiter: Arc<dyn Waiter>) -> Arc<Self> {
+        Arc::new(Self {
+            waiter,
+            run: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Scheduler side: hand the executor one run token.
+    fn dispatch(&self) {
+        self.run.store(true, Ordering::Release);
+        self.waiter.notify_one();
+    }
+
+    /// Scheduler side: release the executor thread for good.
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.waiter.notify_all();
+    }
+
+    /// Executor side: block until the next run token; `false` means closed.
+    fn next_run(&self) -> bool {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            if self.run.swap(false, Ordering::AcqRel) {
+                return true;
+            }
+            self.waiter.wait();
+        }
+    }
+}
+
 /// Driver-side view of a running checker's executor.
 struct ExecSlot {
     id: CheckerId,
     component: ComponentId,
     timeout: Duration,
     probe: ExecutionProbe,
-    run_tx: Sender<()>,
+    signal: Arc<ExecSignal>,
     result_rx: Receiver<CheckStatus>,
     busy_since: Option<Duration>,
     reported_stuck: bool,
@@ -402,9 +457,26 @@ impl WatchdogDriver {
         if self.scheduler.is_some() {
             return Err(BaseError::InvalidState("driver already started".into()));
         }
+        if let Some(seed) = self.config.spawn_order_seed {
+            // Deterministic Fisher–Yates over a splitmix64 stream: the same
+            // seed always yields the same spawn order, and `None` keeps
+            // registration order exactly.
+            let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for i in (1..self.pending.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                self.pending.swap(i, j);
+            }
+        }
         let mut slots = Vec::with_capacity(self.pending.len());
         for p in self.pending.drain(..) {
-            let mut slot = spawn_executor(p, self.config.default_timeout);
+            let mut slot = spawn_executor(p, self.config.default_timeout, &self.clock);
             slot.phase = self.config.policy.phase_offset(slot.id.as_str());
             slot.telem = self
                 .telemetry
@@ -444,13 +516,18 @@ impl WatchdogDriver {
             telemetry: self.telemetry.clone(),
             shutdown: Arc::clone(&self.shutdown),
         };
-        self.scheduler = Some(
-            std::thread::Builder::new()
-                .name("wdog-scheduler".into())
-                .spawn(move || scheduler_loop(ctx))
-                .expect("spawn wdog-scheduler"),
-        );
+        self.scheduler = Some(spawn_on(&self.clock, "wdog-scheduler", move || {
+            scheduler_loop(ctx)
+        }));
         Ok(())
+    }
+
+    /// Requests shutdown without blocking: the scheduler exits at its next
+    /// poll and closes every executor. Under a simulated clock this lets a
+    /// harness land the stop flag at an exact virtual instant and only then
+    /// perform the (wall-time) joins via [`WatchdogDriver::stop`].
+    pub fn request_stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
     }
 
     /// Stops the scheduler and releases idle executor threads.
@@ -625,7 +702,7 @@ impl std::fmt::Debug for DriverBuilder {
     }
 }
 
-fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
+fn spawn_executor(p: Pending, default_timeout: Duration, clock: &SharedClock) -> ExecSlot {
     let Pending {
         mut checker,
         probe,
@@ -634,47 +711,45 @@ fn spawn_executor(p: Pending, default_timeout: Duration) -> ExecSlot {
     let id = checker.id();
     let component = checker.component();
     let timeout = checker.timeout().unwrap_or(default_timeout);
-    let (run_tx, run_rx) = bounded::<()>(1);
+    let signal = ExecSignal::new(clock.waiter());
     let (result_tx, result_rx) = bounded::<CheckStatus>(1);
+    let thread_signal = Arc::clone(&signal);
     let thread_probe = probe.clone();
     let thread_component = component.clone();
     let thread_id = id.clone();
-    std::thread::Builder::new()
-        .name(format!("wdog-exec-{id}"))
-        .spawn(move || {
-            while run_rx.recv().is_ok() {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.check()));
-                let status = match outcome {
-                    Ok(s) => s,
-                    Err(payload) => {
-                        let msg = panic_message(payload.as_ref());
-                        let location = thread_probe.current().unwrap_or_else(|| {
-                            FaultLocation::new(
-                                thread_component.clone(),
-                                format!("<checker {thread_id}>"),
-                            )
-                        });
-                        CheckStatus::Fail(crate::checker::CheckFailure::new(
-                            FailureKind::CheckerPanic,
-                            location,
-                            msg,
-                        ))
-                    }
-                };
-                thread_probe.exit();
-                if result_tx.send(status).is_err() {
-                    break;
+    spawn_on(clock, &format!("wdog-exec-{id}"), move || {
+        while thread_signal.next_run() {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.check()));
+            let status = match outcome {
+                Ok(s) => s,
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    let location = thread_probe.current().unwrap_or_else(|| {
+                        FaultLocation::new(
+                            thread_component.clone(),
+                            format!("<checker {thread_id}>"),
+                        )
+                    });
+                    CheckStatus::Fail(crate::checker::CheckFailure::new(
+                        FailureKind::CheckerPanic,
+                        location,
+                        msg,
+                    ))
                 }
+            };
+            thread_probe.exit();
+            if result_tx.send(status).is_err() {
+                break;
             }
-        })
-        .expect("spawn wdog-exec");
+        }
+    });
     ExecSlot {
         id,
         component,
         timeout,
         probe,
-        run_tx,
+        signal,
         result_rx,
         busy_since: None,
         reported_stuck: false,
@@ -854,7 +929,7 @@ impl SchedulerCtx {
                 && slot.factory.is_some()
                 && slot.respawns < MAX_EXECUTOR_RESPAWNS
             {
-                respawn_slot(slot, self.default_timeout);
+                respawn_slot(slot, self.default_timeout, &self.clock);
                 respawned += 1;
                 if let Some(t) = &slot.telem {
                     t.respawns.inc();
@@ -900,16 +975,15 @@ impl SchedulerCtx {
             if slot.busy_since.is_some() {
                 continue; // Still running (possibly stuck); skip this round.
             }
-            if slot.run_tx.try_send(()).is_ok() {
-                slot.busy_since = Some(now);
-                self.stats.runs.fetch_add(1, Ordering::Relaxed);
-                if let Some(t) = &slot.telem {
-                    // How late past its scheduled (round start + phase) slot
-                    // this dispatch actually left, i.e. scheduler lag.
-                    let due = round_start + slot.phase;
-                    t.dispatch_delay_ms
-                        .record(now.saturating_sub(due).as_millis() as u64);
-                }
+            slot.signal.dispatch();
+            slot.busy_since = Some(now);
+            self.stats.runs.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &slot.telem {
+                // How late past its scheduled (round start + phase) slot
+                // this dispatch actually left, i.e. scheduler lag.
+                let due = round_start + slot.phase;
+                t.dispatch_delay_ms
+                    .record(now.saturating_sub(due).as_millis() as u64);
             }
         }
     }
@@ -921,10 +995,14 @@ impl SchedulerCtx {
 
 /// Abandons a wedged executor and installs a fresh checker in its slot,
 /// preserving identity, phase, and the respawn budget already spent.
-fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration) {
+fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration, clock: &SharedClock) {
     let Some(factory) = slot.factory.clone() else {
         return;
     };
+    // Release the wedged thread for good: when its hung operation ever
+    // completes it sees the closed signal (or the dropped result channel)
+    // and exits instead of waiting for a dispatch that will never come.
+    slot.signal.close();
     let mut checker = factory();
     let probe = ExecutionProbe::new();
     checker.attach_probe(probe.clone());
@@ -935,6 +1013,7 @@ fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration) {
             factory: Some(factory),
         },
         default_timeout,
+        clock,
     );
     fresh.phase = slot.phase;
     fresh.respawns = slot.respawns + 1;
@@ -982,6 +1061,11 @@ fn scheduler_loop(mut ctx: SchedulerCtx) {
         ctx.stats.rounds.fetch_add(1, Ordering::Relaxed);
         round += 1;
     }
+    // Release every executor thread: a waiter wait is not woken by channel
+    // drop, so shutdown must close the signals explicitly.
+    for slot in &ctx.slots {
+        slot.signal.close();
+    }
 }
 
 #[cfg(test)]
@@ -996,6 +1080,7 @@ mod tests {
             policy: SchedulePolicy::every(Duration::from_millis(interval_ms)),
             default_timeout: Duration::from_millis(timeout_ms),
             health_window: Duration::from_secs(10),
+            spawn_order_seed: None,
         }
     }
 
@@ -1326,6 +1411,7 @@ mod tests {
             policy: SchedulePolicy::every(Duration::from_millis(40)).with_phase_spread(0.5),
             default_timeout: Duration::from_millis(500),
             health_window: Duration::from_secs(10),
+            spawn_order_seed: None,
         };
         let mut d = WatchdogDriver::new(config, RealClock::shared());
         for name in ["a", "b", "c", "d"] {

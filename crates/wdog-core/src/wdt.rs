@@ -65,32 +65,31 @@ impl WatchdogTimer {
         let thread_inner = Arc::clone(&inner);
         let stages = Mutex::new(stages);
         let timeout_ms = timeout.as_millis().max(1) as u64;
-        let thread = std::thread::Builder::new()
-            .name("wdt".into())
-            .spawn(move || {
-                let mut fired: usize = 0;
-                let mut last_seen_kick = thread_inner.last_kick.load(Ordering::Relaxed);
-                while thread_inner.running.load(Ordering::Relaxed) {
-                    clock.sleep(Duration::from_millis((timeout_ms / 4).max(1)));
-                    let kick = thread_inner.last_kick.load(Ordering::Relaxed);
-                    if kick != last_seen_kick {
-                        // Kicked since we last looked: reset the ladder.
-                        last_seen_kick = kick;
-                        fired = 0;
-                        continue;
-                    }
-                    let now = clock.now().as_millis() as u64;
-                    let elapsed = now.saturating_sub(kick);
-                    let due = (elapsed / timeout_ms) as usize;
-                    let mut stages = stages.lock();
-                    while fired < due && fired < stages.len() {
-                        (stages[fired])();
-                        fired += 1;
-                        thread_inner.expiries.fetch_add(1, Ordering::Relaxed);
-                    }
+        let loop_clock = Arc::clone(&clock);
+        let thread = wdog_base::clock::spawn_on(&clock, "wdt", move || {
+            let clock = loop_clock;
+            let mut fired: usize = 0;
+            let mut last_seen_kick = thread_inner.last_kick.load(Ordering::Relaxed);
+            while thread_inner.running.load(Ordering::Relaxed) {
+                clock.sleep(Duration::from_millis((timeout_ms / 4).max(1)));
+                let kick = thread_inner.last_kick.load(Ordering::Relaxed);
+                if kick != last_seen_kick {
+                    // Kicked since we last looked: reset the ladder.
+                    last_seen_kick = kick;
+                    fired = 0;
+                    continue;
                 }
-            })
-            .expect("spawn wdt");
+                let now = clock.now().as_millis() as u64;
+                let elapsed = now.saturating_sub(kick);
+                let due = (elapsed / timeout_ms) as usize;
+                let mut stages = stages.lock();
+                while fired < due && fired < stages.len() {
+                    (stages[fired])();
+                    fired += 1;
+                    thread_inner.expiries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
         Self {
             inner,
             thread: Some(thread),

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use wdog_base::clock::SharedClock;
@@ -119,13 +119,12 @@ impl RecoveryCoordinatorBuilder {
             backlog: VecDeque::new(),
             incident_seq: 0,
         };
-        let handle = std::thread::Builder::new()
-            .name("wdog-recover".into())
-            .spawn(move || worker.run())
-            .expect("spawn wdog-recover");
+        let clock = Arc::clone(&self.clock);
+        let handle = wdog_base::clock::spawn_on(&clock, "wdog-recover", move || worker.run());
         Arc::new(RecoveryCoordinator {
             tx,
             shared,
+            clock,
             worker: Mutex::new(Some(handle)),
         })
     }
@@ -156,6 +155,7 @@ struct CoordShared {
 pub struct RecoveryCoordinator {
     tx: Sender<FailureReport>,
     shared: Arc<CoordShared>,
+    clock: SharedClock,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -202,14 +202,15 @@ impl RecoveryCoordinator {
             && !self.shared.busy.load(Ordering::Relaxed)
     }
 
-    /// Polls until the coordinator is idle or `timeout` elapses.
+    /// Polls until the coordinator is idle or `timeout` elapses, pacing on
+    /// the coordinator's clock so the wait is virtual under simulation.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
-        let start = std::time::Instant::now();
-        while start.elapsed() < timeout {
+        let deadline = self.clock.now() + timeout;
+        while self.clock.now() < deadline {
             if self.is_idle() {
                 return true;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            self.clock.sleep(Duration::from_millis(10));
         }
         self.is_idle()
     }
@@ -264,15 +265,19 @@ impl Worker {
                     .store(self.backlog.len(), Ordering::Relaxed);
                 r
             } else {
-                match self.rx.recv_timeout(Duration::from_millis(25)) {
+                // Poll the inbox on the clock rather than blocking inside
+                // crossbeam: under a simulated clock this sleep is what
+                // lets virtual time advance past an idle coordinator.
+                match self.rx.try_recv() {
                     Ok(r) => r,
-                    Err(RecvTimeoutError::Timeout) => {
+                    Err(TryRecvError::Empty) => {
                         if self.shared.shutdown.load(Ordering::Relaxed) {
                             return;
                         }
+                        self.clock.sleep(Duration::from_millis(25));
                         continue;
                     }
-                    Err(RecvTimeoutError::Disconnected) => return,
+                    Err(TryRecvError::Disconnected) => return,
                 }
             };
             self.shared.busy.store(true, Ordering::Relaxed);
@@ -512,18 +517,26 @@ impl Worker {
             return false;
         };
         let (tx, rx) = bounded::<bool>(1);
-        let spawned = std::thread::Builder::new()
-            .name("wdog-verify".into())
-            .spawn(move || {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.check()));
-                let pass = matches!(outcome, Ok(s) if s.is_pass());
-                let _ = tx.send(pass);
-            });
-        if spawned.is_err() {
-            return false;
+        wdog_base::clock::spawn_on(&self.clock, "wdog-verify", move || {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.check()));
+            let pass = matches!(outcome, Ok(s) if s.is_pass());
+            let _ = tx.send(pass);
+        });
+        let deadline = self.clock.now() + policy.verify_timeout;
+        loop {
+            match rx.try_recv() {
+                Ok(pass) => return pass,
+                Err(TryRecvError::Disconnected) => return false,
+                Err(TryRecvError::Empty) => {}
+            }
+            let now = self.clock.now();
+            if now >= deadline {
+                return false;
+            }
+            self.clock
+                .sleep(Duration::from_millis(5).min(deadline - now));
         }
-        matches!(rx.recv_timeout(policy.verify_timeout), Ok(true))
     }
 
     fn close(&self, incident: Incident) {

@@ -37,7 +37,9 @@ pub mod workload;
 
 pub use options::{Families, WdOptions};
 pub use supervise::Supervised;
-pub use workload::{spawn_workload, RequestFn, WorkloadHandle, WorkloadProfile, WorkloadTicket};
+pub use workload::{
+    spawn_workload, spawn_workload_on, RequestFn, WorkloadHandle, WorkloadProfile, WorkloadTicket,
+};
 
 /// Re-exported so targets and campaign runners share one recovery contract
 /// without depending on `wdog-recover` directly.
@@ -167,8 +169,26 @@ pub trait WatchdogTarget: Send + Sync {
         v
     }
 
-    /// Boots one isolated testbed instance seeded with `seed`.
-    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>>;
+    /// The cluster → process → component kill hierarchy for this target's
+    /// testbed. The default is the canonical single-process shape: the sole
+    /// process hosts the in-process watchdog, so its guard vetoes process-
+    /// and cluster-level kills while component kills stay available to
+    /// fault schedules. Campaign composition consults this instead of
+    /// hard-coding which fault classes are in scope.
+    fn kill_hierarchy(&self) -> simio::KillHierarchy {
+        simio::KillHierarchy::single_process(self.name(), &self.components())
+    }
+
+    /// Boots one isolated testbed instance seeded with `seed` on the real
+    /// clock. Prefer [`WatchdogTarget::start_on`] when the caller owns the
+    /// clock (simulation, virtual-time tests).
+    fn start(&self, seed: u64) -> BaseResult<Box<dyn TargetInstance>> {
+        self.start_on(seed, wdog_base::clock::RealClock::shared())
+    }
+
+    /// Boots one isolated testbed instance seeded with `seed`, with every
+    /// background loop, latency model, and substrate paced by `clock`.
+    fn start_on(&self, seed: u64, clock: SharedClock) -> BaseResult<Box<dyn TargetInstance>>;
 }
 
 /// One booted testbed of a [`WatchdogTarget`].
@@ -194,6 +214,14 @@ pub trait TargetInstance: Send {
     /// Stops and joins the workload threads.
     fn stop_workload(&mut self);
 
+    /// Raises every stop flag — workload and background loops — without
+    /// joining anything. Under a simulated clock a harness calls this while
+    /// virtual time is frozen so all loops observe the same stop instant;
+    /// the blocking joins ([`TargetInstance::stop_workload`],
+    /// [`TargetInstance::teardown`]) follow after the caller deregisters
+    /// from the clock. The default does nothing.
+    fn request_stop(&self) {}
+
     /// A full client round trip for the external-probe baseline.
     fn api_probe(&self) -> ApiProbe;
 
@@ -208,6 +236,15 @@ pub trait TargetInstance: Send {
     /// verification re-checks — for the closed-loop recovery coordinator.
     /// `None` means the instance supports detection only.
     fn recovery_surface(&self) -> Option<RecoverySurface> {
+        None
+    }
+
+    /// Per-op call/fault counter tables from the instance's simulated
+    /// substrates, `(disk, net)` — the turso-style `nr_*_calls` /
+    /// `nr_*_faults` accounting that campaign telemetry exports as the
+    /// `sim_io_*` families. `None` when the instance runs on no simulated
+    /// I/O.
+    fn io_stats(&self) -> Option<(simio::disk::DiskOpStats, simio::net::NetOpStats)> {
         None
     }
 

@@ -84,6 +84,11 @@ pub struct WdOptions {
     /// measure end-to-end detection latency against it. `None` (the
     /// default) costs one relaxed atomic load per hook fire.
     pub telemetry: Option<Arc<TelemetryRegistry>>,
+    /// When set, checker executors spawn in a seed-derived permutation of
+    /// registration order. Reports must be identical for every value —
+    /// determinism tests sweep this to prove verdicts don't depend on
+    /// spawn order.
+    pub spawn_order_seed: Option<u64>,
 }
 
 impl Default for WdOptions {
@@ -98,6 +103,7 @@ impl Default for WdOptions {
             queue_threshold: 512,
             families: Families::all(),
             telemetry: None,
+            spawn_order_seed: None,
         }
     }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use rand::Rng;
 
+use wdog_base::clock::{spawn_on, SharedClock};
 use wdog_base::error::BaseResult;
 use wdog_base::rng::{derive_seed, seeded};
 
@@ -80,6 +81,13 @@ impl WorkloadHandle {
         )
     }
 
+    /// Raises the stop flag without joining; loops exit at their next
+    /// pacing check. Used by simulation harnesses to land the stop at an
+    /// exact virtual instant before performing the blocking joins.
+    pub fn request_stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
+    }
+
     /// Stops and joins the workload threads.
     pub fn stop(&mut self) {
         self.running.store(false, Ordering::Relaxed);
@@ -103,10 +111,28 @@ impl std::fmt::Debug for WorkloadHandle {
     }
 }
 
-/// Starts `profile.threads` request loops, each calling `request` with a
-/// deterministically drawn ticket, pacing by `profile.period`, counting
-/// outcomes, and reporting each to `observer` when one is attached.
+/// Starts `profile.threads` request loops on the real clock. See
+/// [`spawn_workload_on`].
 pub fn spawn_workload(
+    profile: &WorkloadProfile,
+    observer: Option<WorkloadObserver>,
+    request: RequestFn,
+) -> WorkloadHandle {
+    spawn_workload_on(
+        &wdog_base::clock::RealClock::shared(),
+        profile,
+        observer,
+        request,
+    )
+}
+
+/// Starts `profile.threads` request loops, each calling `request` with a
+/// deterministically drawn ticket, pacing by `profile.period` on `clock`,
+/// counting outcomes, and reporting each to `observer` when one is
+/// attached. Each loop registers as a clock actor, so under a simulated
+/// clock the request cadence is exact virtual time.
+pub fn spawn_workload_on(
+    clock: &SharedClock,
     profile: &WorkloadProfile,
     observer: Option<WorkloadObserver>,
     request: RequestFn,
@@ -122,32 +148,28 @@ pub fn spawn_workload(
         let observer = observer.clone();
         let request = Arc::clone(&request);
         let profile = profile.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("workload-{t}"))
-                .spawn(move || {
-                    let mut rng = seeded(derive_seed(profile.seed, &format!("wl-{t}")));
-                    while running.load(Ordering::Relaxed) {
-                        let ticket = WorkloadTicket {
-                            key: rng.gen_range(0..profile.keys.max(1)),
-                            write: rng.gen_bool(profile.write_fraction),
-                            roll: rng.gen_range(0..10u32),
-                            value: rng.gen(),
-                        };
-                        let success = request(&ticket).is_ok();
-                        if success {
-                            ok.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if let Some(obs) = &observer {
-                            obs(success);
-                        }
-                        std::thread::sleep(profile.period);
-                    }
-                })
-                .expect("spawn workload"),
-        );
+        let loop_clock = Arc::clone(clock);
+        threads.push(spawn_on(clock, &format!("workload-{t}"), move || {
+            let mut rng = seeded(derive_seed(profile.seed, &format!("wl-{t}")));
+            while running.load(Ordering::Relaxed) {
+                let ticket = WorkloadTicket {
+                    key: rng.gen_range(0..profile.keys.max(1)),
+                    write: rng.gen_bool(profile.write_fraction),
+                    roll: rng.gen_range(0..10u32),
+                    value: rng.gen(),
+                };
+                let success = request(&ticket).is_ok();
+                if success {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(obs) = &observer {
+                    obs(success);
+                }
+                loop_clock.sleep(profile.period);
+            }
+        }));
     }
     WorkloadHandle {
         ok,

@@ -40,6 +40,18 @@ pub const CHAOS_REPRODUCERS: &str = "chaos_reproducers_total";
 /// machine load at sample time — the campaign measures them here
 /// instead of scoring them into the deterministic canonical report.
 pub const CHAOS_SIGNAL_REPORTS: &str = "chaos_signal_reports_total";
+/// Counter family: simulated-disk operations that entered the fault gate,
+/// labelled by op kind (`read`/`write`/`sync`/`meta`).
+pub const SIM_IO_DISK_CALLS: &str = "sim_io_disk_calls_total";
+/// Counter family: simulated-disk operations an armed fault acted on,
+/// labelled by op kind.
+pub const SIM_IO_DISK_FAULTS: &str = "sim_io_disk_faults_total";
+/// Counter family: simulated-network operations that entered the fault
+/// gate, labelled by direction (`send`/`recv`).
+pub const SIM_IO_NET_CALLS: &str = "sim_io_net_calls_total";
+/// Counter family: simulated-network operations an armed fault acted on,
+/// labelled by direction.
+pub const SIM_IO_NET_FAULTS: &str = "sim_io_net_faults_total";
 
 /// Pre-resolved handles for the chaos metric families.
 #[derive(Clone)]
@@ -103,6 +115,21 @@ impl ChaosMetrics {
     pub fn signal_report(&self, checker: &str) {
         self.registry.counter(CHAOS_SIGNAL_REPORTS, checker).inc();
     }
+
+    /// Accumulates one simulated-disk per-op stats row (turso-style
+    /// `nr_*_calls` / `nr_*_faults` table) into the `sim_io_disk_*`
+    /// families.
+    pub fn sim_io_disk(&self, op: &str, calls: u64, faults: u64) {
+        self.registry.counter(SIM_IO_DISK_CALLS, op).add(calls);
+        self.registry.counter(SIM_IO_DISK_FAULTS, op).add(faults);
+    }
+
+    /// Accumulates one simulated-network per-direction stats row into the
+    /// `sim_io_net_*` families.
+    pub fn sim_io_net(&self, op: &str, calls: u64, faults: u64) {
+        self.registry.counter(SIM_IO_NET_CALLS, op).add(calls);
+        self.registry.counter(SIM_IO_NET_FAULTS, op).add(faults);
+    }
 }
 
 impl std::fmt::Debug for ChaosMetrics {
@@ -127,6 +154,9 @@ mod tests {
         m.shrink_eval();
         m.reproducer("missed");
         m.signal_report("kvs.signal.repl_queue");
+        m.sim_io_disk("read", 120, 3);
+        m.sim_io_disk("read", 30, 1);
+        m.sim_io_net("send", 55, 0);
         let snap = m.registry().snapshot();
         assert_eq!(snap.counter(CHAOS_SCHEDULES, "harmful"), Some(2));
         assert_eq!(snap.counter(CHAOS_SCHEDULES, "benign"), Some(1));
@@ -140,5 +170,9 @@ mod tests {
         );
         let h = snap.histogram(CHAOS_DETECTION_MS, "disk-stuck").unwrap();
         assert_eq!(h.count, 1);
+        assert_eq!(snap.counter(SIM_IO_DISK_CALLS, "read"), Some(150));
+        assert_eq!(snap.counter(SIM_IO_DISK_FAULTS, "read"), Some(4));
+        assert_eq!(snap.counter(SIM_IO_NET_CALLS, "send"), Some(55));
+        assert_eq!(snap.counter(SIM_IO_NET_FAULTS, "send"), Some(0));
     }
 }

@@ -39,6 +39,7 @@ fn main() {
             policy: SchedulePolicy::every(Duration::from_millis(100)),
             default_timeout: Duration::from_millis(300),
             health_window: Duration::from_secs(10),
+            spawn_order_seed: None,
         },
         Arc::clone(&clock),
     );

@@ -9,34 +9,20 @@
 # archived reproducer under tests/chaos_corpus/ must rerun to its recorded
 # verdict (the blind spots chaos found stay pinned until a checker change
 # legitimately flips them — at which point the corpus file is re-recorded).
+# Replays run under --sim: virtual time makes the verdict load-independent,
+# so a replay asserts byte-parity on the first attempt — the old
+# stall-tolerant retry loop is gone because the noise it tolerated is gone.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Replays run testbeds on the real clock, so a multi-second host stall can
-# flip a timing verdict in one run (e.g. a stalled probe exceeding a checker
-# timeout turns a recorded miss into a spurious detection). A stall-induced
-# divergence vanishes on retry; a genuine behavioral flip diverges every
-# time and still fails the gate.
-replay_with_retry() {
-    local artifact="$1" attempt
-    for attempt in 1 2 3; do
-        if cargo run --offline -q --release -p harness --bin wdog-chaos -- --replay "$artifact"; then
-            return 0
-        fi
-        echo "    (replay diverged on attempt $attempt — assuming a host stall; retrying)"
-    done
-    echo "replay of $artifact diverged on every attempt — a real behavioral change"
-    return 1
-}
-
 replay_corpus() {
-    echo "==> chaos regression corpus: every archived reproducer reruns to its recorded verdict"
+    echo "==> chaos regression corpus: every archived reproducer reruns to its recorded verdict (sim, first attempt)"
     local found=0
     for artifact in tests/chaos_corpus/*.json; do
         [ -e "$artifact" ] || continue
         found=1
         echo "    replaying $artifact"
-        replay_with_retry "$artifact"
+        cargo run --offline -q --release -p harness --bin wdog-chaos -- --sim --replay "$artifact"
     done
     if [ "$found" -eq 0 ]; then
         echo "    (corpus empty — nothing to replay)"
@@ -59,8 +45,12 @@ echo "==> wdog-lint --target all --deny-drift + analysis gates"
 # --deny-coverage-regression diffs against the archived
 # results/analysis/coverage_<target>.json and fails on newly uncovered
 # vulnerable ops; the refreshed artifacts are written back in place.
+# --deny-real-clock keeps production code off raw time calls — the
+# virtual-time substrate's determinism rests on every sleep and deadline
+# going through Clock.
 cargo run --offline -q -p harness --bin wdog-lint -- --target all --deny-drift \
-    --deny-unsafe-checker --deny-deadlock-cycle --deny-coverage-regression
+    --deny-unsafe-checker --deny-deadlock-cycle --deny-coverage-regression \
+    --deny-real-clock
 
 echo "==> wdog-recovery smoke: kvs stuck-task + corruption must verified-recover"
 cargo run --offline -q -p harness --bin wdog-recovery -- --target kvs \
@@ -73,13 +63,28 @@ cargo run --offline -q --release -p harness --bin wdog-telemetry -- --target kvs
 echo "==> telemetry bench guard: armed hook fire within 15% of disarmed"
 cargo run --offline -q --release -p harness --bin wdog-telemetry -- --bench-guard 15
 
-echo "==> chaos smoke: seeded kvs campaign must detect and stay benign-clean"
-cargo run --offline -q --release -p harness --bin wdog-chaos -- --target kvs \
-    --seed 42 --schedules 6 --require-detected 1 --require-clean-benign
-
-echo "==> chaos replay: the archived reproducer must rerun to its recorded verdict"
-replay_artifact=$(ls results/chaos/chaos-42-*.kvs.*.json | head -n 1)
-replay_with_retry "$replay_artifact"
+# The chaos gate, in virtual time. The old real-clock smoke ran 50
+# schedules per target and cost 50 x (0.5s warmup + 2.5s horizon + 0.4s
+# grace) = 170s of wall clock each. The sim gate runs 1000 schedules per
+# target — 20x the coverage — and --max-wall-ms 170000 asserts each sweep
+# still comes in under the old 50-schedule budget. Each sweep runs twice
+# and the archived reports must agree byte-for-byte on the first attempt:
+# determinism by construction, not by contract.
+for t in kvs minizk miniblock; do
+    echo "==> chaos sim sweep [$t]: 1000 schedules, twice, byte-identical, under the old 50-schedule budget"
+    cargo run --offline -q --release -p harness --bin wdog-chaos -- --target "$t" \
+        --seed 42 --schedules 1000 --sim --max-wall-ms 170000 \
+        --require-detected 1 --require-clean-benign
+    cp "results/chaos/chaos_$t.json" "results/chaos/chaos_$t.run1.json"
+    cargo run --offline -q --release -p harness --bin wdog-chaos -- --target "$t" \
+        --seed 42 --schedules 1000 --sim --max-wall-ms 170000 \
+        --require-detected 1 --require-clean-benign
+    if ! cmp -s "results/chaos/chaos_$t.run1.json" "results/chaos/chaos_$t.json"; then
+        echo "chaos sim sweep [$t]: reports diverged between consecutive runs — nondeterminism bug"
+        exit 1
+    fi
+    rm -f "results/chaos/chaos_$t.run1.json"
+done
 
 replay_corpus
 

@@ -1,77 +1,56 @@
-//! The chaos campaign's central reproducibility contract: the same
-//! `(target, seed, schedules)` triple must produce a byte-identical
-//! [`ChaosReport`] across independent in-process runs, even though the
-//! testbeds run on the real clock. Composition is a pure function of the
-//! seed, severities are bimodal (far from every threshold), and the
-//! canonical report carries only robust facts — so any divergence here is
-//! a real nondeterminism bug, not scheduling noise.
+//! The chaos campaign's central reproducibility contract, now *by
+//! construction*: under `--sim` every schedule replays on a discrete-event
+//! [`SimClock`], where the clock owns all interleaving decisions and time
+//! advances only when every actor is blocked. The same `(target, seed,
+//! schedules)` triple must therefore produce a byte-identical
+//! [`ChaosReport`] on the **first attempt** — there is no retry budget
+//! here, because there is no host-load noise for a retry to absorb. A
+//! divergence in this file is a real nondeterminism bug, full stop.
 //!
-//! The one exception the real clock forces on us: a multi-second host
-//! stall (CI co-tenancy) acts like an un-injected `RuntimePause` and can
-//! push the benign schedule's probes over a checker deadline in exactly
-//! one run of a pair. Such a divergence disappears on retry, so the test
-//! demands two *consecutive* byte-identical campaigns within a small
-//! retry budget — genuine nondeterminism keeps diverging and still fails.
+//! (The old real-clock version of this test tolerated one divergence per
+//! pair and demanded two *consecutive* agreements, because a multi-second
+//! host stall could push a benign schedule's probes over a checker
+//! deadline. Virtual time makes verdicts load-independent, so that
+//! hardening is deliberately gone.)
 //!
 //! [`ChaosReport`]: harness::chaos::ChaosReport
 
 use std::time::Duration;
 
-use harness::chaos::{run_campaign, ChaosOptions};
+use proptest::prelude::*;
+
+use harness::chaos::{replay, run_campaign, ChaosOptions, Reproducer};
 use kvs::target::KvsTarget;
 
 /// A small-but-representative campaign: four schedules cover single
 /// faults, an overlapping pair (statistically), and one benign near-miss
-/// (index 3 under the default benign cadence), on a shortened horizon so
-/// two full runs stay test-suite friendly.
+/// (index 3 under the default benign cadence). Sim mode replays the full
+/// warmup + horizon + grace span in milliseconds of wall time.
 fn quick_opts() -> ChaosOptions {
     let mut opts = ChaosOptions {
         seed: 1042,
         schedules: 4,
         warmup: Duration::from_millis(400),
+        sim: true,
         ..ChaosOptions::default()
     };
     opts.compose.horizon = Duration::from_millis(1_800);
     opts
 }
 
-/// One serial test (rather than one per property): each campaign boots a
-/// full kvs testbed with latency-sensitive checkers, and running two of
-/// them concurrently on separate test threads adds avoidable load noise
-/// to a test whose whole point is exact reproducibility.
 #[test]
-fn same_seed_is_byte_identical_and_different_seeds_diverge() {
+fn same_seed_is_byte_identical_first_attempt_and_different_seeds_diverge() {
     let target = KvsTarget;
     let opts = quick_opts();
 
-    // Two consecutive campaigns must agree byte-for-byte. A divergence
-    // caused by a host stall (see module docs) vanishes on retry; a real
-    // nondeterminism bug diverges every time and exhausts the budget.
-    const HOST_STALL_RETRIES: usize = 2;
-    let mut prev = run_campaign(&target, &opts).unwrap();
-    let mut prev_json = serde_json::to_string_pretty(&prev).unwrap();
-    let mut agreed = false;
-    for attempt in 0..=HOST_STALL_RETRIES {
-        let next = run_campaign(&target, &opts).unwrap();
-        let next_json = serde_json::to_string_pretty(&next).unwrap();
-        if next_json == prev_json {
-            agreed = true;
-            break;
-        }
-        eprintln!(
-            "[chaos-determinism] same-seed runs diverged (attempt {attempt}); \
-             assuming a host stall and retrying"
-        );
-        prev = next;
-        prev_json = next_json;
-    }
-    assert!(
-        agreed,
-        "chaos reports diverged across {} consecutive same-seed run pairs — \
-         real nondeterminism, not host noise",
-        HOST_STALL_RETRIES + 1
+    let first = run_campaign(&target, &opts).unwrap();
+    let a = serde_json::to_string_pretty(&first).unwrap();
+    let b = serde_json::to_string_pretty(&run_campaign(&target, &opts).unwrap()).unwrap();
+    assert_eq!(
+        a, b,
+        "sim-mode chaos reports diverged across same-seed runs — the \
+         virtual clock leaked nondeterminism"
     );
-    let (first, a) = (prev, prev_json);
 
     // The campaign actually exercised both schedule kinds…
     assert_eq!(first.summary.schedules, 4);
@@ -97,4 +76,71 @@ fn same_seed_is_byte_identical_and_different_seeds_diverge() {
         first.outcomes[0].schedule, other.outcomes[0].schedule,
         "different seeds composed the same schedule"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Verdicts are facts about the schedule, not about thread layout: a
+    /// campaign whose checker executors spawn in a random seed-derived
+    /// permutation must produce the same report bytes as the
+    /// registration-order baseline, for every permutation.
+    #[test]
+    fn report_is_invariant_under_executor_spawn_order(spawn_seed in any::<u64>()) {
+        let target = KvsTarget;
+        let mut baseline_opts = ChaosOptions {
+            schedules: 2,
+            ..quick_opts()
+        };
+        let baseline = serde_json::to_string_pretty(
+            &run_campaign(&target, &baseline_opts).unwrap(),
+        )
+        .unwrap();
+        baseline_opts.wd.spawn_order_seed = Some(spawn_seed);
+        let permuted = serde_json::to_string_pretty(
+            &run_campaign(&target, &baseline_opts).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            baseline,
+            permuted,
+            "spawn order {} changed the report",
+            spawn_seed
+        );
+    }
+}
+
+/// Every archived reproducer must reach its recorded verdict under
+/// `--sim`: the corpus was minted on the real clock, and the virtual clock
+/// must tell the same story about each of these schedules, or the sim is
+/// not simulating the system we shipped.
+#[test]
+fn chaos_corpus_replays_to_recorded_verdicts_under_sim() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/chaos_corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("corpus dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "chaos corpus is empty");
+
+    for path in entries {
+        let rep: Reproducer =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let targets = harness::select_targets(&rep.target)
+            .unwrap_or_else(|| panic!("{path:?} names unknown target {:?}", rep.target));
+        let opts = ChaosOptions {
+            sim: true,
+            ..ChaosOptions::default()
+        };
+        let (outcome, matches) = replay(targets[0].as_ref(), &rep, &opts).unwrap();
+        assert!(
+            matches,
+            "{}: sim replay reached {:?}, corpus records {:?}",
+            path.file_name().unwrap().to_string_lossy(),
+            outcome.verdict,
+            rep.verdict
+        );
+    }
 }
