@@ -22,13 +22,17 @@ fn hook_costs(c: &mut Criterion) {
     group.bench_function("disabled", |b| {
         hooks.set_enabled(false);
         b.iter(|| {
-            site.fire(|| vec![("k".into(), CtxValue::U64(1))]);
+            if let Some(mut fire) = site.fire() {
+                fire.field("k", CtxValue::U64(1));
+            }
         })
     });
     group.bench_function("enabled", |b| {
         hooks.set_enabled(true);
         b.iter(|| {
-            site.fire(|| vec![("k".into(), CtxValue::U64(1))]);
+            if let Some(mut fire) = site.fire() {
+                fire.field("k", CtxValue::U64(1));
+            }
         })
     });
     group.finish();

@@ -250,7 +250,10 @@ fn hook_fire_telemetry(c: &mut Criterion) {
         group.bench_function("telemetry_off", |b| {
             b.iter(|| {
                 i += 1;
-                site.fire(|| ctx_fields(i));
+                if let Some(mut fire) = site.fire() {
+                    fire.field("path", CtxValue::Str("wal/segment-7".to_owned()))
+                        .field("len", CtxValue::U64(i));
+                }
             })
         });
     }
@@ -262,7 +265,10 @@ fn hook_fire_telemetry(c: &mut Criterion) {
         group.bench_function("telemetry_on", |b| {
             b.iter(|| {
                 i += 1;
-                site.fire(|| ctx_fields(i));
+                if let Some(mut fire) = site.fire() {
+                    fire.field("path", CtxValue::Str("wal/segment-7".to_owned()))
+                        .field("len", CtxValue::U64(i));
+                }
             })
         });
     }

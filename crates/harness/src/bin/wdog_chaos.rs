@@ -1,7 +1,7 @@
 //! Randomized fault-schedule fuzzing of the watchdog's checkers.
 //!
 //! ```text
-//! wdog-chaos [--target {kvs|minizk|miniblock|all}]
+//! wdog-chaos [--target {kvs|minizk|miniblock|all}] [--out DIR]
 //!            [--seed N] [--schedules N] [--sim] [--max-wall-ms N]
 //!            [--require-detected N] [--require-clean-benign]
 //!            [--replay FILE]
@@ -41,19 +41,15 @@
 use std::path::Path;
 
 use harness::chaos::{self, ChaosOptions, ChaosReport, Reproducer};
+use harness::cli::{CampaignCli, EXIT_GATE, EXIT_USAGE};
 use wdog_telemetry::{ChaosMetrics, TelemetryRegistry};
 
-fn usage(code: i32) -> ! {
-    eprintln!(
-        "usage: wdog-chaos [--target {{kvs|minizk|miniblock|all}}] [--seed N] [--schedules N] \
-         [--sim] [--max-wall-ms N] [--require-detected N] [--require-clean-benign] [--replay FILE]"
-    );
-    std::process::exit(code);
-}
+const USAGE: &str = "[--target {kvs|minizk|miniblock|all}] [--seed N] [--out DIR] [--schedules N] \
+     [--sim] [--max-wall-ms N] [--require-detected N] [--require-clean-benign] [--replay FILE]";
 
-/// Writes `value` as pretty JSON under `results/chaos/`.
-fn write_chaos_json(name: &str, value: &impl serde::Serialize) {
-    let dir = Path::new("results").join("chaos");
+/// Writes `value` as pretty JSON under `<out>/chaos/`.
+fn write_chaos_json(out: &Path, name: &str, value: &impl serde::Serialize) {
+    let dir = out.join("chaos");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
@@ -76,14 +72,14 @@ fn replay_file(path: &str, sim: bool) -> i32 {
         Ok(t) => t,
         Err(e) => {
             eprintln!("wdog-chaos: cannot read {path}: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let rep: Reproducer = match serde_json::from_str(&text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("wdog-chaos: {path} is not a reproducer: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let targets = match harness::select_targets(&rep.target) {
@@ -93,7 +89,7 @@ fn replay_file(path: &str, sim: bool) -> i32 {
                 "wdog-chaos: reproducer names unknown target {:?}",
                 rep.target
             );
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let opts = ChaosOptions {
@@ -114,93 +110,42 @@ fn replay_file(path: &str, sim: bool) -> i32 {
                 0
             } else {
                 eprintln!("wdog-chaos: replay verdict diverged from the archive");
-                1
+                EXIT_GATE
             }
         }
         Err(e) => {
             eprintln!("wdog-chaos: replay failed: {e}");
-            1
+            EXIT_GATE
         }
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut target_name = "kvs".to_owned();
-    let mut seed: u64 = 42;
-    let mut schedules: u64 = 20;
-    let mut require_detected: u64 = 0;
-    let mut require_clean_benign = false;
-    let mut replay: Option<String> = None;
-    let mut sim = false;
-    let mut max_wall_ms: Option<u64> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--target" if i + 1 < args.len() => {
-                target_name = args[i + 1].clone();
-                i += 2;
-            }
-            "--seed" if i + 1 < args.len() => {
-                seed = args[i + 1].parse().unwrap_or_else(|_| usage(2));
-                i += 2;
-            }
-            "--schedules" if i + 1 < args.len() => {
-                schedules = args[i + 1].parse().unwrap_or_else(|_| usage(2));
-                i += 2;
-            }
-            "--require-detected" if i + 1 < args.len() => {
-                require_detected = args[i + 1].parse().unwrap_or_else(|_| usage(2));
-                i += 2;
-            }
-            "--require-clean-benign" => {
-                require_clean_benign = true;
-                i += 1;
-            }
-            "--sim" => {
-                sim = true;
-                i += 1;
-            }
-            "--max-wall-ms" if i + 1 < args.len() => {
-                max_wall_ms = Some(args[i + 1].parse().unwrap_or_else(|_| usage(2)));
-                i += 2;
-            }
-            "--replay" if i + 1 < args.len() => {
-                replay = Some(args[i + 1].clone());
-                i += 2;
-            }
-            other => {
-                if let Some(v) = other.strip_prefix("--target=") {
-                    target_name = v.to_owned();
-                } else if let Some(v) = other.strip_prefix("--seed=") {
-                    seed = v.parse().unwrap_or_else(|_| usage(2));
-                } else if let Some(v) = other.strip_prefix("--schedules=") {
-                    schedules = v.parse().unwrap_or_else(|_| usage(2));
-                } else if let Some(v) = other.strip_prefix("--require-detected=") {
-                    require_detected = v.parse().unwrap_or_else(|_| usage(2));
-                } else if let Some(v) = other.strip_prefix("--replay=") {
-                    replay = Some(v.to_owned());
-                } else if let Some(v) = other.strip_prefix("--max-wall-ms=") {
-                    max_wall_ms = Some(v.parse().unwrap_or_else(|_| usage(2)));
-                } else {
-                    usage(2);
-                }
-                i += 1;
-            }
-        }
-    }
+    let cli = CampaignCli::parse(
+        "wdog-chaos",
+        USAGE,
+        &[
+            "--schedules",
+            "--require-detected",
+            "--max-wall-ms",
+            "--replay",
+        ],
+        &["--sim", "--require-clean-benign"],
+    );
+    let seed = cli.seed();
+    let schedules: u64 = cli.parsed("--schedules", 20);
+    let require_detected: u64 = cli.parsed("--require-detected", 0);
+    let require_clean_benign = cli.switch("--require-clean-benign");
+    let sim = cli.switch("--sim");
+    let max_wall_ms: Option<u64> = cli.parsed_opt("--max-wall-ms");
+    let out = cli.out_dir();
 
-    if let Some(path) = replay {
-        std::process::exit(replay_file(&path, sim));
+    if let Some(path) = cli.value("--replay") {
+        std::process::exit(replay_file(path, sim));
     }
-
-    let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
-        eprintln!("unknown target {target_name:?}; expected kvs, minizk, miniblock, or all");
-        std::process::exit(2);
-    });
 
     let mut failed = false;
-    for target in targets {
+    for target in cli.targets("kvs") {
         let metrics = ChaosMetrics::new(TelemetryRegistry::shared());
         let opts = ChaosOptions {
             seed,
@@ -235,13 +180,14 @@ fn main() {
                 failed = true;
             }
         }
-        write_chaos_json(&format!("chaos_{}", target.name()), &report);
+        write_chaos_json(&out, &format!("chaos_{}", target.name()), &report);
 
         // Reproducer archive: each shrunk failing schedule, or an
         // exemplar of the first outcome when the campaign was clean.
         if report.reproducers.is_empty() {
             if let Some(ex) = chaos::exemplar_reproducer(&report) {
                 write_chaos_json(
+                    &out,
                     &format!("{}.{}.{}", ex.schedule.id, ex.target, ex.kind),
                     &ex,
                 );
@@ -249,6 +195,7 @@ fn main() {
         }
         for rep in &report.reproducers {
             write_chaos_json(
+                &out,
                 &format!("{}.{}.{}", rep.schedule.id, rep.target, rep.kind),
                 rep,
             );
@@ -258,7 +205,7 @@ fn main() {
         // counters (wall-clock — deliberately outside the canonical
         // report).
         let snap = metrics.registry().snapshot();
-        write_chaos_json(&format!("chaos_{}_telemetry", target.name()), &snap);
+        write_chaos_json(&out, &format!("chaos_{}_telemetry", target.name()), &snap);
 
         let s = &report.summary;
         if s.detected < require_detected {
@@ -279,6 +226,6 @@ fn main() {
         }
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE);
     }
 }

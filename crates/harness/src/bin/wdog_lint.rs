@@ -27,20 +27,16 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+use harness::cli::{CampaignCli, EXIT_GATE, EXIT_USAGE};
 use harness::lint::{
     load_blind_spots, run_analysis, run_lint, select_lint_targets, AnalysisBundle,
 };
 use wdog_gen::pretty::render_drift;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: wdog-lint [--target {{kvs|minizk|miniblock|all}}] [--deny-drift]\n\
-         \x20                [--deny-unsafe-checker] [--deny-deadlock-cycle]\n\
-         \x20                [--deny-coverage-regression] [--deny-real-clock]\n\
-         \x20                [--coverage-out DIR] [--corpus DIR]"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "[--target {kvs|minizk|miniblock|all}] [--out DIR] [--deny-drift]\n\
+    \x20         [--deny-unsafe-checker] [--deny-deadlock-cycle]\n\
+    \x20         [--deny-coverage-regression] [--deny-real-clock]\n\
+    \x20         [--coverage-out DIR] [--corpus DIR]";
 
 /// Reads the previously archived coverage matrix's gap keys, if any.
 fn prior_gaps(path: &Path) -> Option<BTreeSet<String>> {
@@ -149,63 +145,33 @@ fn render_analysis(b: &AnalysisBundle) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut name = "all".to_owned();
-    let mut deny_drift = false;
-    let mut deny_unsafe = false;
-    let mut deny_deadlock = false;
-    let mut deny_coverage = false;
-    let mut deny_real_clock = false;
-    let mut coverage_out = PathBuf::from("results/analysis");
-    let mut corpus: Option<PathBuf> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--target" if i + 1 < args.len() => {
-                name = args[i + 1].clone();
-                i += 2;
-            }
-            "--coverage-out" if i + 1 < args.len() => {
-                coverage_out = PathBuf::from(&args[i + 1]);
-                i += 2;
-            }
-            "--corpus" if i + 1 < args.len() => {
-                corpus = Some(PathBuf::from(&args[i + 1]));
-                i += 2;
-            }
-            "--deny-drift" => {
-                deny_drift = true;
-                i += 1;
-            }
-            "--deny-unsafe-checker" => {
-                deny_unsafe = true;
-                i += 1;
-            }
-            "--deny-deadlock-cycle" => {
-                deny_deadlock = true;
-                i += 1;
-            }
-            "--deny-coverage-regression" => {
-                deny_coverage = true;
-                i += 1;
-            }
-            "--deny-real-clock" => {
-                deny_real_clock = true;
-                i += 1;
-            }
-            other => {
-                if let Some(v) = other.strip_prefix("--target=") {
-                    name = v.to_owned();
-                    i += 1;
-                } else {
-                    usage();
-                }
-            }
-        }
-    }
+    let cli = CampaignCli::parse(
+        "wdog-lint",
+        USAGE,
+        &["--coverage-out", "--corpus"],
+        &[
+            "--deny-drift",
+            "--deny-unsafe-checker",
+            "--deny-deadlock-cycle",
+            "--deny-coverage-regression",
+            "--deny-real-clock",
+        ],
+    );
+    let name = cli.target("all");
+    let deny_drift = cli.switch("--deny-drift");
+    let deny_unsafe = cli.switch("--deny-unsafe-checker");
+    let deny_deadlock = cli.switch("--deny-deadlock-cycle");
+    let deny_coverage = cli.switch("--deny-coverage-regression");
+    let deny_real_clock = cli.switch("--deny-real-clock");
+    let coverage_out = cli
+        .value("--coverage-out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| cli.out_dir().join("analysis"));
+    let corpus = cli.value("--corpus").map(PathBuf::from);
+    let out = cli.out_dir();
     let Some(targets) = select_lint_targets(&name) else {
         eprintln!("unknown target {name:?}; expected kvs, minizk, miniblock, or all");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     };
     let corpus = corpus.unwrap_or_else(|| {
         let preferred = PathBuf::from("tests/chaos_corpus");
@@ -231,7 +197,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: cannot analyze {}: {e}", target.name);
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         }
 
@@ -240,7 +206,7 @@ fn main() {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: analysis passes failed for {}: {e}", target.name);
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         };
         render_analysis(&bundle);
@@ -271,7 +237,7 @@ fn main() {
             &bundle.safety,
         );
     }
-    harness::write_json(&harness::result_name("drift", &name), &reports);
+    harness::write_json_under(&out, &harness::result_name("drift", &name), &reports);
 
     // The real-clock scan is workspace-wide, not per target: one pass over
     // every production crate that can run inside a virtual-time campaign.
@@ -282,7 +248,7 @@ fn main() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: real-clock scan failed: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     println!(
@@ -333,6 +299,6 @@ fn main() {
         failed = true;
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE);
     }
 }

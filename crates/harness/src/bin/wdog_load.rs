@@ -1,0 +1,153 @@
+//! `wdog-load` — the production load plane.
+//!
+//! ```text
+//! wdog-load [--target {kvs|minizk|miniblock|all}] [--seed N] [--out DIR]
+//!           [--threads N] [--duration-ms N] [--keys N]
+//!           [--rates r1,r2,...] [--overhead-rate N]
+//!           [--max-overhead-pct PCT]
+//!           [--smoke] [--guard-baseline DIR] [--guard-pct PCT]
+//! ```
+//!
+//! Runs the open-loop saturation sweep against each selected target with
+//! the full watchdog armed, then drives an offered rate far above capacity
+//! twice — hooks armed vs. disarmed — and reports the capacity the armed
+//! watchdog costs. Artifacts land at `<out>/load/load_<target>.json`
+//! ([`LoadReport`], schema `wdog-load/v1`).
+//!
+//! Gates (exit 1):
+//!
+//! - `--max-overhead-pct PCT` — armed capacity must be within PCT% of
+//!   disarmed (the paper-alignment gate; the acceptance bar is 2);
+//! - `--guard-baseline DIR` — compare the sweep against the checked-in
+//!   `DIR/load_<target>.json` and fail on any stage whose throughput
+//!   dropped (or p99 rose) more than `--guard-pct` percent (default 15;
+//!   sub-2ms p99 jitter is exempt).
+//!
+//! `--smoke` shrinks stages to CI scale (2 threads, 300 ms, sub-saturation
+//! rates, no overhead comparison) so the guard compares stable
+//! achieved≈offered points instead of saturation noise.
+//!
+//! [`LoadReport`]: harness::load::LoadReport
+//!
+//! Malformed flags exit 2.
+
+use std::time::Duration;
+
+use harness::cli::{CampaignCli, EXIT_GATE};
+use harness::load::{self, CampaignOptions, LoadOptions, LoadReport};
+
+const USAGE: &str = "[--target {kvs|minizk|miniblock|all}] [--seed N] [--out DIR]\n\
+    \x20         [--threads N] [--duration-ms N] [--keys N]\n\
+    \x20         [--rates r1,r2,...] [--overhead-rate N] [--max-overhead-pct PCT]\n\
+    \x20         [--smoke] [--guard-baseline DIR] [--guard-pct PCT]";
+
+fn main() {
+    let cli = CampaignCli::parse(
+        "wdog-load",
+        USAGE,
+        &[
+            "--threads",
+            "--duration-ms",
+            "--keys",
+            "--rates",
+            "--overhead-rate",
+            "--max-overhead-pct",
+            "--guard-baseline",
+            "--guard-pct",
+        ],
+        &["--smoke"],
+    );
+
+    let smoke = cli.switch("--smoke");
+    let load = LoadOptions {
+        threads: cli.parsed("--threads", if smoke { 2 } else { 4 }),
+        duration: Duration::from_millis(
+            cli.parsed("--duration-ms", if smoke { 500 } else { 2000 }),
+        ),
+        keys: cli.parsed("--keys", 256),
+        seed: cli.seed(),
+        ..LoadOptions::default()
+    };
+    let rates: Vec<u64> = match cli.list("--rates") {
+        Some(items) => items
+            .iter()
+            .map(|r| {
+                r.parse()
+                    .unwrap_or_else(|_| cli.usage_error(&format!("bad rate {r:?} in --rates")))
+            })
+            .collect(),
+        None if smoke => vec![100, 200],
+        None => vec![500, 1000, 2000, 4000],
+    };
+    let opts = CampaignOptions {
+        load,
+        rates,
+        overhead_rate: cli.parsed_opt("--overhead-rate"),
+        skip_overhead: smoke,
+    };
+    let max_overhead_pct: Option<f64> = cli.parsed_opt("--max-overhead-pct");
+    let guard_baseline = cli.value("--guard-baseline").map(std::path::PathBuf::from);
+    let guard_pct: f64 = cli.parsed("--guard-pct", 15.0);
+    let out = cli.out_dir().join("load");
+
+    let mut failed = false;
+    for target in cli.targets("kvs") {
+        let report = match load::run_campaign(target.as_ref(), &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("wdog-load [{}] failed: {e}", target.name());
+                failed = true;
+                continue;
+            }
+        };
+        print!("{}", load::render(&report));
+        harness::write_json_under(&out, &format!("load_{}", report.target), &report);
+
+        if let (Some(budget), Some(o)) = (max_overhead_pct, &report.overhead) {
+            if o.overhead_pct > budget {
+                eprintln!(
+                    "wdog-load [{}]: armed overhead {:.2}% exceeds the {budget}% budget",
+                    report.target, o.overhead_pct
+                );
+                failed = true;
+            }
+        }
+
+        if let Some(dir) = &guard_baseline {
+            let path = dir.join(format!("load_{}.json", report.target));
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| serde_json::from_str::<LoadReport>(&t).map_err(|e| e.to_string()))
+            {
+                Ok(baseline) => {
+                    let violations = load::guard(&report, &baseline, guard_pct);
+                    for v in &violations {
+                        eprintln!(
+                            "wdog-load [{}] guard @ {} req/s: {}",
+                            report.target, v.offered_rps, v.detail
+                        );
+                    }
+                    if violations.is_empty() {
+                        println!(
+                            "guard: within {guard_pct}% of {} at every baseline rate",
+                            path.display()
+                        );
+                    } else {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "wdog-load [{}]: cannot load baseline {}: {e}",
+                        report.target,
+                        path.display()
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(EXIT_GATE);
+    }
+}

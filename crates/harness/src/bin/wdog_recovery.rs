@@ -2,7 +2,7 @@
 //! (§5.2) and reports per-scenario MTTR, attempts, and dispositions.
 //!
 //! ```text
-//! wdog-recovery [--target {kvs|minizk|miniblock|all}]
+//! wdog-recovery [--target {kvs|minizk|miniblock|all}] [--out DIR]
 //!               [--scenarios id,id,...]
 //!               [--require-verified N]
 //! ```
@@ -11,56 +11,25 @@
 //! nonzero unless at least N scenarios (summed over targets) ended
 //! verified-recovered — the CI smoke gate.
 
-fn usage(code: i32) -> ! {
-    eprintln!(
-        "usage: wdog-recovery [--target {{kvs|minizk|miniblock|all}}] \
-         [--scenarios id,id,...] [--require-verified N]"
-    );
-    std::process::exit(code);
-}
+use harness::cli::{CampaignCli, EXIT_GATE};
+
+const USAGE: &str = "[--target {kvs|minizk|miniblock|all}] [--out DIR] \
+     [--scenarios id,id,...] [--require-verified N]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut target_name = "kvs".to_owned();
-    let mut scenarios: Option<Vec<String>> = None;
-    let mut require_verified: u64 = 0;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--target" if i + 1 < args.len() => {
-                target_name = args[i + 1].clone();
-                i += 2;
-            }
-            "--scenarios" if i + 1 < args.len() => {
-                scenarios = Some(args[i + 1].split(',').map(str::to_owned).collect());
-                i += 2;
-            }
-            "--require-verified" if i + 1 < args.len() => {
-                require_verified = args[i + 1].parse().unwrap_or_else(|_| usage(2));
-                i += 2;
-            }
-            other => {
-                if let Some(v) = other.strip_prefix("--target=") {
-                    target_name = v.to_owned();
-                } else if let Some(v) = other.strip_prefix("--scenarios=") {
-                    scenarios = Some(v.split(',').map(str::to_owned).collect());
-                } else if let Some(v) = other.strip_prefix("--require-verified=") {
-                    require_verified = v.parse().unwrap_or_else(|_| usage(2));
-                } else {
-                    usage(2);
-                }
-                i += 1;
-            }
-        }
-    }
-    let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
-        eprintln!("unknown target {target_name:?}; expected kvs, minizk, miniblock, or all");
-        std::process::exit(2);
-    });
+    let cli = CampaignCli::parse(
+        "wdog-recovery",
+        USAGE,
+        &["--scenarios", "--require-verified"],
+        &[],
+    );
+    let scenarios = cli.list("--scenarios");
+    let require_verified: u64 = cli.parsed("--require-verified", 0);
+    let out = cli.out_dir();
 
     let mut verified_total = 0;
     let mut failed = false;
-    for target in targets {
+    for target in cli.targets("kvs") {
         let registry = wdog_telemetry::TelemetryRegistry::shared();
         let mut opts = harness::recovery::RecoveryOptions::default();
         opts.wd.telemetry = Some(std::sync::Arc::clone(&registry));
@@ -75,11 +44,13 @@ fn main() {
                     );
                     failed = true;
                 }
-                harness::write_json(
+                harness::write_json_under(
+                    &out,
                     &harness::result_name("recovery", &campaign.target),
                     &campaign,
                 );
-                harness::telemetry::write_snapshot(
+                harness::telemetry::write_snapshot_under(
+                    &out,
                     &format!("telemetry_recovery_{}", campaign.target),
                     &registry.snapshot(),
                 );
@@ -97,6 +68,6 @@ fn main() {
         failed = true;
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE);
     }
 }

@@ -1,7 +1,7 @@
 //! Exports the watchdog runtime's telemetry plane for one campaign run.
 //!
 //! ```text
-//! wdog-telemetry [--target {kvs|minizk|miniblock|all}]
+//! wdog-telemetry [--target {kvs|minizk|miniblock|all}] [--out DIR]
 //!                [--scenarios id,id,...]
 //!                [--require-detections N]
 //!                [--bench-guard PCT]
@@ -19,82 +19,48 @@
 //! gate. `--bench-guard PCT` skips the campaign and instead measures the
 //! hook-fire hot path with telemetry attached vs. detached, failing if
 //! attached exceeds detached by more than PCT percent.
+//!
+//! [`TelemetrySnapshot`]: wdog_telemetry::TelemetrySnapshot
 
-fn usage(code: i32) -> ! {
-    eprintln!(
-        "usage: wdog-telemetry [--target {{kvs|minizk|miniblock|all}}] \
-         [--scenarios id,id,...] [--require-detections N] [--bench-guard PCT]"
-    );
-    std::process::exit(code);
-}
+use harness::cli::{CampaignCli, EXIT_GATE};
+
+const USAGE: &str = "[--target {kvs|minizk|miniblock|all}] [--out DIR] \
+     [--scenarios id,id,...] [--require-detections N] [--bench-guard PCT]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut target_name = "kvs".to_owned();
-    let mut scenarios: Option<Vec<String>> = None;
-    let mut require_detections: u64 = 0;
-    let mut bench_guard_pct: Option<f64> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--target" if i + 1 < args.len() => {
-                target_name = args[i + 1].clone();
-                i += 2;
-            }
-            "--scenarios" if i + 1 < args.len() => {
-                scenarios = Some(args[i + 1].split(',').map(str::to_owned).collect());
-                i += 2;
-            }
-            "--require-detections" if i + 1 < args.len() => {
-                require_detections = args[i + 1].parse().unwrap_or_else(|_| usage(2));
-                i += 2;
-            }
-            "--bench-guard" if i + 1 < args.len() => {
-                bench_guard_pct = Some(args[i + 1].parse().unwrap_or_else(|_| usage(2)));
-                i += 2;
-            }
-            other => {
-                if let Some(v) = other.strip_prefix("--target=") {
-                    target_name = v.to_owned();
-                } else if let Some(v) = other.strip_prefix("--scenarios=") {
-                    scenarios = Some(v.split(',').map(str::to_owned).collect());
-                } else if let Some(v) = other.strip_prefix("--require-detections=") {
-                    require_detections = v.parse().unwrap_or_else(|_| usage(2));
-                } else if let Some(v) = other.strip_prefix("--bench-guard=") {
-                    bench_guard_pct = Some(v.parse().unwrap_or_else(|_| usage(2)));
-                } else {
-                    usage(2);
-                }
-                i += 1;
-            }
-        }
-    }
+    let cli = CampaignCli::parse(
+        "wdog-telemetry",
+        USAGE,
+        &["--scenarios", "--require-detections", "--bench-guard"],
+        &[],
+    );
+    let scenarios = cli.list("--scenarios");
+    let require_detections: u64 = cli.parsed("--require-detections", 0);
+    let out = cli.out_dir();
 
-    if let Some(pct) = bench_guard_pct {
+    if let Some(pct) = cli.parsed_opt::<f64>("--bench-guard") {
         let g = harness::telemetry::bench_guard(200_000, 5);
+        let floor = harness::telemetry::BENCH_GUARD_FLOOR_NS;
         println!(
-            "hook fire: telemetry-off {:.1} ns, telemetry-on {:.1} ns ({:.1}% overhead; budget {pct}%)",
+            "hook fire: telemetry-off {:.1} ns, telemetry-on {:.1} ns \
+             ({:.1}% / +{:.1} ns overhead; budget {pct}% or {floor} ns absolute)",
             g.off_ns,
             g.on_ns,
-            (g.ratio - 1.0) * 100.0
+            (g.ratio - 1.0) * 100.0,
+            g.on_ns - g.off_ns,
         );
-        harness::write_json("telemetry_bench_guard", &g);
-        if g.ratio > 1.0 + pct / 100.0 {
+        harness::write_json_under(&out, "telemetry_bench_guard", &g);
+        if g.ratio > 1.0 + pct / 100.0 && g.on_ns - g.off_ns > floor {
             eprintln!("wdog-telemetry: telemetry-on hook fire exceeds the {pct}% budget");
-            std::process::exit(1);
+            std::process::exit(EXIT_GATE);
         }
         return;
     }
 
-    let targets = harness::select_targets(&target_name).unwrap_or_else(|| {
-        eprintln!("unknown target {target_name:?}; expected kvs, minizk, miniblock, or all");
-        std::process::exit(2);
-    });
-
     let opts = harness::telemetry::campaign_options();
     let mut detections_total = 0u64;
     let mut failed = false;
-    for target in targets {
+    for target in cli.targets("kvs") {
         match harness::telemetry::run_campaign(target.as_ref(), scenarios.as_deref(), &opts) {
             Ok(snap) => {
                 println!("{}", harness::telemetry::render(target.name(), &snap));
@@ -109,7 +75,11 @@ fn main() {
                     failed = true;
                 }
                 detections_total += snap.detections.len() as u64;
-                harness::telemetry::write_snapshot(&format!("telemetry_{}", target.name()), &snap);
+                harness::telemetry::write_snapshot_under(
+                    &out,
+                    &format!("telemetry_{}", target.name()),
+                    &snap,
+                );
             }
             Err(e) => {
                 eprintln!("wdog-telemetry [{}] failed: {e}", target.name());
@@ -124,6 +94,6 @@ fn main() {
         failed = true;
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE);
     }
 }

@@ -17,8 +17,10 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod cli;
 pub mod fmt;
 pub mod lint;
+pub mod load;
 pub mod recovery;
 pub mod reduction;
 pub mod scenario;
@@ -94,9 +96,14 @@ pub fn result_name(experiment: &str, target: &str) -> String {
 /// Creation failures are reported but non-fatal: printing the table matters
 /// more than archiving it.
 pub fn write_json(name: &str, value: &impl serde::Serialize) {
-    let dir = std::path::Path::new("results");
+    write_json_under(std::path::Path::new("results"), name, value);
+}
+
+/// [`write_json`] with the artifact root chosen by the caller (the
+/// campaign binaries' `--out` flag).
+pub fn write_json_under(dir: &std::path::Path, name: &str, value: &impl serde::Serialize) {
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
+        eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));

@@ -1,0 +1,784 @@
+//! The production load plane: an open-loop, multi-threaded workload
+//! generator that measures what the armed watchdog costs *under load*.
+//!
+//! The paper's overhead claim (§3.1–3.2) is usually demonstrated with
+//! micro-benchmarks: one thread, one hook, nanoseconds. `wdog-load` attacks
+//! the claim where it actually matters — a saturated multi-threaded client
+//! population driving the real target API while every hook fires and every
+//! checker family executes — and reports:
+//!
+//! - a **saturation sweep**: achieved throughput and latency quantiles at a
+//!   ladder of offered rates, so the knee of the curve is visible;
+//! - the **armed-vs-disarmed overhead**: achieved capacity with hooks armed
+//!   and the full watchdog running vs. hooks disabled and no watchdog, at
+//!   an offered rate far above capacity. The acceptance gate is ≤2%.
+//!
+//! # Coordinated-omission safety
+//!
+//! Each generator thread follows a fixed *arrival schedule*: request `n` is
+//! due at `start + n·interval`, and its latency is measured **from the
+//! scheduled arrival**, not from when the thread got around to issuing it.
+//! When the target stalls, the queueing delay the stall inflicted on every
+//! scheduled-but-delayed request lands in the histogram instead of being
+//! silently omitted — the wrk2 correction. A closed-loop generator would
+//! report a 10 ms p99 through a one-second stall; this one reports the
+//! stall.
+//!
+//! Latencies accumulate in per-thread log2-bucket histograms (no locks, no
+//! allocation on the hot path) merged after the stage ends.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use rand::Rng;
+use wdog_base::error::{BaseError, BaseResult};
+use wdog_base::rng::{derive_seed, seeded};
+use wdog_target::{RequestFn, WatchdogTarget, WorkloadTicket};
+
+/// Log2-bucket latency histogram: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds. Fixed-size, mergeable, lock-free to
+/// record into from its owning thread.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        let idx = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, estimated at the
+    /// geometric midpoint of the covering bucket and clamped to the true
+    /// maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let lo = 1u64 << i;
+                let est = lo + lo / 2;
+                return est.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean latency in nanoseconds (exact, not bucketed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The largest sample seen.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The report-facing summary in microseconds.
+    pub fn summarize(&self) -> LatencySummary {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_ns() / 1_000.0,
+            p50_us: us(self.quantile(0.50)),
+            p95_us: us(self.quantile(0.95)),
+            p99_us: us(self.quantile(0.99)),
+            p999_us: us(self.quantile(0.999)),
+            max_us: us(self.max_ns),
+        }
+    }
+}
+
+/// Latency quantiles for one measured stage, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Exact mean.
+    pub mean_us: f64,
+    /// Median (log2-bucket estimate).
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+/// Shape of one load stage: how many generator threads, for how long, over
+/// what key space.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Generator threads.
+    pub threads: usize,
+    /// Measured duration of each stage.
+    pub duration: Duration,
+    /// Key-space size handed to [`wdog_target::TargetInstance::load_surface`].
+    pub keys: usize,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Ticket RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            duration: Duration::from_secs(2),
+            keys: 256,
+            write_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured stage of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePoint {
+    /// The offered (scheduled) arrival rate, requests/second.
+    pub offered_rps: u64,
+    /// What the target actually absorbed during the stage.
+    pub achieved_rps: f64,
+    /// Requests that returned `Ok`.
+    pub ok: u64,
+    /// Requests that returned an error.
+    pub failed: u64,
+    /// Latency from *scheduled arrival* to completion.
+    pub latency: LatencySummary,
+}
+
+/// The armed-vs-disarmed capacity comparison at a saturating rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadComparison {
+    /// The saturating offered rate both configurations were driven at.
+    pub rate_rps: u64,
+    /// Hooks disabled, no watchdog running.
+    pub disarmed: StagePoint,
+    /// Hooks armed, full watchdog executing.
+    pub armed: StagePoint,
+    /// Capacity lost to arming: `(disarmed - armed) / disarmed × 100`.
+    /// Negative values are measurement noise in the watchdog's favor.
+    pub overhead_pct: f64,
+}
+
+/// The `results/load/load_<target>.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Schema tag; bump on any field change.
+    pub schema: String,
+    /// Target name.
+    pub target: String,
+    /// Ticket RNG seed.
+    pub seed: u64,
+    /// Generator threads.
+    pub threads: usize,
+    /// Measured milliseconds per stage.
+    pub duration_ms: u64,
+    /// Key-space size.
+    pub keys: usize,
+    /// Write fraction.
+    pub write_fraction: f64,
+    /// Armed saturation sweep, one point per offered rate.
+    pub sweep: Vec<StagePoint>,
+    /// Best achieved throughput anywhere in the sweep.
+    pub saturation_rps: f64,
+    /// The armed-vs-disarmed comparison (absent in `--smoke` runs).
+    pub overhead: Option<OverheadComparison>,
+}
+
+/// The schema tag [`LoadReport`] is written under.
+pub const LOAD_SCHEMA: &str = "wdog-load/v1";
+
+/// Drives `request` open-loop at `rate_rps` for `opts.duration` across
+/// `opts.threads` threads and returns the measured point.
+///
+/// Each thread owns an arrival schedule at `threads/rate` spacing; latency
+/// is measured from the scheduled arrival (see the module docs on
+/// coordinated omission). Ticket draws mirror the steady workload's so the
+/// request mix is identical.
+pub fn run_stage(request: &RequestFn, opts: &LoadOptions, rate_rps: u64) -> StagePoint {
+    let threads = opts.threads.max(1);
+    let rate = rate_rps.max(1);
+    let interval = Duration::from_secs_f64(threads as f64 / rate as f64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let request = Arc::clone(request);
+        let stop = Arc::clone(&stop);
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = seeded(derive_seed(opts.seed, &format!("load-{t}")));
+            let mut hist = LatencyHistogram::default();
+            let mut ok = 0u64;
+            let mut failed = 0u64;
+            let start = Instant::now();
+            let mut n = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let scheduled = interval
+                    .checked_mul(n)
+                    .unwrap_or_else(|| Duration::from_secs(u64::MAX));
+                // Wait for the schedule; when behind, issue immediately —
+                // the queueing delay stays in the measured latency. The
+                // tail of the wait yields rather than spins so the
+                // generator taxes co-located threads as little as
+                // possible.
+                loop {
+                    let elapsed = start.elapsed();
+                    if elapsed >= scheduled {
+                        break;
+                    }
+                    let wait = scheduled - elapsed;
+                    if wait > Duration::from_micros(200) {
+                        std::thread::sleep(wait - Duration::from_micros(100));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                let ticket = WorkloadTicket {
+                    key: rng.gen_range(0..opts.keys.max(1)),
+                    write: rng.gen_bool(opts.write_fraction),
+                    roll: rng.gen_range(0..10u32),
+                    value: rng.gen(),
+                };
+                if request(&ticket).is_ok() {
+                    ok += 1;
+                } else {
+                    failed += 1;
+                }
+                let done = start.elapsed();
+                hist.record(done.saturating_sub(scheduled).as_nanos() as u64);
+                n += 1;
+            }
+            (hist, ok, failed)
+        }));
+    }
+
+    let began = Instant::now();
+    std::thread::sleep(opts.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut hist = LatencyHistogram::default();
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        let (th, t_ok, t_failed) = h.join().expect("load thread panicked");
+        hist.merge(&th);
+        ok += t_ok;
+        failed += t_failed;
+    }
+    let wall = began.elapsed().as_secs_f64().max(1e-9);
+    StagePoint {
+        offered_rps: rate,
+        achieved_rps: (ok + failed) as f64 / wall,
+        ok,
+        failed,
+        latency: hist.summarize(),
+    }
+}
+
+/// Campaign shape for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Per-stage shape.
+    pub load: LoadOptions,
+    /// Offered rates for the armed saturation sweep.
+    pub rates: Vec<u64>,
+    /// Offered rate for the armed-vs-disarmed comparison; `None` derives
+    /// `2 × saturation` from the sweep so the comparison is
+    /// capacity-bound, not schedule-bound.
+    pub overhead_rate: Option<u64>,
+    /// Skip the overhead comparison (CI smoke mode: sub-saturation rates
+    /// only, stable enough to guard).
+    pub skip_overhead: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            load: LoadOptions::default(),
+            rates: vec![500, 1000, 2000, 4000],
+            overhead_rate: None,
+            skip_overhead: false,
+        }
+    }
+}
+
+/// Boots `target`, runs the armed saturation sweep, then (unless skipped)
+/// the armed-vs-disarmed capacity comparison at a saturating rate.
+///
+/// "Armed" is the full production configuration: every hook site enabled
+/// and the complete generated+hand-written watchdog executing rounds.
+/// "Disarmed" flips every site off (one relaxed load per fire) with no
+/// watchdog running — the bare request path.
+pub fn run_campaign(target: &dyn WatchdogTarget, opts: &CampaignOptions) -> BaseResult<LoadReport> {
+    let mut inst = target.start(opts.load.seed)?;
+    let request = inst.load_surface(opts.load.keys).ok_or_else(|| {
+        BaseError::InvalidState(format!("target {} has no load surface", target.name()))
+    })?;
+
+    // Armed: hooks on, watchdog running — the production shape.
+    inst.set_hooks_enabled(true);
+    let (mut driver, _plan) = inst.build_watchdog(&target.default_options())?;
+    driver.start()?;
+
+    let warmup = LoadOptions {
+        duration: (opts.load.duration / 4).max(Duration::from_millis(50)),
+        ..opts.load.clone()
+    };
+    let warm_rate = opts.rates.iter().copied().min().unwrap_or(500);
+    run_stage(&request, &warmup, warm_rate);
+
+    let mut sweep = Vec::with_capacity(opts.rates.len());
+    for &rate in &opts.rates {
+        sweep.push(run_stage(&request, &opts.load, rate));
+    }
+    let saturation_rps = sweep.iter().map(|p| p.achieved_rps).fold(0.0f64, f64::max);
+
+    let overhead = if opts.skip_overhead {
+        driver.stop();
+        None
+    } else {
+        let rate = opts
+            .overhead_rate
+            .unwrap_or((saturation_rps * 2.0).ceil().max(1000.0) as u64);
+        let armed = run_stage(&request, &opts.load, rate);
+        driver.stop();
+        inst.set_hooks_enabled(false);
+        run_stage(&request, &warmup, warm_rate);
+        let disarmed = run_stage(&request, &opts.load, rate);
+        let overhead_pct = if disarmed.achieved_rps > 0.0 {
+            (disarmed.achieved_rps - armed.achieved_rps) / disarmed.achieved_rps * 100.0
+        } else {
+            0.0
+        };
+        Some(OverheadComparison {
+            rate_rps: rate,
+            disarmed,
+            armed,
+            overhead_pct,
+        })
+    };
+
+    inst.clear_faults();
+    inst.teardown();
+
+    Ok(LoadReport {
+        schema: LOAD_SCHEMA.to_owned(),
+        target: target.name().to_owned(),
+        seed: opts.load.seed,
+        threads: opts.load.threads,
+        duration_ms: opts.load.duration.as_millis() as u64,
+        keys: opts.load.keys,
+        write_fraction: opts.load.write_fraction,
+        sweep,
+        saturation_rps,
+        overhead,
+    })
+}
+
+/// The human-facing table for one report.
+pub fn render(report: &LoadReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== wdog-load [{}]: {} threads, {} ms/stage, seed {} ==",
+        report.target, report.threads, report.duration_ms, report.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "offered/s", "achieved/s", "failed", "p50 us", "p95 us", "p99 us", "p99.9 us"
+    );
+    for p in &report.sweep {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12.0} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            p.offered_rps,
+            p.achieved_rps,
+            p.failed,
+            p.latency.p50_us,
+            p.latency.p95_us,
+            p.latency.p99_us,
+            p.latency.p999_us
+        );
+    }
+    let _ = writeln!(out, "saturation: {:.0} req/s", report.saturation_rps);
+    if let Some(o) = &report.overhead {
+        let _ = writeln!(
+            out,
+            "overhead @ {} req/s offered: disarmed {:.0} req/s, armed {:.0} req/s => {:.2}%",
+            o.rate_rps, o.disarmed.achieved_rps, o.armed.achieved_rps, o.overhead_pct
+        );
+    }
+    out
+}
+
+/// One guard violation from [`guard`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardViolation {
+    /// The offered rate the regressed stage ran at.
+    pub offered_rps: u64,
+    /// What regressed and by how much.
+    pub detail: String,
+}
+
+/// p99 regressions below this floor are jitter, not regressions: at
+/// sub-millisecond latencies a scheduler hiccup doubles p99 without any
+/// code change.
+pub const GUARD_P99_FLOOR_US: f64 = 2_000.0;
+
+/// Compares `current` against a checked-in `baseline`: each baseline sweep
+/// point must be matched (same offered rate) with achieved throughput no
+/// more than `pct`% below baseline, and p99 no more than `pct`% above
+/// baseline once both exceed [`GUARD_P99_FLOOR_US`].
+pub fn guard(current: &LoadReport, baseline: &LoadReport, pct: f64) -> Vec<GuardViolation> {
+    let mut violations = Vec::new();
+    for base in &baseline.sweep {
+        let Some(cur) = current
+            .sweep
+            .iter()
+            .find(|p| p.offered_rps == base.offered_rps)
+        else {
+            violations.push(GuardViolation {
+                offered_rps: base.offered_rps,
+                detail: "baseline rate missing from current sweep".to_owned(),
+            });
+            continue;
+        };
+        let floor = base.achieved_rps * (1.0 - pct / 100.0);
+        if cur.achieved_rps < floor {
+            violations.push(GuardViolation {
+                offered_rps: base.offered_rps,
+                detail: format!(
+                    "achieved {:.0} req/s < {:.0} ({}% below baseline {:.0})",
+                    cur.achieved_rps, floor, pct, base.achieved_rps
+                ),
+            });
+        }
+        let p99_cap = (base.latency.p99_us * (1.0 + pct / 100.0)).max(GUARD_P99_FLOOR_US);
+        if cur.latency.p99_us > p99_cap {
+            violations.push(GuardViolation {
+                offered_rps: base.offered_rps,
+                detail: format!(
+                    "p99 {:.0} us > {:.0} us ({}% above baseline {:.0})",
+                    cur.latency.p99_us, p99_cap, pct, base.latency.p99_us
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_merges_and_ranks() {
+        let mut a = LatencyHistogram::default();
+        for _ in 0..90 {
+            a.record(1_000); // ~1 us
+        }
+        let mut b = LatencyHistogram::default();
+        for _ in 0..10 {
+            b.record(1_000_000); // ~1 ms
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert!(a.quantile(0.5) < 10_000, "p50 {}", a.quantile(0.5));
+        // The top decile sits in the millisecond bucket.
+        let p95 = a.quantile(0.95);
+        assert!(
+            (500_000..=1_000_000).contains(&p95),
+            "p95 {p95} outside the ms bucket"
+        );
+        assert_eq!(a.max_ns(), 1_000_000);
+        // Quantiles never exceed the true max.
+        assert!(a.quantile(0.999) <= a.max_ns());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::default();
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_us, 0.0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = LatencyHistogram::default();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean_ns(), 200.0);
+    }
+
+    #[test]
+    fn stage_achieves_offered_rate_below_saturation() {
+        // A no-op surface: the generator itself must hold a modest
+        // schedule and measure near-zero latencies.
+        let request: RequestFn = Arc::new(|_| Ok(()));
+        let opts = LoadOptions {
+            threads: 2,
+            duration: Duration::from_millis(300),
+            ..LoadOptions::default()
+        };
+        let point = run_stage(&request, &opts, 1000);
+        assert_eq!(point.failed, 0);
+        assert!(point.ok > 0);
+        // Within 30% of offered — generous for CI schedulers.
+        assert!(
+            point.achieved_rps > 700.0,
+            "achieved {:.0} rps of 1000 offered",
+            point.achieved_rps
+        );
+        assert_eq!(point.latency.count, point.ok + point.failed);
+    }
+
+    #[test]
+    fn stage_counts_failures() {
+        let request: RequestFn = Arc::new(|t| {
+            if t.key % 2 == 0 {
+                Err(BaseError::Corruption("even".into()))
+            } else {
+                Ok(())
+            }
+        });
+        let opts = LoadOptions {
+            threads: 1,
+            duration: Duration::from_millis(150),
+            ..LoadOptions::default()
+        };
+        let point = run_stage(&request, &opts, 500);
+        assert!(point.ok > 0 && point.failed > 0);
+    }
+
+    #[test]
+    fn latency_includes_queueing_delay_under_stall() {
+        // A surface that stalls 30 ms per call while 5 ms worth of
+        // arrivals are scheduled: a closed-loop generator would report
+        // ~30 ms max; the schedule-anchored one must report the queueing
+        // delay piling up well past a single service time.
+        let request: RequestFn = Arc::new(|_| {
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(())
+        });
+        let opts = LoadOptions {
+            threads: 1,
+            duration: Duration::from_millis(400),
+            ..LoadOptions::default()
+        };
+        let point = run_stage(&request, &opts, 200);
+        assert!(
+            point.latency.max_us > 60_000.0,
+            "max {} us shows no queueing delay",
+            point.latency.max_us
+        );
+    }
+
+    fn fixed_report() -> LoadReport {
+        let latency = |count: u64| LatencySummary {
+            count,
+            mean_us: 120.5,
+            p50_us: 96.0,
+            p95_us: 384.0,
+            p99_us: 768.0,
+            p999_us: 1536.0,
+            max_us: 2048.0,
+        };
+        LoadReport {
+            schema: LOAD_SCHEMA.to_owned(),
+            target: "kvs".to_owned(),
+            seed: 42,
+            threads: 4,
+            duration_ms: 2000,
+            keys: 256,
+            write_fraction: 0.5,
+            sweep: vec![StagePoint {
+                offered_rps: 1000,
+                achieved_rps: 998.0,
+                ok: 1994,
+                failed: 2,
+                latency: latency(1996),
+            }],
+            saturation_rps: 998.0,
+            overhead: Some(OverheadComparison {
+                rate_rps: 2000,
+                disarmed: StagePoint {
+                    offered_rps: 2000,
+                    achieved_rps: 1500.0,
+                    ok: 3000,
+                    failed: 0,
+                    latency: latency(3000),
+                },
+                armed: StagePoint {
+                    offered_rps: 2000,
+                    achieved_rps: 1485.0,
+                    ok: 2970,
+                    failed: 0,
+                    latency: latency(2970),
+                },
+                overhead_pct: 1.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_schema_is_byte_stable() {
+        // The archived artifact contract: field names, order, and shape
+        // must not drift silently. Any intentional change bumps
+        // LOAD_SCHEMA and re-records this golden.
+        let json = serde_json::to_string_pretty(&fixed_report()).unwrap();
+        let golden = r#"{
+  "schema": "wdog-load/v1",
+  "target": "kvs",
+  "seed": 42,
+  "threads": 4,
+  "duration_ms": 2000,
+  "keys": 256,
+  "write_fraction": 0.5,
+  "sweep": [
+    {
+      "offered_rps": 1000,
+      "achieved_rps": 998.0,
+      "ok": 1994,
+      "failed": 2,
+      "latency": {
+        "count": 1996,
+        "mean_us": 120.5,
+        "p50_us": 96.0,
+        "p95_us": 384.0,
+        "p99_us": 768.0,
+        "p999_us": 1536.0,
+        "max_us": 2048.0
+      }
+    }
+  ],
+  "saturation_rps": 998.0,
+  "overhead": {
+    "rate_rps": 2000,
+    "disarmed": {
+      "offered_rps": 2000,
+      "achieved_rps": 1500.0,
+      "ok": 3000,
+      "failed": 0,
+      "latency": {
+        "count": 3000,
+        "mean_us": 120.5,
+        "p50_us": 96.0,
+        "p95_us": 384.0,
+        "p99_us": 768.0,
+        "p999_us": 1536.0,
+        "max_us": 2048.0
+      }
+    },
+    "armed": {
+      "offered_rps": 2000,
+      "achieved_rps": 1485.0,
+      "ok": 2970,
+      "failed": 0,
+      "latency": {
+        "count": 2970,
+        "mean_us": 120.5,
+        "p50_us": 96.0,
+        "p95_us": 384.0,
+        "p99_us": 768.0,
+        "p999_us": 1536.0,
+        "max_us": 2048.0
+      }
+    },
+    "overhead_pct": 1.0
+  }
+}"#;
+        assert_eq!(json, golden);
+        // And it round-trips.
+        let back: LoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fixed_report());
+    }
+
+    #[test]
+    fn guard_passes_identical_reports_and_catches_regressions() {
+        let base = fixed_report();
+        assert!(guard(&base, &base, 15.0).is_empty());
+
+        let mut slow = base.clone();
+        slow.sweep[0].achieved_rps = 500.0; // half the baseline
+        let v = guard(&slow, &base, 15.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("achieved"));
+
+        let mut missing = base.clone();
+        missing.sweep[0].offered_rps = 777;
+        assert_eq!(guard(&missing, &base, 15.0).len(), 1);
+    }
+
+    #[test]
+    fn guard_ignores_sub_floor_p99_jitter() {
+        let base = fixed_report();
+        let mut jittery = base.clone();
+        // 768 us -> 1900 us: >15% worse but under the 2 ms floor.
+        jittery.sweep[0].latency.p99_us = 1900.0;
+        assert!(guard(&jittery, &base, 15.0).is_empty());
+        // Past the floor it counts.
+        jittery.sweep[0].latency.p99_us = 2500.0;
+        assert_eq!(guard(&jittery, &base, 15.0).len(), 1);
+    }
+
+    #[test]
+    fn render_mentions_saturation_and_overhead() {
+        let text = render(&fixed_report());
+        assert!(text.contains("saturation"));
+        assert!(text.contains("overhead @ 2000"));
+        assert!(text.contains("1.00%"));
+    }
+}

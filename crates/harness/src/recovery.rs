@@ -185,7 +185,6 @@ pub fn run_recovery_scenario(
         crash_flag.store(true, Ordering::Relaxed);
     }));
 
-    let (mut driver, _plan) = inst.build_watchdog(&opts.wd)?;
     let mut coord_builder = RecoveryCoordinator::builder(Arc::clone(&clock), surface)
         .default_policy(opts.policy.clone())
         .seed(derive_seed(seed, "recovery"));
@@ -193,7 +192,13 @@ pub fn run_recovery_scenario(
         coord_builder = coord_builder.telemetry(Arc::clone(t));
     }
     let coordinator = coord_builder.start();
-    driver.add_action(Arc::clone(&coordinator) as Arc<dyn Action>);
+    // Drivers are sealed at build: the coordinator rides in through the
+    // options' action list instead of a post-hoc `add_action`.
+    let mut wd_opts = opts.wd.clone();
+    wd_opts
+        .actions
+        .push(Arc::clone(&coordinator) as Arc<dyn Action>);
+    let (mut driver, _plan) = inst.build_watchdog(&wd_opts)?;
     driver.start()?;
 
     inst.start_workload(

@@ -34,12 +34,10 @@ pub(crate) fn compaction_loop(shared: Arc<Shared>, alive: Arc<AtomicBool>) {
         if let Some(first) = tables.first() {
             let path = first.path.clone();
             let count = tables.len() as u64;
-            hook.fire(|| {
-                vec![
-                    ("sst_path".into(), CtxValue::Str(path)),
-                    ("table_count".into(), CtxValue::U64(count)),
-                ]
-            });
+            if let Some(mut fire) = hook.fire() {
+                fire.field("sst_path", CtxValue::Str(path))
+                    .field("table_count", CtxValue::U64(count));
+            }
         }
         if tables.len() > shared.config.compaction_trigger {
             // In-place error handler: compaction failures are caught and

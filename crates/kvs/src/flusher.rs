@@ -76,12 +76,10 @@ pub(crate) fn flush_once(
         .take(SAMPLE_BYTES)
         .collect();
     let entry_count = entries.len() as u64;
-    hook.fire(|| {
-        vec![
-            ("sst_payload".into(), CtxValue::Bytes(sample)),
-            ("entry_count".into(), CtxValue::U64(entry_count)),
-        ]
-    });
+    if let Some(mut fire) = hook.fire() {
+        fire.field("sst_payload", CtxValue::Bytes(sample))
+            .field("entry_count", CtxValue::U64(entry_count));
+    }
 
     let meta = write_sstable(&shared.disk, &path, &entries)?;
     shared.partitions.register(meta);

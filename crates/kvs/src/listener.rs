@@ -45,12 +45,10 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, rx: ClockedQueue<RequestItem>) {
             Request::Set { value, .. } | Request::Append { value, .. } => value.clone(),
             _ => String::new(),
         };
-        listener_hook.fire(|| {
-            vec![
-                ("probe_key".into(), CtxValue::Str(key)),
-                ("probe_val".into(), CtxValue::Str(value)),
-            ]
-        });
+        if let Some(mut fire) = listener_hook.fire() {
+            fire.field("probe_key", CtxValue::Str(key))
+                .field("probe_val", CtxValue::Str(value));
+        }
         let resp = handle_request(&shared, req);
         let _ = reply.push(resp);
         shared.monitor.op_end();
@@ -114,7 +112,7 @@ pub(crate) fn wal_loop(shared: Arc<Shared>, rx: ClockedQueue<Vec<u8>>) {
         // Hook placed before the vulnerable append, publishing the payload
         // the mimic op will write into the redirected WAL.
         let payload = record.clone();
-        hook.fire(|| vec![("payload".into(), CtxValue::Bytes(payload))]);
+        hook.fire_kv("payload", CtxValue::Bytes(payload));
         // In-place error handler: a failed append is caught and the record
         // is retried on the next cycle. The handler mitigates; it does not
         // assess overall health (Table 1).

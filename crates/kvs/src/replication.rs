@@ -43,7 +43,7 @@ pub(crate) fn replication_loop(
             continue;
         };
         let payload = op.clone();
-        hook.fire(|| vec![("op_payload".into(), CtxValue::Bytes(payload))]);
+        hook.fire_kv("op_payload", CtxValue::Bytes(payload));
         match net.send(&repl.src_addr, &repl.dst_addr, Bytes::from(op)) {
             Ok(()) => {
                 shared.stats.repl_sent.fetch_add(1, Ordering::Relaxed);

@@ -486,6 +486,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         server.hooks().attach_telemetry(Arc::clone(registry));
     }
+    for action in &opts.actions {
+        builder = builder.action(Arc::clone(action));
+    }
 
     let plan = generate_kvs_plan(&ReductionConfig::default());
     if opts.families.mimics {

@@ -216,12 +216,10 @@ impl DataNode {
         // Hook before the vulnerable write (generated plan point).
         let sample: Vec<u8> = data.iter().copied().take(1024).collect();
         let vol = volume.clone();
-        s.ingest_hook.fire(|| {
-            vec![
-                ("block_data".into(), CtxValue::Bytes(sample)),
-                ("volume".into(), CtxValue::Str(vol)),
-            ]
-        });
+        if let Some(mut fire) = s.ingest_hook.fire() {
+            fire.field("block_data", CtxValue::Bytes(sample))
+                .field("volume", CtxValue::Str(vol));
+        }
         s.store.write_block(&volume, id, data)?;
         s.blocks.write().insert(id, volume);
         s.blocks_written.fetch_add(1, Ordering::Relaxed);
@@ -388,7 +386,7 @@ fn report_loop(s: Arc<DnShared>, alive: Arc<AtomicBool>) {
         s.clock.sleep(interval);
         let blocks: Vec<u64> = s.blocks.read().keys().copied().collect();
         let count = blocks.len() as u64;
-        hook.fire(|| vec![("block_count".into(), CtxValue::U64(count))]);
+        hook.fire_kv("block_count", CtxValue::U64(count));
         let msg = NnMsg::BlockReport {
             datanode: s.id.clone(),
             blocks,
@@ -410,7 +408,7 @@ fn scanner_loop(s: Arc<DnShared>, alive: Arc<AtomicBool>) {
                 continue;
             }
             let p = path.clone();
-            hook.fire(|| vec![("block_path".into(), CtxValue::Str(p))]);
+            hook.fire_kv("block_path", CtxValue::Str(p));
             // In-place error handler: a bad block is counted and scanning
             // continues.
             match s.store.validate_path(&path) {

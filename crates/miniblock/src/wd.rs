@@ -194,6 +194,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         dn.hooks().attach_telemetry(Arc::clone(registry));
     }
+    for action in &opts.actions {
+        builder = builder.action(Arc::clone(action));
+    }
     let plan = generate_dn_plan(&ReductionConfig::default());
     if opts.families.mimics {
         let table = op_table(dn);

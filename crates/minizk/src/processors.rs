@@ -94,12 +94,10 @@ fn sync_txn(shared: &Arc<ZkShared>, zxid: u64, op: &WriteOp) -> BaseResult<()> {
     let payload = op.encode();
     // Watchdog hook before the vulnerable append (generated plan point).
     let hook_payload = payload.clone();
-    shared.txn_hook.fire(|| {
-        vec![
-            ("txn_payload".into(), CtxValue::Bytes(hook_payload)),
-            ("zxid".into(), CtxValue::U64(zxid)),
-        ]
-    });
+    if let Some(mut fire) = shared.txn_hook.fire() {
+        fire.field("txn_payload", CtxValue::Bytes(hook_payload))
+            .field("zxid", CtxValue::U64(zxid));
+    }
     let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
     frame.extend_from_slice(&payload);
     shared.disk.append("txnlog/log", &frame)?;

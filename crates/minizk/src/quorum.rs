@@ -380,13 +380,11 @@ impl Cluster {
                 let p = path.to_owned();
                 let d = data.to_vec();
                 let t = hook_target.clone();
-                hook.fire(|| {
-                    vec![
-                        ("node_path".into(), CtxValue::Str(p)),
-                        ("node_data".into(), CtxValue::Bytes(d)),
-                        ("sync_target".into(), CtxValue::Str(t)),
-                    ]
-                });
+                if let Some(mut fire) = hook.fire() {
+                    fire.field("node_path", CtxValue::Str(p))
+                        .field("node_data", CtxValue::Bytes(d))
+                        .field("sync_target", CtxValue::Str(t));
+                }
             });
             *shared.sync_target.write() = None;
             if result.is_ok() {
@@ -525,7 +523,7 @@ fn broadcast_loop(shared: Arc<ZkShared>, rx: ClockedQueue<(u64, WriteOp)>, alive
         let msg = ZkMsg::Commit { zxid, path, data };
         let payload = msg.encode();
         let hook_payload = payload.to_vec();
-        hook.fire(|| vec![("commit_payload".into(), CtxValue::Bytes(hook_payload))]);
+        hook.fire_kv("commit_payload", CtxValue::Bytes(hook_payload));
         for f in &shared.follower_addrs {
             let _ = shared.net.send(LEADER_ADDR, f, payload.clone());
         }

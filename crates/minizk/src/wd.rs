@@ -298,6 +298,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         cluster.hooks().attach_telemetry(Arc::clone(registry));
     }
+    for action in &opts.actions {
+        builder = builder.action(Arc::clone(action));
+    }
 
     let plan = generate_zk_plan(&ReductionConfig::default());
     if opts.families.mimics {

@@ -462,6 +462,7 @@ impl Extractor {
 
         let mut facts = UnitFacts::default();
         let mut local_sites: BTreeMap<String, String> = BTreeMap::new();
+        let mut guard_sites: BTreeMap<String, String> = BTreeMap::new();
         let mut depth = 0usize;
         let mut loop_stack: Vec<usize> = Vec::new();
         let mut pending_loop = false;
@@ -523,6 +524,7 @@ impl Extractor {
                         fn_default.as_deref(),
                         !loop_stack.is_empty(),
                         &mut local_sites,
+                        &mut guard_sites,
                         &mut facts,
                     );
                     if let Some(next) = next {
@@ -549,6 +551,7 @@ impl Extractor {
         fn_default: Option<&str>,
         in_loop: bool,
         local_sites: &mut BTreeMap<String, String>,
+        guard_sites: &mut BTreeMap<String, String>,
         facts: &mut UnitFacts,
     ) -> Option<usize> {
         let file = self.units[unit].file;
@@ -573,14 +576,26 @@ impl Extractor {
             }
             return None;
         }
-        if name == "fire" && is_method {
+        if (name == "fire" || name == "fire_kv") && is_method {
             if let Some(owner) = chain.last() {
                 let key = local_sites
                     .get(owner)
                     .or_else(|| self.field_sites.get(owner))
                     .cloned();
                 if let Some(key) = key {
-                    let fields = fired_fields(toks, open, close);
+                    let mut fields = fired_fields(toks, open, close);
+                    if name == "fire_kv" {
+                        // `site.fire_kv("name", value)`: one field, named by
+                        // the first argument.
+                        if let Some(Tok::Str(s)) = toks.get(open + 1).map(|t| &t.tok) {
+                            fields.insert(s.clone());
+                        }
+                    } else if let Some(guard) = fire_guard_binding(toks, i) {
+                        // Zero-alloc guard form: `if let Some(mut g) =
+                        // site.fire()` publishes through `g.field(..)` calls
+                        // seen later in the walk; remember the binding.
+                        guard_sites.insert(guard, key.clone());
+                    }
                     facts.fires.entry(key).or_default().extend(fields);
                 } else {
                     self.notes.push(format!(
@@ -589,6 +604,16 @@ impl Extractor {
                 }
             }
             return None;
+        }
+        if name == "field" && is_method {
+            // `g.field("name", value)` (possibly chained) on a fire guard:
+            // instrumentation, not an operation.
+            if let Some(key) = chain.first().and_then(|g| guard_sites.get(g)).cloned() {
+                if let Some(Tok::Str(s)) = toks.get(open + 1).map(|t| &t.tok) {
+                    facts.fires.entry(key).or_default().insert(s.clone());
+                }
+                return None;
+            }
         }
 
         // Annotation directives override everything at a call site.
@@ -1051,6 +1076,33 @@ fn site_binding(tokens: &[Token], site_idx: usize) -> Option<Binding> {
     None
 }
 
+/// At a method ident `fire` at `fire_idx`, matches the zero-alloc guard
+/// idiom `if let Some(mut NAME) = <receiver>.fire()` (the `mut` is
+/// optional) and returns the guard binding `NAME`.
+fn fire_guard_binding(tokens: &[Token], fire_idx: usize) -> Option<String> {
+    // Walk back over the dotted receiver chain to the expression start.
+    let mut j = fire_idx.checked_sub(1)?;
+    while j >= 2
+        && tokens[j].is_punct('.')
+        && matches!(tokens.get(j - 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+    {
+        j -= 2;
+    }
+    // Expect `Some ( [mut] NAME ) =` right before the receiver.
+    if !tokens.get(j)?.is_punct('=') || !tokens.get(j.checked_sub(1)?)?.is_punct(')') {
+        return None;
+    }
+    let name = tokens.get(j.checked_sub(2)?)?.ident()?.to_owned();
+    let mut k = j.checked_sub(3)?;
+    if tokens.get(k)?.ident() == Some("mut") {
+        k = k.checked_sub(1)?;
+    }
+    if !tokens.get(k)?.is_punct('(') || tokens.get(k.checked_sub(1)?)?.ident() != Some("Some") {
+        return None;
+    }
+    Some(name)
+}
+
 /// Collects published field names inside a `fire(|| vec![("name".into(),
 /// ..)])` argument group: string literals immediately followed by
 /// `.into()` or `.to_string()`.
@@ -1334,6 +1386,85 @@ pub fn put_block(s: &Store, data: &[u8]) {
             Some("blocks/")
         );
         assert!(ex.ir.function("init").is_none(), "init stays out");
+    }
+
+    #[test]
+    fn guard_fire_publishes_chained_fields() {
+        let ex = extract(&[(
+            "a.rs",
+            r#"
+pub fn start() { t.spawn(move || serve(s)).unwrap(); }
+pub fn serve(s: Shared) {
+    let hook = s.hooks.site("listener_loop");
+    loop {
+        if let Some(mut fire) = hook.fire() {
+            fire.field("probe_key", CtxValue::Str(key))
+                .field("probe_val", CtxValue::Str(value));
+        }
+        s.disk.append("wal/log", &frame);
+    }
+}
+"#,
+        )]);
+        let fields = ex.regions_fired.get("listener_loop").unwrap();
+        assert!(fields.contains("probe_key") && fields.contains("probe_val"));
+        // Guard `field` calls are instrumentation, not ops or call edges.
+        let f = ex.ir.function("listener_loop").unwrap();
+        assert_eq!(f.ops.len(), 1, "{:?}", f.ops);
+    }
+
+    #[test]
+    fn guard_fire_on_struct_field_site_resolves() {
+        let ex = extract(&[(
+            "a.rs",
+            r#"
+pub fn init(hooks: &Hooks) -> Shared {
+    Shared { ingest_hook: hooks.site("ingest_loop"), n: 0 }
+}
+pub fn write_block(s: &Shared, data: &[u8]) {
+    if let Some(mut fire) = s.ingest_hook.fire() {
+        fire.field("block_data", CtxValue::Bytes(d));
+    }
+    s.disk.write_all("blocks/b1", data);
+}
+"#,
+        )]);
+        let f = ex.ir.function("ingest_loop").expect("promoted entry");
+        assert!(f.long_running);
+        assert!(ex.regions_fired["ingest_loop"].contains("block_data"));
+    }
+
+    #[test]
+    fn fire_kv_records_single_field() {
+        let ex = extract(&[(
+            "a.rs",
+            r#"
+pub fn start() { t.spawn(move || wal_loop(s)).unwrap(); }
+pub fn wal_loop(s: Shared) {
+    let hook = s.hooks.site("wal_loop");
+    loop {
+        hook.fire_kv("payload", CtxValue::Bytes(record.clone()));
+        s.disk.append("wal/log", &record);
+    }
+}
+"#,
+        )]);
+        assert!(ex.regions_fired["wal_loop"].contains("payload"));
+    }
+
+    #[test]
+    fn bare_guardless_fire_still_marks_the_region() {
+        let ex = extract(&[(
+            "a.rs",
+            r#"
+pub fn start() { t.spawn(move || tick(s)).unwrap(); }
+pub fn tick(s: Shared) {
+    let hook = s.hooks.site("tick_loop");
+    loop { hook.fire(); s.disk.fsync("wal/log"); }
+}
+"#,
+        )]);
+        assert!(ex.regions_fired["tick_loop"].is_empty());
     }
 
     #[test]

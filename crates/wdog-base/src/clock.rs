@@ -63,7 +63,10 @@ pub trait Clock: Send + Sync + 'static {
 /// Waiters carry at most **one** stored permit: a `notify_one` with no
 /// thread waiting is remembered and consumes the next wait immediately,
 /// which closes the classic check-then-wait race without requiring callers
-/// to hold a lock across the wait.
+/// to hold a lock across the wait. A `notify_all` is a true broadcast —
+/// **every** thread waiting at that moment is released (plus the single
+/// stored permit for the next late arrival), so a group of threads may
+/// share one waiter and each recheck its own condition after a wakeup.
 pub trait Waiter: Send + Sync {
     /// Blocks until notified (or consumes a stored permit immediately).
     fn wait(&self);
@@ -75,49 +78,83 @@ pub trait Waiter: Send + Sync {
     /// Wakes one waiting thread, or stores a single permit if none waits.
     fn notify_one(&self);
 
-    /// Wakes every waiting thread and stores a single permit.
+    /// Wakes every currently waiting thread and stores a single permit.
     fn notify_all(&self);
 }
 
-/// The real-clock [`Waiter`]: a condvar with a one-permit store.
+#[derive(Debug, Default)]
+struct PermitState {
+    /// The single stored permit (consumed by one future wait).
+    permit: bool,
+    /// Broadcast epoch: bumped by `notify_all` so every in-flight wait
+    /// returns without competing for the one permit.
+    epoch: u64,
+}
+
+/// The real-clock [`Waiter`]: a condvar with a one-permit store and a
+/// broadcast epoch.
 #[derive(Debug, Default)]
 pub struct CondvarWaiter {
-    state: Mutex<bool>, // the stored permit
+    state: Mutex<PermitState>,
     cond: Condvar,
 }
 
 impl Waiter for CondvarWaiter {
     fn wait(&self) {
-        let mut permit = self.state.lock();
-        while !*permit {
-            self.cond.wait(&mut permit);
+        let mut st = self.state.lock();
+        if st.permit {
+            st.permit = false;
+            return;
         }
-        *permit = false;
+        let entered = st.epoch;
+        loop {
+            self.cond.wait(&mut st);
+            if st.epoch != entered {
+                // Broadcast: released without touching the stored permit,
+                // exactly like the discrete-event waiter's drained queue.
+                return;
+            }
+            if st.permit {
+                st.permit = false;
+                return;
+            }
+        }
     }
 
     fn wait_timeout(&self, d: Duration) -> bool {
         let deadline = std::time::Instant::now() + d;
-        let mut permit = self.state.lock();
+        let mut st = self.state.lock();
+        if st.permit {
+            st.permit = false;
+            return true;
+        }
+        let entered = st.epoch;
         loop {
-            if *permit {
-                *permit = false;
-                return true;
-            }
             let now = std::time::Instant::now();
             if now >= deadline {
                 return false;
             }
-            let _ = self.cond.wait_for(&mut permit, deadline - now);
+            let _ = self.cond.wait_for(&mut st, deadline - now);
+            if st.epoch != entered {
+                return true;
+            }
+            if st.permit {
+                st.permit = false;
+                return true;
+            }
         }
     }
 
     fn notify_one(&self) {
-        *self.state.lock() = true;
+        self.state.lock().permit = true;
         self.cond.notify_one();
     }
 
     fn notify_all(&self) {
-        *self.state.lock() = true;
+        let mut st = self.state.lock();
+        st.permit = true;
+        st.epoch += 1;
+        drop(st);
         self.cond.notify_all();
     }
 }
@@ -430,6 +467,25 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         w.notify_one();
         assert!(t.join().unwrap(), "wait should report a notification");
+    }
+
+    #[test]
+    fn condvar_waiter_broadcast_releases_every_waiter() {
+        let w = Arc::new(CondvarWaiter::default());
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let w2 = Arc::clone(&w);
+            threads.push(std::thread::spawn(move || {
+                w2.wait_timeout(Duration::from_secs(5))
+            }));
+        }
+        // Give everyone time to park, then release the whole group at once:
+        // a single-permit notify would strand three of the four.
+        std::thread::sleep(Duration::from_millis(50));
+        w.notify_all();
+        for t in threads {
+            assert!(t.join().unwrap(), "broadcast must wake every waiter");
+        }
     }
 
     #[test]

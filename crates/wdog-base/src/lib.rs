@@ -17,6 +17,7 @@ pub mod error;
 pub mod histogram;
 pub mod ids;
 pub mod join;
+pub mod lane;
 pub mod queue;
 pub mod rng;
 pub mod sync;
@@ -30,5 +31,6 @@ pub use error::{BaseError, BaseResult};
 pub use histogram::Histogram;
 pub use ids::{CheckerId, ComponentId, NodeId, OpId};
 pub use join::{join_all_timeout, join_timeout};
+pub use lane::{thread_lane, thread_stripe, LaneCounter};
 pub use queue::ClockedQueue;
 pub use sync::{ClockedMutex, ClockedMutexGuard};

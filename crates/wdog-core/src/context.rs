@@ -15,14 +15,19 @@
 //! mechanism (§5.1): a checker mutating its snapshot can never corrupt the
 //! main program's data.
 //!
-//! # Sharded layout
+//! # Sharded, striped layout
 //!
-//! Contexts are stored as pre-registered, index-addressed [`ContextSlot`]s,
-//! each with its own small mutex. A hook site calls
-//! [`ContextTable::register`] once when it is created and caches the
-//! returned `Arc<ContextSlot>`; every subsequent publish locks only that
-//! slot. Two components publishing into different slots never contend, and
-//! the hot path performs no key hashing and takes no table-wide lock. The
+//! Contexts are stored as pre-registered, index-addressed [`ContextSlot`]s.
+//! A hook site calls [`ContextTable::register`] once when it is created and
+//! caches the returned `Arc<ContextSlot>`; every subsequent publish locks
+//! only that slot — no key hashing, no table-wide lock. Within a slot,
+//! writers are **striped**: each program thread publishes through its own
+//! lane-selected stripe (its own small mutex plus a flat field vector
+//! upserted in place), so several threads firing the same site do not
+//! contend either, and the steady-state publish allocates nothing. Checkers
+//! read via [`ContextSlot::snapshot`], which copies each stripe under its
+//! short lock, merges fields by publish sequence (latest writer wins), and
+//! validates the whole copy against the slot version seqlock-style. The
 //! string-keyed [`ContextTable::publish`]/[`ContextTable::read`] API is
 //! preserved as a convenience path that resolves the slot through a
 //! read-mostly index map. The original single `RwLock<HashMap>` design is
@@ -156,26 +161,114 @@ impl ContextSnapshot {
     }
 }
 
-/// Mutable slot contents, guarded by the per-slot mutex.
+/// Number of write stripes per slot. Power of two; writers pick a stripe by
+/// thread lane, so program threads publishing into the same slot take
+/// different stripe locks and never contend in the common case.
+const SLOT_STRIPES: usize = 8;
+
+/// Mutable stripe contents, guarded by the per-stripe mutex.
+///
+/// Fields live in a flat vector upserted by linear scan: slots hold a
+/// handful of fields, and after the first publish from a thread the steady
+/// state re-publishes the same names — the scan replaces values in place
+/// with **zero allocation** (key `String`s are allocated exactly once).
+/// Each field carries the publish sequence that last wrote it, so snapshots
+/// can merge stripes into a single latest-writer-wins view.
+/// One published field with the publish sequence that wrote it.
+type SeqField = (String, CtxValue, u64);
+
 #[derive(Debug, Default)]
-struct SlotState {
-    fields: HashMap<String, CtxValue>,
+struct StripeState {
+    fields: Vec<SeqField>,
     updated_at: Duration,
+    /// Sequence of the last publish into this stripe (0 = never).
+    last_seq: u64,
 }
 
-/// One pre-registered context slot with its own lock.
+/// One write stripe: its own small mutex plus the state behind it.
+#[derive(Debug, Default)]
+struct Stripe {
+    state: Mutex<StripeState>,
+}
+
+/// One pre-registered context slot, striped for concurrent writers.
 ///
 /// Hook sites hold an `Arc<ContextSlot>` resolved once at site creation, so
 /// the publish hot path is: one relaxed enable check (in the hook), one
-/// per-slot mutex, one field merge. The `version` counter doubles as the
-/// "ever published" flag (0 = registered but empty) and is readable without
-/// the lock.
+/// *uncontended* per-stripe mutex, one in-place field upsert. The `version`
+/// counter is the slot-wide publish sequence; it doubles as the "ever
+/// published" flag (0 = registered but empty) and is readable without any
+/// lock. Checker-side snapshots merge the stripes per field by publish
+/// sequence and validate the copy against `version` seqlock-style, retrying
+/// while publishes land mid-read.
 pub struct ContextSlot {
     key: String,
     id: usize,
     clock: SharedClock,
     version: AtomicU64,
-    state: Mutex<SlotState>,
+    stripes: [Stripe; SLOT_STRIPES],
+}
+
+/// An open publish into one slot stripe, created by
+/// [`ContextSlot::begin_publish`].
+///
+/// Holds the stripe lock; [`PublishGuard::set`] upserts fields in place with
+/// no allocation once the field exists. Dropping the guard completes the
+/// publish: it stamps the stripe's freshness and bumps the slot version.
+/// This is the zero-alloc path `HookSite::fire` writes through.
+pub struct PublishGuard<'a> {
+    slot: &'a ContextSlot,
+    state: parking_lot::MutexGuard<'a, StripeState>,
+    seq: u64,
+}
+
+impl PublishGuard<'_> {
+    /// Sets one field, replacing a same-named field in place.
+    #[inline]
+    pub fn set(&mut self, name: &str, value: impl Into<CtxValue>) -> &mut Self {
+        let value = value.into();
+        let seq = self.seq;
+        match self.state.fields.iter_mut().find(|(k, _, _)| k == name) {
+            Some((_, v, s)) => {
+                *v = value;
+                *s = seq;
+            }
+            None => self.state.fields.push((name.to_owned(), value, seq)),
+        }
+        self
+    }
+
+    /// Sets one field from an owned key, avoiding the copy [`set`] would
+    /// make on first insert. Used by the `Vec`-based compatibility path.
+    ///
+    /// [`set`]: PublishGuard::set
+    pub fn set_owned(&mut self, name: String, value: CtxValue) -> &mut Self {
+        let seq = self.seq;
+        match self.state.fields.iter_mut().find(|(k, _, _)| *k == name) {
+            Some((_, v, s)) => {
+                *v = value;
+                *s = seq;
+            }
+            None => self.state.fields.push((name, value, seq)),
+        }
+        self
+    }
+}
+
+impl Drop for PublishGuard<'_> {
+    fn drop(&mut self) {
+        self.state.updated_at = self.slot.clock.now();
+        self.state.last_seq = self.seq;
+    }
+}
+
+impl std::fmt::Debug for PublishGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishGuard")
+            .field("key", &self.slot.key)
+            .field("seq", &self.seq)
+            .finish()
+    }
 }
 
 impl ContextSlot {
@@ -185,7 +278,7 @@ impl ContextSlot {
             id,
             clock,
             version: AtomicU64::new(0),
-            state: Mutex::new(SlotState::default()),
+            stripes: std::array::from_fn(|_| Stripe::default()),
         }
     }
 
@@ -199,33 +292,99 @@ impl ContextSlot {
         self.id
     }
 
-    /// Publishes fields, replacing same-named fields and bumping the slot
-    /// version. Called from main-program hook sites; locks only this slot.
-    pub fn publish(&self, fields: Vec<(String, CtxValue)>) {
-        let now = self.clock.now();
-        let mut state = self.state.lock();
-        for (k, v) in fields {
-            state.fields.insert(k, v);
+    /// Opens a publish on this thread's stripe and returns the write guard.
+    ///
+    /// The slot version (publish sequence) is claimed under the stripe lock,
+    /// so sequences within one stripe are monotone in lock order and a
+    /// snapshot's per-field merge across stripes is a true linearization.
+    #[inline]
+    pub fn begin_publish(&self) -> PublishGuard<'_> {
+        let stripe = &self.stripes[wdog_base::lane::thread_stripe(SLOT_STRIPES)];
+        let state = stripe.state.lock();
+        let seq = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        PublishGuard {
+            slot: self,
+            state,
+            seq,
         }
-        state.updated_at = now;
-        // Bumped under the lock so locked readers see version and fields
-        // move together; lock-free peeks only need Acquire/Release.
-        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Publishes fields, replacing same-named fields and bumping the slot
+    /// version. `Vec`-building compatibility path; hot code publishes
+    /// through [`ContextSlot::begin_publish`] (or a hook-site fire guard)
+    /// instead.
+    pub fn publish(&self, fields: Vec<(String, CtxValue)>) {
+        let mut guard = self.begin_publish();
+        for (k, v) in fields {
+            guard.set_owned(k, v);
+        }
+    }
+
+    /// Copies every stripe once; returns per-stripe (fields, updated_at).
+    fn copy_stripes(&self) -> Vec<(Vec<SeqField>, Duration)> {
+        let mut parts = Vec::with_capacity(SLOT_STRIPES);
+        for stripe in &self.stripes {
+            let state = stripe.state.lock();
+            if state.last_seq == 0 {
+                continue;
+            }
+            parts.push((state.fields.clone(), state.updated_at));
+        }
+        parts
     }
 
     /// Reads a deep copy, or `None` if nothing was ever published.
+    ///
+    /// Stripes are copied one short lock at a time and merged per field by
+    /// publish sequence (latest writer wins). The copy is validated against
+    /// the slot version seqlock-style: if a publish landed while the stripes
+    /// were being walked, the read retries, so a quiescent slot always
+    /// yields an exact point-in-time view. Under a sustained publish storm
+    /// the final attempt is accepted as-is — each *individual* publish is
+    /// still atomic (its stripe was copied under the stripe lock); only
+    /// cross-stripe simultaneity is relaxed, which concurrent publishing
+    /// makes unobservable anyway.
     pub fn snapshot(&self) -> Option<ContextSnapshot> {
         if self.version.load(Ordering::Acquire) == 0 {
             return None;
         }
         let now = self.clock.now();
-        let state = self.state.lock();
-        let snap = ContextSnapshot {
-            fields: state.fields.clone(),
-            version: self.version.load(Ordering::Acquire),
-            age: now.saturating_sub(state.updated_at),
+        const SEQLOCK_RETRIES: usize = 3;
+        let mut attempt = 0;
+        let (parts, version) = loop {
+            let before = self.version.load(Ordering::Acquire);
+            let parts = self.copy_stripes();
+            let after = self.version.load(Ordering::Acquire);
+            attempt += 1;
+            if before == after || attempt > SEQLOCK_RETRIES {
+                break (parts, after);
+            }
         };
-        Some(snap)
+        if parts.is_empty() {
+            // Version was claimed but no stripe has completed a publish yet;
+            // the slot is not observable until the first guard drops.
+            return None;
+        }
+        let mut updated_at = Duration::ZERO;
+        let mut winners: HashMap<String, (CtxValue, u64)> = HashMap::new();
+        for (stripe_fields, stripe_updated) in parts {
+            updated_at = updated_at.max(stripe_updated);
+            for (k, v, seq) in stripe_fields {
+                match winners.get(&k) {
+                    Some((_, cur)) if *cur >= seq => {}
+                    _ => {
+                        winners.insert(k, (v, seq));
+                    }
+                }
+            }
+        }
+        let fields: HashMap<String, CtxValue> =
+            winners.into_iter().map(|(k, (v, _))| (k, v)).collect();
+        Some(ContextSnapshot {
+            fields,
+            version,
+            age: now.saturating_sub(updated_at),
+        })
     }
 
     /// Returns the current version without locking (0 = never published).

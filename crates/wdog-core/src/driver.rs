@@ -34,7 +34,7 @@
 //!
 //! A wedged checker permanently consumes its executor thread: the thread is
 //! parked inside the hung operation and cannot be killed. For checkers
-//! registered through [`WatchdogDriver::register_respawnable`] the driver
+//! registered through [`DriverBuilder::respawnable`] the driver
 //! *abandons* such an executor once the checker has been stuck for twice its
 //! timeout and spawns a fresh executor (and fresh checker instance) in its
 //! place, so coverage of that component resumes while the old thread drains
@@ -195,9 +195,15 @@ struct Pending {
 /// Replaces a bounded crossbeam channel with a clock-provided [`Waiter`] so
 /// executor threads block *on the clock*: under a real clock this is a plain
 /// condvar, under the simulated clock the wait is visible to the
-/// discrete-event core and virtual time can advance past it. Dispatch is a
-/// store + notify; the busy-slot gate in [`SchedulerCtx::dispatch_due`]
-/// guarantees at most one outstanding run per executor.
+/// discrete-event core and virtual time can advance past it.
+///
+/// Dispatch is **batched**: every executor of one driver parks on a single
+/// shared waiter, the scheduler arms the run flags of all due slots with
+/// plain stores, and then issues *one* `notify_all` for the whole batch —
+/// one wakeup drains a slice of due checkers instead of one syscall-grade
+/// notify per checker per round. Executors woken without a run token simply
+/// re-park; the busy-slot gate in [`SchedulerCtx::dispatch_due`] guarantees
+/// at most one outstanding run per executor.
 struct ExecSignal {
     waiter: Arc<dyn Waiter>,
     run: AtomicBool,
@@ -213,10 +219,11 @@ impl ExecSignal {
         })
     }
 
-    /// Scheduler side: hand the executor one run token.
-    fn dispatch(&self) {
+    /// Scheduler side: hand the executor one run token *without* waking it.
+    /// The scheduler wakes the whole batch with one `notify_all` on the
+    /// shared waiter after arming every due slot.
+    fn arm(&self) {
         self.run.store(true, Ordering::Release);
-        self.waiter.notify_one();
     }
 
     /// Scheduler side: release the executor thread for good.
@@ -289,8 +296,10 @@ pub struct WatchdogDriver {
 }
 
 impl WatchdogDriver {
-    /// Creates a driver with the given configuration and clock.
-    pub fn new(config: WatchdogConfig, clock: SharedClock) -> Self {
+    /// Creates a driver with the given configuration and clock. Internal:
+    /// [`DriverBuilder::build`] is the only entry point, so every driver is
+    /// validated exactly once before it can start.
+    fn new(config: WatchdogConfig, clock: SharedClock) -> Self {
         let board = HealthBoard::new(Arc::clone(&clock), config.health_window);
         Self {
             config,
@@ -312,10 +321,10 @@ impl WatchdogDriver {
         DriverBuilder::new()
     }
 
-    /// Attaches a telemetry registry; must be called before
-    /// [`WatchdogDriver::start`]. Per-checker timing, outcome counters, and
-    /// report/detection observation flow into it from then on.
-    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) -> BaseResult<()> {
+    /// Attaches a telemetry registry (builder-internal; see
+    /// [`DriverBuilder::telemetry`]). Per-checker timing, outcome counters,
+    /// and report/detection observation flow into it from then on.
+    fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) -> BaseResult<()> {
         if self.scheduler.is_some() {
             return Err(BaseError::InvalidState(
                 "cannot attach telemetry after start".into(),
@@ -333,10 +342,10 @@ impl WatchdogDriver {
         self.telemetry.clone()
     }
 
-    /// Registers a checker; must be called before [`WatchdogDriver::start`].
+    /// Registers a checker (builder-internal; see [`DriverBuilder::checker`]).
     ///
     /// The checker's [`ExecutionProbe`] is attached here.
-    pub fn register(&mut self, mut checker: Box<dyn Checker>) -> BaseResult<()> {
+    fn register(&mut self, mut checker: Box<dyn Checker>) -> BaseResult<()> {
         if self.scheduler.is_some() {
             return Err(BaseError::InvalidState(
                 "cannot register checkers after start".into(),
@@ -352,13 +361,14 @@ impl WatchdogDriver {
         Ok(())
     }
 
-    /// Registers a checker through a factory, enabling executor replacement.
+    /// Registers a checker through a factory, enabling executor replacement
+    /// (builder-internal; see [`DriverBuilder::respawnable`]).
     ///
     /// When this checker wedges past twice its timeout, the driver abandons
     /// the executor thread and builds a fresh checker via `factory` (bounded
     /// by [`MAX_EXECUTOR_RESPAWNS`]), so a single hung probe never
     /// permanently shrinks watchdog coverage.
-    pub fn register_respawnable(&mut self, factory: CheckerFactory) -> BaseResult<()> {
+    fn register_respawnable(&mut self, factory: CheckerFactory) -> BaseResult<()> {
         if self.scheduler.is_some() {
             return Err(BaseError::InvalidState(
                 "cannot register checkers after start".into(),
@@ -375,8 +385,9 @@ impl WatchdogDriver {
         Ok(())
     }
 
-    /// Adds an action invoked for every failure report.
-    pub fn add_action(&mut self, action: Arc<dyn Action>) {
+    /// Adds an action invoked for every failure report (builder-internal;
+    /// see [`DriverBuilder::action`]).
+    fn add_action(&mut self, action: Arc<dyn Action>) {
         self.actions.push(action);
     }
 
@@ -474,9 +485,17 @@ impl WatchdogDriver {
                 self.pending.swap(i, j);
             }
         }
+        // One waiter shared by every executor: dispatch arms run flags and
+        // wakes the whole batch with a single notify_all.
+        let dispatch_waiter = self.clock.waiter();
         let mut slots = Vec::with_capacity(self.pending.len());
         for p in self.pending.drain(..) {
-            let mut slot = spawn_executor(p, self.config.default_timeout, &self.clock);
+            let mut slot = spawn_executor(
+                p,
+                self.config.default_timeout,
+                &self.clock,
+                Arc::clone(&dispatch_waiter),
+            );
             slot.phase = self.config.policy.phase_offset(slot.id.as_str());
             slot.telem = self
                 .telemetry
@@ -506,6 +525,7 @@ impl WatchdogDriver {
 
         let ctx = SchedulerCtx {
             slots,
+            dispatch_waiter,
             action_tx,
             board: Arc::clone(&self.board),
             log: Arc::clone(&self.log),
@@ -569,14 +589,14 @@ impl std::fmt::Debug for WatchdogDriver {
     }
 }
 
-/// One-shot assembly of a [`WatchdogDriver`].
+/// One-shot assembly of a [`WatchdogDriver`] — the only way to build one.
 ///
-/// Replaces the `new` + `register`/`register_respawnable` + `add_action`
-/// dance with a fluent builder that validates the whole configuration once
-/// at [`DriverBuilder::build`]: duplicate checker ids and a zero scheduling
-/// interval are rejected there instead of surfacing as confusing runtime
-/// behaviour. The old methods remain as thin delegates for incremental
-/// construction.
+/// Replaces the old `new` + `register`/`register_respawnable` + `add_action`
+/// dance (those methods are now private) with a fluent builder that
+/// validates the whole configuration once at [`DriverBuilder::build`]:
+/// duplicate checker ids and a zero scheduling interval are rejected there
+/// instead of surfacing as confusing runtime behaviour, and a started driver
+/// can never grow checkers or actions.
 ///
 /// # Examples
 ///
@@ -702,7 +722,12 @@ impl std::fmt::Debug for DriverBuilder {
     }
 }
 
-fn spawn_executor(p: Pending, default_timeout: Duration, clock: &SharedClock) -> ExecSlot {
+fn spawn_executor(
+    p: Pending,
+    default_timeout: Duration,
+    clock: &SharedClock,
+    waiter: Arc<dyn Waiter>,
+) -> ExecSlot {
     let Pending {
         mut checker,
         probe,
@@ -711,7 +736,7 @@ fn spawn_executor(p: Pending, default_timeout: Duration, clock: &SharedClock) ->
     let id = checker.id();
     let component = checker.component();
     let timeout = checker.timeout().unwrap_or(default_timeout);
-    let signal = ExecSignal::new(clock.waiter());
+    let signal = ExecSignal::new(waiter);
     let (result_tx, result_rx) = bounded::<CheckStatus>(1);
     let thread_signal = Arc::clone(&signal);
     let thread_probe = probe.clone();
@@ -773,6 +798,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 struct SchedulerCtx {
     slots: Vec<ExecSlot>,
+    /// The one waiter all executors park on; see [`ExecSignal`].
+    dispatch_waiter: Arc<dyn Waiter>,
     action_tx: Sender<FailureReport>,
     board: Arc<HealthBoard>,
     log: Arc<LogAction>,
@@ -929,7 +956,12 @@ impl SchedulerCtx {
                 && slot.factory.is_some()
                 && slot.respawns < MAX_EXECUTOR_RESPAWNS
             {
-                respawn_slot(slot, self.default_timeout, &self.clock);
+                respawn_slot(
+                    slot,
+                    self.default_timeout,
+                    &self.clock,
+                    Arc::clone(&self.dispatch_waiter),
+                );
                 respawned += 1;
                 if let Some(t) = &slot.telem {
                     t.respawns.inc();
@@ -960,13 +992,15 @@ impl SchedulerCtx {
         }
     }
 
-    /// Dispatches each checker whose phase offset has elapsed this round.
+    /// Dispatches each checker whose phase offset has elapsed this round:
+    /// arms every due slot's run flag, then wakes the executor pool once.
     ///
     /// With `phase_frac == 0` every phase is zero and this behaves exactly
     /// like the old dispatch-everything-at-round-start. A checker still busy
     /// at its phase time is skipped for the round, as before.
     fn dispatch_due(&mut self, round_start: Duration) {
         let now = self.clock.now();
+        let mut armed = 0usize;
         for slot in &mut self.slots {
             if slot.dispatched || now < round_start + slot.phase {
                 continue;
@@ -975,7 +1009,8 @@ impl SchedulerCtx {
             if slot.busy_since.is_some() {
                 continue; // Still running (possibly stuck); skip this round.
             }
-            slot.signal.dispatch();
+            slot.signal.arm();
+            armed += 1;
             slot.busy_since = Some(now);
             self.stats.runs.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = &slot.telem {
@@ -986,6 +1021,9 @@ impl SchedulerCtx {
                     .record(now.saturating_sub(due).as_millis() as u64);
             }
         }
+        if armed > 0 {
+            self.dispatch_waiter.notify_all();
+        }
     }
 
     fn any_pending_dispatch(&self) -> bool {
@@ -995,7 +1033,12 @@ impl SchedulerCtx {
 
 /// Abandons a wedged executor and installs a fresh checker in its slot,
 /// preserving identity, phase, and the respawn budget already spent.
-fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration, clock: &SharedClock) {
+fn respawn_slot(
+    slot: &mut ExecSlot,
+    default_timeout: Duration,
+    clock: &SharedClock,
+    waiter: Arc<dyn Waiter>,
+) {
     let Some(factory) = slot.factory.clone() else {
         return;
     };
@@ -1014,6 +1057,7 @@ fn respawn_slot(slot: &mut ExecSlot, default_timeout: Duration, clock: &SharedCl
         },
         default_timeout,
         clock,
+        waiter,
     );
     fresh.phase = slot.phase;
     fresh.respawns = slot.respawns + 1;
@@ -1060,6 +1104,12 @@ fn scheduler_loop(mut ctx: SchedulerCtx) {
         }
         ctx.stats.rounds.fetch_add(1, Ordering::Relaxed);
         round += 1;
+        // Epoch tick: fold lane-buffered hook-fire deltas into the shared
+        // registry cells once per round, so exported metrics lag the
+        // zero-contention hot path by at most one scheduling interval.
+        if let Some(t) = &ctx.telemetry {
+            t.flush_epoch();
+        }
     }
     // Release every executor thread: a waiter wait is not woken by channel
     // drop, so shutdown must close the signals explicitly.
@@ -1097,8 +1147,10 @@ mod tests {
 
     #[test]
     fn passing_checkers_produce_no_reports() {
-        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("ok", "comp", || CheckStatus::Pass)))
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .checker(Box::new(FnChecker::new("ok", "comp", || CheckStatus::Pass)))
+            .build()
             .unwrap();
         d.start().unwrap();
         assert!(wait_until(|| d.stats().passes >= 3, Duration::from_secs(5)));
@@ -1109,15 +1161,17 @@ mod tests {
 
     #[test]
     fn failing_checker_produces_reports_and_unhealthy_board() {
-        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("bad", "kvs.wal", || {
-            CheckStatus::Fail(CheckFailure::new(
-                FailureKind::Error,
-                FaultLocation::new("kvs.wal", "append"),
-                "disk error",
-            ))
-        })))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .checker(Box::new(FnChecker::new("bad", "kvs.wal", || {
+                CheckStatus::Fail(CheckFailure::new(
+                    FailureKind::Error,
+                    FaultLocation::new("kvs.wal", "append"),
+                    "disk error",
+                ))
+            })))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(|| d.log().len() >= 2, Duration::from_secs(5)));
         d.stop();
@@ -1132,7 +1186,6 @@ mod tests {
 
     #[test]
     fn hung_checker_is_reported_stuck_at_probe_location() {
-        let mut d = WatchdogDriver::new(fast_config(10, 50), RealClock::shared());
         let gate = Arc::new(AtomicBool::new(true));
         let gate2 = Arc::clone(&gate);
         struct Hanging {
@@ -1161,11 +1214,14 @@ mod tests {
                 CheckStatus::Pass
             }
         }
-        d.register(Box::new(Hanging {
-            gate: gate2,
-            probe: None,
-        }))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 50))
+            .checker(Box::new(Hanging {
+                gate: gate2,
+                probe: None,
+            }))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(
             || d.stats().timeouts >= 1,
@@ -1194,15 +1250,17 @@ mod tests {
 
     #[test]
     fn stuck_reported_once_per_episode() {
-        let mut d = WatchdogDriver::new(fast_config(10, 30), RealClock::shared());
-        d.register(Box::new(
-            FnChecker::new("hang", "comp", || {
-                std::thread::sleep(Duration::from_millis(400));
-                CheckStatus::Pass
-            })
-            .with_timeout(Duration::from_millis(30)),
-        ))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 30))
+            .checker(Box::new(
+                FnChecker::new("hang", "comp", || {
+                    std::thread::sleep(Duration::from_millis(400));
+                    CheckStatus::Pass
+                })
+                .with_timeout(Duration::from_millis(30)),
+            ))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(
             || d.stats().timeouts >= 1,
@@ -1222,11 +1280,13 @@ mod tests {
 
     #[test]
     fn panicking_checker_is_caught_and_reported() {
-        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("boom", "comp", || {
-            panic!("checker exploded")
-        })))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .checker(Box::new(FnChecker::new("boom", "comp", || {
+                panic!("checker exploded")
+            })))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(|| d.stats().panics >= 1, Duration::from_secs(5)));
         d.stop();
@@ -1240,12 +1300,13 @@ mod tests {
 
     #[test]
     fn one_stuck_checker_does_not_block_others() {
-        let mut d = WatchdogDriver::new(fast_config(10, 100), RealClock::shared());
-        d.register(Box::new(FnChecker::new("hang", "a", || loop {
-            std::thread::sleep(Duration::from_millis(50));
-        })))
-        .unwrap();
-        d.register(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 100))
+            .checker(Box::new(FnChecker::new("hang", "a", || loop {
+                std::thread::sleep(Duration::from_millis(50));
+            })))
+            .checker(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+            .build()
             .unwrap();
         d.start().unwrap();
         assert!(wait_until(|| d.stats().passes >= 5, Duration::from_secs(5)));
@@ -1256,18 +1317,20 @@ mod tests {
     fn actions_fire_per_report() {
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.add_action(Arc::new(crate::action::CallbackAction::new(move |_r| {
-            h.fetch_add(1, Ordering::Relaxed);
-        })));
-        d.register(Box::new(FnChecker::new("bad", "c", || {
-            CheckStatus::Fail(CheckFailure::new(
-                FailureKind::Corruption,
-                FaultLocation::new("c", "f"),
-                "crc mismatch",
-            ))
-        })))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .action(Arc::new(crate::action::CallbackAction::new(move |_r| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })))
+            .checker(Box::new(FnChecker::new("bad", "c", || {
+                CheckStatus::Fail(CheckFailure::new(
+                    FailureKind::Corruption,
+                    FaultLocation::new("c", "f"),
+                    "crc mismatch",
+                ))
+            })))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(
             || hits.load(Ordering::Relaxed) >= 2,
@@ -1277,30 +1340,30 @@ mod tests {
     }
 
     #[test]
-    fn register_after_start_rejected() {
-        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
+    fn double_start_rejected() {
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(50, 500))
+            .build()
+            .unwrap();
         d.start().unwrap();
-        let err = d
-            .register(Box::new(FnChecker::new("x", "c", || CheckStatus::Pass)))
-            .unwrap_err();
-        assert!(matches!(err, BaseError::InvalidState(_)));
         assert!(d.start().is_err(), "double start must fail");
         d.stop();
     }
 
     #[test]
     fn inline_round_runs_synchronously() {
-        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("a", "c", || CheckStatus::Pass)))
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(50, 500))
+            .checker(Box::new(FnChecker::new("a", "c", || CheckStatus::Pass)))
+            .checker(Box::new(FnChecker::new("b", "c", || {
+                CheckStatus::Fail(CheckFailure::new(
+                    FailureKind::Error,
+                    FaultLocation::new("c", "g"),
+                    "bad",
+                ))
+            })))
+            .build()
             .unwrap();
-        d.register(Box::new(FnChecker::new("b", "c", || {
-            CheckStatus::Fail(CheckFailure::new(
-                FailureKind::Error,
-                FaultLocation::new("c", "g"),
-                "bad",
-            ))
-        })))
-        .unwrap();
         let reports = d.run_inline_round().unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(d.stats().passes, 1);
@@ -1313,11 +1376,13 @@ mod tests {
 
     #[test]
     fn not_ready_checkers_are_counted_not_reported() {
-        let mut d = WatchdogDriver::new(fast_config(10, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("nr", "c", || {
-            CheckStatus::NotReady
-        })))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 500))
+            .checker(Box::new(FnChecker::new("nr", "c", || {
+                CheckStatus::NotReady
+            })))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(
             || d.stats().not_ready >= 3,
@@ -1329,29 +1394,30 @@ mod tests {
 
     #[test]
     fn wedged_executor_is_abandoned_and_replaced() {
-        let mut d = WatchdogDriver::new(fast_config(10, 40), RealClock::shared());
         // First instance wedges forever; every later instance passes and
         // bumps a counter so we can see the replacement actually running.
         let instances = Arc::new(AtomicU64::new(0));
         let fresh_passes = Arc::new(AtomicU64::new(0));
         let inst2 = Arc::clone(&instances);
         let fresh2 = Arc::clone(&fresh_passes);
-        d.register_respawnable(Arc::new(move || {
-            let n = inst2.fetch_add(1, Ordering::Relaxed);
-            if n == 0 {
-                Box::new(FnChecker::new("wedge", "kvs.compaction", || loop {
-                    std::thread::sleep(Duration::from_millis(20));
-                })) as Box<dyn Checker>
-            } else {
-                let f = Arc::clone(&fresh2);
-                Box::new(FnChecker::new("wedge", "kvs.compaction", move || {
-                    f.fetch_add(1, Ordering::Relaxed);
-                    CheckStatus::Pass
-                }))
-            }
-        }))
-        .unwrap();
-        d.register(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 40))
+            .respawnable(Arc::new(move || {
+                let n = inst2.fetch_add(1, Ordering::Relaxed);
+                if n == 0 {
+                    Box::new(FnChecker::new("wedge", "kvs.compaction", || loop {
+                        std::thread::sleep(Duration::from_millis(20));
+                    })) as Box<dyn Checker>
+                } else {
+                    let f = Arc::clone(&fresh2);
+                    Box::new(FnChecker::new("wedge", "kvs.compaction", move || {
+                        f.fetch_add(1, Ordering::Relaxed);
+                        CheckStatus::Pass
+                    }))
+                }
+            }))
+            .checker(Box::new(FnChecker::new("ok", "b", || CheckStatus::Pass)))
+            .build()
             .unwrap();
         d.start().unwrap();
         // The wedge is detected (Stuck report), the executor is replaced,
@@ -1385,15 +1451,17 @@ mod tests {
 
     #[test]
     fn executor_respawns_are_bounded() {
-        let mut d = WatchdogDriver::new(fast_config(10, 25), RealClock::shared());
         // Every instance wedges: the driver must give up after the cap
         // instead of leaking threads forever.
-        d.register_respawnable(Arc::new(|| {
-            Box::new(FnChecker::new("always-wedged", "c", || loop {
-                std::thread::sleep(Duration::from_millis(10));
-            })) as Box<dyn Checker>
-        }))
-        .unwrap();
+        let mut d = WatchdogDriver::builder()
+            .config(fast_config(10, 25))
+            .respawnable(Arc::new(|| {
+                Box::new(FnChecker::new("always-wedged", "c", || loop {
+                    std::thread::sleep(Duration::from_millis(10));
+                })) as Box<dyn Checker>
+            }))
+            .build()
+            .unwrap();
         d.start().unwrap();
         assert!(wait_until(
             || d.stats().executor_respawns >= MAX_EXECUTOR_RESPAWNS,
@@ -1413,11 +1481,11 @@ mod tests {
             health_window: Duration::from_secs(10),
             spawn_order_seed: None,
         };
-        let mut d = WatchdogDriver::new(config, RealClock::shared());
+        let mut builder = WatchdogDriver::builder().config(config);
         for name in ["a", "b", "c", "d"] {
-            d.register(Box::new(FnChecker::new(name, "comp", || CheckStatus::Pass)))
-                .unwrap();
+            builder = builder.checker(Box::new(FnChecker::new(name, "comp", || CheckStatus::Pass)));
         }
+        let mut d = builder.build().unwrap();
         d.start().unwrap();
         // 4 checkers staggered across the round must each still run every
         // round: 3 rounds → at least 12 passes.
@@ -1543,10 +1611,11 @@ mod tests {
 
     #[test]
     fn checker_ids_listed_in_order() {
-        let mut d = WatchdogDriver::new(fast_config(50, 500), RealClock::shared());
-        d.register(Box::new(FnChecker::new("one", "c", || CheckStatus::Pass)))
-            .unwrap();
-        d.register(Box::new(FnChecker::new("two", "c", || CheckStatus::Pass)))
+        let d = WatchdogDriver::builder()
+            .config(fast_config(50, 500))
+            .checker(Box::new(FnChecker::new("one", "c", || CheckStatus::Pass)))
+            .checker(Box::new(FnChecker::new("two", "c", || CheckStatus::Pass)))
+            .build()
             .unwrap();
         assert_eq!(
             d.checker_ids(),

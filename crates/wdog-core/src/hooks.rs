@@ -11,19 +11,33 @@
 //! 1. **One-way**: hooks only write; nothing flows back into the main
 //!    program, so hooks cannot alter main execution (§3.1).
 //! 2. **Cheap**: when the watchdog is disabled a hook is one relaxed atomic
-//!    load — the field-building closure is not even invoked. Experiment E5
-//!    measures this.
+//!    load — [`HookSite::fire`] returns `None` and the field expressions are
+//!    never evaluated. An enabled fire writes through a [`FireGuard`]
+//!    straight into the site's context stripe: no closure, no `Vec`, no
+//!    field-map allocation. Experiment E5 and `wdog-load` measure this.
+//!
+//! # The armed path
+//!
+//! With telemetry attached, each fire additionally costs one *uncontended*
+//! relaxed `fetch_add` on a lane-striped fire buffer
+//! ([`wdog_telemetry::FireLanes`]), and every 64th fire per lane times its
+//! own publish. Nothing shared is touched per fire; the driver folds the
+//! lane deltas into the registry's counters and histograms on an epoch tick
+//! (and every snapshot flushes first), so `hook_fires_total`/`hook_fire_ns`
+//! stay exact while the hot path stays allocation- and contention-free.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use wdog_telemetry::{AtomicHistogram, Counter, TelemetryRegistry};
+use wdog_base::lane::LaneCounter;
+use wdog_telemetry::{FireLanes, LaneFlusher, TelemetryRegistry};
 
-use crate::context::{ContextSlot, ContextTable, CtxValue};
+use crate::context::{ContextSlot, ContextTable, CtxValue, PublishGuard};
 
-/// Fires between timed fires: every 64th enabled fire measures its own
-/// publish latency, so sampling overhead stays off the steady-state path.
+/// Fires between timed fires: every 64th enabled fire *per lane* measures
+/// its own publish latency, so sampling overhead stays off the steady-state
+/// path.
 const FIRE_SAMPLE_MASK: u64 = 63;
 
 /// Telemetry attachment shared by every site of one [`Hooks`] instance.
@@ -38,10 +52,11 @@ struct HookTelemetry {
     registry: Mutex<Option<Arc<TelemetryRegistry>>>,
 }
 
-/// Per-site metric handles, resolved lazily on the first armed fire.
+/// Per-site fire lanes, resolved lazily on the first armed fire. The
+/// matching [`LaneFlusher`] is registered with the registry as an epoch
+/// source at the same moment.
 struct SiteStats {
-    fires: Counter,
-    fire_ns: AtomicHistogram,
+    lanes: Arc<FireLanes>,
 }
 
 /// Shared hook infrastructure for one instrumented program.
@@ -52,7 +67,7 @@ struct SiteStats {
 pub struct Hooks {
     table: Arc<ContextTable>,
     enabled: Arc<AtomicBool>,
-    fired: Arc<AtomicU64>,
+    fired: Arc<LaneCounter>,
     telemetry: Arc<HookTelemetry>,
 }
 
@@ -62,7 +77,7 @@ impl Hooks {
         Self {
             table,
             enabled: Arc::new(AtomicBool::new(true)),
-            fired: Arc::new(AtomicU64::new(0)),
+            fired: Arc::new(LaneCounter::new()),
             telemetry: Arc::new(HookTelemetry::default()),
         }
     }
@@ -95,7 +110,7 @@ impl Hooks {
 
     /// Returns how many hook firings actually published state.
     pub fn fired_count(&self) -> u64 {
-        self.fired.load(Ordering::Relaxed)
+        self.fired.sum()
     }
 
     /// Creates a hook site that publishes into the context slot `key`.
@@ -131,7 +146,7 @@ impl std::fmt::Debug for Hooks {
 /// # Examples
 ///
 /// ```
-/// use wdog_core::context::{ContextTable, CtxValue};
+/// use wdog_core::context::ContextTable;
 /// use wdog_core::hooks::Hooks;
 /// use wdog_base::clock::RealClock;
 ///
@@ -140,7 +155,9 @@ impl std::fmt::Debug for Hooks {
 /// let site = hooks.site("serialize_snapshot");
 ///
 /// // In the main program, just before the vulnerable operation:
-/// site.fire(|| vec![("node_path".into(), CtxValue::Str("/a/b".into()))]);
+/// if let Some(mut fire) = site.fire() {
+///     fire.field("node_path", "/a/b");
+/// }
 ///
 /// assert!(table.is_ready("serialize_snapshot"));
 /// ```
@@ -148,64 +165,70 @@ impl std::fmt::Debug for Hooks {
 pub struct HookSite {
     slot: Arc<ContextSlot>,
     hooks: Hooks,
-    /// Lazily resolved metric handles; shared by clones of this site.
+    /// Lazily resolved fire lanes; shared by clones of this site.
     stats: Arc<OnceLock<SiteStats>>,
 }
 
 impl HookSite {
-    /// Publishes state built by `fields` if hooks are enabled.
+    /// Opens a fire, or returns `None` while hooks are disabled.
     ///
-    /// The closure runs only when enabled, so argument capture costs nothing
-    /// when the watchdog is off. The site holds its slot handle, so an
-    /// enabled fire locks only this slot — no key hashing, no table lock.
-    /// With no telemetry attached the only addition over that path is the
-    /// `armed` load below; the instrumented variant lives out of line.
-    pub fn fire<F>(&self, fields: F)
-    where
-        F: FnOnce() -> Vec<(String, CtxValue)>,
-    {
+    /// `None` short-circuits field capture entirely — in the
+    /// `if let Some(mut fire) = site.fire()` idiom (what [`wd_hook!`]
+    /// expands to) the field expressions are never evaluated, so a disabled
+    /// hook still costs one relaxed load. An open [`FireGuard`] writes each
+    /// field straight into the site's context stripe and completes the
+    /// publish when dropped.
+    ///
+    /// [`wd_hook!`]: crate::wd_hook
+    #[inline]
+    pub fn fire(&self) -> Option<FireGuard<'_>> {
         if !self.hooks.enabled.load(Ordering::Relaxed) {
-            return;
+            return None;
         }
+        let mut timing = None;
         if self.hooks.telemetry.armed.load(Ordering::Relaxed) {
-            self.fire_instrumented(fields);
-            return;
+            if let Some(stats) = self.stats() {
+                let n = stats.lanes.fire();
+                if n & FIRE_SAMPLE_MASK == 0 {
+                    timing = Some((std::time::Instant::now(), Arc::clone(&stats.lanes)));
+                }
+            }
         }
-        self.slot.publish(fields());
-        self.hooks.fired.fetch_add(1, Ordering::Relaxed);
+        Some(FireGuard {
+            publish: Some(self.slot.begin_publish()),
+            fired: &self.hooks.fired,
+            timing,
+        })
     }
 
-    /// The armed fire path: counts every fire, times every 64th.
-    fn fire_instrumented<F>(&self, fields: F)
-    where
-        F: FnOnce() -> Vec<(String, CtxValue)>,
-    {
-        let stats = match self.stats.get() {
-            Some(s) => s,
-            None => {
-                let Some(registry) = self.hooks.telemetry.registry.lock().clone() else {
-                    // Armed flag won the race against the registry store;
-                    // publish uninstrumented and resolve on a later fire.
-                    self.slot.publish(fields());
-                    self.hooks.fired.fetch_add(1, Ordering::Relaxed);
-                    return;
-                };
-                let _ = self.stats.set(SiteStats {
-                    fires: registry.counter("hook_fires_total", self.key()),
-                    fire_ns: registry.histogram("hook_fire_ns", self.key()),
-                });
-                self.stats.get().expect("just set")
-            }
-        };
-        let n = stats.fires.inc_and_fetch_prev();
-        if n & FIRE_SAMPLE_MASK == 0 {
-            let t0 = std::time::Instant::now();
-            self.slot.publish(fields());
-            stats.fire_ns.record(t0.elapsed().as_nanos() as u64);
-        } else {
-            self.slot.publish(fields());
+    /// Fires with exactly one field: sugar for the single-field sites that
+    /// dominate the instrumented programs.
+    #[inline]
+    pub fn fire_kv(&self, name: &str, value: impl Into<CtxValue>) {
+        if let Some(mut fire) = self.fire() {
+            fire.field(name, value);
         }
-        self.hooks.fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves the per-site fire lanes, registering their epoch flusher
+    /// with the attached registry on first use.
+    fn stats(&self) -> Option<&SiteStats> {
+        if let Some(stats) = self.stats.get() {
+            return Some(stats);
+        }
+        // Armed flag may win the race against the registry store; fire
+        // uninstrumented until the registry is visible.
+        let registry = self.hooks.telemetry.registry.lock().clone()?;
+        let lanes = Arc::new(FireLanes::new());
+        let flusher = LaneFlusher::new(
+            Arc::clone(&lanes),
+            registry.counter("hook_fires_total", self.key()),
+            registry.histogram("hook_fire_ns", self.key()),
+        );
+        if self.stats.set(SiteStats { lanes }).is_ok() {
+            registry.register_epoch_source(Arc::new(flusher));
+        }
+        self.stats.get()
     }
 
     /// Returns the context key this site publishes to.
@@ -227,7 +250,52 @@ impl std::fmt::Debug for HookSite {
     }
 }
 
+/// An open hook fire: writes fields directly into the site's context stripe
+/// and completes the publish (version bump, freshness stamp, fire
+/// accounting) when dropped.
+///
+/// Created by [`HookSite::fire`]; the zero-alloc replacement for the old
+/// closure-built `Vec<(String, CtxValue)>` fire shape.
+pub struct FireGuard<'a> {
+    /// `Some` until drop; taken there so the publish completes before the
+    /// sampled timing is recorded (the sample covers the whole publish).
+    publish: Option<PublishGuard<'a>>,
+    fired: &'a LaneCounter,
+    timing: Option<(std::time::Instant, Arc<FireLanes>)>,
+}
+
+impl FireGuard<'_> {
+    /// Sets one context field, replacing a same-named field in place.
+    #[inline]
+    pub fn field(&mut self, name: &str, value: impl Into<CtxValue>) -> &mut Self {
+        self.publish
+            .as_mut()
+            .expect("publish guard live until drop")
+            .set(name, value);
+        self
+    }
+}
+
+impl Drop for FireGuard<'_> {
+    fn drop(&mut self) {
+        drop(self.publish.take());
+        self.fired.add(1);
+        if let Some((t0, lanes)) = self.timing.take() {
+            lanes.record_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+impl std::fmt::Debug for FireGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FireGuard")
+    }
+}
+
 /// Publishes fields through a [`HookSite`] with struct-literal syntax.
+///
+/// Expands to the [`HookSite::fire`] guard idiom: when hooks are disabled
+/// the guard is `None` and none of the value expressions run.
 ///
 /// # Examples
 ///
@@ -248,9 +316,9 @@ impl std::fmt::Debug for HookSite {
 #[macro_export]
 macro_rules! wd_hook {
     ($site:expr, { $($name:literal => $value:expr),* $(,)? }) => {
-        $site.fire(|| vec![
-            $(($name.to_string(), $crate::context::CtxValue::from($value))),*
-        ])
+        if let Some(mut fire) = $site.fire() {
+            $(fire.field($name, $crate::context::CtxValue::from($value));)*
+        }
     };
 }
 
@@ -269,7 +337,9 @@ mod tests {
     fn fire_publishes_fields() {
         let (table, hooks) = setup();
         let site = hooks.site("k");
-        site.fire(|| vec![("a".into(), CtxValue::U64(1))]);
+        if let Some(mut fire) = site.fire() {
+            fire.field("a", 1u64);
+        }
         assert_eq!(table.read("k").unwrap().get("a").unwrap().as_u64(), Some(1));
         assert_eq!(hooks.fired_count(), 1);
     }
@@ -280,11 +350,8 @@ mod tests {
         let site = hooks.site("k");
         hooks.set_enabled(false);
         let mut evaluated = false;
-        site.fire(|| {
-            evaluated = true;
-            vec![("a".into(), CtxValue::U64(1))]
-        });
-        assert!(!evaluated, "field closure ran while disabled");
+        wd_hook!(site, { "a" => { evaluated = true; 1u64 } });
+        assert!(!evaluated, "field expression ran while disabled");
         assert!(!table.is_ready("k"));
         assert_eq!(hooks.fired_count(), 0);
     }
@@ -295,7 +362,7 @@ mod tests {
         let site = hooks.site("k");
         hooks.set_enabled(false);
         hooks.set_enabled(true);
-        site.fire(|| vec![("a".into(), CtxValue::Bool(true))]);
+        site.fire_kv("a", true);
         assert!(table.is_ready("k"));
     }
 
@@ -305,9 +372,18 @@ mod tests {
         let a = hooks.site("a");
         let b = hooks.site("b");
         hooks.set_enabled(false);
-        a.fire(Vec::new);
-        b.fire(Vec::new);
+        a.fire();
+        b.fire();
         assert_eq!(hooks.fired_count(), 0);
+    }
+
+    #[test]
+    fn bare_fire_publishes_an_empty_context() {
+        let (table, hooks) = setup();
+        let site = hooks.site("k");
+        site.fire();
+        assert!(table.is_ready("k"), "a fire with no fields still publishes");
+        assert_eq!(hooks.fired_count(), 1);
     }
 
     #[test]
@@ -316,18 +392,20 @@ mod tests {
         let a = hooks.site("site_a");
         let b = hooks.site("site_b");
         // Fires before attachment are not counted.
-        a.fire(|| vec![("x".into(), CtxValue::U64(0))]);
+        a.fire_kv("x", 0u64);
         let registry = TelemetryRegistry::shared();
         hooks.attach_telemetry(Arc::clone(&registry));
         assert!(hooks.telemetry_attached());
         for i in 0..70u64 {
-            a.fire(|| vec![("x".into(), CtxValue::U64(i))]);
+            a.fire_kv("x", i);
         }
-        b.fire(|| vec![("y".into(), CtxValue::Bool(true))]);
+        b.fire_kv("y", true);
+        // The snapshot flushes the epoch lanes first, so the shared cells
+        // are exact without an explicit driver tick.
         let snap = registry.snapshot();
         assert_eq!(snap.counter("hook_fires_total", "site_a"), Some(70));
         assert_eq!(snap.counter("hook_fires_total", "site_b"), Some(1));
-        // Fire 0 and fire 64 are sampled; the rest skip timing.
+        // Lane fires 0 and 64 are sampled; the rest skip timing.
         let h = snap.histogram("hook_fire_ns", "site_a").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(hooks.fired_count(), 72);
@@ -340,7 +418,7 @@ mod tests {
         let registry = TelemetryRegistry::shared();
         hooks.attach_telemetry(Arc::clone(&registry));
         let late = hooks.site("late_site");
-        late.fire(Vec::new);
+        late.fire();
         assert_eq!(
             registry.snapshot().counter("hook_fires_total", "late_site"),
             Some(1)
@@ -354,7 +432,7 @@ mod tests {
         hooks.attach_telemetry(Arc::clone(&registry));
         let site = hooks.site("k");
         hooks.set_enabled(false);
-        site.fire(Vec::new);
+        site.fire();
         assert_eq!(registry.snapshot().counter("hook_fires_total", "k"), None);
     }
 
@@ -367,5 +445,44 @@ mod tests {
         let snap = table.read("m").unwrap();
         assert_eq!(snap.get("n").unwrap().as_u64(), Some(9));
         assert_eq!(snap.get("name").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn steady_state_refire_replaces_fields_in_place() {
+        let (table, hooks) = setup();
+        let site = hooks.site("k");
+        for i in 0..10u64 {
+            wd_hook!(site, { "i" => i, "tag" => "t" });
+        }
+        let snap = table.read("k").unwrap();
+        assert_eq!(snap.version, 10);
+        assert_eq!(snap.get("i").unwrap().as_u64(), Some(9));
+        assert_eq!(snap.fields.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_fires_on_one_site_count_exactly() {
+        let (table, hooks) = setup();
+        let registry = TelemetryRegistry::shared();
+        hooks.attach_telemetry(Arc::clone(&registry));
+        let site = hooks.site("hot");
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let site = site.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        wd_hook!(site, { "v" => t * 100_000 + i });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            registry.snapshot().counter("hook_fires_total", "hot"),
+            Some(40_000)
+        );
+        assert_eq!(hooks.fired_count(), 40_000);
+        let snap = table.read("hot").unwrap();
+        assert_eq!(snap.version, 40_000);
+        assert!(snap.get("v").is_some());
     }
 }

@@ -39,9 +39,11 @@ pub mod wdt;
 
 pub use action::{Action, CallbackAction, EscalatingAction, ImpactGatedAction, LogAction};
 pub use checker::{CheckStatus, Checker, ExecutionProbe, FnChecker};
-pub use context::{ContextReader, ContextSnapshot, ContextTable, CtxValue};
+pub use context::{
+    ContextReader, ContextSlot, ContextSnapshot, ContextTable, CtxValue, PublishGuard,
+};
 pub use driver::{DriverBuilder, DriverStats, WatchdogConfig, WatchdogDriver};
-pub use hooks::{HookSite, Hooks};
+pub use hooks::{FireGuard, HookSite, Hooks};
 pub use isolation::{Budget, IoRedirect};
 pub use policy::SchedulePolicy;
 pub use report::{FailureKind, FailureReport, FaultLocation};

@@ -15,11 +15,13 @@ pub use crate::action::{
     LogAction, RestartAction, RestartCounters, Restartable,
 };
 pub use crate::checker::{CheckFailure, CheckStatus, Checker, ExecutionProbe, FnChecker};
-pub use crate::context::{ContextReader, ContextSnapshot, ContextTable, CtxValue};
+pub use crate::context::{
+    ContextReader, ContextSlot, ContextSnapshot, ContextTable, CtxValue, PublishGuard,
+};
 pub use crate::driver::{
     CheckerFactory, DriverBuilder, DriverStats, WatchdogConfig, WatchdogDriver,
 };
-pub use crate::hooks::{HookSite, Hooks};
+pub use crate::hooks::{FireGuard, HookSite, Hooks};
 pub use crate::isolation::{Budget, IoRedirect};
 pub use crate::policy::SchedulePolicy;
 pub use crate::report::{FailureKind, FailureReport, FaultLocation};

@@ -26,6 +26,7 @@ const GOLDEN: &[&str] = &[
     "ComponentHealth",
     "ComponentId",
     "ContextReader",
+    "ContextSlot",
     "ContextSnapshot",
     "ContextTable",
     "Counter",
@@ -39,6 +40,7 @@ const GOLDEN: &[&str] = &[
     "FailureKind",
     "FailureReport",
     "FaultLocation",
+    "FireGuard",
     "FlightEvent",
     "FnChecker",
     "Gauge",
@@ -50,6 +52,7 @@ const GOLDEN: &[&str] = &[
     "ImpactGatedAction",
     "IoRedirect",
     "LogAction",
+    "PublishGuard",
     "RealClock",
     "RestartAction",
     "RestartCounters",

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use wdog_core::Action;
 use wdog_telemetry::TelemetryRegistry;
 
 /// Which checker families the assembled watchdog includes.
@@ -56,7 +57,7 @@ impl Default for Families {
 }
 
 /// Tunables for an assembled watchdog, shared by every target.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WdOptions {
     /// Checking round interval.
     pub interval: Duration,
@@ -89,6 +90,12 @@ pub struct WdOptions {
     /// determinism tests sweep this to prove verdicts don't depend on
     /// spawn order.
     pub spawn_order_seed: Option<u64>,
+    /// Actions invoked for every failure report, threaded into the
+    /// assembled driver at build time. This is how a recovery coordinator
+    /// (or any custom reaction) rides along now that drivers are sealed at
+    /// [`DriverBuilder::build`](wdog_core::DriverBuilder::build) — there is
+    /// no post-hoc `add_action`.
+    pub actions: Vec<Arc<dyn Action>>,
 }
 
 impl Default for WdOptions {
@@ -104,7 +111,26 @@ impl Default for WdOptions {
             families: Families::all(),
             telemetry: None,
             spawn_order_seed: None,
+            actions: Vec::new(),
         }
+    }
+}
+
+impl std::fmt::Debug for WdOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WdOptions")
+            .field("interval", &self.interval)
+            .field("checker_timeout", &self.checker_timeout)
+            .field("slow_threshold", &self.slow_threshold)
+            .field("probe_slow_threshold", &self.probe_slow_threshold)
+            .field("max_context_age", &self.max_context_age)
+            .field("memory_watermark", &self.memory_watermark)
+            .field("queue_threshold", &self.queue_threshold)
+            .field("families", &self.families)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("spawn_order_seed", &self.spawn_order_seed)
+            .field("actions", &self.actions.len())
+            .finish()
     }
 }
 

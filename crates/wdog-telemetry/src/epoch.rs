@@ -1,0 +1,312 @@
+//! Epoch-flushed, lane-striped fire buffers for the armed hook hot path.
+//!
+//! The first telemetry integration paid for arming with one shared
+//! `fetch_add` per hook fire — a contended cache line once several program
+//! threads fire the same site under load. This module moves the armed path
+//! onto [`FireLanes`]: a small array of cache-line-padded lanes, indexed by
+//! [`wdog_base::lane::thread_lane`], where a fire is one *uncontended*
+//! relaxed `fetch_add` and a sampled fire latency is a handful more on the
+//! same lane. Nothing on the fire path takes a lock or touches shared state.
+//!
+//! The shared [`Counter`]/[`AtomicHistogram`] cells that snapshots read are
+//! brought up to date by an **epoch flush**: a [`LaneFlusher`] remembers a
+//! per-lane cursor and folds the monotonic lane deltas into the shared cells
+//! when [`TelemetryRegistry::flush_epoch`](crate::TelemetryRegistry::flush_epoch)
+//! runs — on every driver scheduling round, and always right before a
+//! snapshot, so exported values lag by at most one epoch and never lose a
+//! count (lane counters only grow; delta-vs-cursor accounting is exact).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use wdog_base::lane::thread_lane;
+
+use crate::metrics::{AtomicHistogram, Counter, BUCKETS};
+
+/// Number of lanes per buffer. Power of two; threads beyond this share lanes
+/// (correct, just contended), so it is sized for "a handful of program
+/// threads per site".
+pub const FIRE_LANES: usize = 8;
+
+/// One lane: a fire counter plus log₂-bucketed sampled fire latencies.
+///
+/// Aligned to two cache lines so adjacent lanes never false-share the
+/// fire counter, which is the field every armed fire touches.
+#[repr(align(128))]
+struct Lane {
+    /// Monotonic fire count (the sampling clock for this lane too).
+    fires: AtomicU64,
+    /// Monotonic per-bucket counts of sampled fire latencies.
+    buckets: [AtomicU64; BUCKETS],
+    /// Monotonic (wrapping) sum of sampled latencies, for the mean.
+    sum: AtomicU64,
+    /// All-time extremes; merged idempotently on every flush.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Self {
+            fires: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lane-striped fire accounting for one hook site.
+pub struct FireLanes {
+    lanes: [Lane; FIRE_LANES],
+}
+
+impl Default for FireLanes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FireLanes {
+    /// Creates zeroed lanes.
+    pub fn new() -> Self {
+        Self {
+            lanes: std::array::from_fn(|_| Lane::default()),
+        }
+    }
+
+    #[inline]
+    fn lane(&self) -> &Lane {
+        &self.lanes[thread_lane() & (FIRE_LANES - 1)]
+    }
+
+    /// Records one fire on this thread's lane; returns the lane-local count
+    /// *before* the increment, which callers use as their sampling clock.
+    #[inline]
+    pub fn fire(&self) -> u64 {
+        self.lane().fires.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one sampled fire latency on this thread's lane.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let lane = self.lane();
+        lane.buckets[AtomicHistogram::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        // Wrapping: the flusher subtracts cursors with wrapping_sub, so the
+        // running sum may roll over without losing the delta.
+        let mut cur = lane.sum.load(Ordering::Relaxed);
+        loop {
+            match lane.sum.compare_exchange_weak(
+                cur,
+                cur.wrapping_add(ns),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        lane.min.fetch_min(ns, Ordering::Relaxed);
+        lane.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Sums the fire counts across lanes (may lag in-flight increments).
+    pub fn total_fires(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.fires.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for FireLanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FireLanes")
+            .field("fires", &self.total_fires())
+            .finish()
+    }
+}
+
+/// A buffer that can fold its accumulated deltas into shared metric cells.
+///
+/// Registered with the registry via
+/// [`TelemetryRegistry::register_epoch_source`](crate::TelemetryRegistry::register_epoch_source);
+/// flushed on every epoch tick and before every snapshot. Implementations
+/// must be safe to flush from any thread and tolerate concurrent recording.
+pub trait EpochSource: Send + Sync {
+    /// Folds everything recorded since the previous flush into the shared
+    /// cells. Must be exact: concurrent recording may land in this epoch or
+    /// the next, but never in both and never in neither.
+    fn flush(&self);
+}
+
+/// Per-lane flush cursors: the portion of each monotonic lane counter
+/// already folded into the shared cells.
+struct LaneCursor {
+    fires: u64,
+    buckets: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl Default for LaneCursor {
+    fn default() -> Self {
+        Self {
+            fires: 0,
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+/// Connects one site's [`FireLanes`] to its shared counter and histogram.
+pub struct LaneFlusher {
+    lanes: Arc<FireLanes>,
+    fires: Counter,
+    fire_ns: AtomicHistogram,
+    cursors: Mutex<Vec<LaneCursor>>,
+}
+
+impl LaneFlusher {
+    /// Creates a flusher folding `lanes` into `fires` and `fire_ns`.
+    pub fn new(lanes: Arc<FireLanes>, fires: Counter, fire_ns: AtomicHistogram) -> Self {
+        Self {
+            lanes,
+            fires,
+            fire_ns,
+            cursors: Mutex::new((0..FIRE_LANES).map(|_| LaneCursor::default()).collect()),
+        }
+    }
+}
+
+impl EpochSource for LaneFlusher {
+    fn flush(&self) {
+        // Serialize flushers: cursor math is only exact single-file. A tick
+        // racing a snapshot just yields to it — the winner folds everything.
+        let Some(mut cursors) = self.cursors.try_lock() else {
+            return;
+        };
+        for (lane, cur) in self.lanes.lanes.iter().zip(cursors.iter_mut()) {
+            let fires = lane.fires.load(Ordering::Relaxed);
+            let fire_delta = fires.wrapping_sub(cur.fires);
+            cur.fires = fires;
+            if fire_delta > 0 {
+                self.fires.add(fire_delta);
+            }
+
+            let mut bucket_deltas = [0u64; BUCKETS];
+            let mut sampled = 0u64;
+            for (i, b) in lane.buckets.iter().enumerate() {
+                let v = b.load(Ordering::Relaxed);
+                bucket_deltas[i] = v.wrapping_sub(cur.buckets[i]);
+                cur.buckets[i] = v;
+                sampled += bucket_deltas[i];
+            }
+            if sampled > 0 {
+                let sum = lane.sum.load(Ordering::Relaxed);
+                let sum_delta = sum.wrapping_sub(cur.sum);
+                cur.sum = sum;
+                self.fire_ns.merge_buckets(
+                    &bucket_deltas,
+                    sum_delta,
+                    lane.min.load(Ordering::Relaxed),
+                    lane.max.load(Ordering::Relaxed),
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LaneFlusher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneFlusher")
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_counts_accumulate_and_flush_exactly() {
+        let lanes = Arc::new(FireLanes::new());
+        let fires = Counter::new();
+        let hist = AtomicHistogram::new();
+        let flusher = LaneFlusher::new(Arc::clone(&lanes), fires.clone(), hist.clone());
+        for _ in 0..100 {
+            lanes.fire();
+        }
+        assert_eq!(fires.get(), 0, "shared cell lags until the flush");
+        flusher.flush();
+        assert_eq!(fires.get(), 100);
+        flusher.flush();
+        assert_eq!(fires.get(), 100, "second flush folds nothing new");
+        lanes.fire();
+        flusher.flush();
+        assert_eq!(fires.get(), 101);
+    }
+
+    #[test]
+    fn sampled_latencies_survive_the_flush_with_exact_stats() {
+        let lanes = Arc::new(FireLanes::new());
+        let hist = AtomicHistogram::new();
+        let flusher = LaneFlusher::new(Arc::clone(&lanes), Counter::new(), hist.clone());
+        let direct = AtomicHistogram::new();
+        for ns in [10u64, 200, 3_000, 40_000, 7] {
+            lanes.record_ns(ns);
+            direct.record(ns);
+        }
+        flusher.flush();
+        assert_eq!(hist.summarize(), direct.summarize());
+    }
+
+    #[test]
+    fn concurrent_fires_and_flushes_lose_nothing() {
+        let lanes = Arc::new(FireLanes::new());
+        let fires = Counter::new();
+        let flusher = Arc::new(LaneFlusher::new(
+            Arc::clone(&lanes),
+            fires.clone(),
+            AtomicHistogram::new(),
+        ));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lanes = Arc::clone(&lanes);
+                s.spawn(move || {
+                    for _ in 0..50_000 {
+                        lanes.fire();
+                    }
+                });
+            }
+            let flusher = Arc::clone(&flusher);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    flusher.flush();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        flusher.flush();
+        assert_eq!(fires.get(), 200_000);
+    }
+
+    #[test]
+    fn total_fires_sums_across_lanes() {
+        let lanes = Arc::new(FireLanes::new());
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let lanes = Arc::clone(&lanes);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        lanes.fire();
+                    }
+                });
+            }
+        });
+        assert_eq!(lanes.total_fires(), 30);
+    }
+}

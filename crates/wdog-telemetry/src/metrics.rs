@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// Number of histogram buckets: value `v` lands in bucket
 /// `floor(log2(v + 1))`, so 64 buckets cover the entire `u64` range. This
 /// mirrors `wdog_base::Histogram` so snapshots from either side agree.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// A monotonically increasing counter.
 ///
@@ -129,6 +129,52 @@ impl AtomicHistogram {
         (64 - v.saturating_add(1).leading_zeros() as usize)
             .saturating_sub(1)
             .min(BUCKETS - 1)
+    }
+
+    /// Returns the bucket index a value of `v` lands in; shared with the
+    /// epoch fire buffers so lane-bucketed samples merge loss-free.
+    #[inline]
+    pub(crate) fn bucket_of(v: u64) -> usize {
+        Self::bucket(v)
+    }
+
+    /// Merges pre-bucketed samples: `deltas[i]` samples in bucket `i`,
+    /// contributing `sum_delta` to the running sum, with candidate extremes
+    /// `min`/`max` (idempotent under `fetch_min`/`fetch_max`, so all-time
+    /// extremes may be re-offered on every merge). Used by the epoch flush.
+    pub(crate) fn merge_buckets(
+        &self,
+        deltas: &[u64; BUCKETS],
+        sum_delta: u64,
+        min: u64,
+        max: u64,
+    ) {
+        let mut n = 0u64;
+        for (bucket, delta) in self.inner.buckets.iter().zip(deltas.iter()) {
+            if *delta > 0 {
+                bucket.fetch_add(*delta, Ordering::Relaxed);
+                n += *delta;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        self.inner.count.fetch_add(n, Ordering::Relaxed);
+        let mut cur = self.inner.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(sum_delta);
+            match self.inner.sum.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.inner.min.fetch_min(min, Ordering::Relaxed);
+        self.inner.max.fetch_max(max, Ordering::Relaxed);
     }
 
     /// Records one sample. Lock-free; callable from any thread.

@@ -34,18 +34,16 @@ fn main() {
 
     // The watchdog: one checker mimicking the worker's vulnerable write,
     // against a probe file on the same volume.
-    let mut driver = WatchdogDriver::new(
-        WatchdogConfig {
+    let checker_disk = Arc::clone(&disk);
+    let mut driver = WatchdogDriver::builder()
+        .config(WatchdogConfig {
             policy: SchedulePolicy::every(Duration::from_millis(100)),
             default_timeout: Duration::from_millis(300),
             health_window: Duration::from_secs(10),
             spawn_order_seed: None,
-        },
-        Arc::clone(&clock),
-    );
-    let checker_disk = Arc::clone(&disk);
-    driver
-        .register(Box::new(FnChecker::new(
+        })
+        .clock(Arc::clone(&clock))
+        .checker(Box::new(FnChecker::new(
             "journal.append.mimic",
             "worker.journal",
             move || match checker_disk.append("journal/__wd_probe", b"probe") {
@@ -58,7 +56,8 @@ fn main() {
                 )),
             },
         )))
-        .expect("register checker");
+        .build()
+        .expect("assemble watchdog");
     driver.start().expect("start watchdog");
 
     println!("healthy phase: letting the worker run for a second ...");

@@ -60,8 +60,18 @@ echo "==> telemetry smoke: kvs campaign must produce a valid snapshot with a det
 cargo run --offline -q --release -p harness --bin wdog-telemetry -- --target kvs \
     --scenarios background-task-stuck --require-detections 1
 
-echo "==> telemetry bench guard: armed hook fire within 15% of disarmed"
+echo "==> telemetry bench guard: armed hook fire within 15% of disarmed (or the 25 ns absolute floor)"
 cargo run --offline -q --release -p harness --bin wdog-telemetry -- --bench-guard 15
+
+# The load-plane smoke gate: a short open-loop sweep against kvs at
+# sub-saturation rates, compared to the checked-in baseline
+# (tests/load_baseline/load_kvs.json). Any stage that loses more than 15%
+# throughput — or whose p99 grows past the 2 ms jitter floor by more than
+# 15% — fails the build. Writes to a scratch dir so the archived
+# results/load/ artifacts (full sweeps) are never clobbered by smoke runs.
+echo "==> wdog-load smoke sweep: kvs stages within 15% of the checked-in baseline"
+cargo run --offline -q --release -p harness --bin wdog-load -- --target kvs \
+    --smoke --seed 42 --out "$(mktemp -d)" --guard-baseline tests/load_baseline
 
 # The chaos gate, in virtual time. The old real-clock smoke ran 50
 # schedules per target and cost 50 x (0.5s warmup + 2.5s horizon + 0.4s

@@ -26,17 +26,17 @@ fn corruption_detection_triggers_partition_rebuild_and_service_survives() {
     .unwrap();
     let client = server.client();
 
+    let (recovery, repairs) = sst_recovery_action(&server);
     let (mut driver, _) = build_watchdog(
         &server,
         &WdOptions {
             interval: Duration::from_millis(100),
             checker_timeout: Duration::from_millis(600),
+            actions: vec![recovery],
             ..WdOptions::default()
         },
     )
     .unwrap();
-    let (recovery, repairs) = sst_recovery_action(&server);
-    driver.add_action(recovery);
     driver.start().unwrap();
 
     // Write real data, let it flush.

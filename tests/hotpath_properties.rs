@@ -1,0 +1,279 @@
+//! Property-based tests over the armed hot path introduced by the fire-API
+//! redesign: epoch-flushed fire lanes must never lose a count, and the
+//! striped context slot must stay a latest-writer-wins register under any
+//! publish interleaving.
+//!
+//! Two shapes per structure: a randomized sequential interleaving driven by
+//! proptest (exact model comparison), and a threaded stress test (weaker
+//! invariants that survive true concurrency).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use wdog_base::clock::RealClock;
+use wdog_core::context::{ContextTable, CtxValue};
+use wdog_core::hooks::Hooks;
+use wdog_telemetry::TelemetryRegistry;
+
+/// One step of a randomized hook-lifecycle interleaving.
+#[derive(Clone, Copy, Debug)]
+enum HookOp {
+    /// Fire site `0..SITES`.
+    Fire(usize),
+    /// Disable every site.
+    Disarm,
+    /// Re-enable every site.
+    Arm,
+    /// Fold lane deltas into the shared counters mid-run.
+    Flush,
+    /// Take a full snapshot (which itself flushes first).
+    Snapshot,
+}
+
+const SITES: usize = 3;
+
+fn hook_op() -> impl Strategy<Value = HookOp> {
+    prop_oneof![
+        (0..SITES).prop_map(HookOp::Fire),
+        (0..SITES).prop_map(HookOp::Fire),
+        (0..SITES).prop_map(HookOp::Fire),
+        Just(HookOp::Disarm),
+        Just(HookOp::Arm),
+        Just(HookOp::Flush),
+        Just(HookOp::Snapshot),
+    ]
+}
+
+/// One step of a randomized slot-publish interleaving: (field, value, also
+/// set the shared field).
+fn publish_op() -> impl Strategy<Value = (usize, u64, bool)> {
+    (0..4usize, 0..1_000_000u64, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epoch-flush losslessness: under any interleaving of fire, arm,
+    /// disarm, mid-run flush, and snapshot, the flushed `hook_fires_total`
+    /// counters equal a direct per-site model count of the fires that ran
+    /// while hooks were enabled — the lane buffers neither drop nor double
+    /// a fire, and disarmed fires never leak into the counts.
+    #[test]
+    fn epoch_flush_loses_no_fires(ops in proptest::collection::vec(hook_op(), 1..120)) {
+        let table = ContextTable::new(RealClock::shared());
+        let hooks = Hooks::new(table);
+        let registry = TelemetryRegistry::shared();
+        hooks.attach_telemetry(registry.clone());
+        let sites: Vec<_> = (0..SITES).map(|i| hooks.site(format!("prop-site-{i}"))).collect();
+
+        let mut model = [0u64; SITES];
+        let mut enabled = true;
+        for op in &ops {
+            match *op {
+                HookOp::Fire(i) => {
+                    sites[i].fire_kv("n", model[i]);
+                    if enabled {
+                        model[i] += 1;
+                    }
+                }
+                HookOp::Disarm => {
+                    hooks.set_enabled(false);
+                    enabled = false;
+                }
+                HookOp::Arm => {
+                    hooks.set_enabled(true);
+                    enabled = true;
+                }
+                HookOp::Flush => registry.flush_epoch(),
+                HookOp::Snapshot => {
+                    let _ = registry.snapshot();
+                }
+            }
+        }
+
+        registry.flush_epoch();
+        for (i, site) in sites.iter().enumerate() {
+            let counted = registry.counter("hook_fires_total", site.key()).get();
+            prop_assert_eq!(
+                counted, model[i],
+                "site {} flushed {} fires, model says {}", i, counted, model[i]
+            );
+        }
+        prop_assert_eq!(hooks.fired_count(), model.iter().sum::<u64>());
+    }
+
+    /// Striped-slot read consistency: any sequence of publishes — each on
+    /// its own thread so the writes spread across stripes — merges to
+    /// exactly the per-field latest write. The snapshot's cross-stripe
+    /// merge by publish sequence must behave as a plain last-writer-wins
+    /// map once the slot is quiescent.
+    #[test]
+    fn striped_slot_merges_to_latest_writer(ops in proptest::collection::vec(publish_op(), 1..40)) {
+        let table = ContextTable::new(RealClock::shared());
+        let slot = table.register("prop-slot");
+
+        let mut model: HashMap<String, u64> = HashMap::new();
+        for (i, &(field, value, shared)) in ops.iter().enumerate() {
+            let name = format!("f{field}");
+            // Each publish on a fresh thread, joined before the next, so
+            // program order fixes the winner while the stripe varies.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut publish = slot.begin_publish();
+                    publish.set(&name, value);
+                    if shared {
+                        publish.set("shared", i as u64);
+                    }
+                });
+            });
+            model.insert(name, value);
+            if shared {
+                model.insert("shared".to_owned(), i as u64);
+            }
+        }
+
+        let snap = slot.snapshot().expect("published slot must be readable");
+        prop_assert_eq!(snap.fields.len(), model.len());
+        for (name, want) in &model {
+            prop_assert_eq!(
+                snap.fields.get(name),
+                Some(&CtxValue::U64(*want)),
+                "field {} lost the latest write", name
+            );
+        }
+        prop_assert_eq!(snap.version, ops.len() as u64);
+    }
+}
+
+/// Threaded losslessness: worker threads hammer one site while another
+/// thread toggles the enable flag and flushes/snapshots concurrently. The
+/// interleaving is nondeterministic, so the model is observational: every
+/// fire that returned a guard must appear in the flushed counter — exactly
+/// once — no matter how flushes raced the fires.
+#[test]
+fn concurrent_fires_flushes_and_toggles_lose_nothing() {
+    const WORKERS: usize = 4;
+    const FIRES_PER_WORKER: usize = 20_000;
+
+    let table = ContextTable::new(RealClock::shared());
+    let hooks = Hooks::new(table);
+    let registry = TelemetryRegistry::shared();
+    hooks.attach_telemetry(registry.clone());
+    let site = hooks.site("stress-site");
+    let stop = AtomicBool::new(false);
+
+    let published: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..WORKERS {
+            let site = site.clone();
+            handles.push(s.spawn(move || {
+                let mut mine = 0u64;
+                for i in 0..FIRES_PER_WORKER {
+                    if let Some(mut fire) = site.fire() {
+                        fire.field("n", (t * FIRES_PER_WORKER + i) as u64);
+                        mine += 1;
+                    }
+                }
+                mine
+            }));
+        }
+        // The antagonist: disarm/rearm windows plus concurrent flushes and
+        // snapshots, racing the workers the whole way.
+        s.spawn(|| {
+            let mut on = true;
+            while !stop.load(Ordering::Relaxed) {
+                on = !on;
+                hooks.set_enabled(on);
+                registry.flush_epoch();
+                let _ = registry.snapshot();
+                std::thread::yield_now();
+            }
+            hooks.set_enabled(true);
+        });
+        let total = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, Ordering::Relaxed);
+        total
+    });
+
+    registry.flush_epoch();
+    let counted = registry.counter("hook_fires_total", site.key()).get();
+    assert_eq!(
+        counted, published,
+        "flushed fire count diverged from the fires that actually published"
+    );
+    assert_eq!(hooks.fired_count(), published);
+}
+
+/// Threaded slot consistency: each writer owns a field it publishes with
+/// strictly increasing values while a reader snapshots continuously. Every
+/// snapshot must show (a) a non-decreasing slot version and (b) per-field
+/// values that never run backwards — the seqlock retry plus per-stripe
+/// locking must never expose a torn or stale-after-fresh read.
+#[test]
+fn concurrent_slot_readers_never_observe_regression() {
+    const WRITERS: usize = 3;
+    const PUBLISHES: u64 = 5_000;
+
+    let table = ContextTable::new(RealClock::shared());
+    let slot = table.register("stress-slot");
+    let reader = table.reader();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for t in 0..WRITERS {
+            let slot = Arc::clone(&slot);
+            writers.push(s.spawn(move || {
+                let field = format!("w{t}");
+                for v in 1..=PUBLISHES {
+                    slot.begin_publish().set(&field, v);
+                }
+            }));
+        }
+        {
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last_version = 0u64;
+                let mut last_seen: HashMap<String, u64> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(snap) = reader.read("stress-slot") else {
+                        continue;
+                    };
+                    assert!(
+                        snap.version >= last_version,
+                        "slot version ran backwards: {} after {}",
+                        snap.version,
+                        last_version
+                    );
+                    last_version = snap.version;
+                    for (name, value) in &snap.fields {
+                        let &CtxValue::U64(v) = value else {
+                            panic!("unexpected non-u64 field {name}");
+                        };
+                        let prev = last_seen.entry(name.clone()).or_insert(0);
+                        assert!(v >= *prev, "field {name} ran backwards: {v} after {prev}");
+                        *prev = v;
+                    }
+                }
+            });
+        }
+        // Keep the reader racing until every writer is done, then release it.
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let snap = slot.snapshot().expect("slot published");
+    for t in 0..WRITERS {
+        assert_eq!(
+            snap.fields.get(&format!("w{t}")),
+            Some(&CtxValue::U64(PUBLISHES)),
+            "writer {t}'s final publish lost"
+        );
+    }
+    assert_eq!(snap.version, WRITERS as u64 * PUBLISHES);
+}
