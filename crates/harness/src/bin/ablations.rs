@@ -14,6 +14,7 @@ fn main() {
                 }
             }
             harness::write_json("ablations", &result);
+            harness::clear_err_sidecar("ablations");
         }
         Err(e) => {
             eprintln!("ablations failed: {e}");

@@ -13,4 +13,5 @@ fn main() {
         }
     }
     harness::write_json("reduction", &result);
+    harness::clear_err_sidecar("reduction");
 }

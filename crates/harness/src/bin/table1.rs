@@ -39,4 +39,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+    harness::clear_err_sidecar("table1");
 }

@@ -14,6 +14,7 @@ fn main() {
                 }
             }
             harness::write_json("zk2201", &result);
+            harness::clear_err_sidecar("zk2201");
         }
         Err(e) => {
             eprintln!("zk2201 failed: {e}");

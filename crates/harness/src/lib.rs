@@ -10,6 +10,7 @@
 //! | [`recovery`] | §5.2 — closed-loop recovery campaign | `wdog-recovery` |
 //! | [`telemetry`] | runtime telemetry plane export | `wdog-telemetry` |
 //! | [`chaos`] | randomized fault-schedule fuzzing of the checkers | `wdog-chaos` |
+//! | [`infer`] | trace-driven checker inference (record→mine→emit→score) | `wdog-infer` |
 //!
 //! Each experiment returns a serde-serializable result struct; binaries
 //! print the paper-style table *and* write the raw JSON next to it (under
@@ -19,6 +20,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod cli;
 pub mod fmt;
+pub mod infer;
 pub mod lint;
 pub mod load;
 pub mod recovery;
@@ -116,5 +118,30 @@ pub fn write_json_under(dir: &std::path::Path, name: &str, value: &impl serde::S
             }
         }
         Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Removes a stale `results/<name>.err` sidecar after a successful run.
+///
+/// `.err` files are stderr redirects external runners leave next to the
+/// JSON artifacts when a bin fails. The bins themselves never write them,
+/// so nothing deleted them either — a sidecar from a long-fixed failure
+/// could sit beside a fresh, successful artifact forever. Every artifact
+/// bin calls this on success so a committed sidecar always describes the
+/// *latest* run; CI additionally refuses to pass while any `.err` is
+/// tracked in the repo.
+pub fn clear_err_sidecar(name: &str) {
+    clear_err_sidecar_under(std::path::Path::new("results"), name);
+}
+
+/// [`clear_err_sidecar`] with the artifact root chosen by the caller.
+pub fn clear_err_sidecar_under(dir: &std::path::Path, name: &str) {
+    let path = dir.join(format!("{name}.err"));
+    if !path.exists() {
+        return;
+    }
+    match std::fs::remove_file(&path) {
+        Ok(()) => println!("[removed stale error sidecar {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot remove {}: {e}", path.display()),
     }
 }

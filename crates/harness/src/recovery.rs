@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use faults::spec::FaultKind;
 use faults::Scenario;
+use simio::SimClock;
 use wdog_base::error::{BaseError, BaseResult};
 use wdog_base::rng::derive_seed;
 use wdog_core::prelude::*;
@@ -59,6 +60,11 @@ pub struct RecoveryOptions {
     pub workload: WorkloadProfile,
     /// Base seed.
     pub seed: u64,
+    /// Run every scenario on a discrete-event [`SimClock`] instead of the
+    /// real clock: boot, injection, the closed loop's waits, and the
+    /// coordinator's pacing all happen at deterministic virtual instants,
+    /// so the campaign is load-independent and replays in milliseconds.
+    pub sim: bool,
 }
 
 impl Default for RecoveryOptions {
@@ -74,6 +80,7 @@ impl Default for RecoveryOptions {
             max_wait: Duration::from_secs(12),
             workload: runner.workload,
             seed: 42,
+            sim: false,
         }
     }
 }
@@ -173,7 +180,17 @@ pub fn run_recovery_scenario(
     opts: &RecoveryOptions,
 ) -> BaseResult<ScenarioRecovery> {
     let seed = derive_seed(opts.seed, &scenario.id);
-    let mut inst = target.start(seed)?;
+    // Sim mode mirrors the chaos campaign: the harness registers itself
+    // as the discrete-event clock's first actor, so injection and the
+    // closed loop's waits land at deterministic virtual instants.
+    let mut main_guard = None;
+    let mut inst = if opts.sim {
+        let sim = Arc::new(SimClock::new());
+        main_guard = Some(sim.actor("recovery-main").adopt());
+        target.start_on(seed, sim)?
+    } else {
+        target.start(seed)?
+    };
     let clock = inst.clock();
     let surface = inst.recovery_surface().ok_or_else(|| {
         BaseError::InvalidState(format!("{} exposes no recovery surface", target.name()))
@@ -225,22 +242,32 @@ pub fn run_recovery_scenario(
     // Wait for terminal: at least one closed incident and an idle
     // coordinator, bounded by `max_wait`. Crash runs keep generating
     // reports until flap damping pins the blamed components, so idleness
-    // (not silence) is the stop condition.
-    let deadline = std::time::Instant::now() + opts.max_wait;
+    // (not silence) is the stop condition. Pacing on the instance clock
+    // keeps the wait virtual under `--sim`.
+    let deadline = clock.now() + opts.max_wait;
     loop {
         let incidents = coordinator.incidents();
         if !incidents.is_empty() && coordinator.is_idle() {
             break;
         }
-        if std::time::Instant::now() >= deadline {
+        let now = clock.now();
+        if now >= deadline {
             break;
         }
-        std::thread::sleep(Duration::from_millis(50));
+        clock.sleep((deadline - now).min(Duration::from_millis(50)));
     }
 
     // Teardown.
     injector.clear(&armed);
     inst.clear_faults();
+    if let Some(guard) = main_guard.take() {
+        // Sim teardown: raise every stop flag at the frozen instant, then
+        // retire the harness actor so virtual time free-runs while the
+        // blocking joins drain.
+        inst.request_stop();
+        driver.request_stop();
+        guard.retire();
+    }
     inst.stop_workload();
     driver.stop();
     if let Some(t) = &opts.wd.telemetry {
@@ -377,6 +404,33 @@ mod tests {
         assert!(!r.crashed, "the process must never restart");
         assert!(r.coordinator_idle, "coordinator must end idle");
         assert!(r.mttr_ms.is_some());
+    }
+
+    #[test]
+    fn sim_mode_recovers_the_stuck_task_deterministically() {
+        let target = KvsTarget;
+        let scenario = target
+            .catalog()
+            .into_iter()
+            .find(|s| s.id == "background-task-stuck")
+            .unwrap();
+        let opts = RecoveryOptions {
+            sim: true,
+            ..quick_opts()
+        };
+        let a = run_recovery_scenario(&target, &scenario, &opts).unwrap();
+        assert_eq!(
+            a.disposition, "verified-recovered",
+            "sim-mode closed loop must still recover the stuck task: {a:?}"
+        );
+        assert!(a.coordinator_idle);
+        // Virtual time makes the whole trip deterministic, MTTR included.
+        let b = run_recovery_scenario(&target, &scenario, &opts).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "sim-mode recovery diverged across same-seed runs"
+        );
     }
 
     #[test]

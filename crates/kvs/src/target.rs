@@ -171,6 +171,13 @@ impl TargetInstance for KvsInstance {
         }))
     }
 
+    fn attach_trace(&self, recorder: &std::sync::Arc<wdog_core::TraceRecorder>) -> bool {
+        self.server
+            .hooks()
+            .attach_trace(std::sync::Arc::clone(recorder));
+        true
+    }
+
     fn set_hooks_enabled(&self, enabled: bool) {
         self.server.hooks().set_enabled(enabled);
     }

@@ -486,6 +486,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         server.hooks().attach_telemetry(Arc::clone(registry));
     }
+    if let Some(trace) = &opts.trace {
+        server.hooks().attach_trace(Arc::clone(trace));
+    }
     for action in &opts.actions {
         builder = builder.action(Arc::clone(action));
     }
@@ -503,6 +506,7 @@ pub fn build_watchdog(
                 timeout: Some(opts.checker_timeout),
                 max_context_age: opts.max_context_age,
                 slow_threshold: Some(opts.slow_threshold),
+                trace: opts.trace.clone(),
             },
         )?;
         for c in mimics {
@@ -515,6 +519,10 @@ pub fn build_watchdog(
     if opts.families.signals {
         builder = builder.checkers(signal_checkers(server, opts));
     }
+    builder = builder.checkers(wdog_target::inferred_checkers(
+        opts,
+        &server.context().reader(),
+    ));
     Ok((builder.build()?, plan))
 }
 
@@ -683,6 +691,46 @@ mod tests {
         assert!(ids.iter().any(|i| i.as_str().contains("probe")));
         assert!(ids.iter().any(|i| i.as_str().contains("signal")));
         assert!(ids.iter().any(|i| i.as_str().contains("_checker")));
+    }
+
+    #[test]
+    fn trace_arming_journals_publishes_and_inferred_family_registers() {
+        use wdog_checkers::{InferredPredicate, InferredSpec};
+        let server = KvsServer::for_tests();
+        let clock: SharedClock = Arc::clone(&server.shared().clock);
+        let recorder = TraceRecorder::new(clock);
+        let opts = WdOptions {
+            trace: Some(Arc::clone(&recorder)),
+            inferred: vec![InferredSpec {
+                id: "kvs.inferred.staleness.wal_loop".into(),
+                component: "kvs.wal_loop".into(),
+                key: "wal_loop".into(),
+                support: 8,
+                predicate: InferredPredicate::Staleness {
+                    max_gap_us: 60_000_000,
+                },
+            }],
+            ..WdOptions::default()
+        };
+        let (driver, _) = build_watchdog(&server, &opts).unwrap();
+        assert!(
+            driver
+                .checker_ids()
+                .iter()
+                .any(|i| i.as_str() == "kvs.inferred.staleness.wal_loop"),
+            "inferred spec not registered: {:?}",
+            driver.checker_ids()
+        );
+        assert!(server.hooks().trace_attached());
+        let client = server.client();
+        let start = std::time::Instant::now();
+        while recorder.is_empty() && start.elapsed() < Duration::from_secs(5) {
+            client.set("traced", "v").unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events = recorder.drain();
+        assert!(!events.is_empty(), "no publishes journaled");
+        assert!(events.iter().all(|e| !e.key.is_empty()));
     }
 
     #[test]

@@ -199,6 +199,13 @@ impl TargetInstance for DnInstance {
         }))
     }
 
+    fn attach_trace(&self, recorder: &std::sync::Arc<wdog_core::TraceRecorder>) -> bool {
+        self.datanode
+            .hooks()
+            .attach_trace(std::sync::Arc::clone(recorder));
+        true
+    }
+
     fn set_hooks_enabled(&self, enabled: bool) {
         self.datanode.hooks().set_enabled(enabled);
     }

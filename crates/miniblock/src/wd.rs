@@ -194,6 +194,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         dn.hooks().attach_telemetry(Arc::clone(registry));
     }
+    if let Some(trace) = &opts.trace {
+        dn.hooks().attach_trace(Arc::clone(trace));
+    }
     for action in &opts.actions {
         builder = builder.action(Arc::clone(action));
     }
@@ -209,12 +212,14 @@ pub fn build_watchdog(
                 timeout: Some(opts.checker_timeout),
                 max_context_age: opts.max_context_age,
                 slow_threshold: Some(opts.slow_threshold),
+                trace: opts.trace.clone(),
             },
         )?;
         for c in mimics {
             builder = builder.checker(Box::new(c));
         }
     }
+    builder = builder.checkers(wdog_target::inferred_checkers(opts, &dn.context().reader()));
     if opts.families.probes {
         let store = Arc::new(crate::block::BlockStore::new(
             Arc::clone(dn.store().disk()),
@@ -283,6 +288,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn trace_arming_journals_ingest_publishes() {
+        let net = SimNet::for_tests();
+        let dn = DataNode::start(
+            DataNodeConfig::default(),
+            RealClock::shared(),
+            SimDisk::for_tests(),
+            net,
+        )
+        .unwrap();
+        let recorder = wdog_core::TraceRecorder::new(RealClock::shared());
+        let opts = DnWdOptions {
+            trace: Some(std::sync::Arc::clone(&recorder)),
+            ..default_dn_options()
+        };
+        let (_driver, _) = build_watchdog(&dn, &opts).unwrap();
+        assert!(dn.hooks().trace_attached());
+        let start = std::time::Instant::now();
+        while recorder.is_empty() && start.elapsed() < Duration::from_secs(5) {
+            dn.write_block(b"traced").unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events = recorder.drain();
+        assert!(
+            events.iter().any(|e| e.key == "ingest_loop"),
+            "ingest publishes not journaled: {events:?}"
+        );
     }
 
     #[test]

@@ -202,6 +202,22 @@ impl TargetInstance for ZkInstance {
         }))
     }
 
+    fn attach_trace(&self, recorder: &std::sync::Arc<wdog_core::TraceRecorder>) -> bool {
+        self.cluster
+            .hooks()
+            .attach_trace(std::sync::Arc::clone(recorder));
+        true
+    }
+
+    fn exercise_auxiliary(&self) -> bool {
+        // Kick a follower snapshot sync: the one minizk path the steady
+        // create/set/get workload never reaches. Fire-and-forget — the
+        // sync runs on its own (sim-actor) thread, so a frozen-time caller
+        // never deadlocks waiting on virtual latencies.
+        drop(self.cluster.sync_follower(0));
+        true
+    }
+
     fn set_hooks_enabled(&self, enabled: bool) {
         self.cluster.hooks().set_enabled(enabled);
     }

@@ -298,6 +298,9 @@ pub fn build_watchdog(
         builder = builder.telemetry(Arc::clone(registry));
         cluster.hooks().attach_telemetry(Arc::clone(registry));
     }
+    if let Some(trace) = &opts.trace {
+        cluster.hooks().attach_trace(Arc::clone(trace));
+    }
     for action in &opts.actions {
         builder = builder.action(Arc::clone(action));
     }
@@ -314,12 +317,17 @@ pub fn build_watchdog(
                 timeout: Some(opts.checker_timeout),
                 max_context_age: opts.max_context_age,
                 slow_threshold: Some(opts.slow_threshold),
+                trace: opts.trace.clone(),
             },
         )?;
         for c in mimics {
             builder = builder.checker(Box::new(c));
         }
     }
+    builder = builder.checkers(wdog_target::inferred_checkers(
+        opts,
+        &cluster.context().reader(),
+    ));
 
     if opts.families.probes {
         // Probe checker: a write through the public API.
@@ -414,6 +422,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn trace_arming_journals_request_processor_publishes() {
+        let cluster = Cluster::for_tests();
+        let clock: SharedClock = Arc::clone(&cluster.shared().clock);
+        let recorder = TraceRecorder::new(clock);
+        let opts = ZkWdOptions {
+            trace: Some(Arc::clone(&recorder)),
+            ..default_zk_options()
+        };
+        let (_driver, _) = build_watchdog(&cluster, &opts).unwrap();
+        assert!(cluster.hooks().trace_attached());
+        cluster.create("/traced", b"x").unwrap();
+        let start = std::time::Instant::now();
+        while recorder.is_empty() && start.elapsed() < Duration::from_secs(5) {
+            cluster.set_data("/traced", b"y").unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events = recorder.drain();
+        assert!(
+            events.iter().any(|e| e.key == "request_processor_loop"),
+            "request path publishes not journaled: {events:?}"
+        );
     }
 
     #[test]

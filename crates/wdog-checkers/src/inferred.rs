@@ -1,0 +1,426 @@
+//! Inferred checkers: invariants mined from traced test executions.
+//!
+//! The paper's argument is that watchdogs must be *generated* to stay
+//! comprehensive; program-logic reduction ([`crate::mimic`]) is one
+//! generation axis. This module is the runtime half of a second, independent
+//! axis (FlyCatcher-style): `wdog-infer` records what the instrumented
+//! program publishes while its own tests run, mines value-level invariants
+//! from the journals — numeric ranges, payload length bounds, per-publish
+//! deltas, first-publish orderings, staleness windows — and lowers the
+//! survivors into [`InferredSpec`]s. An [`InferredChecker`] evaluates one
+//! such spec against the live context table.
+//!
+//! Inferred checkers are value-level where mimics are operation-level: a
+//! wedged background loop whose mimic ops still succeed, a counter that
+//! jumps, an oversized payload — these are invisible to a mimic but violate
+//! a mined invariant. The family composes with the others: specs ride in
+//! through the same `DriverBuilder` and are scored by chaos campaigns like
+//! any other checker (their ids carry the `.inferred.` marker).
+
+use serde::{Deserialize, Serialize};
+
+use wdog_base::ids::{CheckerId, ComponentId};
+use wdog_core::prelude::*;
+
+/// The family tag inferred checkers carry in campaign attribution.
+pub const FAMILY: &str = "inferred";
+
+/// One mined invariant, in checkable form.
+///
+/// Slack is folded in by the emitter: the bounds here are the *enforced*
+/// bounds, not the raw observed extrema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InferredPredicate {
+    /// Numeric field stays within `[min, max]`.
+    Range { field: String, min: i64, max: i64 },
+    /// String/bytes field never exceeds `max_len` bytes.
+    LenBound { field: String, max_len: u64 },
+    /// Numeric field moves at most `max_step` per publish (checked across
+    /// poll intervals by scaling with the observed version delta).
+    Delta { field: String, max_step: u64 },
+    /// The key is republished at least every `max_gap_us` of virtual time.
+    Staleness { max_gap_us: u64 },
+    /// `prerequisite` is always published before this key first publishes.
+    Order { prerequisite: String },
+}
+
+impl InferredPredicate {
+    /// Short label naming the invariant kind, used in ids and locations.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InferredPredicate::Range { .. } => "range",
+            InferredPredicate::LenBound { .. } => "len",
+            InferredPredicate::Delta { .. } => "delta",
+            InferredPredicate::Staleness { .. } => "staleness",
+            InferredPredicate::Order { .. } => "order",
+        }
+    }
+}
+
+/// A registrable inferred checker: identity plus the mined predicate.
+///
+/// Produced by the `wdog-infer` emitter, serialized under the
+/// `wdog-infer/v1` corpus schema, and instantiated by each target's
+/// `build_watchdog` when the inferred family is enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferredSpec {
+    /// Checker id, e.g. `kvs.inferred.staleness.compaction_loop`.
+    pub id: String,
+    /// Component blamed on violation, e.g. `kvs.compaction_loop`.
+    pub component: String,
+    /// The context key the invariant is over.
+    pub key: String,
+    /// How many trace events supported the invariant when it was mined.
+    pub support: u64,
+    /// The invariant itself.
+    pub predicate: InferredPredicate,
+}
+
+/// Evaluates one [`InferredSpec`] against the live context table.
+///
+/// Follows the mimic family's readiness discipline: a missing key, a missing
+/// field, or an unexpectedly-typed value is `NotReady`, never a failure —
+/// inferred checkers must not report failures that do not exist in the main
+/// program.
+pub struct InferredChecker {
+    spec: InferredSpec,
+    reader: ContextReader,
+    /// Last `(version, value)` a delta predicate compared against.
+    last: Option<(u64, i64)>,
+}
+
+impl InferredChecker {
+    /// Creates a checker for `spec` reading through `reader`.
+    pub fn new(spec: InferredSpec, reader: ContextReader) -> Self {
+        Self {
+            spec,
+            reader,
+            last: None,
+        }
+    }
+
+    /// Returns the spec this checker enforces.
+    pub fn spec(&self) -> &InferredSpec {
+        &self.spec
+    }
+
+    fn location(&self) -> FaultLocation {
+        FaultLocation::new(
+            ComponentId::from(self.spec.component.as_str()),
+            format!("inferred:{}:{}", self.spec.predicate.kind(), self.spec.key),
+        )
+    }
+
+    fn fail(&self, kind: FailureKind, snapshot: &ContextSnapshot, msg: String) -> CheckStatus {
+        CheckStatus::Fail(
+            CheckFailure::new(kind, self.location(), msg).with_payload(snapshot.render_payload()),
+        )
+    }
+}
+
+/// Extracts a numeric field as `i64` (the miner's common numeric domain).
+fn as_i64(value: &CtxValue) -> Option<i64> {
+    match value {
+        CtxValue::U64(v) => Some((*v).min(i64::MAX as u64) as i64),
+        CtxValue::I64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Extracts a length-bearing field's length in bytes.
+fn len_of(value: &CtxValue) -> Option<u64> {
+    match value {
+        CtxValue::Str(s) => Some(s.len() as u64),
+        CtxValue::Bytes(b) => Some(b.len() as u64),
+        _ => None,
+    }
+}
+
+impl Checker for InferredChecker {
+    fn id(&self) -> CheckerId {
+        CheckerId::from(self.spec.id.as_str())
+    }
+
+    fn component(&self) -> ComponentId {
+        ComponentId::from(self.spec.component.as_str())
+    }
+
+    fn check(&mut self) -> CheckStatus {
+        let Some(snapshot) = self.reader.read(&self.spec.key) else {
+            return CheckStatus::NotReady;
+        };
+        match &self.spec.predicate {
+            InferredPredicate::Range { field, min, max } => {
+                let Some(v) = snapshot.get(field).and_then(as_i64) else {
+                    return CheckStatus::NotReady;
+                };
+                if v < *min || v > *max {
+                    return self.fail(
+                        FailureKind::AssertViolation,
+                        &snapshot,
+                        format!("{field} = {v} outside inferred range [{min}, {max}]"),
+                    );
+                }
+            }
+            InferredPredicate::LenBound { field, max_len } => {
+                let Some(len) = snapshot.get(field).and_then(len_of) else {
+                    return CheckStatus::NotReady;
+                };
+                if len > *max_len {
+                    return self.fail(
+                        FailureKind::AssertViolation,
+                        &snapshot,
+                        format!("{field} is {len} B, above inferred bound {max_len} B"),
+                    );
+                }
+            }
+            InferredPredicate::Delta { field, max_step } => {
+                let Some(v) = snapshot.get(field).and_then(as_i64) else {
+                    return CheckStatus::NotReady;
+                };
+                let prev = self.last.replace((snapshot.version, v));
+                if let Some((prev_version, prev_v)) = prev {
+                    let publishes = snapshot.version.saturating_sub(prev_version);
+                    if publishes > 0 {
+                        // If each publish moves the field at most `max_step`,
+                        // `publishes` of them move it at most the product.
+                        let allowed = (*max_step as i128) * (publishes as i128);
+                        let step = (v as i128 - prev_v as i128).abs();
+                        if step > allowed {
+                            return self.fail(
+                                FailureKind::AssertViolation,
+                                &snapshot,
+                                format!(
+                                    "{field} jumped {step} over {publishes} publishes \
+                                     (inferred step bound {max_step}/publish)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            InferredPredicate::Staleness { max_gap_us } => {
+                let age_us = snapshot.age.as_micros() as u64;
+                if age_us > *max_gap_us {
+                    return self.fail(
+                        FailureKind::Stuck,
+                        &snapshot,
+                        format!(
+                            "{} stale for {age_us} us (inferred republish window {max_gap_us} us)",
+                            self.spec.key
+                        ),
+                    );
+                }
+            }
+            InferredPredicate::Order { prerequisite } => {
+                if !self.reader.is_ready(prerequisite) {
+                    return self.fail(
+                        FailureKind::AssertViolation,
+                        &snapshot,
+                        format!(
+                            "{} published before its inferred prerequisite {prerequisite}",
+                            self.spec.key
+                        ),
+                    );
+                }
+            }
+        }
+        CheckStatus::Pass
+    }
+}
+
+impl std::fmt::Debug for InferredChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferredChecker")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use wdog_base::clock::VirtualClock;
+    use wdog_core::context::ContextTable;
+
+    fn spec(key: &str, predicate: InferredPredicate) -> InferredSpec {
+        InferredSpec {
+            id: format!("t.inferred.{}.{key}", predicate.kind()),
+            component: format!("t.{key}"),
+            key: key.into(),
+            support: 10,
+            predicate,
+        }
+    }
+
+    fn table() -> Arc<ContextTable> {
+        ContextTable::new(VirtualClock::shared())
+    }
+
+    #[test]
+    fn unpublished_key_is_not_ready() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::Range {
+                    field: "n".into(),
+                    min: 0,
+                    max: 5,
+                },
+            ),
+            t.reader(),
+        );
+        assert_eq!(c.check(), CheckStatus::NotReady);
+    }
+
+    #[test]
+    fn range_passes_inside_and_fails_outside() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::Range {
+                    field: "n".into(),
+                    min: 0,
+                    max: 5,
+                },
+            ),
+            t.reader(),
+        );
+        t.publish("k", vec![("n".into(), CtxValue::U64(5))]);
+        assert!(c.check().is_pass());
+        t.publish("k", vec![("n".into(), CtxValue::U64(6))]);
+        let CheckStatus::Fail(f) = c.check() else {
+            panic!("expected range violation");
+        };
+        assert_eq!(f.kind, FailureKind::AssertViolation);
+        assert!(f.location.function.contains("inferred:range"));
+    }
+
+    #[test]
+    fn missing_or_mistyped_field_is_not_ready() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::Range {
+                    field: "n".into(),
+                    min: 0,
+                    max: 5,
+                },
+            ),
+            t.reader(),
+        );
+        t.publish("k", vec![("other".into(), CtxValue::U64(1))]);
+        assert_eq!(c.check(), CheckStatus::NotReady);
+        t.publish("k", vec![("n".into(), CtxValue::Str("oops".into()))]);
+        assert_eq!(c.check(), CheckStatus::NotReady);
+    }
+
+    #[test]
+    fn len_bound_checks_strings_and_bytes() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::LenBound {
+                    field: "payload".into(),
+                    max_len: 3,
+                },
+            ),
+            t.reader(),
+        );
+        t.publish("k", vec![("payload".into(), CtxValue::Bytes(vec![0; 3]))]);
+        assert!(c.check().is_pass());
+        t.publish("k", vec![("payload".into(), CtxValue::Bytes(vec![0; 4]))]);
+        assert!(matches!(c.check(), CheckStatus::Fail(_)));
+    }
+
+    #[test]
+    fn delta_scales_with_publish_count() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::Delta {
+                    field: "n".into(),
+                    max_step: 2,
+                },
+            ),
+            t.reader(),
+        );
+        t.publish("k", vec![("n".into(), CtxValue::U64(10))]);
+        assert!(c.check().is_pass(), "first observation only seeds state");
+        // Two publishes later the value moved 4 <= 2*2: within bound.
+        t.publish("k", vec![("n".into(), CtxValue::U64(12))]);
+        t.publish("k", vec![("n".into(), CtxValue::U64(14))]);
+        assert!(c.check().is_pass());
+        // One publish that jumps by 7 > 2: violation.
+        t.publish("k", vec![("n".into(), CtxValue::U64(21))]);
+        let CheckStatus::Fail(f) = c.check() else {
+            panic!("expected delta violation");
+        };
+        assert_eq!(f.kind, FailureKind::AssertViolation);
+    }
+
+    #[test]
+    fn staleness_fires_once_age_exceeds_window() {
+        let clock = VirtualClock::shared();
+        let t = ContextTable::new(clock.clone());
+        let mut c = InferredChecker::new(
+            spec(
+                "k",
+                InferredPredicate::Staleness {
+                    max_gap_us: 100_000,
+                },
+            ),
+            t.reader(),
+        );
+        assert_eq!(c.check(), CheckStatus::NotReady, "never published");
+        t.publish("k", vec![]);
+        clock.advance(Duration::from_millis(50));
+        assert!(c.check().is_pass());
+        clock.advance(Duration::from_millis(200));
+        let CheckStatus::Fail(f) = c.check() else {
+            panic!("expected staleness violation");
+        };
+        assert_eq!(f.kind, FailureKind::Stuck);
+    }
+
+    #[test]
+    fn order_fires_only_when_prerequisite_missing() {
+        let t = table();
+        let mut c = InferredChecker::new(
+            spec(
+                "b",
+                InferredPredicate::Order {
+                    prerequisite: "a".into(),
+                },
+            ),
+            t.reader(),
+        );
+        assert_eq!(c.check(), CheckStatus::NotReady, "b not yet published");
+        t.publish("b", vec![]);
+        assert!(matches!(c.check(), CheckStatus::Fail(_)), "a missing");
+        t.publish("a", vec![]);
+        assert!(c.check().is_pass());
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        let s = spec(
+            "k",
+            InferredPredicate::Delta {
+                field: "n".into(),
+                max_step: 3,
+            },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: InferredSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.predicate.kind(), "delta");
+    }
+}

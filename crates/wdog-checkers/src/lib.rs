@@ -21,10 +21,12 @@
 //!
 //! Experiment E2 (`harness table2`) measures all three columns empirically.
 
+pub mod inferred;
 pub mod mimic;
 pub mod probe;
 pub mod signal;
 
+pub use inferred::{InferredChecker, InferredPredicate, InferredSpec};
 pub use mimic::{MimicChecker, MimicOp, OpBody};
 pub use probe::ProbeChecker;
 pub use signal::{

@@ -95,6 +95,7 @@ pub struct MimicChecker {
     max_context_age: Option<Duration>,
     clock: SharedClock,
     timeout: Option<Duration>,
+    trace: Option<std::sync::Arc<TraceRecorder>>,
 }
 
 impl MimicChecker {
@@ -116,6 +117,7 @@ impl MimicChecker {
             max_context_age: None,
             clock,
             timeout: None,
+            trace: None,
         }
     }
 
@@ -134,6 +136,12 @@ impl MimicChecker {
     /// Sets the execution timeout enforced by the driver.
     pub fn with_timeout(mut self, t: Duration) -> Self {
         self.timeout = Some(t);
+        self
+    }
+
+    /// Journals every op execution into `recorder` (for `wdog-infer`).
+    pub fn with_trace(mut self, recorder: std::sync::Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -188,6 +196,9 @@ impl Checker for MimicChecker {
             let elapsed = self.clock.now().saturating_sub(start);
             if let Some(probe) = &self.probe {
                 probe.exit();
+            }
+            if let Some(trace) = &self.trace {
+                trace.record_op(&self.context_key, op.op.as_str(), result.is_ok());
             }
             match result {
                 Err(e) => {

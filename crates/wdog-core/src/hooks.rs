@@ -34,6 +34,7 @@ use wdog_base::lane::LaneCounter;
 use wdog_telemetry::{FireLanes, LaneFlusher, TelemetryRegistry};
 
 use crate::context::{ContextSlot, ContextTable, CtxValue, PublishGuard};
+use crate::trace::TraceRecorder;
 
 /// Fires between timed fires: every 64th enabled fire *per lane* measures
 /// its own publish latency, so sampling overhead stays off the steady-state
@@ -50,6 +51,18 @@ const FIRE_SAMPLE_MASK: u64 = 63;
 struct HookTelemetry {
     armed: AtomicBool,
     registry: Mutex<Option<Arc<TelemetryRegistry>>>,
+}
+
+/// Trace attachment shared by every site of one [`Hooks`] instance.
+///
+/// Same post-hoc arming discipline as [`HookTelemetry`]: the recorder is a
+/// test-time accessory, so the un-armed fire path pays one extra relaxed
+/// atomic load and nothing else. Armed fires clone their fields into the
+/// recorder's journal for `wdog-infer` to mine.
+#[derive(Default)]
+struct HookTrace {
+    armed: AtomicBool,
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
 }
 
 /// Per-site fire lanes, resolved lazily on the first armed fire. The
@@ -69,6 +82,7 @@ pub struct Hooks {
     enabled: Arc<AtomicBool>,
     fired: Arc<LaneCounter>,
     telemetry: Arc<HookTelemetry>,
+    trace: Arc<HookTrace>,
 }
 
 impl Hooks {
@@ -79,6 +93,7 @@ impl Hooks {
             enabled: Arc::new(AtomicBool::new(true)),
             fired: Arc::new(LaneCounter::new()),
             telemetry: Arc::new(HookTelemetry::default()),
+            trace: Arc::new(HookTrace::default()),
         }
     }
 
@@ -96,6 +111,27 @@ impl Hooks {
     /// Returns whether a telemetry registry is attached.
     pub fn telemetry_attached(&self) -> bool {
         self.telemetry.armed.load(Ordering::Relaxed)
+    }
+
+    /// Arms trace recording: every subsequent enabled fire from any site of
+    /// this instance journals its key and fields into `recorder`.
+    ///
+    /// Recording is a test-time mode for `wdog-infer`; until this is called
+    /// a fire costs one extra relaxed atomic load over the pre-trace path.
+    pub fn attach_trace(&self, recorder: Arc<TraceRecorder>) {
+        *self.trace.recorder.lock() = Some(recorder);
+        self.trace.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms trace recording; the recorder keeps whatever it journaled.
+    pub fn detach_trace(&self) {
+        self.trace.armed.store(false, Ordering::Release);
+        *self.trace.recorder.lock() = None;
+    }
+
+    /// Returns whether a trace recorder is attached.
+    pub fn trace_attached(&self) -> bool {
+        self.trace.armed.load(Ordering::Relaxed)
     }
 
     /// Enables or disables every hook site created from this instance.
@@ -194,10 +230,23 @@ impl HookSite {
                 }
             }
         }
+        let mut capture = None;
+        if self.hooks.trace.armed.load(Ordering::Relaxed) {
+            // Arming may win the race against the recorder store; fire
+            // unrecorded until the recorder is visible.
+            if let Some(recorder) = self.hooks.trace.recorder.lock().clone() {
+                capture = Some(TraceCapture {
+                    recorder,
+                    key: self.slot.key().to_owned(),
+                    fields: Vec::new(),
+                });
+            }
+        }
         Some(FireGuard {
             publish: Some(self.slot.begin_publish()),
             fired: &self.hooks.fired,
             timing,
+            capture,
         })
     }
 
@@ -250,6 +299,14 @@ impl std::fmt::Debug for HookSite {
     }
 }
 
+/// Field capture for an armed trace: the clones a [`FireGuard`] accumulates
+/// before handing them to the recorder on drop.
+struct TraceCapture {
+    recorder: Arc<TraceRecorder>,
+    key: String,
+    fields: Vec<(String, CtxValue)>,
+}
+
 /// An open hook fire: writes fields directly into the site's context stripe
 /// and completes the publish (version bump, freshness stamp, fire
 /// accounting) when dropped.
@@ -262,12 +319,18 @@ pub struct FireGuard<'a> {
     publish: Option<PublishGuard<'a>>,
     fired: &'a LaneCounter,
     timing: Option<(std::time::Instant, Arc<FireLanes>)>,
+    /// `Some` while a trace recorder is armed: field clones to journal.
+    capture: Option<TraceCapture>,
 }
 
 impl FireGuard<'_> {
     /// Sets one context field, replacing a same-named field in place.
     #[inline]
     pub fn field(&mut self, name: &str, value: impl Into<CtxValue>) -> &mut Self {
+        let value = value.into();
+        if let Some(cap) = self.capture.as_mut() {
+            cap.fields.push((name.to_owned(), value.clone()));
+        }
         self.publish
             .as_mut()
             .expect("publish guard live until drop")
@@ -282,6 +345,11 @@ impl Drop for FireGuard<'_> {
         self.fired.add(1);
         if let Some((t0, lanes)) = self.timing.take() {
             lanes.record_ns(t0.elapsed().as_nanos() as u64);
+        }
+        // Journal after the publish completed so the event order matches
+        // what a checker could actually have observed.
+        if let Some(cap) = self.capture.take() {
+            cap.recorder.record_publish(&cap.key, cap.fields);
         }
     }
 }
@@ -434,6 +502,65 @@ mod tests {
         hooks.set_enabled(false);
         site.fire();
         assert_eq!(registry.snapshot().counter("hook_fires_total", "k"), None);
+    }
+
+    #[test]
+    fn attached_trace_journals_publishes_with_fields() {
+        let clock = VirtualClock::shared();
+        let table = ContextTable::new(clock.clone());
+        let hooks = Hooks::new(Arc::clone(&table));
+        let site = hooks.site("flush");
+        // Fires before attachment are not journaled.
+        site.fire_kv("len", 1u64);
+        let rec = crate::trace::TraceRecorder::new(clock.clone());
+        hooks.attach_trace(Arc::clone(&rec));
+        assert!(hooks.trace_attached());
+        clock.advance(std::time::Duration::from_millis(5));
+        wd_hook!(site, { "len" => 7u64, "path" => "wal/0" });
+        let events = rec.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, "flush");
+        assert_eq!(events[0].at_us, 5_000);
+        assert_eq!(
+            events[0].kind,
+            crate::trace::TraceEventKind::Publish {
+                fields: vec![
+                    ("len".into(), CtxValue::U64(7)),
+                    ("path".into(), CtxValue::Str("wal/0".into())),
+                ]
+            }
+        );
+        // The publish itself still landed in the context table.
+        assert_eq!(
+            table.read("flush").unwrap().get("len").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn detached_trace_stops_journaling() {
+        let clock = VirtualClock::shared();
+        let hooks = Hooks::new(ContextTable::new(clock.clone()));
+        let site = hooks.site("k");
+        let rec = crate::trace::TraceRecorder::new(clock);
+        hooks.attach_trace(Arc::clone(&rec));
+        site.fire_kv("a", 1u64);
+        hooks.detach_trace();
+        assert!(!hooks.trace_attached());
+        site.fire_kv("a", 2u64);
+        assert_eq!(rec.drain().len(), 1);
+    }
+
+    #[test]
+    fn disabled_hooks_journal_nothing() {
+        let clock = VirtualClock::shared();
+        let hooks = Hooks::new(ContextTable::new(clock.clone()));
+        let site = hooks.site("k");
+        let rec = crate::trace::TraceRecorder::new(clock);
+        hooks.attach_trace(Arc::clone(&rec));
+        hooks.set_enabled(false);
+        site.fire_kv("a", 1u64);
+        assert!(rec.is_empty());
     }
 
     #[test]

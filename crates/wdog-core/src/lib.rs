@@ -35,6 +35,7 @@ pub mod policy;
 pub mod prelude;
 pub mod report;
 pub mod status;
+pub mod trace;
 pub mod wdt;
 
 pub use action::{Action, CallbackAction, EscalatingAction, ImpactGatedAction, LogAction};
@@ -48,4 +49,5 @@ pub use isolation::{Budget, IoRedirect};
 pub use policy::SchedulePolicy;
 pub use report::{FailureKind, FailureReport, FaultLocation};
 pub use status::{ComponentHealth, HealthBoard};
+pub use trace::{TraceEvent, TraceEventKind, TraceRecorder};
 pub use wdt::WatchdogTimer;

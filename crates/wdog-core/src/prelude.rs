@@ -26,6 +26,7 @@ pub use crate::isolation::{Budget, IoRedirect};
 pub use crate::policy::SchedulePolicy;
 pub use crate::report::{FailureKind, FailureReport, FaultLocation};
 pub use crate::status::{ComponentHealth, HealthBoard};
+pub use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 pub use crate::wd_hook;
 pub use crate::wdt::{WatchdogTimer, WdtCounters};
 

@@ -61,6 +61,9 @@ const GOLDEN: &[&str] = &[
     "SharedClock",
     "TelemetryRegistry",
     "TelemetrySnapshot",
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceRecorder",
     "VirtualClock",
     "WatchdogConfig",
     "WatchdogDriver",

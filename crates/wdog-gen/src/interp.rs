@@ -90,6 +90,9 @@ pub struct InstantiateOptions {
     /// reported `Slow`. Lock acquisitions and compute ops are exempt:
     /// waiting on a held lock is contention, not environment slowness.
     pub slow_threshold: Option<Duration>,
+    /// When set, every checker journals its op executions into this
+    /// recorder (test-time mode, consumed by `wdog-infer`).
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for InstantiateOptions {
@@ -98,6 +101,7 @@ impl Default for InstantiateOptions {
             timeout: Some(Duration::from_secs(5)),
             max_context_age: None,
             slow_threshold: None,
+            trace: None,
         }
     }
 }
@@ -142,6 +146,9 @@ pub fn instantiate(
         }
         if let Some(t) = opts.timeout {
             checker = checker.with_timeout(t);
+        }
+        if let Some(trace) = &opts.trace {
+            checker = checker.with_trace(Arc::clone(trace));
         }
         for planned in &gc.ops {
             let body = table.get(planned.op_id.as_str()).expect("validated above");
@@ -302,6 +309,45 @@ mod tests {
             "flush#wal_append"
         );
         assert_eq!(f.location.function, "flush");
+    }
+
+    #[test]
+    fn traced_instantiation_journals_op_executions() {
+        let plan = plan();
+        let mut table = OpTable::new();
+        table.register("flush#wal_append", |_| Ok(()));
+        table.register("flush#wal_sync", |_| {
+            Err(BaseError::Io("bad sector".into()))
+        });
+        let ctx = ContextTable::new(RealClock::shared());
+        ctx.publish(
+            "flusher_loop",
+            vec![("payload".into(), CtxValue::Bytes(vec![0]))],
+        );
+        let clock: SharedClock = RealClock::shared();
+        let recorder = TraceRecorder::new(clock.clone());
+        let opts = InstantiateOptions {
+            trace: Some(Arc::clone(&recorder)),
+            ..InstantiateOptions::default()
+        };
+        let mut checkers = instantiate(&plan, &table, &ctx.reader(), &clock, &opts).unwrap();
+        assert!(matches!(checkers[0].check(), CheckStatus::Fail(_)));
+        let events = recorder.drain();
+        let ops: Vec<(String, bool)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Op { op, ok } => Some((op.clone(), *ok)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("flush#wal_append".to_string(), true),
+                ("flush#wal_sync".to_string(), false),
+            ]
+        );
+        assert!(events.iter().all(|e| e.key == "flusher_loop"));
     }
 
     #[test]

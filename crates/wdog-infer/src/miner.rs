@@ -1,0 +1,629 @@
+//! Invariant mining over trace journals.
+//!
+//! The miner replays [`TraceJournal`]s and proposes value-level invariants
+//! the recorded executions never violated:
+//!
+//! * **Range** — a numeric context field stayed within `[min, max]`.
+//! * **Len** — a string/bytes field never exceeded `max_len`.
+//! * **Delta** — a numeric field never moved more than `max_step` between
+//!   consecutive publishes of its key within one execution.
+//! * **Order** — in every execution where both keys published, `first`'s
+//!   first publish preceded `then`'s first publish.
+//! * **Staleness** — a key never went longer than `max_gap_us` between
+//!   publishes (including the tail gap to the end of the recording).
+//!
+//! Every invariant carries a *support* count (how many observations backed
+//! it); [`MinerConfig`] sets the confidence floors below which candidates
+//! are discarded. All aggregation is order-independent and the output is
+//! sorted by invariant id, so mining is deterministic under any reordering
+//! of the input journals.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use wdog_core::CtxValue;
+
+use crate::journal::TraceJournal;
+
+/// Confidence floors for mined invariants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Minimum observation count for value invariants (range/len/delta).
+    pub min_support: u64,
+    /// Minimum number of co-appearing journals for an ordering.
+    pub min_order_journals: u64,
+    /// Minimum publishes of a key in *every* journal it appears in before a
+    /// staleness window is proposed — one-shot keys have no cadence.
+    pub min_staleness_publishes: u64,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 3,
+            min_order_journals: 1,
+            min_staleness_publishes: 4,
+        }
+    }
+}
+
+/// One invariant the recorded executions never violated, without slack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Invariant {
+    /// Numeric field of `key` stayed within `[min, max]`.
+    Range {
+        key: String,
+        field: String,
+        min: i64,
+        max: i64,
+    },
+    /// Str/Bytes field of `key` never exceeded `max_len`.
+    Len {
+        key: String,
+        field: String,
+        max_len: u64,
+    },
+    /// Numeric field of `key` never stepped more than `max_step` between
+    /// consecutive publishes within one execution.
+    Delta {
+        key: String,
+        field: String,
+        max_step: u64,
+    },
+    /// `first`'s first publish preceded `then`'s in every co-appearance.
+    Order { first: String, then: String },
+    /// `key` never went more than `max_gap_us` between publishes.
+    Staleness { key: String, max_gap_us: u64 },
+}
+
+impl Invariant {
+    /// Stable identifier used for sorting, dedup and corpus diffs.
+    pub fn id(&self) -> String {
+        match self {
+            Invariant::Range { key, field, .. } => format!("range.{key}.{field}"),
+            Invariant::Len { key, field, .. } => format!("len.{key}.{field}"),
+            Invariant::Delta { key, field, .. } => format!("delta.{key}.{field}"),
+            Invariant::Order { first, then } => format!("order.{then}.after.{first}"),
+            Invariant::Staleness { key, .. } => format!("staleness.{key}"),
+        }
+    }
+
+    /// The context key the invariant constrains (the *dependent* key for
+    /// orderings — the one whose checker would fire).
+    pub fn key(&self) -> &str {
+        match self {
+            Invariant::Range { key, .. }
+            | Invariant::Len { key, .. }
+            | Invariant::Delta { key, .. }
+            | Invariant::Staleness { key, .. } => key,
+            Invariant::Order { then, .. } => then,
+        }
+    }
+}
+
+/// An invariant plus the evidence behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinedInvariant {
+    pub invariant: Invariant,
+    /// Observation count: publishes seen (range/len), consecutive pairs
+    /// (delta/staleness gaps), or co-appearing journals (order).
+    pub support: u64,
+}
+
+/// The miner's output: invariants sorted by [`Invariant::id`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InvariantSet {
+    pub invariants: Vec<MinedInvariant>,
+}
+
+impl InvariantSet {
+    /// Looks up a mined invariant by id.
+    pub fn get(&self, id: &str) -> Option<&MinedInvariant> {
+        self.invariants.iter().find(|m| m.invariant.id() == id)
+    }
+
+    /// The sorted list of invariant ids.
+    pub fn ids(&self) -> Vec<String> {
+        self.invariants.iter().map(|m| m.invariant.id()).collect()
+    }
+}
+
+fn numeric(v: &CtxValue) -> Option<i64> {
+    match v {
+        CtxValue::U64(u) => Some((*u).min(i64::MAX as u64) as i64),
+        CtxValue::I64(i) => Some(*i),
+        _ => None,
+    }
+}
+
+fn length(v: &CtxValue) -> Option<u64> {
+    match v {
+        CtxValue::Str(s) => Some(s.len() as u64),
+        CtxValue::Bytes(b) => Some(b.len() as u64),
+        _ => None,
+    }
+}
+
+#[derive(Default)]
+struct NumStat {
+    min: i64,
+    max: i64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct LenStat {
+    max_len: u64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct DeltaStat {
+    max_step: u64,
+    pairs: u64,
+}
+
+#[derive(Default)]
+struct GapStat {
+    max_gap_us: u64,
+    gaps: u64,
+    /// Fewest publishes of the key in any journal where it appeared.
+    min_publishes_per_journal: u64,
+}
+
+/// Mines every invariant the journals support at the configured floors.
+pub fn mine(journals: &[TraceJournal], cfg: &MinerConfig) -> InvariantSet {
+    let mut ranges: BTreeMap<(String, String), NumStat> = BTreeMap::new();
+    let mut lens: BTreeMap<(String, String), LenStat> = BTreeMap::new();
+    let mut deltas: BTreeMap<(String, String), DeltaStat> = BTreeMap::new();
+    let mut gaps: BTreeMap<String, GapStat> = BTreeMap::new();
+    // (first, then) -> journals where first's first publish preceded then's.
+    let mut before: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for journal in journals {
+        let end_us = journal.end_us();
+        // Per-journal state for deltas, gaps and first-publish order.
+        let mut last_value: BTreeMap<(String, String), i64> = BTreeMap::new();
+        let mut last_at: BTreeMap<String, u64> = BTreeMap::new();
+        let mut publish_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut first_at: BTreeMap<String, u64> = BTreeMap::new();
+
+        for (event, fields) in journal.publishes() {
+            // First publish by *virtual time*, not sequence number: two
+            // program threads recording at the same frozen sim instant can
+            // claim sequences in either order, so orderings built on `seq`
+            // would wobble between same-seed recordings.
+            let first = first_at.entry(event.key.clone()).or_insert(event.at_us);
+            *first = (*first).min(event.at_us);
+            *publish_counts.entry(event.key.clone()).or_insert(0) += 1;
+            if let Some(prev_at) = last_at.insert(event.key.clone(), event.at_us) {
+                let stat = gaps.entry(event.key.clone()).or_default();
+                stat.max_gap_us = stat.max_gap_us.max(event.at_us.saturating_sub(prev_at));
+                stat.gaps += 1;
+            }
+            for (field, value) in fields {
+                let slot = (event.key.clone(), field.clone());
+                if let Some(n) = numeric(value) {
+                    let stat = ranges.entry(slot.clone()).or_insert(NumStat {
+                        min: n,
+                        max: n,
+                        count: 0,
+                    });
+                    stat.min = stat.min.min(n);
+                    stat.max = stat.max.max(n);
+                    stat.count += 1;
+                    if let Some(prev) = last_value.insert(slot.clone(), n) {
+                        let stat = deltas.entry(slot.clone()).or_default();
+                        stat.max_step = stat.max_step.max(prev.abs_diff(n));
+                        stat.pairs += 1;
+                    }
+                }
+                if let Some(len) = length(value) {
+                    let stat = lens.entry(slot).or_default();
+                    stat.max_len = stat.max_len.max(len);
+                    stat.count += 1;
+                }
+            }
+        }
+
+        // Charge each key's tail silence against its staleness window, so a
+        // key that bursts early and then goes quiet gets a wide (harmless)
+        // window instead of a tight false-positive one.
+        for (key, at) in &last_at {
+            if publish_counts.get(key).copied().unwrap_or(0) < 2 {
+                continue;
+            }
+            let stat = gaps.entry(key.clone()).or_default();
+            stat.max_gap_us = stat.max_gap_us.max(end_us.saturating_sub(*at));
+        }
+        for (key, count) in &publish_counts {
+            let stat = gaps.entry(key.clone()).or_default();
+            stat.min_publishes_per_journal = if stat.min_publishes_per_journal == 0 {
+                *count
+            } else {
+                stat.min_publishes_per_journal.min(*count)
+            };
+        }
+
+        let keys: Vec<&String> = first_at.keys().collect();
+        for a in &keys {
+            for b in &keys {
+                if a >= b {
+                    continue;
+                }
+                let (fa, fb) = (first_at[*a], first_at[*b]);
+                if fa < fb {
+                    *before.entry(((*a).clone(), (*b).clone())).or_insert(0) += 1;
+                } else if fb < fa {
+                    *before.entry(((*b).clone(), (*a).clone())).or_insert(0) += 1;
+                } else {
+                    // A virtual-time tie means no determined order: poison
+                    // both directions so neither survives the
+                    // consistency check below.
+                    *before.entry(((*a).clone(), (*b).clone())).or_insert(0) += 1;
+                    *before.entry(((*b).clone(), (*a).clone())).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((key, field), stat) in &ranges {
+        if stat.count >= cfg.min_support {
+            out.push(MinedInvariant {
+                invariant: Invariant::Range {
+                    key: key.clone(),
+                    field: field.clone(),
+                    min: stat.min,
+                    max: stat.max,
+                },
+                support: stat.count,
+            });
+        }
+    }
+    for ((key, field), stat) in &lens {
+        if stat.count >= cfg.min_support {
+            out.push(MinedInvariant {
+                invariant: Invariant::Len {
+                    key: key.clone(),
+                    field: field.clone(),
+                    max_len: stat.max_len,
+                },
+                support: stat.count,
+            });
+        }
+    }
+    for ((key, field), stat) in &deltas {
+        if stat.pairs >= cfg.min_support {
+            out.push(MinedInvariant {
+                invariant: Invariant::Delta {
+                    key: key.clone(),
+                    field: field.clone(),
+                    max_step: stat.max_step,
+                },
+                support: stat.pairs,
+            });
+        }
+    }
+    for (key, stat) in &gaps {
+        if stat.gaps >= cfg.min_support
+            && stat.min_publishes_per_journal >= cfg.min_staleness_publishes
+        {
+            out.push(MinedInvariant {
+                invariant: Invariant::Staleness {
+                    key: key.clone(),
+                    max_gap_us: stat.max_gap_us,
+                },
+                support: stat.gaps,
+            });
+        }
+    }
+    for ((first, then), forward) in &before {
+        let reverse = before
+            .get(&(then.clone(), first.clone()))
+            .copied()
+            .unwrap_or(0);
+        if reverse == 0 && *forward >= cfg.min_order_journals {
+            out.push(MinedInvariant {
+                invariant: Invariant::Order {
+                    first: first.clone(),
+                    then: then.clone(),
+                },
+                support: *forward,
+            });
+        }
+    }
+
+    out.sort_by_key(|a| a.invariant.id());
+    InvariantSet { invariants: out }
+}
+
+/// Returns whether `invariant` holds on `journal`.
+///
+/// This is the ground-truth re-check the property tests lean on: anything
+/// [`mine`] emits must hold on every journal it was mined from. Invariants
+/// about keys or fields the journal never publishes hold vacuously.
+pub fn holds_on(invariant: &Invariant, journal: &TraceJournal) -> bool {
+    match invariant {
+        Invariant::Range {
+            key,
+            field,
+            min,
+            max,
+        } => field_values(journal, key, field)
+            .filter_map(numeric)
+            .all(|n| n >= *min && n <= *max),
+        Invariant::Len {
+            key,
+            field,
+            max_len,
+        } => field_values(journal, key, field)
+            .filter_map(length)
+            .all(|len| len <= *max_len),
+        Invariant::Delta {
+            key,
+            field,
+            max_step,
+        } => {
+            let values: Vec<i64> = field_values(journal, key, field)
+                .filter_map(numeric)
+                .collect();
+            values.windows(2).all(|w| w[0].abs_diff(w[1]) <= *max_step)
+        }
+        Invariant::Order { first, then } => {
+            let fa = first_publish_at(journal, first);
+            let fb = first_publish_at(journal, then);
+            match (fa, fb) {
+                (Some(a), Some(b)) => a < b,
+                _ => true,
+            }
+        }
+        Invariant::Staleness { key, max_gap_us } => {
+            let times: Vec<u64> = journal
+                .publishes()
+                .filter(|(e, _)| e.key == *key)
+                .map(|(e, _)| e.at_us)
+                .collect();
+            if times.len() < 2 {
+                return true;
+            }
+            let within = times
+                .windows(2)
+                .all(|w| w[1].saturating_sub(w[0]) <= *max_gap_us);
+            let tail = journal.end_us().saturating_sub(*times.last().unwrap());
+            within && tail <= *max_gap_us
+        }
+    }
+}
+
+fn field_values<'a>(
+    journal: &'a TraceJournal,
+    key: &'a str,
+    field: &'a str,
+) -> impl Iterator<Item = &'a CtxValue> {
+    journal
+        .publishes()
+        .filter(move |(e, _)| e.key == key)
+        .flat_map(move |(_, fields)| {
+            fields
+                .iter()
+                .filter(move |(name, _)| name == field)
+                .map(|(_, v)| v)
+        })
+}
+
+fn first_publish_at(journal: &TraceJournal, key: &str) -> Option<u64> {
+    journal
+        .publishes()
+        .filter(|(e, _)| e.key == key)
+        .map(|(e, _)| e.at_us)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdog_core::{TraceEvent, TraceEventKind};
+
+    fn publish(seq: u64, at_us: u64, key: &str, fields: Vec<(&str, CtxValue)>) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at_us,
+            key: key.into(),
+            kind: TraceEventKind::Publish {
+                fields: fields.into_iter().map(|(n, v)| (n.to_owned(), v)).collect(),
+            },
+        }
+    }
+
+    fn counter_journal(label: &str, values: &[u64]) -> TraceJournal {
+        let events = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                publish(
+                    i as u64 + 1,
+                    (i as u64 + 1) * 1_000,
+                    "flusher_loop",
+                    vec![("entry_count", CtxValue::U64(*v))],
+                )
+            })
+            .collect();
+        TraceJournal::new("kvs", label, 1, events)
+    }
+
+    #[test]
+    fn mines_range_delta_and_staleness_from_a_counter() {
+        let set = mine(
+            &[counter_journal("a", &[10, 12, 13, 17, 15])],
+            &MinerConfig::default(),
+        );
+        let range = set.get("range.flusher_loop.entry_count").unwrap();
+        assert_eq!(
+            range.invariant,
+            Invariant::Range {
+                key: "flusher_loop".into(),
+                field: "entry_count".into(),
+                min: 10,
+                max: 17,
+            }
+        );
+        assert_eq!(range.support, 5);
+        let delta = set.get("delta.flusher_loop.entry_count").unwrap();
+        assert_eq!(
+            delta.invariant,
+            Invariant::Delta {
+                key: "flusher_loop".into(),
+                field: "entry_count".into(),
+                max_step: 4,
+            }
+        );
+        let stale = set.get("staleness.flusher_loop").unwrap();
+        assert_eq!(
+            stale.invariant,
+            Invariant::Staleness {
+                key: "flusher_loop".into(),
+                max_gap_us: 1_000,
+            }
+        );
+    }
+
+    #[test]
+    fn mines_len_bounds_for_payload_fields() {
+        let events = (1..=4)
+            .map(|i| {
+                publish(
+                    i,
+                    i * 500,
+                    "wal_loop",
+                    vec![("payload", CtxValue::Bytes(vec![0u8; 8 * i as usize]))],
+                )
+            })
+            .collect();
+        let set = mine(
+            &[TraceJournal::new("kvs", "t", 1, events)],
+            &MinerConfig::default(),
+        );
+        let len = set.get("len.wal_loop.payload").unwrap();
+        assert_eq!(
+            len.invariant,
+            Invariant::Len {
+                key: "wal_loop".into(),
+                field: "payload".into(),
+                max_len: 32,
+            }
+        );
+    }
+
+    #[test]
+    fn mines_orderings_only_when_direction_is_consistent() {
+        let ab = TraceJournal::new(
+            "kvs",
+            "ab",
+            1,
+            vec![
+                publish(1, 10, "a", vec![("v", CtxValue::U64(1))]),
+                publish(2, 20, "b", vec![("v", CtxValue::U64(1))]),
+            ],
+        );
+        let ba = TraceJournal::new(
+            "kvs",
+            "ba",
+            2,
+            vec![
+                publish(1, 10, "b", vec![("v", CtxValue::U64(1))]),
+                publish(2, 20, "c", vec![("v", CtxValue::U64(1))]),
+            ],
+        );
+        let set = mine(&[ab.clone(), ba.clone()], &MinerConfig::default());
+        assert!(set.get("order.b.after.a").is_some(), "consistent pair kept");
+        assert!(set.get("order.c.after.b").is_some());
+        // Flip b/c in a third journal: the pair becomes inconsistent.
+        let cb = TraceJournal::new(
+            "kvs",
+            "cb",
+            3,
+            vec![
+                publish(1, 10, "c", vec![("v", CtxValue::U64(1))]),
+                publish(2, 20, "b", vec![("v", CtxValue::U64(1))]),
+            ],
+        );
+        let set = mine(&[ab, ba, cb], &MinerConfig::default());
+        assert!(set.get("order.c.after.b").is_none(), "inconsistent dropped");
+        assert!(set.get("order.b.after.c").is_none());
+    }
+
+    #[test]
+    fn virtual_time_ties_poison_orderings() {
+        // Both keys first publish at the same virtual instant: there is no
+        // determined order, whichever sequence numbers the threads drew.
+        let tie = TraceJournal::new(
+            "kvs",
+            "tie",
+            1,
+            vec![
+                publish(1, 10, "a", vec![("v", CtxValue::U64(1))]),
+                publish(2, 10, "b", vec![("v", CtxValue::U64(1))]),
+            ],
+        );
+        let set = mine(&[tie], &MinerConfig::default());
+        assert!(set.get("order.b.after.a").is_none());
+        assert!(set.get("order.a.after.b").is_none());
+    }
+
+    #[test]
+    fn support_floor_discards_thin_evidence() {
+        let set = mine(
+            &[counter_journal("a", &[5, 6])],
+            &MinerConfig {
+                min_support: 3,
+                ..MinerConfig::default()
+            },
+        );
+        assert!(set.get("range.flusher_loop.entry_count").is_none());
+        let set = mine(&[counter_journal("a", &[5, 6, 7])], &MinerConfig::default());
+        assert!(set.get("range.flusher_loop.entry_count").is_some());
+    }
+
+    #[test]
+    fn staleness_needs_cadence_in_every_journal() {
+        let steady = counter_journal("steady", &[1, 2, 3, 4, 5, 6]);
+        let one_shot = counter_journal("one-shot", &[9]);
+        let set = mine(std::slice::from_ref(&steady), &MinerConfig::default());
+        assert!(set.get("staleness.flusher_loop").is_some());
+        let set = mine(&[steady, one_shot], &MinerConfig::default());
+        assert!(
+            set.get("staleness.flusher_loop").is_none(),
+            "a journal where the key fired once kills the cadence claim"
+        );
+    }
+
+    #[test]
+    fn mining_is_deterministic_under_journal_reordering() {
+        let a = counter_journal("a", &[10, 12, 13, 17]);
+        let b = counter_journal("b", &[11, 14, 13, 12]);
+        let forward = mine(&[a.clone(), b.clone()], &MinerConfig::default());
+        let reversed = mine(&[b, a], &MinerConfig::default());
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn everything_mined_holds_on_its_source_journals() {
+        let journals = vec![
+            counter_journal("a", &[10, 12, 13, 17, 15]),
+            counter_journal("b", &[11, 14, 13, 12, 20, 21]),
+        ];
+        let set = mine(&journals, &MinerConfig::default());
+        assert!(!set.invariants.is_empty());
+        for mined in &set.invariants {
+            for journal in &journals {
+                assert!(
+                    holds_on(&mined.invariant, journal),
+                    "{} violated on {}",
+                    mined.invariant.id(),
+                    journal.label
+                );
+            }
+        }
+    }
+}

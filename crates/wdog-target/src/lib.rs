@@ -45,6 +45,30 @@ pub use workload::{
 /// without depending on `wdog-recover` directly.
 pub use wdog_recover::{RecoverySurface, VerifierFactory};
 
+/// Instantiates the inferred checker family from the mined specs riding in
+/// `opts.inferred`.
+///
+/// Shared by every target's `build_watchdog`: specs carry their own identity
+/// (id, blamed component, context key), so instantiation is uniform — the
+/// target only contributes the context reader the checkers evaluate
+/// against. Returns an empty vector when the family is disabled or no specs
+/// were supplied (the default for every campaign that has not run
+/// `wdog-infer`).
+pub fn inferred_checkers(opts: &WdOptions, reader: &ContextReader) -> Vec<Box<dyn Checker>> {
+    if !opts.families.inferred {
+        return Vec::new();
+    }
+    opts.inferred
+        .iter()
+        .map(|spec| {
+            Box::new(wdog_checkers::InferredChecker::new(
+                spec.clone(),
+                reader.clone(),
+            )) as Box<dyn Checker>
+        })
+        .collect()
+}
+
 /// A full API round trip against the target, for the external-probe
 /// baseline detector (matches `detectors::probe_client::ProbeFn`).
 pub type ApiProbe = Arc<dyn Fn() -> BaseResult<()> + Send + Sync>;
@@ -223,6 +247,24 @@ pub trait TargetInstance: Send {
     /// disarmed baseline flips this off to measure the bare request path.
     /// The default does nothing (no hooks to toggle).
     fn set_hooks_enabled(&self, _enabled: bool) {}
+
+    /// Arms trace recording on the instance's hooks: every context publish
+    /// is journaled into `recorder` for `wdog-infer` to mine. Returns
+    /// whether the instance supports tracing; the default does nothing and
+    /// reports `false` (no hooks to trace).
+    fn attach_trace(&self, _recorder: &std::sync::Arc<wdog_core::TraceRecorder>) -> bool {
+        false
+    }
+
+    /// Fires auxiliary code paths the steady workload never reaches
+    /// (follower snapshot syncs, scrub passes, ...), without blocking —
+    /// work is kicked onto the instance's own threads. Trace recording
+    /// calls this mid-run so inferred invariants cover those loops too.
+    /// Returns whether anything was driven; the default has nothing to
+    /// drive and reports `false`.
+    fn exercise_auxiliary(&self) -> bool {
+        false
+    }
 
     /// `(ok, failed)` workload request counts so far.
     fn workload_counters(&self) -> (u64, u64);

@@ -10,7 +10,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use wdog_core::Action;
+use wdog_checkers::InferredSpec;
+use wdog_core::{Action, TraceRecorder};
 use wdog_telemetry::TelemetryRegistry;
 
 /// Which checker families the assembled watchdog includes.
@@ -28,6 +29,9 @@ pub struct Families {
     pub probes: bool,
     /// Include signal checkers.
     pub signals: bool,
+    /// Include trace-inferred checkers (only effective when
+    /// [`WdOptions::inferred`] carries mined specs).
+    pub inferred: bool,
 }
 
 impl Families {
@@ -37,15 +41,18 @@ impl Families {
             mimics: true,
             probes: true,
             signals: true,
+            inferred: true,
         }
     }
 
-    /// Exactly one family enabled, by name (`mimic`/`probe`/`signal`).
+    /// Exactly one family enabled, by name
+    /// (`mimic`/`probe`/`signal`/`inferred`).
     pub fn only(family: &str) -> Self {
         Self {
             mimics: family == "mimic",
             probes: family == "probe",
             signals: family == "signal",
+            inferred: family == "inferred",
         }
     }
 }
@@ -96,6 +103,13 @@ pub struct WdOptions {
     /// [`DriverBuilder::build`](wdog_core::DriverBuilder::build) — there is
     /// no post-hoc `add_action`.
     pub actions: Vec<Arc<dyn Action>>,
+    /// Mined invariant specs to register as inferred checkers (when the
+    /// `inferred` family is enabled). Default campaigns carry none; the
+    /// `wdog-infer` pipeline and its tests inject a mined corpus here.
+    pub inferred: Vec<InferredSpec>,
+    /// When set, the target's hooks and mimic checkers journal publishes
+    /// and op executions into this recorder — the `wdog-infer` record mode.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for WdOptions {
@@ -112,6 +126,8 @@ impl Default for WdOptions {
             telemetry: None,
             spawn_order_seed: None,
             actions: Vec::new(),
+            inferred: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -130,6 +146,8 @@ impl std::fmt::Debug for WdOptions {
             .field("telemetry", &self.telemetry.is_some())
             .field("spawn_order_seed", &self.spawn_order_seed)
             .field("actions", &self.actions.len())
+            .field("inferred", &self.inferred.len())
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }
@@ -145,7 +163,8 @@ mod tests {
             Families {
                 mimics: true,
                 probes: false,
-                signals: false
+                signals: false,
+                inferred: false
             }
         );
         assert_eq!(
@@ -153,7 +172,17 @@ mod tests {
             Families {
                 mimics: false,
                 probes: false,
-                signals: true
+                signals: true,
+                inferred: false
+            }
+        );
+        assert_eq!(
+            Families::only("inferred"),
+            Families {
+                mimics: false,
+                probes: false,
+                signals: false,
+                inferred: true
             }
         );
         assert_eq!(Families::default(), Families::all());

@@ -41,8 +41,8 @@ pub use epoch::{EpochSource, FireLanes, LaneFlusher, FIRE_LANES};
 pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAP};
 pub use metrics::{AtomicHistogram, Counter, Gauge, HistogramSummary};
 pub use registry::{
-    TelemetryRegistry, DETECTION_LATENCY_BY_CHECKER, DETECTION_LATENCY_BY_KIND, REPORTS_BY_CHECKER,
-    REPORTS_BY_KIND,
+    checker_family, TelemetryRegistry, DETECTION_LATENCY_BY_CHECKER, DETECTION_LATENCY_BY_KIND,
+    REPORTS_BY_CHECKER, REPORTS_BY_FAMILY, REPORTS_BY_KIND,
 };
 pub use snapshot::{CounterEntry, GaugeEntry, HistogramEntry, TelemetrySnapshot};
 

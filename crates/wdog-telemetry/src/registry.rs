@@ -49,6 +49,26 @@ pub const DETECTION_LATENCY_BY_KIND: &str = "detection_latency_by_kind_ms";
 pub const REPORTS_BY_CHECKER: &str = "reports_by_checker_total";
 /// Counter of failure reports per failure kind.
 pub const REPORTS_BY_KIND: &str = "reports_by_kind_total";
+/// Counter of failure reports per checker family (see [`checker_family`]).
+pub const REPORTS_BY_FAMILY: &str = "reports_by_family_total";
+
+/// Classifies a checker id into its generation family by the id
+/// conventions every family follows: `<t>.probe.<name>` for API probes,
+/// `<t>.signal.<name>` for resource signals, `<t>.inferred.<kind>.<key>`
+/// for trace-mined invariant checkers, and everything else is a
+/// structural mimic. Campaign dashboards use the per-family report
+/// counters to attribute detections to the family that earned them.
+pub fn checker_family(checker: &str) -> &'static str {
+    if checker.contains(".inferred.") {
+        "inferred"
+    } else if checker.contains(".signal.") {
+        "signal"
+    } else if checker.contains(".probe.") {
+        "probe"
+    } else {
+        "mimic"
+    }
+}
 
 /// The telemetry plane's root object.
 ///
@@ -192,6 +212,8 @@ impl TelemetryRegistry {
         }
         self.counter(REPORTS_BY_CHECKER, checker).inc();
         self.counter(REPORTS_BY_KIND, kind).inc();
+        self.counter(REPORTS_BY_FAMILY, checker_family(checker))
+            .inc();
         if let Some(sample) = self.detect.observe(checker, kind, at_ms) {
             self.histogram(DETECTION_LATENCY_BY_CHECKER, checker)
                 .record(sample.latency_ms);
@@ -298,6 +320,7 @@ mod tests {
         reg.observe_report("kvs.wal_mimic", "stuck", 1_600);
         assert_eq!(reg.counter(REPORTS_BY_CHECKER, "kvs.wal_mimic").get(), 2);
         assert_eq!(reg.counter(REPORTS_BY_KIND, "stuck").get(), 2);
+        assert_eq!(reg.counter(REPORTS_BY_FAMILY, "mimic").get(), 2);
         let samples = reg.detection_samples();
         assert_eq!(samples.len(), 1, "only first report closes the sample");
         assert_eq!(samples[0].latency_ms, 420);

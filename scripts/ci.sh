@@ -35,6 +35,15 @@ if [ "${1:-}" = "--replay" ]; then
     exit 0
 fi
 
+echo "==> no stale error sidecars tracked in git"
+# Campaign bins delete their results/<name>.err sidecar on success, so a
+# tracked one is a fossil of a failed run that was committed by accident.
+if git ls-files -- 'results/*.err' 'results/**/*.err' | grep -q .; then
+    echo "tracked .err sidecars found — rerun the campaign (bins clear them on success) or git rm:"
+    git ls-files -- 'results/*.err' 'results/**/*.err'
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -52,8 +61,8 @@ cargo run --offline -q -p harness --bin wdog-lint -- --target all --deny-drift \
     --deny-unsafe-checker --deny-deadlock-cycle --deny-coverage-regression \
     --deny-real-clock
 
-echo "==> wdog-recovery smoke: kvs stuck-task + corruption must verified-recover"
-cargo run --offline -q -p harness --bin wdog-recovery -- --target kvs \
+echo "==> wdog-recovery --sim smoke: kvs stuck-task + corruption must verified-recover in virtual time"
+cargo run --offline -q -p harness --bin wdog-recovery -- --target kvs --sim \
     --scenarios background-task-stuck,state-corruption --require-verified 2
 
 echo "==> telemetry smoke: kvs campaign must produce a valid snapshot with a detection"
@@ -94,6 +103,35 @@ for t in kvs minizk miniblock; do
         exit 1
     fi
     rm -f "results/chaos/chaos_$t.run1.json"
+done
+
+# The inference gate rides on the chaos archive the sweeps above just
+# refreshed. Two passes over every target: the first writes the corpus,
+# the second re-records with per-target confidence floors — at least 10
+# mined invariants everywhere, and on kvs/miniblock at least one archived
+# missed fault verdict that the inferred checkers flip to detected
+# (minizk's misses are all txn-log bit rot, invisible at the value level,
+# so it gates on invariants only). The two corpora must agree
+# byte-for-byte: recording is virtual-time deterministic and everything
+# downstream is a pure function of the journals.
+echo "==> wdog-infer gate: mine >=10 invariants per target, flip archived misses, byte-identical corpus"
+cargo run --offline -q --release -p harness --bin wdog-infer -- --target all \
+    --require-invariants 10
+for t in kvs minizk miniblock; do
+    cp "results/inferred/inferred_$t.json" "results/inferred/inferred_$t.run1.json"
+done
+cargo run --offline -q --release -p harness --bin wdog-infer -- --target kvs \
+    --require-invariants 10 --require-flips 1
+cargo run --offline -q --release -p harness --bin wdog-infer -- --target minizk \
+    --require-invariants 10
+cargo run --offline -q --release -p harness --bin wdog-infer -- --target miniblock \
+    --require-invariants 10 --require-flips 1
+for t in kvs minizk miniblock; do
+    if ! cmp -s "results/inferred/inferred_$t.run1.json" "results/inferred/inferred_$t.json"; then
+        echo "wdog-infer [$t]: corpus diverged between consecutive runs — nondeterminism bug"
+        exit 1
+    fi
+    rm -f "results/inferred/inferred_$t.run1.json"
 done
 
 replay_corpus
